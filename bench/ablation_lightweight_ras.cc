@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: lightweight vs heavyweight reordering algorithms.
+ *
+ * The paper's related work (references [21], [22]: Faldu et al.
+ * IISWC'19, Balaji & Lucia IISWC'18) studies when *lightweight*
+ * reordering (HubSort, HubCluster, DBG) pays off given its tiny
+ * preprocessing cost. This bench puts them on the same scale as the
+ * paper's heavyweight trio (SB / GO / RO) plus the matrix-era RCM:
+ * preprocessing seconds vs simulated data-miss reduction, i.e. the
+ * amortization trade-off.
+ */
+
+#include "bench/common.h"
+
+using namespace gral;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation: lightweight vs heavyweight RAs",
+        "paper Section IX-B related work (Faldu'19, Balaji'18 "
+        "comparisons)",
+        "lightweight RAs cost ~zero preprocessing but recover only "
+        "part of the heavyweight miss reduction");
+
+    const std::vector<std::string> ras = {
+        "Bl", "Random",     "DBG", "HubSort",
+        "RCM", "DegreeSort", "SB",  "GO",
+        "RO"};
+
+    ExperimentOptions options = bench::benchOptions();
+    options.runTiming = false;
+
+    for (const std::string &id :
+         {std::string("twtr-s"), std::string("ukdls-s")}) {
+        Graph base = makeDataset(id, bench::scale());
+        std::cout << "--- " << id << " ("
+                  << toString(datasetSpec(id).type) << ") ---\n";
+        TextTable table({"RA", "prep (s)", "data miss %",
+                         "vs Bl"});
+        double baseline_rate = 0.0;
+        double best_light = 1e9;
+        double best_heavy = 1e9;
+        for (const std::string &ra : ras) {
+            RaExperimentResult result =
+                runRaExperiment(base, ra, options);
+            double rate = 100.0 * result.profile.dataMissRate();
+            if (ra == "Bl")
+                baseline_rate = rate;
+            if (ra == "DBG" || ra == "HubSort")
+                best_light = std::min(best_light, rate);
+            if (ra == "SB" || ra == "GO" || ra == "RO")
+                best_heavy = std::min(best_heavy, rate);
+            table.addRow(
+                {ra,
+                 formatDouble(result.reorderStats.preprocessSeconds,
+                              3),
+                 formatDouble(rate, 1),
+                 formatDouble(rate - baseline_rate, 1)});
+        }
+        table.print(std::cout);
+        bench::shapeCheck(
+            id + ": best heavyweight RA beats best lightweight RA",
+            best_heavy < best_light);
+        bench::shapeCheck(
+            id + ": lightweight RAs do not catastrophically regress "
+                 "(within 25% of baseline)",
+            best_light < baseline_rate * 1.25);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared configuration of the bench binaries.
+ *
+ * Every bench reproduces one table or figure of the paper on the
+ * synthetic Table-I stand-ins. Because the stand-ins are ~1000x
+ * smaller than the originals, the simulated L3 is scaled down with
+ * them (128 KB instead of 22 MB) so the ratio of vertex-data size to
+ * cache capacity stays in the paper's regime; likewise the DTLB model
+ * uses 4 KB pages so the data array spans many pages. Absolute
+ * numbers therefore differ from the paper; the *shapes* (who wins,
+ * where, and why) are what each bench checks and prints.
+ *
+ * Environment overrides:
+ *  - GRAL_SCALE:    dataset scale factor (default 1.0)
+ *  - GRAL_THREADS:  simulated/real thread count (default 8 / 4)
+ */
+
+#ifndef GRAL_BENCH_COMMON_H
+#define GRAL_BENCH_COMMON_H
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/datasets.h"
+#include "analysis/experiment.h"
+#include "analysis/report.h"
+#include "cachesim/cache.h"
+#include "cachesim/tlb.h"
+
+namespace gral::bench
+{
+
+/** Dataset scale factor (GRAL_SCALE env var, default 1.0). */
+inline double
+scale()
+{
+    if (const char *env = std::getenv("GRAL_SCALE"))
+        return std::atof(env);
+    return 1.0;
+}
+
+/** Simulated thread count for trace generation. */
+inline unsigned
+simThreads()
+{
+    if (const char *env = std::getenv("GRAL_THREADS"))
+        return static_cast<unsigned>(std::atoi(env));
+    return 8;
+}
+
+/** The scaled stand-in for the paper's shared L3 (22 MB / 11-way /
+ *  DRRIP becomes 128 KB / 8-way / DRRIP at bench scale). */
+inline CacheConfig
+benchCache()
+{
+    CacheConfig config;
+    config.sizeBytes = 128 * 1024;
+    config.associativity = 8;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::DRRIP;
+    return config;
+}
+
+/** Scaled DTLB: 64 entries of 4 KB pages. */
+inline TlbConfig
+benchTlb()
+{
+    TlbConfig config;
+    config.entries = 64;
+    config.associativity = 4;
+    config.pageBytes = 4096;
+    return config;
+}
+
+/** Real-traversal thread count: capped by the host's cores so the
+ *  idle-time column is not dominated by oversubscription. */
+inline unsigned
+realThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1u, std::min(4u, hw == 0 ? 1u : hw));
+}
+
+/** Experiment options every bench shares. */
+inline ExperimentOptions
+benchOptions()
+{
+    ExperimentOptions options;
+    options.parallel.numThreads = realThreads();
+    options.trace.numThreads = simThreads();
+    options.sim.cache = benchCache();
+    options.sim.tlb = benchTlb();
+    options.sim.chunkSize = 1024;
+    options.timingRepeats = 3;
+    return options;
+}
+
+/** The four default datasets (2 social networks + 2 web graphs). */
+inline std::vector<std::string>
+datasets()
+{
+    return defaultBenchDatasets();
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref,
+       const std::string &expected_shape)
+{
+    std::cout << "=== " << what << " ===\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << "Expected shape: " << expected_shape << "\n"
+              << "(scale=" << scale() << ", datasets are synthetic"
+              << " stand-ins; see DESIGN.md)\n\n";
+}
+
+/** Print a pass/fail shape-check line. */
+inline void
+shapeCheck(const std::string &claim, bool holds)
+{
+    std::cout << "[shape] " << claim << ": "
+              << (holds ? "HOLDS" : "DIFFERS") << "\n";
+}
+
+} // namespace gral::bench
+
+#endif // GRAL_BENCH_COMMON_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 2: degree distribution of the GCC across SlashBurn
+ * iterations.
+ *
+ * Paper shape (Section VI-A): "Over different iterations of SB, the
+ * degree distribution of the GCC does not maintain the power-law
+ * property. After a few iterations, the remaining network shows an
+ * almost-uniform degree distribution with low degrees."
+ */
+
+#include <cmath>
+
+#include "bench/common.h"
+#include "reorder/slashburn.h"
+
+using namespace gral;
+
+namespace
+{
+
+/** Compact histogram row: counts in coarse degree buckets. */
+std::vector<std::string>
+histogramRow(const SlashBurnIteration &record)
+{
+    std::uint64_t b1 = 0;   // degree 1
+    std::uint64_t b10 = 0;  // 2-10
+    std::uint64_t b100 = 0; // 11-100
+    std::uint64_t rest = 0; // > 100
+    for (std::size_t d = 0; d < record.gccDegreeHistogram.size();
+         ++d) {
+        std::uint64_t count = record.gccDegreeHistogram[d];
+        if (d <= 1)
+            b1 += count;
+        else if (d <= 10)
+            b10 += count;
+        else if (d <= 100)
+            b100 += count;
+        else
+            rest += count;
+    }
+    return {formatCount(b1), formatCount(b10), formatCount(b100),
+            formatCount(rest)};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 2: GCC degree distribution across SB iterations",
+        "paper Figure 2 ([Real execution] GCC after SB iterations)",
+        "max degree collapses within a few iterations; tail buckets "
+        "empty out");
+
+    for (const std::string &id :
+         {std::string("twtr-s"), std::string("wbcc-s")}) {
+        Graph graph = makeDataset(id, bench::scale());
+        SlashBurnConfig config;
+        config.recordHistograms = true;
+        SlashBurn ra(config);
+        (void)ra.reorder(graph);
+
+        std::cout << "--- " << id << " ---\n";
+        TextTable table({"Iteration", "GCC |V|", "GCC max deg",
+                         "deg<=1", "deg 2-10", "deg 11-100",
+                         "deg >100"});
+        for (const SlashBurnIteration &record : ra.iterationLog()) {
+            // Print iterations 1, 2, 4, 8, 16, ... like the figure.
+            if ((record.iteration & (record.iteration - 1)) != 0)
+                continue;
+            std::vector<std::string> row = {
+                std::to_string(record.iteration),
+                formatCount(record.gccVertices),
+                formatCount(record.gccMaxDegree)};
+            auto buckets = histogramRow(record);
+            row.insert(row.end(), buckets.begin(), buckets.end());
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+
+        const auto &log = ra.iterationLog();
+        double sqrt_v =
+            std::sqrt(static_cast<double>(graph.numVertices()));
+        bench::shapeCheck(
+            id + ": GCC max degree drops below sqrt(|V|) within 8 "
+                 "iterations",
+            log.size() >= 8
+                ? static_cast<double>(log[7].gccMaxDegree) < sqrt_v
+                : static_cast<double>(log.back().gccMaxDegree) <
+                      sqrt_v);
+        bench::shapeCheck(
+            id + ": no degree >100 tail left after the last iteration",
+            histogramRow(log.back()).back() == "0");
+        std::cout << "\n";
+    }
+    return 0;
+}

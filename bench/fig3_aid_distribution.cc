@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 3: AID degree distribution, Initial vs Rabbit-Order.
+ *
+ * Paper shape (Section VI-C): "Rabbit-Order reduces AID of LDV and
+ * improves their spatial locality... AID and cache miss rate of
+ * Rabbit-Order are increased for HDV" (DFS cannot keep the many
+ * neighbours of a hub contiguous).
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench/common.h"
+#include "metrics/aid.h"
+#include "reorder/rabbit_order.h"
+
+using namespace gral;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 3: AID degree distribution (Initial vs RabbitOrder)",
+        "paper Figure 3 ([Calculation] N2N AID per in-degree bin)",
+        "RO cuts LDV AID sharply; the reduction fades toward hubs");
+
+    for (const std::string &id :
+         {std::string("twtr-s"), std::string("uu-s")}) {
+        Graph graph = makeDataset(id, bench::scale());
+        RabbitOrder ra;
+        Graph relabeled = applyPermutation(graph, ra.reorder(graph));
+
+        auto initial = aidDegreeDistribution(graph, Direction::In);
+        auto after = aidDegreeDistribution(relabeled, Direction::In);
+
+        std::map<EdgeId, std::pair<double, double>> merged;
+        for (const DegreeBinRow &row : initial.rows())
+            merged[row.degreeLow].first = row.mean();
+        for (const DegreeBinRow &row : after.rows())
+            merged[row.degreeLow].second = row.mean();
+
+        std::cout << "--- " << id << " ---\n";
+        TextTable table(
+            {"Degree>=", "Initial AID", "RabbitOrder AID", "Ratio"});
+        for (const auto &[degree, pair] : merged) {
+            if (degree < 2)
+                continue; // AID needs >= 2 neighbours
+            double ratio = pair.first > 0.0
+                               ? pair.second / pair.first
+                               : 0.0;
+            table.addRow({formatCount(degree),
+                          formatDouble(pair.first, 0),
+                          formatDouble(pair.second, 0),
+                          formatDouble(ratio, 3)});
+        }
+        table.print(std::cout);
+
+        // Shape: RO's AID reduction is concentrated on LDV (strongest
+        // at the lowest-degree bins) and fades toward hubs, where DFS
+        // cannot keep the many neighbours contiguous. The paper's own
+        // Twitter reduction is modest per bin; UK-Union's LDV bins
+        // drop sharply.
+        double best_ldv_ratio = 1.0;
+        double high_sum = 0.0;
+        int high_count = 0;
+        std::size_t index = 0;
+        std::size_t n = merged.size();
+        for (const auto &[degree, pair] : merged) {
+            if (pair.first <= 0.0 || degree < 2) {
+                ++index;
+                continue;
+            }
+            double ratio = pair.second / pair.first;
+            if (static_cast<double>(degree) <=
+                graph.averageDegree())
+                best_ldv_ratio = std::min(best_ldv_ratio, ratio);
+            if (index >= 2 * n / 3) {
+                high_sum += ratio;
+                ++high_count;
+            }
+            ++index;
+        }
+        double high_ratio =
+            high_count == 0 ? 1.0 : high_sum / high_count;
+        bench::shapeCheck(
+            id + ": RO cuts AID of the lowest-degree bins by >= 35%",
+            best_ldv_ratio < 0.65);
+        bench::shapeCheck(
+            id + ": LDV AID reduction stronger than hub reduction",
+            best_ldv_ratio < high_ratio);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 6: percentage of edges covered by the top-H in-hubs (CSR /
+ * push) vs out-hubs (CSC / pull).
+ *
+ * Paper shape (Section VII-B): "web graphs benefit from push locality
+ * as they have more powerful in-hubs than out-hubs, while social
+ * networks benefit from pull locality because of their more powerful
+ * out-hubs." (In the paper's Twitter the out-hub curve also leads the
+ * in-hub curve at large H.)
+ */
+
+#include "bench/common.h"
+#include "metrics/hub_coverage.h"
+
+using namespace gral;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 6: Edge coverage of top-H hubs",
+        "paper Figure 6 ([Calculation] % edges covered vs number of "
+        "hubs kept in cache)",
+        "web: in-hub curve far above out-hub; social: out-hub curve "
+        "at or above in-hub");
+
+    Graph social = makeDataset("twtr-s", bench::scale());
+    Graph web = makeDataset("sk-s", bench::scale());
+
+    auto social_curve = hubCoverage(social);
+    auto web_curve = hubCoverage(web);
+
+    std::cout << "--- twtr-s (SN) ---\n";
+    TextTable social_table(
+        {"Hubs", "In-hub edges %", "Out-hub edges %"});
+    for (const HubCoveragePoint &point : social_curve)
+        social_table.addRow({formatCount(point.hubCount),
+                             formatDouble(point.inHubEdgePercent, 1),
+                             formatDouble(point.outHubEdgePercent,
+                                          1)});
+    social_table.print(std::cout);
+
+    std::cout << "\n--- sk-s (WG) ---\n";
+    TextTable web_table(
+        {"Hubs", "In-hub edges %", "Out-hub edges %"});
+    for (const HubCoveragePoint &point : web_curve)
+        web_table.addRow({formatCount(point.hubCount),
+                          formatDouble(point.inHubEdgePercent, 1),
+                          formatDouble(point.outHubEdgePercent, 1)});
+    web_table.print(std::cout);
+    std::cout << "\n";
+
+    // Compare at H = 2% of |V| (the paper reads its curves at
+    // 100K hubs of multi-million-vertex graphs).
+    auto at = [](const Graph &graph, std::uint64_t h) {
+        return hubCoverage(graph, {h})[0];
+    };
+    auto web_point = at(web, web.numVertices() / 50);
+    auto social_point = at(social, social.numVertices() / 50);
+
+    bench::shapeCheck(
+        "web graph: in-hub coverage more than double out-hub "
+        "coverage",
+        web_point.inHubEdgePercent >
+            2.0 * web_point.outHubEdgePercent);
+    bench::shapeCheck(
+        "social network: out-hub coverage >= 0.8x in-hub coverage",
+        social_point.outHubEdgePercent >=
+            0.8 * social_point.inHubEdgePercent);
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot kernels:
+ * SpMV traversal, cache-model access, trace generation, AID, and the
+ * reordering algorithms themselves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/datasets.h"
+#include "cachesim/cache.h"
+#include "graph/degree.h"
+#include "graph/generators.h"
+#include "metrics/aid.h"
+#include "reorder/registry.h"
+#include "spmv/spmv.h"
+#include "spmv/trace_gen.h"
+
+namespace
+{
+
+using namespace gral;
+
+const Graph &
+benchGraph()
+{
+    static Graph graph = makeDataset("twtr-s", 0.2);
+    return graph;
+}
+
+void
+BM_SpmvPull(benchmark::State &state)
+{
+    const Graph &graph = benchGraph();
+    std::vector<double> src(graph.numVertices(), 1.0);
+    std::vector<double> dst(graph.numVertices(), 0.0);
+    for (auto _ : state) {
+        spmvPull(graph, src, dst);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(graph.numEdges()));
+}
+BENCHMARK(BM_SpmvPull);
+
+void
+BM_SpmvPush(benchmark::State &state)
+{
+    const Graph &graph = benchGraph();
+    std::vector<double> src(graph.numVertices(), 1.0);
+    std::vector<double> dst(graph.numVertices(), 0.0);
+    for (auto _ : state) {
+        spmvPush(graph, src, dst);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(graph.numEdges()));
+}
+BENCHMARK(BM_SpmvPush);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(paperL3Config());
+    std::uint64_t x = 0x123456789ULL;
+    for (auto _ : state) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        benchmark::DoNotOptimize(
+            cache.access(x % (64ULL << 20), false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const Graph &graph = benchGraph();
+    TraceOptions options;
+    for (auto _ : state) {
+        auto traces = generatePullTrace(graph, options);
+        benchmark::DoNotOptimize(traces.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(graph.numEdges()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_AidDistribution(benchmark::State &state)
+{
+    const Graph &graph = benchGraph();
+    for (auto _ : state) {
+        auto dist = aidDegreeDistribution(graph, Direction::In);
+        benchmark::DoNotOptimize(&dist);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(graph.numEdges()));
+}
+BENCHMARK(BM_AidDistribution);
+
+void
+BM_Reorder(benchmark::State &state, const char *name)
+{
+    const Graph &graph = benchGraph();
+    for (auto _ : state) {
+        ReordererPtr ra = makeReorderer(name);
+        Permutation p = ra->reorder(graph);
+        benchmark::DoNotOptimize(&p);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(graph.numEdges()));
+}
+BENCHMARK_CAPTURE(BM_Reorder, SlashBurn, "SB");
+BENCHMARK_CAPTURE(BM_Reorder, GOrder, "GO");
+BENCHMARK_CAPTURE(BM_Reorder, RabbitOrder, "RO");
+BENCHMARK_CAPTURE(BM_Reorder, DegreeSort, "DegreeSort");
+
+void
+BM_ApplyPermutation(benchmark::State &state)
+{
+    const Graph &graph = benchGraph();
+    Permutation p = randomPermutation(graph.numVertices(), 3);
+    for (auto _ : state) {
+        Graph relabeled = applyPermutation(graph, p);
+        benchmark::DoNotOptimize(&relabeled);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(graph.numEdges()));
+}
+BENCHMARK(BM_ApplyPermutation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table II: RA preprocessing time and memory footprint.
+ *
+ * Paper shape: GOrder is by far the slowest (single-threaded,
+ * score-driven); SlashBurn is in the middle; Rabbit-Order is the
+ * fastest community-detection RA but carries the largest working
+ * memory (weighted adjacency).
+ */
+
+#include "bench/common.h"
+#include "reorder/registry.h"
+
+using namespace gral;
+
+int
+main()
+{
+    bench::banner(
+        "Table II: Preprocessing overheads",
+        "paper Table II (preprocessing time s / memory footprint GB)",
+        "GO slowest on social networks; RO fastest per edge but "
+        "largest footprint");
+
+    TextTable table({"Dataset", "SB time(s)", "GO time(s)",
+                     "RO time(s)", "SB mem", "GO mem", "RO mem"});
+
+    double sb_social = 0.0;
+    double go_social = 0.0;
+    double ro_social = 0.0;
+    for (const std::string &id : bench::datasets()) {
+        Graph graph = makeDataset(id, bench::scale());
+        std::vector<std::string> row = {id};
+        std::vector<std::string> mem;
+        for (const char *ra_name : {"SB", "GO", "RO"}) {
+            ReordererPtr ra = makeReorderer(ra_name);
+            (void)ra->reorder(graph);
+            row.push_back(
+                formatDouble(ra->stats().preprocessSeconds, 2));
+            mem.push_back(
+                formatBytes(ra->stats().peakFootprintBytes));
+            if (datasetSpec(id).type == GraphType::SocialNetwork) {
+                double t = ra->stats().preprocessSeconds;
+                if (std::string(ra_name) == "SB")
+                    sb_social += t;
+                else if (std::string(ra_name) == "GO")
+                    go_social += t;
+                else
+                    ro_social += t;
+            }
+        }
+        row.insert(row.end(), mem.begin(), mem.end());
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+    bench::shapeCheck(
+        "GO preprocessing slower than SB on social networks",
+        go_social > sb_social);
+    bench::shapeCheck("RO and SB within an order of magnitude",
+                      ro_social < 20.0 * sb_social + 1.0);
+    return 0;
+}

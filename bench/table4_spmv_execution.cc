@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table IV: SpMV execution results — traversal time, idle %,
+ * simulated L3 misses and DTLB misses for Bl / SB / GO / RO.
+ *
+ * Paper shape (Section VI-E): "SB usually destroys locality and
+ * increases the execution time. GO reduces L3 misses and execution
+ * time of social networks. RO improves locality of web graphs."
+ */
+
+#include <map>
+#include <algorithm>
+
+#include "bench/common.h"
+
+using namespace gral;
+
+int
+main()
+{
+    bench::banner(
+        "Table IV: SpMV execution results",
+        "paper Table IV (time ms / idle % / L3 misses / DTLB misses)",
+        "SB raises L3 misses; GO wins on social networks; RO wins on "
+        "web graphs");
+
+    const std::vector<std::string> ras = {"Bl", "SB", "GO", "RO"};
+    TextTable table({"Dataset", "RA", "Time(ms)", "Idle(%)",
+                     "L3 Misses(M)", "DataMissRate(%)",
+                     "DTLB Misses(K)"});
+
+    // dataset -> ra -> data misses, for the shape checks.
+    std::map<std::string, std::map<std::string, double>> misses;
+
+    ExperimentOptions options = bench::benchOptions();
+    for (const std::string &id : bench::datasets()) {
+        Graph base = makeDataset(id, bench::scale());
+        for (const std::string &ra : ras) {
+            RaExperimentResult result =
+                runRaExperiment(base, ra, options);
+            misses[id][ra] =
+                static_cast<double>(result.profile.dataMisses);
+            table.addRow(
+                {id, ra, formatDouble(result.traversalMs, 1),
+                 formatDouble(result.idlePercent, 1),
+                 formatDouble(result.profile.cache.misses / 1e6, 2),
+                 formatDouble(100.0 * result.profile.dataMissRate(),
+                              1),
+                 formatDouble(result.profile.tlb.misses / 1e3, 1)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    int go_wins_sn = 0;
+    int sn_count = 0;
+    int ro_improves_wg = 0;
+    int ro_competitive_wg = 0;
+    int wg_count = 0;
+    int sb_hurts = 0;
+    int total = 0;
+    for (const std::string &id : bench::datasets()) {
+        bool social =
+            datasetSpec(id).type == GraphType::SocialNetwork;
+        auto &row = misses[id];
+        if (social) {
+            ++sn_count;
+            if (row["GO"] <= row["SB"] && row["GO"] <= row["RO"] &&
+                row["GO"] <= row["Bl"])
+                ++go_wins_sn;
+        } else {
+            ++wg_count;
+            if (row["RO"] < row["Bl"])
+                ++ro_improves_wg;
+            // The paper has GO within a few % of RO on SK/WbCc, so
+            // "wins" is checked with a small tolerance.
+            if (row["RO"] <= 1.02 * std::min(row["GO"], row["SB"]))
+                ++ro_competitive_wg;
+        }
+        ++total;
+        if (row["SB"] > row["Bl"])
+            ++sb_hurts;
+    }
+    bench::shapeCheck("GO has fewest data misses on social networks",
+                      go_wins_sn == sn_count);
+    bench::shapeCheck("RO reduces misses vs baseline on web graphs",
+                      ro_improves_wg == wg_count);
+    bench::shapeCheck(
+        "RO wins or ties (within 2%) the others on web graphs",
+        ro_competitive_wg == wg_count);
+    bench::shapeCheck("SB increases misses vs baseline on most inputs",
+                      2 * sb_hurts >= total);
+    return 0;
+}

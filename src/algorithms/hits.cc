@@ -1,0 +1,72 @@
+#include "algorithms/hits.h"
+
+#include <cmath>
+
+#include "spmv/spmv.h"
+
+namespace gral
+{
+
+namespace
+{
+
+/** L2-normalize in place; returns the norm (0 for the zero vector). */
+double
+normalize(std::vector<double> &values)
+{
+    double norm = 0.0;
+    for (double value : values)
+        norm += value * value;
+    norm = std::sqrt(norm);
+    if (norm > 0.0)
+        for (double &value : values)
+            value /= norm;
+    return norm;
+}
+
+double
+l1Delta(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double delta = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        delta += std::abs(a[i] - b[i]);
+    return delta;
+}
+
+} // namespace
+
+HitsResult
+hits(const Graph &graph, const HitsOptions &options)
+{
+    const VertexId n = graph.numVertices();
+    HitsResult result;
+    result.authority.assign(n, 1.0);
+    result.hub.assign(n, 1.0);
+    if (n == 0)
+        return result;
+    normalize(result.authority);
+    normalize(result.hub);
+
+    std::vector<double> next_authority(n);
+    std::vector<double> next_hub(n);
+    for (unsigned iteration = 0; iteration < options.maxIterations;
+         ++iteration) {
+        // authority[v] = sum of hub[u] over in-neighbours (pull/CSC).
+        readSum(graph, Direction::In, result.hub, next_authority);
+        normalize(next_authority);
+        // hub[v] = sum of authority[u] over out-neighbours (CSR).
+        readSum(graph, Direction::Out, next_authority, next_hub);
+        normalize(next_hub);
+
+        double delta = l1Delta(next_authority, result.authority) +
+                       l1Delta(next_hub, result.hub);
+        result.authority.swap(next_authority);
+        result.hub.swap(next_hub);
+        result.iterations = iteration + 1;
+        if (delta < options.tolerance)
+            break;
+    }
+    return result;
+}
+
+} // namespace gral

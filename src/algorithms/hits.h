@@ -1,0 +1,47 @@
+/**
+ * @file
+ * HITS (Hyperlink-Induced Topic Search).
+ *
+ * Cited by the paper as an SpMV-backed analytic (Section II-B,
+ * Kleinberg 1999). One iteration is two SpMV traversals: authorities
+ * gather hub scores over in-edges (pull/CSC), hubs gather authority
+ * scores over out-edges (CSR read-sum) — exercising both adjacency
+ * directions the paper's Table VI compares.
+ */
+
+#ifndef GRAL_ALGORITHMS_HITS_H
+#define GRAL_ALGORITHMS_HITS_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** HITS parameters. */
+struct HitsOptions
+{
+    /** Maximum iterations. */
+    unsigned maxIterations = 50;
+    /** Stop when the L1 delta of both vectors drops below this. */
+    double tolerance = 1e-9;
+};
+
+/** HITS output. */
+struct HitsResult
+{
+    /** Authority scores, L2-normalized. */
+    std::vector<double> authority;
+    /** Hub scores, L2-normalized. */
+    std::vector<double> hub;
+    /** Iterations executed. */
+    unsigned iterations = 0;
+};
+
+/** Run HITS on @p graph. */
+HitsResult hits(const Graph &graph, const HitsOptions &options = {});
+
+} // namespace gral
+
+#endif // GRAL_ALGORITHMS_HITS_H

@@ -1,0 +1,60 @@
+#include "algorithms/pagerank.h"
+
+#include <cmath>
+
+namespace gral
+{
+
+PageRankResult
+pageRank(const Graph &graph, const PageRankOptions &options)
+{
+    const VertexId n = graph.numVertices();
+    PageRankResult result;
+    if (n == 0)
+        return result;
+
+    const double base = (1.0 - options.damping) / n;
+    std::vector<double> current(n, 1.0 / n);
+    std::vector<double> next(n, 0.0);
+    // Contribution of each vertex: score / out-degree.
+    std::vector<double> contribution(n, 0.0);
+
+    for (unsigned iteration = 0; iteration < options.maxIterations;
+         ++iteration) {
+        double dangling = 0.0;
+        for (VertexId v = 0; v < n; ++v) {
+            EdgeId out = graph.outDegree(v);
+            if (out == 0) {
+                dangling += current[v];
+                contribution[v] = 0.0;
+            } else {
+                contribution[v] =
+                    current[v] / static_cast<double>(out);
+            }
+        }
+        double dangling_share = options.damping * dangling / n;
+
+        // The Algorithm-1 pull gather: random reads of in-neighbour
+        // contributions.
+        for (VertexId v = 0; v < n; ++v) {
+            double sum = 0.0;
+            for (VertexId u : graph.inNeighbours(v))
+                sum += contribution[u];
+            next[v] = base + dangling_share + options.damping * sum;
+        }
+
+        double delta = 0.0;
+        for (VertexId v = 0; v < n; ++v)
+            delta += std::abs(next[v] - current[v]);
+        std::swap(current, next);
+        result.iterations = iteration + 1;
+        result.lastDelta = delta;
+        if (delta < options.tolerance)
+            break;
+    }
+
+    result.scores = std::move(current);
+    return result;
+}
+
+} // namespace gral

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PageRank via pull SpMV.
+ *
+ * The paper's SpMV traversal model "underpins several graph analytics
+ * like ... PageRank" (Section II-B); this is the canonical such
+ * analytic, used by the paper's framework comparison (Section III-B,
+ * "for SpMV PageRank our implementation is faster ..."). The kernel
+ * is exactly Algorithm 1 with the damping update applied to the
+ * gathered sums.
+ */
+
+#ifndef GRAL_ALGORITHMS_PAGERANK_H
+#define GRAL_ALGORITHMS_PAGERANK_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** PageRank parameters. */
+struct PageRankOptions
+{
+    /** Damping factor d. */
+    double damping = 0.85;
+    /** Maximum iterations. */
+    unsigned maxIterations = 100;
+    /** Stop when the L1 delta between iterations drops below this. */
+    double tolerance = 1e-9;
+};
+
+/** PageRank output. */
+struct PageRankResult
+{
+    /** Final scores, summing to ~1. */
+    std::vector<double> scores;
+    /** Iterations actually executed. */
+    unsigned iterations = 0;
+    /** L1 delta of the final iteration. */
+    double lastDelta = 0.0;
+};
+
+/**
+ * Power-iteration PageRank in the pull direction (random reads of
+ * in-neighbour contributions). Dangling-vertex mass is redistributed
+ * uniformly each iteration, so the scores stay a distribution.
+ */
+PageRankResult pageRank(const Graph &graph,
+                        const PageRankOptions &options = {});
+
+} // namespace gral
+
+#endif // GRAL_ALGORITHMS_PAGERANK_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Frontier-based graph analytics: BFS, connected components, SSSP.
+ *
+ * The paper contrasts these with SpMV (Section II-B): they
+ * "selectively traverse edges as their execution is organized around
+ * a frontier (worklist)", but "have dense phases where all or the
+ * majority of the edges are processed", which is why SpMV represents
+ * them for locality purposes. The BFS here switches between
+ * sparse (push) and dense (pull) frontier processing, exposing
+ * exactly those phases; statistics record how many edges each phase
+ * touched.
+ */
+
+#ifndef GRAL_ALGORITHMS_TRAVERSAL_H
+#define GRAL_ALGORITHMS_TRAVERSAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** Distance value for unreachable vertices. */
+inline constexpr std::uint32_t kUnreached = 0xffffffffu;
+
+/** BFS output. */
+struct BfsResult
+{
+    /** Hop distance from the source (kUnreached if not reached). */
+    std::vector<std::uint32_t> distance;
+    /** BFS parent (kInvalidVertex for source/unreached). */
+    std::vector<VertexId> parent;
+    /** Vertices reached (including the source). */
+    VertexId reached = 0;
+    /** Edges relaxed in sparse (push) rounds. */
+    EdgeId sparseEdges = 0;
+    /** Edges scanned in dense (pull) rounds. */
+    EdgeId denseEdges = 0;
+    /** Number of dense rounds (the paper's "dense phases"). */
+    unsigned denseRounds = 0;
+};
+
+/** Direction-optimizing BFS knobs. */
+struct BfsOptions
+{
+    /** Switch to the dense (pull) phase when the frontier holds more
+     *  than |E| / denseThreshold unexplored edges. */
+    EdgeId denseThreshold = 20;
+};
+
+/**
+ * Direction-optimizing BFS over the out-adjacency from @p source.
+ * @pre source < graph.numVertices().
+ */
+BfsResult bfs(const Graph &graph, VertexId source,
+              const BfsOptions &options = {});
+
+/** Connected-components-by-label-propagation output. */
+struct LabelPropagationResult
+{
+    /** Component label per vertex (minimum vertex ID in component). */
+    std::vector<VertexId> label;
+    /** Number of distinct components. */
+    VertexId numComponents = 0;
+    /** Full label-propagation sweeps executed. */
+    unsigned iterations = 0;
+};
+
+/**
+ * Undirected connected components via min-label propagation — the
+ * SpMV-shaped CC formulation (dense sweeps over all edges until a
+ * fixpoint), as opposed to the BFS-based connectedComponents() in
+ * graph/. Every sweep is a full-edge traversal, i.e. exactly the
+ * memory-access pattern the paper's locality analysis covers.
+ */
+LabelPropagationResult labelPropagation(const Graph &graph,
+                                        unsigned max_iterations = 0);
+
+/** SSSP (Bellman-Ford over unit/uniform weights) output. */
+struct SsspResult
+{
+    /** Distance per vertex (+inf for unreachable). */
+    std::vector<double> distance;
+    /** Relaxation rounds executed. */
+    unsigned rounds = 0;
+    /** Total edge relaxations performed. */
+    EdgeId relaxations = 0;
+};
+
+/**
+ * Single-source shortest paths with per-edge weight derived
+ * deterministically from the edge endpoints (pseudo-random uniform in
+ * [1, 2)); frontier-based Bellman-Ford.
+ */
+SsspResult sssp(const Graph &graph, VertexId source);
+
+} // namespace gral
+
+#endif // GRAL_ALGORITHMS_TRAVERSAL_H

@@ -1,0 +1,91 @@
+#include "analysis/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.h"
+
+namespace gral
+{
+
+const char *
+toString(GraphType type)
+{
+    return type == GraphType::SocialNetwork ? "SN" : "WG";
+}
+
+const std::vector<DatasetSpec> &
+datasetRegistry()
+{
+    // Average degrees follow Table I (|E|/|V| of the originals);
+    // vertex counts are scaled so the largest entries stay around a
+    // few million edges.
+    static const std::vector<DatasetSpec> registry = {
+        {"webb-s", "WebBase-2001", GraphType::WebGraph, 120'000, 8.7,
+         11},
+        {"twtr-s", "Twitter MPI", GraphType::SocialNetwork, 60'000,
+         36.0, 12},
+        {"frnd-s", "Friendster", GraphType::SocialNetwork, 80'000,
+         28.0, 13},
+        {"sk-s", "SK-Domain", GraphType::WebGraph, 60'000, 40.0, 14},
+        {"wbcc-s", "Web-CC12", GraphType::WebGraph, 90'000, 22.0, 15},
+        {"ukdls-s", "UK-Delis", GraphType::WebGraph, 110'000, 36.0,
+         16},
+        {"uu-s", "UK-Union", GraphType::WebGraph, 130'000, 41.0, 17},
+        {"ukdmn-s", "UK-Domain", GraphType::WebGraph, 105'000, 63.0,
+         18},
+        {"clwb9-s", "ClueWeb09", GraphType::WebGraph, 170'000, 4.6,
+         19},
+    };
+    return registry;
+}
+
+const DatasetSpec &
+datasetSpec(const std::string &id)
+{
+    for (const DatasetSpec &spec : datasetRegistry())
+        if (spec.id == id)
+            return spec;
+    throw std::invalid_argument("datasetSpec: unknown dataset: " + id);
+}
+
+Graph
+makeDataset(const DatasetSpec &spec, double scale)
+{
+    auto vertices = static_cast<VertexId>(std::max(
+        64.0, std::round(static_cast<double>(spec.baseVertices) *
+                         scale)));
+
+    if (spec.type == GraphType::SocialNetwork) {
+        SocialNetworkParams params;
+        params.numVertices = vertices;
+        // Each undirected BA edge yields ~1.45 directed edges after
+        // partial reciprocation, so aim the skeleton accordingly.
+        params.edgesPerVertex = std::max(
+            2u, static_cast<unsigned>(
+                    std::round(spec.averageDegree / 1.45)));
+        params.seed = spec.seed;
+        return generateSocialNetwork(params);
+    }
+
+    WebGraphParams params;
+    params.numVertices = vertices;
+    params.meanOutDegree = spec.averageDegree;
+    params.seed = spec.seed;
+    return generateWebGraph(params);
+}
+
+Graph
+makeDataset(const std::string &id, double scale)
+{
+    return makeDataset(datasetSpec(id), scale);
+}
+
+std::vector<std::string>
+defaultBenchDatasets()
+{
+    return {"twtr-s", "frnd-s", "sk-s", "ukdls-s"};
+}
+
+} // namespace gral

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Registry of synthetic stand-ins for the paper's datasets (Table I).
+ *
+ * The paper evaluates nine public graphs of 1-8 B edges; this
+ * environment cannot hold them, so each entry here is a generated
+ * graph reproducing the original's *type* (social network vs web
+ * graph), its approximate average degree, and the structural
+ * properties the analysis rests on, at a scale of a few hundred
+ * thousand to a few million edges. DESIGN.md documents the
+ * substitution rationale.
+ */
+
+#ifndef GRAL_ANALYSIS_DATASETS_H
+#define GRAL_ANALYSIS_DATASETS_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** Dataset family, matching Table I's "Type" column. */
+enum class GraphType
+{
+    SocialNetwork, ///< SN: symmetric hubs, tight hub core
+    WebGraph,      ///< WG: asymmetric in-hubs, host-block locality
+};
+
+/** Human-readable type name ("SN" / "WG"). */
+const char *toString(GraphType type);
+
+/** One registry entry. */
+struct DatasetSpec
+{
+    /** Short ID used by benches ("twtr-s"). */
+    std::string id;
+    /** The Table I dataset this entry stands in for. */
+    std::string paperName;
+    /** SN or WG. */
+    GraphType type;
+    /** Vertex count at scale 1.0. */
+    VertexId baseVertices = 0;
+    /** Approximate target average degree (matches the original's
+     *  |E|/|V|). */
+    double averageDegree = 0.0;
+    /** Generator seed. */
+    std::uint64_t seed = 1;
+};
+
+/** All registered datasets, in Table I order. */
+const std::vector<DatasetSpec> &datasetRegistry();
+
+/** Look up a spec by ID. @throws std::invalid_argument. */
+const DatasetSpec &datasetSpec(const std::string &id);
+
+/**
+ * Generate a dataset. @p scale multiplies the vertex count (use
+ * small scales in unit tests, 1.0 in benches).
+ */
+Graph makeDataset(const DatasetSpec &spec, double scale = 1.0);
+
+/** Generate by ID. */
+Graph makeDataset(const std::string &id, double scale = 1.0);
+
+/** The default bench subset: two social networks and two web graphs
+ *  ("twtr-s", "frnd-s", "sk-s", "ukdls-s"). */
+std::vector<std::string> defaultBenchDatasets();
+
+} // namespace gral
+
+#endif // GRAL_ANALYSIS_DATASETS_H

@@ -1,0 +1,77 @@
+#include "analysis/experiment.h"
+
+#include <algorithm>
+
+#include "graph/degree.h"
+#include "reorder/registry.h"
+
+namespace gral
+{
+
+Graph
+reorderedGraph(const Graph &base, const std::string &ra_name,
+               ReorderStats *stats)
+{
+    ReordererPtr reorderer = makeReorderer(ra_name);
+    Permutation permutation = reorderer->reorder(base);
+    if (stats)
+        *stats = reorderer->stats();
+    return applyPermutation(base, permutation);
+}
+
+double
+timePullSpmv(const Graph &graph, const ParallelOptions &options,
+             unsigned repeats, double *idle_percent)
+{
+    std::vector<double> src(graph.numVertices(), 1.0);
+    std::vector<double> dst(graph.numVertices(), 0.0);
+
+    spmvPullParallel(graph, src, dst, options); // warm-up
+
+    double best_ms = 0.0;
+    double best_idle = 0.0;
+    for (unsigned r = 0; r < std::max(1u, repeats); ++r) {
+        ParallelResult result =
+            spmvPullParallel(graph, src, dst, options);
+        if (r == 0 || result.wallMs < best_ms) {
+            best_ms = result.wallMs;
+            best_idle = result.idlePercent;
+        }
+    }
+    if (idle_percent)
+        *idle_percent = best_idle;
+    return best_ms;
+}
+
+RaExperimentResult
+runRaExperiment(const Graph &base, const std::string &ra_name,
+                const ExperimentOptions &options)
+{
+    RaExperimentResult result;
+    result.ra = ra_name;
+
+    Graph graph = reorderedGraph(base, ra_name, &result.reorderStats);
+
+    if (options.runTiming) {
+        result.traversalMs =
+            timePullSpmv(graph, options.parallel,
+                         options.timingRepeats, &result.idlePercent);
+    }
+
+    if (options.runSimulation) {
+        std::vector<ThreadTrace> traces =
+            generatePullTrace(graph, options.trace);
+        // Figure-1 binning: in-degree of the processed vertex.
+        // Table-III thresholds: out-degree of the accessed vertex
+        // (its reuse count in a pull traversal).
+        std::vector<EdgeId> owner_degrees =
+            degrees(graph, Direction::In);
+        std::vector<EdgeId> accessed_degrees =
+            degrees(graph, Direction::Out);
+        result.profile = simulateMissProfile(
+            traces, owner_degrees, accessed_degrees, options.sim);
+    }
+    return result;
+}
+
+} // namespace gral

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * End-to-end experiment runner: reorder, rebuild, traverse, simulate.
+ *
+ * Encapsulates the pipeline every bench shares (paper Section III):
+ * apply an RA to a dataset, rebuild CSR/CSC, run the timed parallel
+ * pull SpMV (Table IV "Time"/"Idle"), and replay the instrumented
+ * trace through the L3/DTLB models (Table IV "L3 Misses"/"DTLB
+ * Misses", Figure 1).
+ */
+
+#ifndef GRAL_ANALYSIS_EXPERIMENT_H
+#define GRAL_ANALYSIS_EXPERIMENT_H
+
+#include <string>
+
+#include "graph/graph.h"
+#include "metrics/miss_rate.h"
+#include "reorder/reorderer.h"
+#include "spmv/parallel.h"
+#include "spmv/trace_gen.h"
+
+namespace gral
+{
+
+/** Knobs shared by the experiment pipeline. */
+struct ExperimentOptions
+{
+    /** Real-execution traversal settings. */
+    ParallelOptions parallel;
+    /** Trace generation settings (simulated thread count). */
+    TraceOptions trace;
+    /** Cache/TLB simulation settings. */
+    SimulationOptions sim;
+    /** Timed traversal repetitions; the best (minimum) is reported,
+     *  after one untimed warm-up. */
+    unsigned timingRepeats = 3;
+    /** Skip the wall-clock traversal (simulation only). */
+    bool runTiming = true;
+    /** Skip the cache simulation (timing only). */
+    bool runSimulation = true;
+};
+
+/** Everything measured for one (dataset, RA) cell. */
+struct RaExperimentResult
+{
+    /** RA name as given. */
+    std::string ra;
+    /** Preprocessing cost (paper Table II). */
+    ReorderStats reorderStats;
+    /** Best parallel pull-SpMV wall time, milliseconds. */
+    double traversalMs = 0.0;
+    /** Average per-thread idle percentage. */
+    double idlePercent = 0.0;
+    /** Simulated L3/DTLB counters and per-degree miss profile. */
+    MissProfileResult profile;
+};
+
+/**
+ * Apply the RA named @p ra_name to @p base and return the relabeled
+ * graph; preprocessing stats go to @p stats when non-null.
+ */
+Graph reorderedGraph(const Graph &base, const std::string &ra_name,
+                     ReorderStats *stats = nullptr);
+
+/**
+ * Time the parallel pull SpMV on @p graph: one warm-up run plus
+ * @p repeats timed runs; returns the minimum wall time (ms) and
+ * stores the matching idle percentage in @p idle_percent.
+ */
+double timePullSpmv(const Graph &graph, const ParallelOptions &options,
+                    unsigned repeats, double *idle_percent);
+
+/**
+ * Full pipeline for one RA on one dataset.
+ * The miss profile bins vertex-data accesses by the *in*-degree of
+ * the processed vertex (Figure 1's x axis); the Table-III threshold
+ * counters use the accessed vertex's out-degree (its reuse count).
+ */
+RaExperimentResult runRaExperiment(const Graph &base,
+                                   const std::string &ra_name,
+                                   const ExperimentOptions &options = {});
+
+} // namespace gral
+
+#endif // GRAL_ANALYSIS_EXPERIMENT_H

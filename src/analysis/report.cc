@@ -1,0 +1,127 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gral
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &out) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell =
+                c < row.size() ? row[c] : std::string();
+            out << (c == 0 ? "" : "  ") << std::left
+                << std::setw(static_cast<int>(width[c])) << cell;
+        }
+        out << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &out) const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                quoted += '"';
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << (c == 0 ? "" : ",") << quote(row[c]);
+        out << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+std::string
+formatCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string result;
+    int from_end = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (from_end > 0 && from_end % 3 == 0)
+            result += ',';
+        result += *it;
+        ++from_end;
+    }
+    std::reverse(result.begin(), result.end());
+    return result;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+        value /= 1024.0;
+        ++unit;
+    }
+    int precision = unit == 0 ? 0 : value < 10 ? 2 : 1;
+    return formatDouble(value, precision) + " " + kUnits[unit];
+}
+
+std::string
+formatMillions(std::uint64_t value)
+{
+    return formatDouble(static_cast<double>(value) / 1e6, 1);
+}
+
+std::string
+formatThousands(std::uint64_t value)
+{
+    return formatDouble(static_cast<double>(value) / 1e3, 1);
+}
+
+} // namespace gral

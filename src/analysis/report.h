@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text table and number formatting for bench output.
+ *
+ * Every bench binary prints the rows of one paper table/figure; this
+ * keeps their output aligned and consistent.
+ */
+
+#ifndef GRAL_ANALYSIS_REPORT_H
+#define GRAL_ANALYSIS_REPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gral
+{
+
+/** Fixed-width text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; missing cells render empty, extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream &out) const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as
+     *  needed). */
+    void printCsv(std::ostream &out) const;
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision ("12.34"). */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a count with thousands separators ("1,234,567"). */
+std::string formatCount(std::uint64_t value);
+
+/** Format bytes with a binary-unit suffix ("1.5 GB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a count in millions with one decimal ("15.7"). */
+std::string formatMillions(std::uint64_t value);
+
+/** Format a count in thousands with one decimal ("4.7"). */
+std::string formatThousands(std::uint64_t value);
+
+} // namespace gral
+
+#endif // GRAL_ANALYSIS_REPORT_H

@@ -1,0 +1,293 @@
+#include "cachesim/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace gral
+{
+
+const char *
+toString(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::LRU:
+        return "LRU";
+      case ReplacementPolicy::SRRIP:
+        return "SRRIP";
+      case ReplacementPolicy::BRRIP:
+        return "BRRIP";
+      case ReplacementPolicy::DRRIP:
+        return "DRRIP";
+    }
+    return "?";
+}
+
+CacheConfig
+paperL3Config()
+{
+    CacheConfig config;
+    config.sizeBytes = 22ULL * 1024 * 1024;
+    config.associativity = 11;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::DRRIP;
+    return config;
+}
+
+CacheConfig
+paperL2Config()
+{
+    CacheConfig config;
+    config.sizeBytes = 1ULL * 1024 * 1024;
+    config.associativity = 16;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::LRU;
+    return config;
+}
+
+CacheConfig
+paperL1Config()
+{
+    CacheConfig config;
+    config.sizeBytes = 32ULL * 1024;
+    config.associativity = 8;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::LRU;
+    return config;
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), numSets_(config.numSets()),
+      lineShift_(static_cast<std::uint32_t>(
+          std::countr_zero(static_cast<std::uint64_t>(
+              config.lineBytes)))),
+      rrpvMax_(static_cast<std::uint8_t>((1u << config.rrpvBits) - 1)),
+      psel_(0), pselMax_(1023)
+{
+    if (config.lineBytes == 0 || !std::has_single_bit(
+                                     static_cast<std::uint64_t>(
+                                         config.lineBytes)))
+        throw std::invalid_argument("Cache: line size not a power of 2");
+    if (config.associativity == 0)
+        throw std::invalid_argument("Cache: zero associativity");
+    if (numSets_ == 0 || !std::has_single_bit(numSets_))
+        throw std::invalid_argument(
+            "Cache: set count must be a nonzero power of 2");
+    lines_.assign(numSets_ * config.associativity, Line{});
+    psel_ = pselMax_ / 2;
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return addr >> lineShift_ >> std::countr_zero(numSets_);
+}
+
+ReplacementPolicy
+Cache::setPolicy(std::uint64_t set) const
+{
+    if (config_.policy != ReplacementPolicy::DRRIP)
+        return config_.policy;
+    // Set dueling: spread leader sets evenly; even slots lead for
+    // SRRIP, odd slots for BRRIP; everyone else follows PSEL.
+    std::uint64_t region = numSets_ / (config_.duelingLeaderSets * 2);
+    if (region == 0)
+        region = 1;
+    if (set % region == 0) {
+        std::uint64_t slot = set / region;
+        if (slot % 2 == 0)
+            return ReplacementPolicy::SRRIP;
+        return ReplacementPolicy::BRRIP;
+    }
+    // PSEL counts SRRIP-leader misses upward: high PSEL means SRRIP
+    // is losing, so followers use BRRIP.
+    return psel_ > pselMax_ / 2 ? ReplacementPolicy::BRRIP
+                                : ReplacementPolicy::SRRIP;
+}
+
+Cache::Line *
+Cache::findLine(std::uint64_t set, std::uint64_t tag)
+{
+    Line *base = lines_.data() + set * config_.associativity;
+    for (std::uint32_t way = 0; way < config_.associativity; ++way)
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(std::uint64_t set, std::uint64_t tag) const
+{
+    const Line *base = lines_.data() + set * config_.associativity;
+    for (std::uint32_t way = 0; way < config_.associativity; ++way)
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    return nullptr;
+}
+
+Cache::Line &
+Cache::chooseVictim(std::uint64_t set, ReplacementPolicy policy)
+{
+    Line *base = lines_.data() + set * config_.associativity;
+
+    // Invalid line first.
+    for (std::uint32_t way = 0; way < config_.associativity; ++way)
+        if (!base[way].valid)
+            return base[way];
+
+    if (policy == ReplacementPolicy::LRU) {
+        Line *victim = base;
+        for (std::uint32_t way = 1; way < config_.associativity; ++way)
+            if (base[way].lruStamp < victim->lruStamp)
+                victim = &base[way];
+        return *victim;
+    }
+
+    // RRIP: evict the first line with RRPV == max, aging the whole
+    // set until one exists.
+    for (;;) {
+        for (std::uint32_t way = 0; way < config_.associativity; ++way)
+            if (base[way].rrpv >= rrpvMax_)
+                return base[way];
+        for (std::uint32_t way = 0; way < config_.associativity; ++way)
+            ++base[way].rrpv;
+    }
+}
+
+bool
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    ++accessClock_;
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    ReplacementPolicy policy = setPolicy(set);
+
+    if (Line *line = findLine(set, tag)) {
+        ++stats_.hits;
+        line->lruStamp = accessClock_;
+        line->rrpv = 0; // RRIP hit-priority: promote to near
+        line->dirty = line->dirty || is_write;
+        return true;
+    }
+
+    ++stats_.misses;
+
+    // Update the DRRIP duel on leader-set misses.
+    if (config_.policy == ReplacementPolicy::DRRIP) {
+        std::uint64_t region =
+            numSets_ / (config_.duelingLeaderSets * 2);
+        if (region == 0)
+            region = 1;
+        if (set % region == 0) {
+            if ((set / region) % 2 == 0) { // SRRIP leader missed
+                if (psel_ < pselMax_)
+                    ++psel_;
+            } else { // BRRIP leader missed
+                if (psel_ > 0)
+                    --psel_;
+            }
+        }
+    }
+
+    Line &victim = chooseVictim(set, policy);
+    if (victim.valid) {
+        ++stats_.evictions;
+        if (victim.dirty)
+            ++stats_.writebacks;
+    }
+    victim.valid = true;
+    victim.tag = tag;
+    victim.dirty = is_write;
+    victim.lruStamp = accessClock_;
+
+    switch (policy) {
+      case ReplacementPolicy::LRU:
+        victim.rrpv = 0;
+        break;
+      case ReplacementPolicy::SRRIP:
+        // Insert with "long" re-reference interval (max - 1).
+        victim.rrpv = static_cast<std::uint8_t>(rrpvMax_ - 1);
+        break;
+      case ReplacementPolicy::BRRIP:
+        // Mostly distant; long with probability 1/epsilon.
+        ++brripCounter_;
+        victim.rrpv =
+            (brripCounter_ % config_.brripEpsilon == 0)
+                ? static_cast<std::uint8_t>(rrpvMax_ - 1)
+                : rrpvMax_;
+        break;
+      case ReplacementPolicy::DRRIP:
+        // Unreachable: setPolicy resolves DRRIP to SRRIP/BRRIP.
+        victim.rrpv = static_cast<std::uint8_t>(rrpvMax_ - 1);
+        break;
+    }
+    return false;
+}
+
+bool
+Cache::accessRange(std::uint64_t addr, std::uint32_t size, bool is_write)
+{
+    std::uint64_t first = addr >> lineShift_;
+    std::uint64_t last = (addr + std::max<std::uint32_t>(size, 1) - 1) >>
+                         lineShift_;
+    bool all_hit = true;
+    for (std::uint64_t line = first; line <= last; ++line)
+        all_hit &= access(line << lineShift_, is_write);
+    return all_hit;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    return findLine(setIndex(addr), tagOf(addr)) != nullptr;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    psel_ = pselMax_ / 2;
+    brripCounter_ = 0;
+    accessClock_ = 0;
+}
+
+void
+Cache::resetStats()
+{
+    stats_ = CacheStats{};
+}
+
+std::uint64_t
+Cache::numValidLines() const
+{
+    std::uint64_t count = 0;
+    for (const Line &line : lines_)
+        count += line.valid ? 1 : 0;
+    return count;
+}
+
+void
+Cache::forEachValidLine(
+    const std::function<void(std::uint64_t)> &visit) const
+{
+    std::uint64_t set_bits = std::countr_zero(numSets_);
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        const Line *base = lines_.data() + set * config_.associativity;
+        for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+            if (base[way].valid) {
+                std::uint64_t addr =
+                    ((base[way].tag << set_bits) | set) << lineShift_;
+                visit(addr);
+            }
+        }
+    }
+}
+
+} // namespace gral

@@ -1,0 +1,35 @@
+#include "cachesim/hierarchy.h"
+
+#include <stdexcept>
+
+namespace gral
+{
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels)
+{
+    if (levels.empty())
+        throw std::invalid_argument("CacheHierarchy: no levels");
+    caches_.reserve(levels.size());
+    for (const CacheConfig &config : levels)
+        caches_.push_back(std::make_unique<Cache>(config));
+}
+
+std::size_t
+CacheHierarchy::access(std::uint64_t addr, std::uint32_t size,
+                       bool is_write)
+{
+    for (std::size_t i = 0; i < caches_.size(); ++i) {
+        if (caches_[i]->accessRange(addr, size, is_write))
+            return i;
+    }
+    return caches_.size();
+}
+
+void
+CacheHierarchy::flush()
+{
+    for (auto &cache : caches_)
+        cache->flush();
+}
+
+} // namespace gral

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multi-level cache hierarchy (extension).
+ *
+ * The paper simulates only the shared L3 (Section V-B) — private L1/L2
+ * filtering is one source of its reported 15% absolute error against
+ * hardware counters. CacheHierarchy adds optional upstream levels so
+ * the ablation bench can quantify how much L1/L2 filtering changes the
+ * L3 picture.
+ */
+
+#ifndef GRAL_CACHESIM_HIERARCHY_H
+#define GRAL_CACHESIM_HIERARCHY_H
+
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache.h"
+
+namespace gral
+{
+
+/**
+ * A stack of inclusive cache levels; an access queries each level in
+ * order and stops at the first hit, filling all levels above.
+ */
+class CacheHierarchy
+{
+  public:
+    /** Build from level configs, ordered nearest (L1) to farthest. */
+    explicit CacheHierarchy(std::vector<CacheConfig> levels);
+
+    /**
+     * Access an address range.
+     * @return the index of the level that hit, or levels() when the
+     *         access went to memory.
+     */
+    std::size_t access(std::uint64_t addr, std::uint32_t size,
+                       bool is_write);
+
+    /** Number of levels. */
+    std::size_t levels() const { return caches_.size(); }
+
+    /** Level @p i, 0 = nearest. */
+    const Cache &level(std::size_t i) const { return *caches_[i]; }
+
+    /** Mutable level access (flush / reset in tests). */
+    Cache &level(std::size_t i) { return *caches_[i]; }
+
+    /** Flush every level. */
+    void flush();
+
+  private:
+    std::vector<std::unique_ptr<Cache>> caches_;
+};
+
+} // namespace gral
+
+#endif // GRAL_CACHESIM_HIERARCHY_H

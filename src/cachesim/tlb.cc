@@ -1,0 +1,92 @@
+#include "cachesim/tlb.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace gral
+{
+
+TlbConfig
+stlb4kConfig()
+{
+    TlbConfig config;
+    config.entries = 1536;
+    config.associativity = 12;
+    config.pageBytes = 4096;
+    return config;
+}
+
+TlbConfig
+tlb2mConfig()
+{
+    TlbConfig config;
+    config.entries = 32;
+    config.associativity = 4;
+    config.pageBytes = 2ULL * 1024 * 1024;
+    return config;
+}
+
+Tlb::Tlb(const TlbConfig &config)
+    : config_(config),
+      numSets_(config.associativity == 0
+                   ? 0
+                   : config.entries / config.associativity),
+      pageShift_(static_cast<std::uint32_t>(
+          std::countr_zero(config.pageBytes)))
+{
+    if (config.pageBytes == 0 || !std::has_single_bit(config.pageBytes))
+        throw std::invalid_argument("Tlb: page size not a power of 2");
+    if (config.associativity == 0 || numSets_ == 0 ||
+        !std::has_single_bit(numSets_))
+        throw std::invalid_argument(
+            "Tlb: set count must be a nonzero power of 2");
+    entries_.assign(numSets_ * config.associativity, Entry{});
+}
+
+bool
+Tlb::access(std::uint64_t addr)
+{
+    ++clock_;
+    std::uint64_t vpn = addr >> pageShift_;
+    std::uint64_t set = vpn & (numSets_ - 1);
+    Entry *base = entries_.data() + set * config_.associativity;
+
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        if (base[way].valid && base[way].vpn == vpn) {
+            ++stats_.hits;
+            base[way].lruStamp = clock_;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    Entry *victim = base;
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+        if (base[way].lruStamp < victim->lruStamp)
+            victim = &base[way];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lruStamp = clock_;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &entry : entries_)
+        entry = Entry{};
+    clock_ = 0;
+}
+
+void
+Tlb::resetStats()
+{
+    stats_ = TlbStats{};
+}
+
+} // namespace gral

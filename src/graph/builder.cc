@@ -1,0 +1,82 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace gral
+{
+
+void
+GraphBuilder::addEdges(std::span<const Edge> edges)
+{
+    for (const Edge &e : edges)
+        addEdge(e.src, e.dst);
+}
+
+Graph
+GraphBuilder::finalize(const BuildOptions &options,
+                       std::vector<VertexId> *old_to_new)
+{
+    std::vector<Edge> edges = std::move(edges_);
+    edges_.clear();
+
+    if (options.removeSelfLoops) {
+        std::erase_if(edges, [](const Edge &e) { return e.src == e.dst; });
+    }
+    if (options.removeDuplicates) {
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+
+    VertexId num_vertices = numVertices_;
+    if (options.removeZeroDegree) {
+        std::vector<char> used(num_vertices, 0);
+        for (const Edge &e : edges) {
+            used[e.src] = 1;
+            used[e.dst] = 1;
+        }
+        std::vector<VertexId> remap(num_vertices, kInvalidVertex);
+        VertexId next = 0;
+        for (VertexId v = 0; v < num_vertices; ++v)
+            if (used[v])
+                remap[v] = next++;
+        for (Edge &e : edges) {
+            e.src = remap[e.src];
+            e.dst = remap[e.dst];
+        }
+        if (old_to_new)
+            *old_to_new = std::move(remap);
+        num_vertices = next;
+    } else if (old_to_new) {
+        old_to_new->resize(num_vertices);
+        for (VertexId v = 0; v < num_vertices; ++v)
+            (*old_to_new)[v] = v;
+    }
+
+    numVertices_ = 0;
+    return Graph(num_vertices, edges);
+}
+
+Graph
+buildGraph(VertexId num_vertices, std::span<const Edge> edges,
+           const BuildOptions &options)
+{
+    GraphBuilder builder(num_vertices);
+    builder.addEdges(edges);
+    return builder.finalize(options);
+}
+
+Graph
+symmetrize(const Graph &graph)
+{
+    std::vector<Edge> edges = graph.edgeList();
+    std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i)
+        edges.push_back({edges[i].dst, edges[i].src});
+
+    BuildOptions options;
+    options.removeZeroDegree = false; // keep IDs stable
+    return buildGraph(graph.numVertices(), edges, options);
+}
+
+} // namespace gral

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Edge-list accumulation and dataset cleanup.
+ *
+ * The paper (Section III-A) counts vertices "after removing zero degree
+ * vertices because of their destructive effect"; GraphBuilder performs
+ * that compaction plus optional self-loop and duplicate removal.
+ */
+
+#ifndef GRAL_GRAPH_BUILDER_H
+#define GRAL_GRAPH_BUILDER_H
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** Cleanup options applied when finalizing a GraphBuilder. */
+struct BuildOptions
+{
+    /** Drop (v, v) edges. */
+    bool removeSelfLoops = true;
+    /** Collapse repeated (u, v) pairs to one edge. */
+    bool removeDuplicates = true;
+    /** Compact away vertices with in-degree + out-degree == 0 and
+     *  renumber the survivors densely (paper Section III-A). */
+    bool removeZeroDegree = true;
+};
+
+/**
+ * Accumulates directed edges and produces a cleaned Graph.
+ *
+ * Vertex IDs may be sparse while adding; finalize() optionally
+ * renumbers them densely.
+ */
+class GraphBuilder
+{
+  public:
+    /** Start a builder; @p num_vertices may grow as edges are added. */
+    explicit GraphBuilder(VertexId num_vertices = 0)
+        : numVertices_(num_vertices)
+    {
+    }
+
+    /** Add one directed edge, growing the vertex count if needed. */
+    void
+    addEdge(VertexId src, VertexId dst)
+    {
+        edges_.push_back({src, dst});
+        VertexId hi = std::max(src, dst);
+        if (hi >= numVertices_)
+            numVertices_ = hi + 1;
+    }
+
+    /** Add many edges at once. */
+    void addEdges(std::span<const Edge> edges);
+
+    /** Number of edges accumulated so far (before cleanup). */
+    std::size_t numEdges() const { return edges_.size(); }
+
+    /** Current vertex-count upper bound. */
+    VertexId numVertices() const { return numVertices_; }
+
+    /**
+     * Produce the cleaned graph. The builder is left empty.
+     *
+     * When zero-degree removal renumbers vertices, @p old_to_new (if
+     * non-null) receives the mapping: old ID -> new ID, with
+     * kInvalidVertex for removed vertices.
+     */
+    Graph finalize(const BuildOptions &options = {},
+                   std::vector<VertexId> *old_to_new = nullptr);
+
+  private:
+    VertexId numVertices_;
+    std::vector<Edge> edges_;
+};
+
+/**
+ * Convenience: clean an existing edge list into a Graph with the
+ * default options.
+ */
+Graph buildGraph(VertexId num_vertices, std::span<const Edge> edges,
+                 const BuildOptions &options = {});
+
+/**
+ * Make a directed graph symmetric: for every (u, v) ensure (v, u).
+ * Duplicates are collapsed. Used to model undirected social networks
+ * and as the view SlashBurn's connected components operate on.
+ */
+Graph symmetrize(const Graph &graph);
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_BUILDER_H

@@ -1,0 +1,77 @@
+#include "graph/connected_components.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gral
+{
+
+VertexId
+ComponentResult::giantByEdges() const
+{
+    if (numComponents == 0)
+        return kInvalidVertex;
+    auto it =
+        std::max_element(edgeEndpoints.begin(), edgeEndpoints.end());
+    return static_cast<VertexId>(it - edgeEndpoints.begin());
+}
+
+VertexId
+ComponentResult::giantByVertices() const
+{
+    if (numComponents == 0)
+        return kInvalidVertex;
+    auto it = std::max_element(vertexCount.begin(), vertexCount.end());
+    return static_cast<VertexId>(it - vertexCount.begin());
+}
+
+ComponentResult
+connectedComponents(const Graph &graph, const std::vector<char> &active)
+{
+    VertexId n = graph.numVertices();
+    if (!active.empty() && active.size() != n)
+        throw std::invalid_argument(
+            "connectedComponents: active mask size mismatch");
+
+    auto is_active = [&](VertexId v) {
+        return active.empty() || active[v] != 0;
+    };
+
+    ComponentResult result;
+    result.label.assign(n, kInvalidVertex);
+
+    std::vector<VertexId> queue;
+    for (VertexId start = 0; start < n; ++start) {
+        if (!is_active(start) || result.label[start] != kInvalidVertex)
+            continue;
+
+        VertexId comp = result.numComponents++;
+        result.vertexCount.push_back(0);
+        result.edgeEndpoints.push_back(0);
+
+        queue.clear();
+        queue.push_back(start);
+        result.label[start] = comp;
+        // BFS over the undirected view: out- plus in-neighbours.
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            VertexId v = queue[head];
+            ++result.vertexCount[comp];
+            auto visit = [&](VertexId u) {
+                if (!is_active(u))
+                    return;
+                ++result.edgeEndpoints[comp];
+                if (result.label[u] == kInvalidVertex) {
+                    result.label[u] = comp;
+                    queue.push_back(u);
+                }
+            };
+            for (VertexId u : graph.outNeighbours(v))
+                visit(u);
+            for (VertexId u : graph.inNeighbours(v))
+                visit(u);
+        }
+    }
+    return result;
+}
+
+} // namespace gral

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Undirected connected components, optionally restricted to an active
+ * vertex subset. SlashBurn (paper Section IV-A) repeatedly finds the
+ * components of the graph after hub removal and recurses on the giant
+ * connected component (GCC) — "the community with the largest number
+ * of edges".
+ */
+
+#ifndef GRAL_GRAPH_CONNECTED_COMPONENTS_H
+#define GRAL_GRAPH_CONNECTED_COMPONENTS_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** Result of a connected-components pass. */
+struct ComponentResult
+{
+    /** Component label of each vertex; kInvalidVertex for inactive
+     *  vertices. Labels are dense in [0, numComponents). */
+    std::vector<VertexId> label;
+
+    /** Vertex count of each component, indexed by label. */
+    std::vector<VertexId> vertexCount;
+
+    /** Number of intra-component (undirected) edge endpoints of each
+     *  component, indexed by label. Proportional to edge count; used
+     *  to pick the GCC "with the largest number of edges". */
+    std::vector<EdgeId> edgeEndpoints;
+
+    /** Number of components found. */
+    VertexId numComponents = 0;
+
+    /** Label of the component with the most edges (kInvalidVertex when
+     *  there are no components). */
+    VertexId giantByEdges() const;
+
+    /** Label of the component with the most vertices. */
+    VertexId giantByVertices() const;
+};
+
+/**
+ * Find connected components treating all edges as undirected
+ * (union of in- and out-adjacency).
+ *
+ * @param graph  the directed graph.
+ * @param active when non-empty, a |V|-sized mask; vertices with
+ *               active[v] == 0 are skipped entirely (SlashBurn's
+ *               removed hubs and already-placed spokes).
+ */
+ComponentResult connectedComponents(
+    const Graph &graph, const std::vector<char> &active = {});
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_CONNECTED_COMPONENTS_H

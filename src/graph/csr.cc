@@ -1,0 +1,83 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gral
+{
+
+Adjacency::Adjacency(std::vector<EdgeId> offsets,
+                     std::vector<VertexId> edges)
+    : offsets_(std::move(offsets)), edges_(std::move(edges))
+{
+    if (offsets_.empty() || offsets_.front() != 0 ||
+        offsets_.back() != edges_.size()) {
+        throw std::invalid_argument("Adjacency: malformed offsets array");
+    }
+    if (!std::is_sorted(offsets_.begin(), offsets_.end()))
+        throw std::invalid_argument("Adjacency: offsets not monotone");
+}
+
+bool
+Adjacency::hasNeighbour(VertexId v, VertexId u) const
+{
+    auto nbrs = neighbours(v);
+    return std::binary_search(nbrs.begin(), nbrs.end(), u);
+}
+
+void
+Adjacency::sortNeighbours()
+{
+    for (VertexId v = 0; v < numVertices(); ++v) {
+        std::sort(edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+                  edges_.begin() +
+                      static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+    }
+}
+
+bool
+Adjacency::neighboursSorted() const
+{
+    for (VertexId v = 0; v < numVertices(); ++v) {
+        auto nbrs = neighbours(v);
+        if (!std::is_sorted(nbrs.begin(), nbrs.end()))
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+Adjacency::footprintBytes() const
+{
+    return offsets_.size() * kOffsetBytes + edges_.size() * kEdgeBytes;
+}
+
+Adjacency
+buildAdjacency(VertexId num_vertices, std::span<const Edge> edges,
+               bool by_source)
+{
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(num_vertices) + 1,
+                                0);
+    for (const Edge &e : edges) {
+        VertexId key = by_source ? e.src : e.dst;
+        assert(key < num_vertices);
+        ++offsets[key + 1];
+    }
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+        offsets[i] += offsets[i - 1];
+
+    std::vector<VertexId> adj(edges.size());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge &e : edges) {
+        VertexId key = by_source ? e.src : e.dst;
+        VertexId val = by_source ? e.dst : e.src;
+        adj[cursor[key]++] = val;
+    }
+
+    Adjacency result(std::move(offsets), std::move(adj));
+    result.sortNeighbours();
+    return result;
+}
+
+} // namespace gral

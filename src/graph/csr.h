@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Compressed sparse adjacency storage (CSR / CSC).
+ *
+ * One Adjacency object stores one direction of a directed graph:
+ * interpreted as CSR it maps a vertex to its out-neighbours, interpreted
+ * as CSC it maps a vertex to its in-neighbours. The paper's Graph class
+ * holds one of each (Section II-A).
+ */
+
+#ifndef GRAL_GRAPH_CSR_H
+#define GRAL_GRAPH_CSR_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gral
+{
+
+/**
+ * Compressed sparse row/column adjacency structure.
+ *
+ * Stores an offsets array of |V|+1 64-bit entries and an edges array of
+ * |E| 32-bit vertex IDs. Neighbour lists are kept sorted ascending,
+ * which the AID metric (paper Eq. 1) requires.
+ */
+class Adjacency
+{
+  public:
+    /** Empty adjacency over zero vertices. */
+    Adjacency() : offsets_(1, 0) {}
+
+    /**
+     * Build directly from already-prepared arrays.
+     *
+     * @pre offsets.size() >= 1, offsets.front() == 0,
+     *      offsets.back() == edges.size(), offsets non-decreasing.
+     */
+    Adjacency(std::vector<EdgeId> offsets, std::vector<VertexId> edges);
+
+    /** Number of vertices. */
+    VertexId numVertices() const
+    {
+        return static_cast<VertexId>(offsets_.size() - 1);
+    }
+
+    /** Number of stored edges. */
+    EdgeId numEdges() const { return offsets_.back(); }
+
+    /** Degree (neighbour count) of vertex @p v. */
+    EdgeId
+    degree(VertexId v) const
+    {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    /** Neighbour list of vertex @p v, sorted ascending. */
+    std::span<const VertexId>
+    neighbours(VertexId v) const
+    {
+        return {edges_.data() + offsets_[v],
+                edges_.data() + offsets_[v + 1]};
+    }
+
+    /** Index of the first edge of @p v in the edges array. */
+    EdgeId beginEdge(VertexId v) const { return offsets_[v]; }
+
+    /** One-past-the-last edge index of @p v. */
+    EdgeId endEdge(VertexId v) const { return offsets_[v + 1]; }
+
+    /** Raw offsets array (|V|+1 entries). */
+    std::span<const EdgeId> offsets() const { return offsets_; }
+
+    /** Raw edges array (|E| entries). */
+    std::span<const VertexId> edges() const { return edges_; }
+
+    /** Whether @p v has an edge to @p u (binary search). */
+    bool hasNeighbour(VertexId v, VertexId u) const;
+
+    /** Sort every neighbour list ascending (idempotent). */
+    void sortNeighbours();
+
+    /** True if every neighbour list is sorted ascending. */
+    bool neighboursSorted() const;
+
+    /** Memory footprint of the arrays, in bytes, using the paper's
+     *  on-disk element sizes (8 B offsets, 4 B edges). */
+    std::size_t footprintBytes() const;
+
+    friend bool operator==(const Adjacency &, const Adjacency &) = default;
+
+  private:
+    std::vector<EdgeId> offsets_;
+    std::vector<VertexId> edges_;
+};
+
+/**
+ * Build an Adjacency from an unsorted edge list via counting sort.
+ *
+ * @param num_vertices number of vertices |V|.
+ * @param edges        directed edges; when @p by_source is true the
+ *                     result maps src -> dst (CSR), otherwise
+ *                     dst -> src (CSC).
+ */
+Adjacency buildAdjacency(VertexId num_vertices,
+                         std::span<const Edge> edges, bool by_source);
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_CSR_H

@@ -1,0 +1,140 @@
+#include "graph/degree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gral
+{
+
+std::vector<EdgeId>
+degrees(const Graph &graph, Direction direction)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    std::vector<EdgeId> result(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        result[v] = adj.degree(v);
+    return result;
+}
+
+double
+hubThreshold(const Graph &graph)
+{
+    return std::sqrt(static_cast<double>(graph.numVertices()));
+}
+
+bool
+isInHub(const Graph &graph, VertexId v)
+{
+    return static_cast<double>(graph.inDegree(v)) > hubThreshold(graph);
+}
+
+bool
+isOutHub(const Graph &graph, VertexId v)
+{
+    return static_cast<double>(graph.outDegree(v)) > hubThreshold(graph);
+}
+
+namespace
+{
+
+std::vector<VertexId>
+hubsImpl(const Graph &graph, Direction direction)
+{
+    double threshold = hubThreshold(graph);
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    std::vector<VertexId> result;
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        if (static_cast<double>(adj.degree(v)) > threshold)
+            result.push_back(v);
+    return result;
+}
+
+} // namespace
+
+std::vector<VertexId>
+inHubs(const Graph &graph)
+{
+    return hubsImpl(graph, Direction::In);
+}
+
+std::vector<VertexId>
+outHubs(const Graph &graph)
+{
+    return hubsImpl(graph, Direction::Out);
+}
+
+DegreeClassCounts
+classifyDegrees(const Graph &graph, Direction direction)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    double average = graph.averageDegree();
+    double hub = hubThreshold(graph);
+
+    DegreeClassCounts counts;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        auto d = static_cast<double>(adj.degree(v));
+        if (d > average)
+            ++counts.highDegree;
+        else
+            ++counts.lowDegree;
+        if (d > hub)
+            ++counts.hubs;
+    }
+    return counts;
+}
+
+std::vector<VertexId>
+degreeHistogram(const Graph &graph, Direction direction)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    std::vector<VertexId> histogram(maxDegree(graph, direction) + 1, 0);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        ++histogram[adj.degree(v)];
+    return histogram;
+}
+
+EdgeId
+maxDegree(const Graph &graph, Direction direction)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    EdgeId best = 0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        best = std::max(best, adj.degree(v));
+    return best;
+}
+
+std::size_t
+logDegreeBin(EdgeId degree)
+{
+    if (degree == 0)
+        return 0;
+    std::size_t decade = 0;
+    EdgeId scale = 1;
+    while (degree / scale >= 10) {
+        scale *= 10;
+        ++decade;
+    }
+    EdgeId lead = degree / scale; // in [1, 9]
+    std::size_t sub = lead >= 5 ? 2 : lead >= 2 ? 1 : 0;
+    return 1 + 3 * decade + sub;
+}
+
+EdgeId
+logDegreeBinLow(std::size_t bin)
+{
+    if (bin == 0)
+        return 0;
+    std::size_t b = bin - 1;
+    static constexpr EdgeId kMult[3] = {1, 2, 5};
+    EdgeId scale = 1;
+    for (std::size_t i = 0; i < b / 3; ++i)
+        scale *= 10;
+    return kMult[b % 3] * scale;
+}
+
+} // namespace gral

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Degree statistics and the paper's vertex classification.
+ *
+ * Paper Section II-A: the LDV/HDV threshold is the average degree
+ * |E| / |V|; vertices with degree greater than sqrt(|V|) are "hubs",
+ * split into in-hubs (by in-degree) and out-hubs (by out-degree).
+ */
+
+#ifndef GRAL_GRAPH_DEGREE_H
+#define GRAL_GRAPH_DEGREE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** Which adjacency direction a degree refers to. */
+enum class Direction
+{
+    In,  ///< in-degree (CSC)
+    Out, ///< out-degree (CSR)
+};
+
+/** Per-vertex degrees in the requested direction. */
+std::vector<EdgeId> degrees(const Graph &graph, Direction direction);
+
+/** The paper's hub threshold, sqrt(|V|). */
+double hubThreshold(const Graph &graph);
+
+/** True if @p v is an in-hub: in-degree > sqrt(|V|). */
+bool isInHub(const Graph &graph, VertexId v);
+
+/** True if @p v is an out-hub: out-degree > sqrt(|V|). */
+bool isOutHub(const Graph &graph, VertexId v);
+
+/** IDs of all in-hubs (ascending ID order). */
+std::vector<VertexId> inHubs(const Graph &graph);
+
+/** IDs of all out-hubs (ascending ID order). */
+std::vector<VertexId> outHubs(const Graph &graph);
+
+/**
+ * Vertices classified against the average-degree threshold:
+ * low-degree (LDV) have degree <= |E|/|V|, high-degree (HDV) above.
+ */
+struct DegreeClassCounts
+{
+    VertexId lowDegree = 0;  ///< # vertices with degree <= average
+    VertexId highDegree = 0; ///< # vertices with degree > average
+    VertexId hubs = 0;       ///< # vertices with degree > sqrt(|V|)
+};
+
+/** Count LDV / HDV / hubs in the requested direction. */
+DegreeClassCounts classifyDegrees(const Graph &graph, Direction direction);
+
+/**
+ * Degree histogram: result[d] = number of vertices with degree d,
+ * for d in [0, max degree].
+ */
+std::vector<VertexId> degreeHistogram(const Graph &graph,
+                                      Direction direction);
+
+/** Maximum degree in the requested direction (0 for empty graphs). */
+EdgeId maxDegree(const Graph &graph, Direction direction);
+
+/**
+ * Logarithmic degree bin index used by all degree-distribution plots:
+ * bins are [1,2), [2,3), ... within each decade boundary pattern
+ * 1, 2, 5, 10, 20, 50, ... mirroring the paper's log-scale x axes.
+ * Degree 0 maps to bin 0.
+ */
+std::size_t logDegreeBin(EdgeId degree);
+
+/** Lower edge (inclusive) of logarithmic bin @p bin. */
+EdgeId logDegreeBinLow(std::size_t bin);
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_DEGREE_H

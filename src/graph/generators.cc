@@ -1,0 +1,405 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "graph/permutation.h"
+#include "graph/rng.h"
+
+namespace gral
+{
+
+namespace
+{
+
+/**
+ * Out-degree sample for a web page: uniform in [1, 2*mean - 1],
+ * clamped to @p cap. Pages hold a bounded number of links, so web
+ * graphs lack strong out-hubs (paper Fig. 6) — a heavy-tailed
+ * distribution here would be wrong for that structure.
+ */
+EdgeId
+sampleOutDegree(SplitMix64 &rng, double mean, EdgeId cap)
+{
+    auto spread = static_cast<std::uint64_t>(
+        std::max(1.0, 2.0 * mean - 1.0));
+    EdgeId k = 1 + rng.nextBounded(spread);
+    return std::min(k, cap);
+}
+
+} // namespace
+
+Graph
+generateSocialNetwork(const SocialNetworkParams &params)
+{
+    if (params.numVertices < params.edgesPerVertex + 1)
+        throw std::invalid_argument(
+            "generateSocialNetwork: too few vertices");
+
+    SplitMix64 rng(params.seed);
+    const VertexId n = params.numVertices;
+    const unsigned m = params.edgesPerVertex;
+
+    // Phase 1: undirected Barabasi-Albert skeleton with community
+    // bias. The repeat arrays hold one entry per edge endpoint, so
+    // uniform sampling from them is degree-proportional (preferential
+    // attachment); the per-community arrays restrict the choice to
+    // the new vertex's own social community.
+    std::vector<Edge> undirected;
+    undirected.reserve(static_cast<std::size_t>(n) * m);
+    std::vector<VertexId> endpoints;
+    endpoints.reserve(static_cast<std::size_t>(n) * m * 2);
+
+    const VertexId community_size =
+        std::max<VertexId>(2, params.communitySize);
+    auto community_of = [&](VertexId v) { return v / community_size; };
+    std::vector<std::vector<VertexId>> community_endpoints(
+        static_cast<std::size_t>(n / community_size) + 1);
+
+    auto record = [&](VertexId a, VertexId b) {
+        undirected.push_back({a, b});
+        endpoints.push_back(a);
+        endpoints.push_back(b);
+        community_endpoints[community_of(a)].push_back(a);
+        community_endpoints[community_of(b)].push_back(b);
+    };
+
+    VertexId seed_size = m + 1;
+    for (VertexId v = 1; v < seed_size; ++v)
+        record(v, v - 1);
+
+    std::vector<VertexId> targets;
+    for (VertexId v = seed_size; v < n; ++v) {
+        const auto &own = community_endpoints[community_of(v)];
+        targets.clear();
+        while (targets.size() < m) {
+            VertexId t;
+            if (!own.empty() &&
+                rng.nextDouble() < params.communityBias) {
+                t = own[rng.nextBounded(own.size())];
+            } else if (rng.nextDouble() < params.uniformMix) {
+                t = static_cast<VertexId>(rng.nextBounded(v));
+            } else {
+                t = endpoints[rng.nextBounded(endpoints.size())];
+            }
+            if (t != v && std::find(targets.begin(), targets.end(),
+                                    t) == targets.end())
+                targets.push_back(t);
+        }
+        for (VertexId t : targets)
+            record(v, t);
+    }
+
+    // Phase 2: undirected degrees drive per-edge reciprocity so that
+    // hub-hub edges are symmetric while LDV edges often are not.
+    std::vector<EdgeId> degree(n, 0);
+    for (const Edge &e : undirected) {
+        ++degree[e.src];
+        ++degree[e.dst];
+    }
+    double hub_degree = std::sqrt(static_cast<double>(n));
+
+    std::vector<Edge> directed;
+    directed.reserve(undirected.size() * 2);
+    for (const Edge &e : undirected) {
+        // Forward direction: the newer vertex "follows" the older.
+        directed.push_back(e);
+        // Reciprocity grows with the *target's* degree: edges into
+        // hubs are followed back, so in-hubs end up symmetric (the
+        // paper's Fig. 4 social-network shape) while LDV edges stay
+        // largely one-way.
+        double symmetry = std::min(
+            1.0, static_cast<double>(degree[e.dst]) / hub_degree);
+        double reciprocity =
+            params.baseReciprocity +
+            (1.0 - params.baseReciprocity) * symmetry;
+        if (rng.nextDouble() < reciprocity)
+            directed.push_back({e.dst, e.src});
+    }
+
+    // Phase 2.5: aggregator accounts. A handful of crawler/bot-like
+    // vertices follow large numbers of mostly low-degree users and
+    // are not followed back: they create the strong out-hubs (without
+    // matching in-hubs) of the paper's Twitter analysis while leaving
+    // in-hub symmetry intact.
+    if (params.numAggregators > 0 &&
+        params.aggregatorEdgeShare > 0.0 &&
+        n > params.numAggregators) {
+        auto agg_edges = static_cast<EdgeId>(
+            params.aggregatorEdgeShare *
+            static_cast<double>(directed.size()));
+        EdgeId per_agg = agg_edges / params.numAggregators;
+        for (VertexId a = 0; a < params.numAggregators; ++a) {
+            // The youngest (lowest-degree) vertices act as
+            // aggregators.
+            VertexId agg = n - 1 - a;
+            for (EdgeId i = 0; i < per_agg; ++i) {
+                auto t = static_cast<VertexId>(rng.nextBounded(n));
+                if (t != agg)
+                    directed.push_back({agg, t});
+            }
+        }
+    }
+
+    // Phase 3: shuffle IDs — social-network crawls have no meaningful
+    // ID locality, which is what gives RAs room to help.
+    Permutation shuffle = randomPermutation(n, params.seed ^ 0x5eed);
+    for (Edge &e : directed) {
+        e.src = shuffle.newId(e.src);
+        e.dst = shuffle.newId(e.dst);
+    }
+
+    BuildOptions options;
+    options.removeZeroDegree = true;
+    return buildGraph(n, directed, options);
+}
+
+Graph
+generateWebGraph(const WebGraphParams &params)
+{
+    SplitMix64 rng(params.seed);
+    const VertexId n = params.numVertices;
+    const VertexId pages_per_host = std::max<VertexId>(
+        2, params.pagesPerHost);
+    const VertexId num_hosts = std::max<VertexId>(
+        1, n / pages_per_host);
+
+    // Host h owns the contiguous page range [hostBegin[h],
+    // hostBegin[h+1]); page 0 of the range is the host "index page".
+    std::vector<VertexId> host_begin(num_hosts + 1);
+    for (VertexId h = 0; h <= num_hosts; ++h)
+        host_begin[h] = static_cast<VertexId>(
+            static_cast<std::uint64_t>(n) * h / num_hosts);
+
+    // Copy pool: targets of already-generated links; sampling from it
+    // is in-degree-proportional (the copying model).
+    std::vector<VertexId> copy_pool;
+    copy_pool.reserve(static_cast<std::size_t>(
+        n * std::min(params.meanOutDegree, 64.0)));
+
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(n * params.meanOutDegree));
+
+    // Link groups of the current host: group_members[g] lists the
+    // pages of group g. Group membership is random, deliberately
+    // uncorrelated with page IDs.
+    std::vector<std::vector<VertexId>> group_members;
+    std::vector<std::uint32_t> group_of;
+    auto build_groups = [&](VertexId h_begin, VertexId h_size) {
+        auto num_groups = static_cast<std::uint32_t>(std::max<VertexId>(
+            1, h_size / std::max<VertexId>(2, params.pagesPerGroup)));
+        group_members.assign(num_groups, {});
+        group_of.assign(h_size, 0);
+        for (VertexId p = 0; p < h_size; ++p) {
+            auto g = static_cast<std::uint32_t>(
+                rng.nextBounded(num_groups));
+            group_of[p] = g;
+            group_members[g].push_back(h_begin + p);
+        }
+    };
+
+    VertexId host = 0;
+    build_groups(host_begin[0], host_begin[1] - host_begin[0]);
+    for (VertexId page = 0; page < n; ++page) {
+        while (host + 1 < num_hosts && page >= host_begin[host + 1]) {
+            ++host;
+            build_groups(host_begin[host],
+                         host_begin[host + 1] - host_begin[host]);
+        }
+        VertexId h_begin = host_begin[host];
+        VertexId h_end = host_begin[host + 1];
+        VertexId h_size = h_end - h_begin;
+
+        EdgeId out_degree = sampleOutDegree(rng, params.meanOutDegree,
+                                            params.maxOutDegree);
+        for (EdgeId i = 0; i < out_degree; ++i) {
+            VertexId target;
+            bool cross_host = false;
+            if (rng.nextDouble() < params.intraHostProb && h_size > 1) {
+                const auto &group =
+                    group_members[group_of[page - h_begin]];
+                if (rng.nextDouble() < params.hostIndexProb) {
+                    target = h_begin; // host index page: in-hub
+                } else if (group.size() > 1 &&
+                           rng.nextDouble() < params.groupProb) {
+                    // Topic cluster: link inside the page's group.
+                    target = group[rng.nextBounded(group.size())];
+                } else {
+                    target = h_begin + static_cast<VertexId>(
+                                           rng.nextBounded(h_size));
+                }
+            } else if (!copy_pool.empty() &&
+                       rng.nextDouble() < params.copyProb) {
+                target = copy_pool[rng.nextBounded(copy_pool.size())];
+                cross_host = true;
+            } else {
+                target = static_cast<VertexId>(rng.nextBounded(n));
+                cross_host = true;
+            }
+            if (target == page)
+                continue;
+            edges.push_back({page, target});
+            // Only cross-host targets feed the copying process: the
+            // copying model describes global popularity, and letting
+            // intra-host targets into the pool would leak every
+            // ordinary page into it.
+            if (cross_host)
+                copy_pool.push_back(target);
+        }
+    }
+
+    // Crawl-order noise: scramble the IDs of a fraction of pages by
+    // shuffling them among themselves, leaving the rest of the
+    // host-block ordering intact.
+    if (params.idNoise > 0.0 && n > 1) {
+        SplitMix64 noise_rng(params.seed ^ 0xc4a3);
+        std::vector<VertexId> noisy;
+        for (VertexId v = 0; v < n; ++v)
+            if (noise_rng.nextDouble() < params.idNoise)
+                noisy.push_back(v);
+        std::vector<VertexId> new_id(n);
+        for (VertexId v = 0; v < n; ++v)
+            new_id[v] = v;
+        // Fisher-Yates over the selected subset.
+        for (std::size_t i = noisy.size(); i > 1; --i) {
+            std::size_t j = noise_rng.nextBounded(i);
+            std::swap(new_id[noisy[i - 1]], new_id[noisy[j]]);
+        }
+        for (Edge &e : edges) {
+            e.src = new_id[e.src];
+            e.dst = new_id[e.dst];
+        }
+    }
+
+    BuildOptions options;
+    options.removeZeroDegree = true;
+    return buildGraph(n, edges, options);
+}
+
+Graph
+generateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                   std::uint64_t seed)
+{
+    if (num_vertices == 0)
+        throw std::invalid_argument("generateErdosRenyi: empty graph");
+    SplitMix64 rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    for (EdgeId i = 0; i < num_edges; ++i) {
+        auto src = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        auto dst = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        if (src != dst)
+            edges.push_back({src, dst});
+    }
+    BuildOptions options;
+    options.removeZeroDegree = true;
+    return buildGraph(num_vertices, edges, options);
+}
+
+Graph
+generateRMat(const RMatParams &params)
+{
+    double sum = params.a + params.b + params.c + params.d;
+    if (std::abs(sum - 1.0) > 1e-6)
+        throw std::invalid_argument("generateRMat: abcd must sum to 1");
+
+    SplitMix64 rng(params.seed);
+    const VertexId n = VertexId{1} << params.scale;
+    const EdgeId num_edges =
+        static_cast<EdgeId>(n) * params.edgeFactor;
+
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    for (EdgeId i = 0; i < num_edges; ++i) {
+        VertexId src = 0;
+        VertexId dst = 0;
+        for (unsigned bit = 0; bit < params.scale; ++bit) {
+            double r = rng.nextDouble();
+            unsigned quadrant = r < params.a                        ? 0
+                                : r < params.a + params.b           ? 1
+                                : r < params.a + params.b + params.c ? 2
+                                                                     : 3;
+            src = (src << 1) | (quadrant >> 1);
+            dst = (dst << 1) | (quadrant & 1);
+        }
+        if (src != dst)
+            edges.push_back({src, dst});
+    }
+    BuildOptions options;
+    options.removeZeroDegree = true;
+    return buildGraph(n, edges, options);
+}
+
+namespace
+{
+
+Graph
+fromUndirectedPairs(VertexId n, std::vector<Edge> pairs)
+{
+    std::size_t original = pairs.size();
+    pairs.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i)
+        pairs.push_back({pairs[i].dst, pairs[i].src});
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    return buildGraph(n, pairs, options);
+}
+
+} // namespace
+
+Graph
+makePath(VertexId n)
+{
+    std::vector<Edge> pairs;
+    for (VertexId v = 1; v < n; ++v)
+        pairs.push_back({static_cast<VertexId>(v - 1), v});
+    return fromUndirectedPairs(n, std::move(pairs));
+}
+
+Graph
+makeCycle(VertexId n)
+{
+    std::vector<Edge> pairs;
+    for (VertexId v = 0; v < n; ++v)
+        pairs.push_back({v, static_cast<VertexId>((v + 1) % n)});
+    return fromUndirectedPairs(n, std::move(pairs));
+}
+
+Graph
+makeStar(VertexId n)
+{
+    std::vector<Edge> pairs;
+    for (VertexId v = 1; v < n; ++v)
+        pairs.push_back({0, v});
+    return fromUndirectedPairs(n, std::move(pairs));
+}
+
+Graph
+makeComplete(VertexId n)
+{
+    std::vector<Edge> pairs;
+    for (VertexId u = 0; u < n; ++u)
+        for (VertexId v = u + 1; v < n; ++v)
+            pairs.push_back({u, v});
+    return fromUndirectedPairs(n, std::move(pairs));
+}
+
+Graph
+makeGrid(VertexId rows, VertexId cols)
+{
+    std::vector<Edge> pairs;
+    auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+    for (VertexId r = 0; r < rows; ++r) {
+        for (VertexId c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                pairs.push_back({id(r, c), id(r, c + 1)});
+            if (r + 1 < rows)
+                pairs.push_back({id(r, c), id(r + 1, c)});
+        }
+    }
+    return fromUndirectedPairs(rows * cols, std::move(pairs));
+}
+
+} // namespace gral

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * Stand-ins for the paper's datasets (Table I), which are 1-8 B edge
+ * public crawls too large for this environment. The generators
+ * reproduce the *structural contrasts* the paper's analysis rests on
+ * (Sections VII-A and VII-B):
+ *
+ *  - Social networks (generateSocialNetwork): heavy-tailed degrees,
+ *    a tightly inter-connected hub core, high symmetry on high
+ *    in-degree vertices (in-hubs are out-hubs), low symmetry on LDV,
+ *    and no meaningful ID locality (crawl order is shuffled).
+ *  - Web graphs (generateWebGraph): pages grouped into hosts with
+ *    mostly intra-host links, power-law in-degrees produced by a
+ *    copying process (strong in-hubs), bounded out-degrees (weak
+ *    out-hubs), near-zero reciprocity, and lexicographic-URL-like ID
+ *    locality in the initial ordering.
+ *
+ * All generators are deterministic in their seed.
+ */
+
+#ifndef GRAL_GRAPH_GENERATORS_H
+#define GRAL_GRAPH_GENERATORS_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** Parameters of the social-network generator. */
+struct SocialNetworkParams
+{
+    /** Number of vertices. */
+    VertexId numVertices = 100'000;
+    /** Undirected edges attached per new vertex (Barabasi-Albert m). */
+    unsigned edgesPerVertex = 16;
+    /** Probability a new edge endpoint is chosen uniformly instead of
+     *  preferentially (adds low-degree noise, avoids pure BA trees). */
+    double uniformMix = 0.1;
+    /** Reciprocity of edges whose endpoints are both low degree;
+     *  hub-hub edges are always reciprocated, interpolated in between
+     *  (matches the paper's Fig. 4 asymmetricity shape). */
+    double baseReciprocity = 0.35;
+    /** Vertices are grouped into social communities of about this
+     *  size; preferential attachment is biased toward the vertex's
+     *  own community. Community structure is what clustering RAs
+     *  (Rabbit-Order) detect. */
+    VertexId communitySize = 48;
+    /** Probability a new edge stays inside the vertex's community. */
+    double communityBias = 0.5;
+    /** Fraction of |E| contributed by "aggregator" accounts —
+     *  crawler/bot-like vertices that follow huge numbers of mostly
+     *  low-degree users without being followed back. They create the
+     *  strong *out*-hubs (but not in-hubs) the paper measures on
+     *  Twitter (Fig. 6: out-hub coverage roughly double in-hub
+     *  coverage), while leaving in-hubs symmetric (Fig. 4). */
+    double aggregatorEdgeShare = 0.18;
+    /** Number of aggregator accounts. */
+    VertexId numAggregators = 64;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Generate a directed social-network-like graph. */
+Graph generateSocialNetwork(const SocialNetworkParams &params);
+
+/** Parameters of the web-graph generator. */
+struct WebGraphParams
+{
+    /** Number of pages. */
+    VertexId numVertices = 100'000;
+    /** Mean pages per host (hosts are contiguous ID blocks). */
+    VertexId pagesPerHost = 64;
+    /** Mean out-degree of a page (geometric distribution). */
+    double meanOutDegree = 20.0;
+    /** Hard cap on out-degree: pages hold a bounded number of links,
+     *  so web graphs lack strong out-hubs (paper Fig. 6). */
+    EdgeId maxOutDegree = 300;
+    /** Probability a link stays inside the page's host. */
+    double intraHostProb = 0.8;
+    /** Probability an intra-host link targets the host index page
+     *  (creates per-host in-hubs). */
+    double hostIndexProb = 0.3;
+    /** Pages inside a host form random "link groups" (directories /
+     *  topic clusters) of about this many pages; intra-host links
+     *  mostly stay inside the page's group. Groups are *not* aligned
+     *  with ID order, which is exactly the LDV clustering a
+     *  community RA recovers (paper Section VII-A). */
+    VertexId pagesPerGroup = 12;
+    /** Probability an intra-host (non-index) link stays inside the
+     *  page's link group. */
+    double groupProb = 0.75;
+    /** Probability a cross-host link copies an existing link target
+     *  (preferential attachment on in-degree: global in-hubs). */
+    double copyProb = 0.8;
+    /** Fraction of pages whose IDs are scrambled after generation —
+     *  crawl-order noise (revisits, redirects, frontier mixing) that
+     *  real URL-ordered crawls contain. This is the disorder
+     *  clustering RAs like Rabbit-Order recover from (paper
+     *  Section VII-A). */
+    double idNoise = 0.1;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Generate a directed web-graph-like graph. */
+Graph generateWebGraph(const WebGraphParams &params);
+
+/** Uniformly random directed graph with ~@p num_edges edges. */
+Graph generateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                         std::uint64_t seed);
+
+/** Parameters of the recursive-matrix (R-MAT) generator. */
+struct RMatParams
+{
+    /** log2 of the number of vertices. */
+    unsigned scale = 16;
+    /** Edges per vertex. */
+    unsigned edgeFactor = 16;
+    /** Quadrant probabilities; must sum to ~1. */
+    double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Generate an R-MAT graph (Graph500-style parameters by default). */
+Graph generateRMat(const RMatParams &params);
+
+/** @name Small deterministic graphs for tests.
+ *  All are returned as symmetric directed graphs (u->v and v->u).
+ *  @{ */
+/** Simple path 0-1-...-n-1. */
+Graph makePath(VertexId n);
+/** Cycle over n vertices. */
+Graph makeCycle(VertexId n);
+/** Star: vertex 0 connected to 1..n-1. */
+Graph makeStar(VertexId n);
+/** Complete graph on n vertices. */
+Graph makeComplete(VertexId n);
+/** rows x cols 4-neighbour grid. */
+Graph makeGrid(VertexId rows, VertexId cols);
+/** @} */
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_GENERATORS_H

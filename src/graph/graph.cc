@@ -1,0 +1,50 @@
+#include "graph/graph.h"
+
+#include <stdexcept>
+
+namespace gral
+{
+
+Graph::Graph(VertexId num_vertices, std::span<const Edge> edges)
+    : out_(buildAdjacency(num_vertices, edges, /*by_source=*/true)),
+      in_(buildAdjacency(num_vertices, edges, /*by_source=*/false))
+{
+}
+
+Graph::Graph(Adjacency out, Adjacency in)
+    : out_(std::move(out)), in_(std::move(in))
+{
+    if (out_.numVertices() != in_.numVertices() ||
+        out_.numEdges() != in_.numEdges()) {
+        throw std::invalid_argument(
+            "Graph: CSR/CSC vertex or edge counts disagree");
+    }
+}
+
+double
+Graph::averageDegree() const
+{
+    if (numVertices() == 0)
+        return 0.0;
+    return static_cast<double>(numEdges()) /
+           static_cast<double>(numVertices());
+}
+
+std::vector<Edge>
+Graph::edgeList() const
+{
+    std::vector<Edge> edges;
+    edges.reserve(numEdges());
+    for (VertexId v = 0; v < numVertices(); ++v)
+        for (VertexId u : outNeighbours(v))
+            edges.push_back({v, u});
+    return edges;
+}
+
+std::size_t
+Graph::footprintBytes() const
+{
+    return out_.footprintBytes() + in_.footprintBytes();
+}
+
+} // namespace gral

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Directed graph with both CSR (out) and CSC (in) adjacency.
+ *
+ * A pull traversal reads the CSC (in-neighbours) and a push traversal
+ * reads the CSR (out-neighbours), per paper Section II-F.
+ */
+
+#ifndef GRAL_GRAPH_GRAPH_H
+#define GRAL_GRAPH_GRAPH_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/**
+ * Immutable directed graph stored in both CSR and CSC formats.
+ *
+ * Construction deduplicates nothing by itself; use GraphBuilder for
+ * cleanup (self-loop / duplicate removal, zero-degree compaction).
+ */
+class Graph
+{
+  public:
+    /** Empty graph. */
+    Graph() = default;
+
+    /** Build both adjacency directions from a directed edge list. */
+    Graph(VertexId num_vertices, std::span<const Edge> edges);
+
+    /** Build from prepared adjacencies. @pre equal vertex/edge counts. */
+    Graph(Adjacency out, Adjacency in);
+
+    /** Number of vertices |V|. */
+    VertexId numVertices() const { return out_.numVertices(); }
+
+    /** Number of directed edges |E|. */
+    EdgeId numEdges() const { return out_.numEdges(); }
+
+    /** Average degree |E| / |V| — the paper's LDV/HDV threshold. */
+    double averageDegree() const;
+
+    /** Out-adjacency (CSR): vertex -> out-neighbours. */
+    const Adjacency &out() const { return out_; }
+
+    /** In-adjacency (CSC): vertex -> in-neighbours. */
+    const Adjacency &in() const { return in_; }
+
+    /** Out-degree of @p v. */
+    EdgeId outDegree(VertexId v) const { return out_.degree(v); }
+
+    /** In-degree of @p v. */
+    EdgeId inDegree(VertexId v) const { return in_.degree(v); }
+
+    /** Out-neighbours of @p v, sorted ascending. */
+    std::span<const VertexId>
+    outNeighbours(VertexId v) const
+    {
+        return out_.neighbours(v);
+    }
+
+    /** In-neighbours of @p v, sorted ascending. */
+    std::span<const VertexId>
+    inNeighbours(VertexId v) const
+    {
+        return in_.neighbours(v);
+    }
+
+    /** Reconstruct the directed edge list (src, dst) from the CSR. */
+    std::vector<Edge> edgeList() const;
+
+    /** Total topology footprint in bytes (both directions). */
+    std::size_t footprintBytes() const;
+
+    /** Structural equality of both adjacencies. */
+    friend bool operator==(const Graph &, const Graph &) = default;
+
+  private:
+    Adjacency out_;
+    Adjacency in_;
+};
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_GRAPH_H

@@ -1,0 +1,156 @@
+#include "graph/io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gral
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> kMagic = {'G', 'R', 'A', 'L',
+                                        'G', 'R', 'F', '1'};
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        throw std::runtime_error("readBinary: truncated stream");
+    return value;
+}
+
+template <typename T>
+void
+writeVector(std::ostream &out, std::span<const T> values)
+{
+    out.write(reinterpret_cast<const char *>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVector(std::istream &in, std::size_t count)
+{
+    std::vector<T> values(count);
+    in.read(reinterpret_cast<char *>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+    if (!in)
+        throw std::runtime_error("readBinary: truncated stream");
+    return values;
+}
+
+} // namespace
+
+std::vector<Edge>
+readEdgeListText(std::istream &in)
+{
+    std::vector<Edge> edges;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream fields(line);
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        if (!(fields >> src >> dst))
+            throw std::runtime_error("readEdgeListText: bad line: " +
+                                     line);
+        if (src > kInvalidVertex - 1 || dst > kInvalidVertex - 1)
+            throw std::runtime_error(
+                "readEdgeListText: vertex ID exceeds 32 bits");
+        edges.push_back({static_cast<VertexId>(src),
+                         static_cast<VertexId>(dst)});
+    }
+    return edges;
+}
+
+std::vector<Edge>
+readEdgeListTextFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    return readEdgeListText(in);
+}
+
+void
+writeEdgeListText(const Graph &graph, std::ostream &out)
+{
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        for (VertexId u : graph.outNeighbours(v))
+            out << v << ' ' << u << '\n';
+}
+
+void
+writeBinary(const Graph &graph, std::ostream &out)
+{
+    out.write(kMagic.data(), kMagic.size());
+    writePod<std::uint64_t>(out, graph.numVertices());
+    writePod<std::uint64_t>(out, graph.numEdges());
+    writeVector(out, graph.out().offsets());
+    writeVector(out, graph.out().edges());
+}
+
+void
+writeBinaryFile(const Graph &graph, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open " + path);
+    writeBinary(graph, out);
+}
+
+Graph
+readBinary(std::istream &in)
+{
+    std::array<char, 8> magic{};
+    in.read(magic.data(), magic.size());
+    if (!in || std::memcmp(magic.data(), kMagic.data(), magic.size()) != 0)
+        throw std::runtime_error("readBinary: bad magic");
+
+    auto num_vertices = readPod<std::uint64_t>(in);
+    auto num_edges = readPod<std::uint64_t>(in);
+    if (num_vertices > kInvalidVertex)
+        throw std::runtime_error("readBinary: vertex count overflow");
+
+    auto offsets = readVector<EdgeId>(in, num_vertices + 1);
+    auto edges = readVector<VertexId>(in, num_edges);
+
+    Adjacency out(std::move(offsets), std::move(edges));
+    // Rebuild the CSC from the CSR.
+    std::vector<Edge> list;
+    list.reserve(num_edges);
+    for (VertexId v = 0; v < out.numVertices(); ++v)
+        for (VertexId u : out.neighbours(v))
+            list.push_back({v, u});
+    Adjacency in_adj = buildAdjacency(
+        static_cast<VertexId>(num_vertices), list, /*by_source=*/false);
+    return Graph(std::move(out), std::move(in_adj));
+}
+
+Graph
+readBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    return readBinary(in);
+}
+
+} // namespace gral

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Graph serialization: text edge lists and a compact binary format.
+ *
+ * The text format is the de-facto standard of the dataset archives the
+ * paper draws from (KONECT / NetworkRepository / LWA): one "src dst"
+ * pair per line, '#' or '%' comment lines ignored.
+ */
+
+#ifndef GRAL_GRAPH_IO_H
+#define GRAL_GRAPH_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** Parse a text edge list ("src dst" per line) from a stream. */
+std::vector<Edge> readEdgeListText(std::istream &in);
+
+/** Parse a text edge list from a file. @throws std::runtime_error. */
+std::vector<Edge> readEdgeListTextFile(const std::string &path);
+
+/** Write "src dst" lines for all edges of @p graph. */
+void writeEdgeListText(const Graph &graph, std::ostream &out);
+
+/**
+ * Write the binary format: magic, |V|, |E|, CSR offsets, CSR edges.
+ * The CSC is rebuilt on load.
+ */
+void writeBinary(const Graph &graph, std::ostream &out);
+
+/** Write the binary format to a file. @throws std::runtime_error. */
+void writeBinaryFile(const Graph &graph, const std::string &path);
+
+/** Load the binary format. @throws std::runtime_error on corruption. */
+Graph readBinary(std::istream &in);
+
+/** Load the binary format from a file. @throws std::runtime_error. */
+Graph readBinaryFile(const std::string &path);
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_IO_H

@@ -1,0 +1,43 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+namespace gral
+{
+
+std::vector<VertexRange>
+edgeBalancedPartitions(const Graph &graph, Direction direction,
+                       VertexId num_partitions)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    auto offsets = adj.offsets();
+    EdgeId total = adj.numEdges();
+
+    std::vector<VertexRange> parts;
+    parts.reserve(num_partitions);
+    VertexId cursor = 0;
+    for (VertexId p = 0; p < num_partitions; ++p) {
+        EdgeId target = total * (p + 1) / num_partitions;
+        // First vertex index whose offset reaches the target.
+        auto it = std::lower_bound(offsets.begin() + cursor + 1,
+                                   offsets.end(), target);
+        auto end = static_cast<VertexId>(it - offsets.begin());
+        end = std::min<VertexId>(end, graph.numVertices());
+        if (p + 1 == num_partitions)
+            end = graph.numVertices();
+        parts.push_back({cursor, end});
+        cursor = end;
+    }
+    return parts;
+}
+
+EdgeId
+edgesInRange(const Graph &graph, Direction direction, VertexRange range)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    return adj.beginEdge(range.end) - adj.beginEdge(range.begin);
+}
+
+} // namespace gral

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Edge-balanced vertex partitioning.
+ *
+ * The paper's SpMV engine processes "graph partitions created by
+ * edge-balanced partitioning" (Section III-B): contiguous vertex
+ * ranges chosen so every partition covers roughly the same number of
+ * edges, which balances work even under skewed degree distributions.
+ */
+
+#ifndef GRAL_GRAPH_PARTITION_H
+#define GRAL_GRAPH_PARTITION_H
+
+#include <vector>
+
+#include "graph/degree.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** A contiguous vertex range [begin, end). */
+struct VertexRange
+{
+    VertexId begin = 0;
+    VertexId end = 0;
+
+    /** Number of vertices in the range. */
+    VertexId size() const { return end - begin; }
+
+    friend bool operator==(const VertexRange &, const VertexRange &) =
+        default;
+};
+
+/**
+ * Split [0, |V|) into @p num_partitions contiguous ranges with
+ * near-equal edge counts in the given direction.
+ *
+ * Every boundary is found by binary search on the offsets array, so
+ * the i-th partition starts at the first vertex whose cumulative edge
+ * count reaches i * |E| / num_partitions. Empty ranges are possible
+ * when a single vertex holds more than a partition's share of edges.
+ */
+std::vector<VertexRange> edgeBalancedPartitions(const Graph &graph,
+                                                Direction direction,
+                                                VertexId num_partitions);
+
+/** Total edges covered by a range in the given direction. */
+EdgeId edgesInRange(const Graph &graph, Direction direction,
+                    VertexRange range);
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_PARTITION_H

@@ -1,0 +1,79 @@
+#include "graph/permutation.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/rng.h"
+
+namespace gral
+{
+
+Permutation
+Permutation::identity(VertexId n)
+{
+    std::vector<VertexId> ids(n);
+    std::iota(ids.begin(), ids.end(), VertexId{0});
+    return Permutation(std::move(ids));
+}
+
+bool
+Permutation::isValid() const
+{
+    std::vector<char> seen(newIds_.size(), 0);
+    for (VertexId id : newIds_) {
+        if (id >= newIds_.size() || seen[id])
+            return false;
+        seen[id] = 1;
+    }
+    return true;
+}
+
+Permutation
+Permutation::inverse() const
+{
+    std::vector<VertexId> inv(newIds_.size(), kInvalidVertex);
+    for (VertexId old_id = 0; old_id < size(); ++old_id)
+        inv[newIds_[old_id]] = old_id;
+    return Permutation(std::move(inv));
+}
+
+Permutation
+Permutation::compose(const Permutation &first) const
+{
+    if (first.size() != size())
+        throw std::invalid_argument("Permutation::compose: size mismatch");
+    std::vector<VertexId> result(size());
+    for (VertexId v = 0; v < size(); ++v)
+        result[v] = newIds_[first.newId(v)];
+    return Permutation(std::move(result));
+}
+
+Graph
+applyPermutation(const Graph &graph, const Permutation &permutation)
+{
+    if (permutation.size() != graph.numVertices())
+        throw std::invalid_argument("applyPermutation: size mismatch");
+
+    std::vector<Edge> edges = graph.edgeList();
+    for (Edge &e : edges) {
+        e.src = permutation.newId(e.src);
+        e.dst = permutation.newId(e.dst);
+    }
+    return Graph(graph.numVertices(), edges);
+}
+
+Permutation
+randomPermutation(VertexId n, std::uint64_t seed)
+{
+    std::vector<VertexId> ids(n);
+    std::iota(ids.begin(), ids.end(), VertexId{0});
+    SplitMix64 rng(seed);
+    // Fisher-Yates shuffle.
+    for (VertexId i = n; i > 1; --i) {
+        auto j = static_cast<VertexId>(rng.nextBounded(i));
+        std::swap(ids[i - 1], ids[j]);
+    }
+    return Permutation(std::move(ids));
+}
+
+} // namespace gral

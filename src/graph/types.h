@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental integer types and size constants for graph storage.
+ *
+ * Following the paper's representation (Section II-A): the offsets array
+ * holds 8-byte elements and the edges array holds 4-byte elements, so
+ * vertex IDs are 32-bit and edge indices are 64-bit.
+ */
+
+#ifndef GRAL_GRAPH_TYPES_H
+#define GRAL_GRAPH_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace gral
+{
+
+/** Vertex identifier. 32-bit, matching the paper's 4-byte edge array. */
+using VertexId = std::uint32_t;
+
+/** Edge index into the edges array. 64-bit, matching 8-byte offsets. */
+using EdgeId = std::uint64_t;
+
+/** Sentinel for "no vertex". */
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/** Size in bytes of one offsets-array element (paper Section II-A). */
+inline constexpr std::size_t kOffsetBytes = 8;
+
+/** Size in bytes of one edges-array element (paper Section II-A). */
+inline constexpr std::size_t kEdgeBytes = 4;
+
+/** Size in bytes of one vertex-data element (paper Section III-B). */
+inline constexpr std::size_t kVertexDataBytes = 8;
+
+/** A directed edge (source, destination) used during graph construction. */
+struct Edge
+{
+    VertexId src = 0;
+    VertexId dst = 0;
+
+    friend bool operator==(const Edge &, const Edge &) = default;
+    friend auto operator<=>(const Edge &, const Edge &) = default;
+};
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_TYPES_H

@@ -1,0 +1,51 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+
+namespace gral
+{
+
+UnionFind::UnionFind(VertexId n)
+    : parent_(n), size_(n, 1), numComponents_(n)
+{
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+}
+
+VertexId
+UnionFind::find(VertexId v)
+{
+    while (parent_[v] != v) {
+        parent_[v] = parent_[parent_[v]]; // path halving
+        v = parent_[v];
+    }
+    return v;
+}
+
+bool
+UnionFind::unite(VertexId a, VertexId b)
+{
+    VertexId ra = find(a);
+    VertexId rb = find(b);
+    if (ra == rb)
+        return false;
+    if (size_[ra] < size_[rb])
+        std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --numComponents_;
+    return true;
+}
+
+bool
+UnionFind::connected(VertexId a, VertexId b)
+{
+    return find(a) == find(b);
+}
+
+VertexId
+UnionFind::componentSize(VertexId v)
+{
+    return size_[find(v)];
+}
+
+} // namespace gral

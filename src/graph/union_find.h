@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Disjoint-set (union-find) structure with path halving and union by
+ * size. Used by the connected-components pass inside SlashBurn and by
+ * test oracles.
+ */
+
+#ifndef GRAL_GRAPH_UNION_FIND_H
+#define GRAL_GRAPH_UNION_FIND_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** Disjoint-set forest over vertex IDs [0, n). */
+class UnionFind
+{
+  public:
+    /** @p n singleton sets. */
+    explicit UnionFind(VertexId n);
+
+    /** Representative of the set containing @p v (with path halving). */
+    VertexId find(VertexId v);
+
+    /**
+     * Merge the sets of @p a and @p b (union by size).
+     * @return true when the sets were distinct.
+     */
+    bool unite(VertexId a, VertexId b);
+
+    /** Whether @p a and @p b are in the same set. */
+    bool connected(VertexId a, VertexId b);
+
+    /** Size of the set containing @p v. */
+    VertexId componentSize(VertexId v);
+
+    /** Current number of disjoint sets. */
+    VertexId numComponents() const { return numComponents_; }
+
+    /** Total number of elements. */
+    VertexId size() const { return static_cast<VertexId>(parent_.size()); }
+
+  private:
+    std::vector<VertexId> parent_;
+    std::vector<VertexId> size_;
+    VertexId numComponents_;
+};
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_UNION_FIND_H

@@ -1,0 +1,72 @@
+#include "metrics/aid.h"
+
+#include <cmath>
+
+namespace gral
+{
+
+double
+vertexAid(const Adjacency &adjacency, VertexId v)
+{
+    auto nbrs = adjacency.neighbours(v);
+    if (nbrs.size() < 2)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 1; i < nbrs.size(); ++i)
+        sum += static_cast<double>(nbrs[i]) -
+               static_cast<double>(nbrs[i - 1]);
+    return sum / static_cast<double>(nbrs.size());
+}
+
+std::vector<double>
+allAid(const Graph &graph, Direction direction)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    std::vector<double> result(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        result[v] = vertexAid(adj, v);
+    return result;
+}
+
+DegreeBinnedAccumulator
+aidDegreeDistribution(const Graph &graph, Direction direction)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    DegreeBinnedAccumulator accumulator;
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        accumulator.add(adj.degree(v), vertexAid(adj, v));
+    return accumulator;
+}
+
+double
+meanAid(const Graph &graph, Direction direction)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (adj.degree(v) < 2)
+            continue;
+        sum += vertexAid(adj, v);
+        ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double
+averageGapProfile(const Graph &graph)
+{
+    if (graph.numEdges() == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        for (VertexId u : graph.outNeighbours(v))
+            sum += std::abs(static_cast<double>(v) -
+                            static_cast<double>(u));
+    return sum / static_cast<double>(graph.numEdges());
+}
+
+} // namespace gral

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Neighbour-to-Neighbour Average ID Distance (N2N AID).
+ *
+ * Paper Section V-A, Eq. 1: with Nv,i the ID of the i-th neighbour of
+ * v (neighbours sorted ascending),
+ *
+ *     AID(v) = ( sum_{i=2..|Nv|} |Nv,i - Nv,i-1| ) / |Nv|
+ *
+ * "When a RA assigns close IDs to neighbours of a vertex, the
+ * difference between IDs of consecutive neighbours is reduced and AID
+ * is reduced. In this way, lower AID values, generally, relate to
+ * better spatial locality." For pull SpMV, AID considers only the
+ * in-neighbours. AID degree distribution costs O(|E|) time.
+ *
+ * averageGapProfile implements the prior-work metric the paper
+ * contrasts AID with (Barik et al.): the mean |src - dst| ID gap over
+ * all edges.
+ */
+
+#ifndef GRAL_METRICS_AID_H
+#define GRAL_METRICS_AID_H
+
+#include <vector>
+
+#include "graph/degree.h"
+#include "graph/graph.h"
+#include "metrics/distribution.h"
+
+namespace gral
+{
+
+/**
+ * AID of one vertex over the given adjacency (Eq. 1).
+ * Vertices with fewer than two neighbours have AID 0.
+ * @pre neighbour lists sorted ascending (Adjacency guarantees this).
+ */
+double vertexAid(const Adjacency &adjacency, VertexId v);
+
+/** AID of every vertex (paper: in-neighbours for a pull traversal). */
+std::vector<double> allAid(const Graph &graph,
+                           Direction direction = Direction::In);
+
+/**
+ * AID degree distribution (Figure 3): mean AID of vertices binned by
+ * their degree in @p direction.
+ */
+DegreeBinnedAccumulator aidDegreeDistribution(
+    const Graph &graph, Direction direction = Direction::In);
+
+/** Mean AID over all vertices with >= 2 neighbours. */
+double meanAid(const Graph &graph, Direction direction = Direction::In);
+
+/** Average gap profile: mean |src - dst| over all edges. */
+double averageGapProfile(const Graph &graph);
+
+} // namespace gral
+
+#endif // GRAL_METRICS_AID_H

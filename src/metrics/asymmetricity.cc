@@ -1,0 +1,69 @@
+#include "metrics/asymmetricity.h"
+
+#include <algorithm>
+
+namespace gral
+{
+
+double
+vertexAsymmetricity(const Graph &graph, VertexId v)
+{
+    auto in = graph.inNeighbours(v);
+    if (in.empty())
+        return 0.0;
+    auto out = graph.outNeighbours(v);
+    // Count in-neighbours that are also out-neighbours by merging the
+    // two sorted lists.
+    std::size_t common = 0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < in.size() && j < out.size()) {
+        if (in[i] < out[j]) {
+            ++i;
+        } else if (out[j] < in[i]) {
+            ++j;
+        } else {
+            ++common;
+            ++i;
+            ++j;
+        }
+    }
+    return static_cast<double>(in.size() - common) /
+           static_cast<double>(in.size());
+}
+
+std::vector<double>
+allAsymmetricity(const Graph &graph)
+{
+    std::vector<double> result(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        result[v] = vertexAsymmetricity(graph, v);
+    return result;
+}
+
+DegreeBinnedAccumulator
+asymmetricityDegreeDistribution(const Graph &graph)
+{
+    DegreeBinnedAccumulator accumulator;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (graph.inDegree(v) == 0)
+            continue;
+        accumulator.add(graph.inDegree(v),
+                        vertexAsymmetricity(graph, v));
+    }
+    return accumulator;
+}
+
+double
+meanAsymmetricity(const Graph &graph)
+{
+    if (graph.numEdges() == 0)
+        return 0.0;
+    double weighted = 0.0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        weighted += vertexAsymmetricity(graph, v) *
+                    static_cast<double>(graph.inDegree(v));
+    return weighted / static_cast<double>(graph.numEdges());
+}
+
+} // namespace gral

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Asymmetricity: the fraction of a vertex's in-neighbours that are not
+ * out-neighbours (paper Section VII-A):
+ *
+ *     Asymmetricity(v) = |{(u,v) in E | (v,u) not in E}| / |{(u,v) in E}|
+ *
+ * Figure 4 plots its degree distribution to show that social-network
+ * in-hubs are almost symmetric (in-hubs are out-hubs) while web-graph
+ * in-hubs are not — the structural root of why GOrder helps social
+ * networks and Rabbit-Order helps web graphs.
+ */
+
+#ifndef GRAL_METRICS_ASYMMETRICITY_H
+#define GRAL_METRICS_ASYMMETRICITY_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/distribution.h"
+
+namespace gral
+{
+
+/** Asymmetricity of one vertex; 0 when it has no in-neighbours. */
+double vertexAsymmetricity(const Graph &graph, VertexId v);
+
+/** Asymmetricity of every vertex. */
+std::vector<double> allAsymmetricity(const Graph &graph);
+
+/**
+ * Asymmetricity degree distribution (Figure 4): mean asymmetricity of
+ * vertices binned by in-degree. Values are fractions in [0, 1];
+ * multiply by 100 for the paper's percentage axis.
+ */
+DegreeBinnedAccumulator asymmetricityDegreeDistribution(
+    const Graph &graph);
+
+/** Edge-weighted mean asymmetricity of the whole graph. */
+double meanAsymmetricity(const Graph &graph);
+
+} // namespace gral
+
+#endif // GRAL_METRICS_ASYMMETRICITY_H

@@ -1,0 +1,85 @@
+#include "metrics/degree_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gral
+{
+
+std::vector<CcdfPoint>
+degreeCcdf(std::span<const EdgeId> degrees)
+{
+    std::vector<CcdfPoint> result;
+    if (degrees.empty())
+        return result;
+    std::vector<EdgeId> sorted(degrees.begin(), degrees.end());
+    std::sort(sorted.begin(), sorted.end());
+    EdgeId max_degree = sorted.back();
+
+    double n = static_cast<double>(sorted.size());
+    for (std::size_t bin = 1;; ++bin) {
+        EdgeId d = logDegreeBinLow(bin);
+        if (d > max_degree)
+            break;
+        auto at_least = sorted.end() -
+                        std::lower_bound(sorted.begin(),
+                                         sorted.end(), d);
+        result.push_back(
+            {d, static_cast<double>(at_least) / n});
+    }
+    return result;
+}
+
+std::vector<CcdfPoint>
+degreeCcdf(const Graph &graph, Direction direction)
+{
+    std::vector<EdgeId> d = degrees(graph, direction);
+    return degreeCcdf(d);
+}
+
+double
+powerLawAlpha(std::span<const EdgeId> degrees, EdgeId d_min)
+{
+    d_min = std::max<EdgeId>(d_min, 1);
+    double log_sum = 0.0;
+    std::uint64_t count = 0;
+    double offset = static_cast<double>(d_min) - 0.5;
+    for (EdgeId d : degrees) {
+        if (d < d_min)
+            continue;
+        log_sum += std::log(static_cast<double>(d) / offset);
+        ++count;
+    }
+    if (count < 2 || log_sum <= 0.0)
+        return 0.0;
+    return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+double
+degreeGini(std::span<const EdgeId> degrees)
+{
+    if (degrees.size() < 2)
+        return 0.0;
+    std::vector<EdgeId> sorted(degrees.begin(), degrees.end());
+    std::sort(sorted.begin(), sorted.end());
+    double n = static_cast<double>(sorted.size());
+    double weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        weighted += static_cast<double>(i + 1) *
+                    static_cast<double>(sorted[i]);
+        total += static_cast<double>(sorted[i]);
+    }
+    if (total == 0.0)
+        return 0.0;
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double
+degreeGini(const Graph &graph, Direction direction)
+{
+    std::vector<EdgeId> d = degrees(graph, direction);
+    return degreeGini(d);
+}
+
+} // namespace gral

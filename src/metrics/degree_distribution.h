@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Degree-distribution characterization.
+ *
+ * The paper's structural analysis rests on "heavy-tailed or power-law
+ * degree distribution" (Section I) and on watching that property
+ * disappear from SlashBurn's GCC (Figure 2). This module provides the
+ * numbers behind those plots: complementary CDF points, a maximum-
+ * likelihood power-law exponent (Clauset-style MLE for discrete
+ * data), and the Gini coefficient of the degree distribution as a
+ * scalar skewness summary.
+ */
+
+#ifndef GRAL_METRICS_DEGREE_DISTRIBUTION_H
+#define GRAL_METRICS_DEGREE_DISTRIBUTION_H
+
+#include <span>
+#include <vector>
+
+#include "graph/degree.h"
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** One CCDF sample: fraction of vertices with degree >= degree. */
+struct CcdfPoint
+{
+    EdgeId degree = 0;
+    double fraction = 0.0;
+};
+
+/** CCDF of a degree vector at the canonical log-scale points. */
+std::vector<CcdfPoint> degreeCcdf(std::span<const EdgeId> degrees);
+
+/** CCDF of a graph's degrees in the given direction. */
+std::vector<CcdfPoint> degreeCcdf(const Graph &graph,
+                                  Direction direction);
+
+/**
+ * Maximum-likelihood estimate of the power-law exponent alpha for
+ * degrees >= @p d_min, using the standard continuous approximation
+ * alpha = 1 + n / sum(ln(d / (d_min - 0.5))). Returns 0 when fewer
+ * than two samples qualify.
+ */
+double powerLawAlpha(std::span<const EdgeId> degrees, EdgeId d_min = 1);
+
+/**
+ * Gini coefficient of a degree vector: 0 for perfectly uniform
+ * degrees, approaching 1 for extreme hub concentration. The scalar
+ * counterpart of "does this still look power-law" in Figure 2.
+ */
+double degreeGini(std::span<const EdgeId> degrees);
+
+/** Gini coefficient of a graph's degrees. */
+double degreeGini(const Graph &graph, Direction direction);
+
+} // namespace gral
+
+#endif // GRAL_METRICS_DEGREE_DISTRIBUTION_H

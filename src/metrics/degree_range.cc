@@ -1,0 +1,78 @@
+#include "metrics/degree_range.h"
+
+#include <algorithm>
+
+namespace gral
+{
+
+std::size_t
+decadeClass(EdgeId degree)
+{
+    // Right-inclusive decades: 1-10 -> 0, 11-100 -> 1, ...
+    std::size_t c = 0;
+    EdgeId upper = 10;
+    while (degree > upper) {
+        upper *= 10;
+        ++c;
+    }
+    return c;
+}
+
+std::string
+decadeClassLabel(std::size_t c)
+{
+    auto human = [](EdgeId value) {
+        if (value >= 1'000'000)
+            return std::to_string(value / 1'000'000) + "M";
+        if (value >= 1'000)
+            return std::to_string(value / 1'000) + "K";
+        return std::to_string(value);
+    };
+    EdgeId low = 1;
+    for (std::size_t i = 0; i < c; ++i)
+        low *= 10;
+    return human(low) + "-" + human(low * 10);
+}
+
+DegreeRangeDecomposition
+degreeRangeDecomposition(const Graph &graph)
+{
+    std::size_t num_classes = 1;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        num_classes = std::max(
+            num_classes, decadeClass(graph.inDegree(v)) + 1);
+        num_classes = std::max(
+            num_classes, decadeClass(graph.outDegree(v)) + 1);
+    }
+
+    DegreeRangeDecomposition result;
+    result.classLabels.reserve(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c)
+        result.classLabels.push_back(decadeClassLabel(c));
+    result.percent.assign(num_classes,
+                          std::vector<double>(num_classes, 0.0));
+    result.edgesPerClass.assign(num_classes, 0);
+
+    std::vector<std::vector<EdgeId>> counts(
+        num_classes, std::vector<EdgeId>(num_classes, 0));
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        std::size_t dst_class = decadeClass(graph.inDegree(v));
+        for (VertexId u : graph.inNeighbours(v)) {
+            std::size_t src_class = decadeClass(graph.outDegree(u));
+            ++counts[dst_class][src_class];
+            ++result.edgesPerClass[dst_class];
+        }
+    }
+
+    for (std::size_t dst = 0; dst < num_classes; ++dst) {
+        if (result.edgesPerClass[dst] == 0)
+            continue;
+        for (std::size_t src = 0; src < num_classes; ++src)
+            result.percent[dst][src] =
+                100.0 * static_cast<double>(counts[dst][src]) /
+                static_cast<double>(result.edgesPerClass[dst]);
+    }
+    return result;
+}
+
+} // namespace gral

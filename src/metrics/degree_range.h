@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Degree range decomposition (paper Figure 5).
+ *
+ * Edges are binned by the decade degree class ("1-10", "10-100", ...)
+ * of their endpoints: "all edges to vertices in a degree class are
+ * binned based on the degree class of their source vertex", revealing
+ * whether high-degree vertices draw their neighbours from other HDV
+ * (social networks) or from LDV (web graphs).
+ */
+
+#ifndef GRAL_METRICS_DEGREE_RANGE_H
+#define GRAL_METRICS_DEGREE_RANGE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** The Figure-5 matrix. */
+struct DegreeRangeDecomposition
+{
+    /** Labels of the decade classes, e.g. "1-10". */
+    std::vector<std::string> classLabels;
+
+    /**
+     * percent[dst][src]: of all edges *into* vertices whose in-degree
+     * falls in class dst, the percentage whose source vertex has
+     * out-degree in class src. Rows sum to ~100 (or are all zero for
+     * empty classes).
+     */
+    std::vector<std::vector<double>> percent;
+
+    /** Total incoming edges of each destination class. */
+    std::vector<EdgeId> edgesPerClass;
+};
+
+/** Decade class index of a degree: 1-10 -> 0, 10-100 -> 1, ...
+ *  Degree 0 also maps to class 0. Boundaries are right-inclusive,
+ *  matching the paper's "1-10", "10-100" labels. */
+std::size_t decadeClass(EdgeId degree);
+
+/** Label of decade class @p c ("1-10", "10-100", ...). */
+std::string decadeClassLabel(std::size_t c);
+
+/** Compute the decomposition of @p graph. */
+DegreeRangeDecomposition degreeRangeDecomposition(const Graph &graph);
+
+} // namespace gral
+
+#endif // GRAL_METRICS_DEGREE_RANGE_H

@@ -1,0 +1,57 @@
+#include "metrics/distribution.h"
+
+namespace gral
+{
+
+void
+DegreeBinnedAccumulator::add(EdgeId degree, double value)
+{
+    add(degree, value, 1);
+}
+
+void
+DegreeBinnedAccumulator::add(EdgeId degree, double value_sum,
+                             std::uint64_t count)
+{
+    std::size_t bin = logDegreeBin(degree);
+    if (bin >= bins_.size())
+        bins_.resize(bin + 1);
+    bins_[bin].count += count;
+    bins_[bin].sum += value_sum;
+}
+
+std::vector<DegreeBinRow>
+DegreeBinnedAccumulator::rows() const
+{
+    std::vector<DegreeBinRow> result;
+    for (std::size_t bin = 0; bin < bins_.size(); ++bin) {
+        if (bins_[bin].count == 0)
+            continue;
+        result.push_back(
+            {logDegreeBinLow(bin), bins_[bin].count, bins_[bin].sum});
+    }
+    return result;
+}
+
+std::uint64_t
+DegreeBinnedAccumulator::totalCount() const
+{
+    std::uint64_t total = 0;
+    for (const Bin &bin : bins_)
+        total += bin.count;
+    return total;
+}
+
+double
+DegreeBinnedAccumulator::overallMean() const
+{
+    std::uint64_t total = totalCount();
+    if (total == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const Bin &bin : bins_)
+        sum += bin.sum;
+    return sum / static_cast<double>(total);
+}
+
+} // namespace gral

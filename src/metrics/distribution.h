@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Degree-binned distributions.
+ *
+ * Every per-vertex-class plot in the paper (Figures 1, 3, 4) is a
+ * quantity averaged over vertices (or accesses) grouped by degree on
+ * a log-scale axis. DegreeBinnedAccumulator implements that shared
+ * shape: logarithmic degree bins at 1, 2, 5, 10, 20, 50, ...
+ */
+
+#ifndef GRAL_METRICS_DISTRIBUTION_H
+#define GRAL_METRICS_DISTRIBUTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/degree.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** One non-empty bin of a degree-binned distribution. */
+struct DegreeBinRow
+{
+    /** Inclusive lower degree edge of the bin (1, 2, 5, 10, ...). */
+    EdgeId degreeLow = 0;
+    /** Number of samples accumulated. */
+    std::uint64_t count = 0;
+    /** Sum of the sample values. */
+    double sum = 0.0;
+
+    /** Mean value of the bin (0 when empty). */
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0
+                          : sum / static_cast<double>(count);
+    }
+};
+
+/** Accumulates (degree, value) samples into logarithmic bins. */
+class DegreeBinnedAccumulator
+{
+  public:
+    /** Add one sample for a vertex/access of the given degree. */
+    void add(EdgeId degree, double value);
+
+    /** Add @p count samples sharing one value (weighted add). */
+    void add(EdgeId degree, double value_sum, std::uint64_t count);
+
+    /** Non-empty bins in ascending degree order. */
+    std::vector<DegreeBinRow> rows() const;
+
+    /** Total samples across all bins. */
+    std::uint64_t totalCount() const;
+
+    /** Grand mean across all samples. */
+    double overallMean() const;
+
+  private:
+    struct Bin
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    std::vector<Bin> bins_;
+};
+
+} // namespace gral
+
+#endif // GRAL_METRICS_DISTRIBUTION_H

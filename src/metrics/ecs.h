@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Effective Cache Size (ECS) — paper Section VI-F, Table V.
+ *
+ * ECS is "the percentage of cache capacity dedicated to caching
+ * randomly accessed data": in SpMV, the share of cache lines holding
+ * vertex data (Di) rather than sequentially-streamed topology data.
+ * It is measured by functional simulation, periodically scanning the
+ * cache contents during the traversal and classifying each valid line
+ * by the region its address belongs to.
+ */
+
+#ifndef GRAL_METRICS_ECS_H
+#define GRAL_METRICS_ECS_H
+
+#include <span>
+
+#include "cachesim/cache.h"
+#include "cachesim/trace.h"
+#include "spmv/trace_gen.h"
+
+namespace gral
+{
+
+/** Knobs of an ECS measurement. */
+struct EcsOptions
+{
+    /** Cache model to scan. */
+    CacheConfig cache = paperL3Config();
+    /** Round-robin interleave chunk. */
+    std::size_t chunkSize = 1024;
+    /** Scan the cache every this many accesses. */
+    std::uint64_t scanEvery = 1 << 20;
+};
+
+/** Output of effectiveCacheSize. */
+struct EcsResult
+{
+    /** Average over scans of (vertex-data lines / total lines) x 100
+     *  — the Table V number. */
+    double avgEcsPercent = 0.0;
+    /** Average percentage of lines holding topology data. */
+    double avgTopologyPercent = 0.0;
+    /** Number of scans performed. */
+    std::uint64_t scans = 0;
+    /** Aggregate cache counters for the run. */
+    CacheStats cache;
+};
+
+/**
+ * Replay @p traces and measure the effective cache size.
+ *
+ * @param traces  instrumented traversal logs.
+ * @param map     the address layout the traces were generated with
+ *                (classifies scanned lines into data vs topology).
+ * @param options measurement knobs.
+ */
+EcsResult effectiveCacheSize(std::span<const ThreadTrace> traces,
+                             const AddressMap &map,
+                             const EcsOptions &options = {});
+
+} // namespace gral
+
+#endif // GRAL_METRICS_ECS_H

@@ -1,0 +1,67 @@
+#include "metrics/hub_coverage.h"
+
+#include <algorithm>
+
+#include "graph/degree.h"
+
+namespace gral
+{
+
+namespace
+{
+
+/** Degrees sorted descending, plus running prefix sums. */
+std::vector<double>
+coveragePrefix(const Graph &graph, Direction direction)
+{
+    std::vector<EdgeId> degree = degrees(graph, direction);
+    std::sort(degree.begin(), degree.end(), std::greater<EdgeId>());
+    std::vector<double> prefix(degree.size() + 1, 0.0);
+    double total = static_cast<double>(graph.numEdges());
+    double running = 0.0;
+    for (std::size_t i = 0; i < degree.size(); ++i) {
+        running += static_cast<double>(degree[i]);
+        prefix[i + 1] = total == 0.0 ? 0.0 : 100.0 * running / total;
+    }
+    return prefix;
+}
+
+} // namespace
+
+std::vector<HubCoveragePoint>
+hubCoverage(const Graph &graph, std::vector<std::uint64_t> sweep)
+{
+    if (sweep.empty()) {
+        for (std::uint64_t h = 1; h <= graph.numVertices(); h *= 10)
+            sweep.push_back(h);
+        if (sweep.empty() || sweep.back() != graph.numVertices())
+            sweep.push_back(graph.numVertices());
+    }
+
+    std::vector<double> in_prefix =
+        coveragePrefix(graph, Direction::In);
+    std::vector<double> out_prefix =
+        coveragePrefix(graph, Direction::Out);
+
+    std::vector<HubCoveragePoint> curve;
+    curve.reserve(sweep.size());
+    for (std::uint64_t h : sweep) {
+        std::uint64_t clamped =
+            std::min<std::uint64_t>(h, graph.numVertices());
+        curve.push_back(
+            {h, in_prefix[clamped], out_prefix[clamped]});
+    }
+    return curve;
+}
+
+std::uint64_t
+hubsForCoverage(const Graph &graph, Direction direction, double percent)
+{
+    std::vector<double> prefix = coveragePrefix(graph, direction);
+    for (std::size_t h = 0; h < prefix.size(); ++h)
+        if (prefix[h] >= percent)
+            return h;
+    return graph.numVertices();
+}
+
+} // namespace gral

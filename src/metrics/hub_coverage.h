@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hub edge-coverage curves (paper Figure 6, Section VII-B).
+ *
+ * "We consider the number of edges that are processed by keeping H
+ * hubs with maximum degrees in the cache": in a pull/CSC traversal the
+ * random accesses hit *out*-hub data (their data is read when each of
+ * their out-neighbours processes them), while in a push/CSR traversal
+ * the random writes hit *in*-hub data. The fraction of |E| covered by
+ * the top-H hubs of each kind therefore predicts which traversal
+ * direction a graph favours: web graphs have powerful in-hubs (push
+ * locality), social networks powerful out-hubs (pull locality).
+ */
+
+#ifndef GRAL_METRICS_HUB_COVERAGE_H
+#define GRAL_METRICS_HUB_COVERAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/degree.h"
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** One coverage curve sample. */
+struct HubCoveragePoint
+{
+    /** Number of top hubs kept (H). */
+    std::uint64_t hubCount = 0;
+    /** % of |E| covered by the top-H *in*-hubs (push locality). */
+    double inHubEdgePercent = 0.0;
+    /** % of |E| covered by the top-H *out*-hubs (pull locality). */
+    double outHubEdgePercent = 0.0;
+};
+
+/**
+ * Coverage at the given hub counts. Pass an empty sweep to get the
+ * default 1, 10, 100, ... decade sweep up to |V|.
+ */
+std::vector<HubCoveragePoint> hubCoverage(
+    const Graph &graph, std::vector<std::uint64_t> sweep = {});
+
+/**
+ * Smallest H whose in-/out-hub coverage reaches @p percent of edges
+ * (|V| when unreachable). Used to size iHTL-style flipped blocks.
+ */
+std::uint64_t hubsForCoverage(const Graph &graph, Direction direction,
+                              double percent);
+
+} // namespace gral
+
+#endif // GRAL_METRICS_HUB_COVERAGE_H

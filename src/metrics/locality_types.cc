@@ -1,0 +1,67 @@
+#include "metrics/locality_types.h"
+
+#include <algorithm>
+
+namespace gral
+{
+
+LocalityTypeSummary
+classifyLocalityTypes(const Graph &graph, Direction direction,
+                      const LocalityTypeOptions &options)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    const VertexId n = graph.numVertices();
+    const auto line = static_cast<VertexId>(
+        std::max(1u, options.elementsPerLine));
+    const VertexId window = std::max(1u, options.window);
+
+    LocalityTypeSummary summary;
+    EdgeId type1 = 0;
+    EdgeId type2 = 0;
+    EdgeId type3 = 0;
+
+    for (VertexId v = 0; v < n; ++v) {
+        auto nbrs = adj.neighbours(v);
+        summary.edges += nbrs.size();
+
+        // Type I: consecutive sorted neighbours on one line.
+        for (std::size_t i = 1; i < nbrs.size(); ++i)
+            if (nbrs[i] / line == nbrs[i - 1] / line)
+                ++type1;
+
+        // Types II / III against each windowed predecessor.
+        for (VertexId d = 1; d <= window && d <= v; ++d) {
+            auto prev = adj.neighbours(v - d);
+            std::size_t i = 0;
+            std::size_t j = 0;
+            while (i < nbrs.size() && j < prev.size()) {
+                if (nbrs[i] == prev[j]) {
+                    ++type2; // shared neighbour: temporal reuse
+                    ++i;
+                    ++j;
+                } else if (nbrs[i] / line == prev[j] / line) {
+                    ++type3; // distinct, same line: spatio-temporal
+                    if (nbrs[i] < prev[j])
+                        ++i;
+                    else
+                        ++j;
+                } else if (nbrs[i] < prev[j]) {
+                    ++i;
+                } else {
+                    ++j;
+                }
+            }
+        }
+    }
+
+    if (summary.edges > 0) {
+        auto edges = static_cast<double>(summary.edges);
+        summary.typeI = static_cast<double>(type1) / edges;
+        summary.typeII = static_cast<double>(type2) / edges;
+        summary.typeIII = static_cast<double>(type3) / edges;
+    }
+    return summary;
+}
+
+} // namespace gral

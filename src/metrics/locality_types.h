@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Locality-type classification (paper Section IV-D).
+ *
+ * The paper names five reuse patterns for the random vertex-data
+ * accesses of Algorithm 1; types I-III are "determined by the graph
+ * and are controlled by RAs":
+ *
+ *  - Type I   (spatial): consecutive neighbours of one vertex have
+ *    IDs close enough to share a cache line.
+ *  - Type II  (temporal): subsequently processed vertices share a
+ *    neighbour whose data is reused.
+ *  - Type III (spatio-temporal): subsequently processed vertices have
+ *    *distinct* neighbours whose IDs share a cache line.
+ *
+ * (Types IV/V are the cross-thread variants and depend on scheduling,
+ * not on the RA.) This analyzer counts, for a given ordering, the
+ * fraction of opportunities of each type within a configurable
+ * processing window — a cheap static predictor of what the cache
+ * simulation measures dynamically.
+ */
+
+#ifndef GRAL_METRICS_LOCALITY_TYPES_H
+#define GRAL_METRICS_LOCALITY_TYPES_H
+
+#include "graph/degree.h"
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** Knobs of the locality-type analysis. */
+struct LocalityTypeOptions
+{
+    /** Vertex-data elements per cache line (64 B / 8 B = 8). */
+    unsigned elementsPerLine = 8;
+    /** How many subsequently-processed vertices count as "close"
+     *  (the delta in the paper's definitions of types II/III). */
+    unsigned window = 1;
+};
+
+/** Fractions of reuse opportunities by locality type. */
+struct LocalityTypeSummary
+{
+    /** Edges whose predecessor neighbour (in sorted order) lies on
+     *  the same cache line — type I opportunities / |E|. */
+    double typeI = 0.0;
+    /** Neighbours of v also adjacent to a vertex within the window
+     *  before v — type II opportunities / |E|. */
+    double typeII = 0.0;
+    /** Neighbours of v on the same line as a *different* neighbour
+     *  of a windowed predecessor — type III opportunities / |E|. */
+    double typeIII = 0.0;
+    /** Edges examined. */
+    EdgeId edges = 0;
+};
+
+/**
+ * Classify reuse opportunities of a traversal that processes vertices
+ * in ID order reading neighbours from @p direction.
+ */
+LocalityTypeSummary classifyLocalityTypes(
+    const Graph &graph, Direction direction = Direction::In,
+    const LocalityTypeOptions &options = {});
+
+} // namespace gral
+
+#endif // GRAL_METRICS_LOCALITY_TYPES_H

@@ -1,0 +1,55 @@
+#include "metrics/miss_rate.h"
+
+#include "cachesim/interleave.h"
+
+namespace gral
+{
+
+MissProfileResult
+simulateMissProfile(std::span<const ThreadTrace> traces,
+                    std::span<const EdgeId> owner_degrees,
+                    std::span<const EdgeId> accessed_degrees,
+                    const SimulationOptions &options)
+{
+    Cache cache(options.cache);
+    Tlb tlb(options.tlb);
+    Tlb *tlb_ptr = options.simulateTlb ? &tlb : nullptr;
+
+    MissProfileResult result;
+    result.missesAboveThreshold.assign(options.missThresholds.size(),
+                                       0);
+
+    replay(
+        traces, options.chunkSize, cache, tlb_ptr,
+        [&](const MemoryAccess &access, const AccessOutcome &outcome) {
+            if (access.dataVertex == kInvalidVertex)
+                return; // topology access: not a vertex-data sample
+            bool miss = !outcome.cacheHit;
+            result.perDegree.add(owner_degrees[access.ownerVertex],
+                                 miss ? 1.0 : 0.0);
+            ++result.dataAccesses;
+            if (miss) {
+                ++result.dataMisses;
+                EdgeId accessed = accessed_degrees[access.dataVertex];
+                for (std::size_t t = 0;
+                     t < options.missThresholds.size(); ++t)
+                    if (accessed > options.missThresholds[t])
+                        ++result.missesAboveThreshold[t];
+            }
+        },
+        0, [](const Cache &) {});
+
+    result.cache = cache.stats();
+    result.tlb = tlb.stats();
+    return result;
+}
+
+MissProfileResult
+simulateMissProfile(std::span<const ThreadTrace> traces,
+                    std::span<const EdgeId> degrees,
+                    const SimulationOptions &options)
+{
+    return simulateMissProfile(traces, degrees, degrees, options);
+}
+
+} // namespace gral

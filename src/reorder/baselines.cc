@@ -1,0 +1,109 @@
+#include "reorder/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "reorder/order_util.h"
+#include "reorder/timer.h"
+
+namespace gral
+{
+
+Permutation
+IdentityOrder::reorder(const Graph &graph)
+{
+    stats_ = {};
+    ScopedTimer timer(stats_.preprocessSeconds);
+    return Permutation::identity(graph.numVertices());
+}
+
+Permutation
+RandomOrder::reorder(const Graph &graph)
+{
+    stats_ = {};
+    stats_.peakFootprintBytes =
+        graph.numVertices() * sizeof(VertexId);
+    ScopedTimer timer(stats_.preprocessSeconds);
+    return randomPermutation(graph.numVertices(), seed_);
+}
+
+Permutation
+DegreeSort::reorder(const Graph &graph)
+{
+    stats_ = {};
+    stats_.peakFootprintBytes =
+        graph.numVertices() * (sizeof(VertexId) + sizeof(EdgeId));
+    ScopedTimer timer(stats_.preprocessSeconds);
+
+    const Adjacency &adj =
+        direction_ == Direction::In ? graph.in() : graph.out();
+    std::vector<VertexId> ordering(graph.numVertices());
+    std::iota(ordering.begin(), ordering.end(), VertexId{0});
+    // Stable sort keeps the original order among equal degrees, which
+    // preserves residual locality of the input numbering.
+    std::stable_sort(ordering.begin(), ordering.end(),
+                     [&](VertexId a, VertexId b) {
+                         return descending_
+                                    ? adj.degree(a) > adj.degree(b)
+                                    : adj.degree(a) < adj.degree(b);
+                     });
+    return orderingToPermutation(ordering);
+}
+
+Permutation
+HubSort::reorder(const Graph &graph)
+{
+    stats_ = {};
+    stats_.peakFootprintBytes =
+        graph.numVertices() * 2 * sizeof(VertexId);
+    ScopedTimer timer(stats_.preprocessSeconds);
+
+    const Adjacency &adj =
+        direction_ == Direction::In ? graph.in() : graph.out();
+    double threshold = hubThreshold(graph);
+
+    std::vector<VertexId> hubs;
+    std::vector<VertexId> rest;
+    rest.reserve(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (static_cast<double>(adj.degree(v)) > threshold)
+            hubs.push_back(v);
+        else
+            rest.push_back(v);
+    }
+    std::stable_sort(hubs.begin(), hubs.end(),
+                     [&](VertexId a, VertexId b) {
+                         return adj.degree(a) > adj.degree(b);
+                     });
+
+    std::vector<VertexId> ordering;
+    ordering.reserve(graph.numVertices());
+    ordering.insert(ordering.end(), hubs.begin(), hubs.end());
+    ordering.insert(ordering.end(), rest.begin(), rest.end());
+    return orderingToPermutation(ordering);
+}
+
+Permutation
+HubCluster::reorder(const Graph &graph)
+{
+    stats_ = {};
+    stats_.peakFootprintBytes =
+        graph.numVertices() * 2 * sizeof(VertexId);
+    ScopedTimer timer(stats_.preprocessSeconds);
+
+    const Adjacency &adj =
+        direction_ == Direction::In ? graph.in() : graph.out();
+    double threshold = hubThreshold(graph);
+
+    std::vector<VertexId> ordering;
+    ordering.reserve(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        if (static_cast<double>(adj.degree(v)) > threshold)
+            ordering.push_back(v);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        if (!(static_cast<double>(adj.degree(v)) > threshold))
+            ordering.push_back(v);
+    return orderingToPermutation(ordering);
+}
+
+} // namespace gral

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Baseline reorderers: identity, random, degree sorting, hub sorting
+ * and hub clustering.
+ *
+ * Identity is the paper's "Bl" baseline (the original vertex order).
+ * DegreeSort / HubSort / HubCluster are the lightweight RAs the
+ * reordering literature (Faldu et al., Balaji & Lucia — both cited in
+ * the paper's related work) uses as reference points; SlashBurn's
+ * initial step is itself "partly similar to degree-ordering"
+ * (Section VI-A).
+ */
+
+#ifndef GRAL_REORDER_BASELINES_H
+#define GRAL_REORDER_BASELINES_H
+
+#include <cstdint>
+
+#include "graph/degree.h"
+#include "reorder/reorderer.h"
+
+namespace gral
+{
+
+/** The no-op baseline: newId(v) == v. */
+class IdentityOrder : public Reorderer
+{
+  public:
+    std::string name() const override { return "Identity"; }
+    Permutation reorder(const Graph &graph) override;
+};
+
+/** Uniformly random relabeling — the locality worst case. */
+class RandomOrder : public Reorderer
+{
+  public:
+    explicit RandomOrder(std::uint64_t seed = 42) : seed_(seed) {}
+    std::string name() const override { return "Random"; }
+    Permutation reorder(const Graph &graph) override;
+
+  private:
+    std::uint64_t seed_;
+};
+
+/** Sort all vertices by degree (descending by default), giving dense
+ *  IDs to the highest-degree vertices. */
+class DegreeSort : public Reorderer
+{
+  public:
+    /** @param direction which degree to sort by.
+     *  @param descending highest degree first when true. */
+    explicit DegreeSort(Direction direction = Direction::Out,
+                        bool descending = true)
+        : direction_(direction), descending_(descending)
+    {
+    }
+
+    std::string name() const override { return "DegreeSort"; }
+    Permutation reorder(const Graph &graph) override;
+
+  private:
+    Direction direction_;
+    bool descending_;
+};
+
+/** Move hubs (degree > sqrt(|V|)) to the front sorted by degree; all
+ *  other vertices keep their relative order. */
+class HubSort : public Reorderer
+{
+  public:
+    explicit HubSort(Direction direction = Direction::Out)
+        : direction_(direction)
+    {
+    }
+
+    std::string name() const override { return "HubSort"; }
+    Permutation reorder(const Graph &graph) override;
+
+  private:
+    Direction direction_;
+};
+
+/** Pack hubs to the front *preserving their relative order* (hub
+ *  clustering): keeps more of the original locality than HubSort. */
+class HubCluster : public Reorderer
+{
+  public:
+    explicit HubCluster(Direction direction = Direction::Out)
+        : direction_(direction)
+    {
+    }
+
+    std::string name() const override { return "HubCluster"; }
+    Permutation reorder(const Graph &graph) override;
+
+  private:
+    Direction direction_;
+};
+
+} // namespace gral
+
+#endif // GRAL_REORDER_BASELINES_H

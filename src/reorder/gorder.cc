@@ -1,0 +1,107 @@
+#include "reorder/gorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "reorder/order_util.h"
+#include "reorder/timer.h"
+#include "reorder/unit_heap.h"
+
+namespace gral
+{
+
+namespace
+{
+
+/**
+ * Apply the score delta of vertex @p v entering (+1) or leaving (-1)
+ * the window, touching only vertices still in the heap.
+ */
+template <bool Entering>
+void
+updateWindow(const Graph &graph, UnitHeap &heap, VertexId v,
+             EdgeId expand_cap)
+{
+    auto bump = [&](VertexId u) {
+        if (u == v || !heap.contains(u))
+            return;
+        if constexpr (Entering)
+            heap.increment(u);
+        else
+            heap.decrement(u);
+    };
+
+    // Neighbourhood score Sn: edges between v and u, both directions.
+    for (VertexId u : graph.outNeighbours(v))
+        bump(u);
+    for (VertexId u : graph.inNeighbours(v))
+        bump(u);
+
+    // Sibling score Ss: u and v share the in-neighbour w. Expanding
+    // through very high out-degree w is capped (hub guard).
+    for (VertexId w : graph.inNeighbours(v)) {
+        if (graph.outDegree(w) > expand_cap)
+            continue;
+        for (VertexId u : graph.outNeighbours(w))
+            bump(u);
+    }
+}
+
+} // namespace
+
+Permutation
+GOrder::reorder(const Graph &graph)
+{
+    stats_ = {};
+    ScopedTimer timer(stats_.preprocessSeconds);
+
+    const VertexId n = graph.numVertices();
+    if (n == 0)
+        return Permutation::identity(0);
+
+    EdgeId expand_cap = config_.maxExpandOutDegree;
+    if (expand_cap == 0) {
+        expand_cap = std::max<EdgeId>(
+            256, static_cast<EdgeId>(16.0 * graph.averageDegree()));
+    }
+    const unsigned window = std::max(1u, config_.windowSize);
+
+    // Tie-break extraction by descending degree so the zero-score
+    // fallback (disconnected regions) proceeds hub-first, like the
+    // reference implementation.
+    std::vector<EdgeId> degree = undirectedDegrees(graph);
+    std::vector<VertexId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&](VertexId a, VertexId b) {
+                         return degree[a] > degree[b];
+                     });
+
+    UnitHeap heap(n, by_degree);
+    stats_.peakFootprintBytes =
+        n * (sizeof(std::int32_t) + 3 * sizeof(VertexId) +
+             sizeof(EdgeId) + sizeof(VertexId));
+
+    std::vector<VertexId> ordering;
+    ordering.reserve(n);
+
+    // Seed with the maximum-degree vertex.
+    VertexId seed = by_degree.front();
+    heap.remove(seed);
+    ordering.push_back(seed);
+    updateWindow<true>(graph, heap, seed, expand_cap);
+
+    while (!heap.empty()) {
+        if (ordering.size() > window) {
+            VertexId leaving = ordering[ordering.size() - 1 - window];
+            updateWindow<false>(graph, heap, leaving, expand_cap);
+        }
+        VertexId v = heap.extractMax();
+        ordering.push_back(v);
+        updateWindow<true>(graph, heap, v, expand_cap);
+    }
+
+    return orderingToPermutation(ordering);
+}
+
+} // namespace gral

@@ -1,0 +1,46 @@
+#include "reorder/order_util.h"
+
+#include <algorithm>
+
+#include "graph/graph.h"
+
+namespace gral
+{
+
+Adjacency
+undirectedAdjacency(const Graph &graph)
+{
+    VertexId n = graph.numVertices();
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<VertexId> merged;
+    merged.reserve(graph.numEdges() * 2);
+
+    std::vector<VertexId> scratch;
+    for (VertexId v = 0; v < n; ++v) {
+        auto out = graph.outNeighbours(v);
+        auto in = graph.inNeighbours(v);
+        scratch.clear();
+        scratch.resize(out.size() + in.size());
+        std::merge(out.begin(), out.end(), in.begin(), in.end(),
+                   scratch.begin());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        std::erase(scratch, v); // drop self loops
+        merged.insert(merged.end(), scratch.begin(), scratch.end());
+        offsets[v + 1] = merged.size();
+    }
+    merged.shrink_to_fit();
+    return Adjacency(std::move(offsets), std::move(merged));
+}
+
+std::vector<EdgeId>
+undirectedDegrees(const Graph &graph)
+{
+    Adjacency undirected = undirectedAdjacency(graph);
+    std::vector<EdgeId> result(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        result[v] = undirected.degree(v);
+    return result;
+}
+
+} // namespace gral

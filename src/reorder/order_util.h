@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for reorderer implementations.
+ */
+
+#ifndef GRAL_REORDER_ORDER_UTIL_H
+#define GRAL_REORDER_ORDER_UTIL_H
+
+#include <vector>
+
+#include "graph/permutation.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/**
+ * Turn an ordering ("position p holds old vertex v") into a
+ * relabeling array ("old vertex v receives new ID p").
+ * @pre ordering is a permutation of [0, n).
+ */
+inline Permutation
+orderingToPermutation(const std::vector<VertexId> &ordering)
+{
+    std::vector<VertexId> new_ids(ordering.size());
+    for (VertexId position = 0;
+         position < static_cast<VertexId>(ordering.size()); ++position)
+        new_ids[ordering[position]] = position;
+    return Permutation(std::move(new_ids));
+}
+
+/**
+ * Undirected degree of every vertex: the number of *distinct*
+ * undirected neighbours (union of in- and out-neighbour sets).
+ * SlashBurn and Rabbit-Order both operate on the undirected view.
+ */
+std::vector<EdgeId> undirectedDegrees(const Graph &graph);
+
+/**
+ * Undirected adjacency: for each vertex the sorted union of its in-
+ * and out-neighbours, deduplicated, self-loops removed.
+ */
+Adjacency undirectedAdjacency(const Graph &graph);
+
+} // namespace gral
+
+#endif // GRAL_REORDER_ORDER_UTIL_H

@@ -1,0 +1,206 @@
+#include "reorder/rabbit_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "reorder/order_util.h"
+#include "reorder/timer.h"
+
+namespace gral
+{
+
+namespace
+{
+
+/** A (community, edge-weight) entry in a community's adjacency. */
+struct WeightedNeighbour
+{
+    VertexId target;
+    float weight;
+};
+
+/** Resolve @p v to its live community root with path halving. */
+VertexId
+findRoot(std::vector<VertexId> &parent, VertexId v)
+{
+    while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+    }
+    return v;
+}
+
+/**
+ * Canonicalize a community adjacency in place: resolve every target
+ * to its live root, drop self references, and combine duplicates.
+ */
+void
+canonicalize(std::vector<WeightedNeighbour> &adj,
+             std::vector<VertexId> &parent, VertexId self)
+{
+    for (WeightedNeighbour &entry : adj)
+        entry.target = findRoot(parent, entry.target);
+    std::erase_if(adj, [self](const WeightedNeighbour &entry) {
+        return entry.target == self;
+    });
+    std::sort(adj.begin(), adj.end(),
+              [](const WeightedNeighbour &a, const WeightedNeighbour &b) {
+                  return a.target < b.target;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < adj.size();) {
+        WeightedNeighbour combined = adj[i];
+        std::size_t j = i + 1;
+        while (j < adj.size() && adj[j].target == combined.target) {
+            combined.weight += adj[j].weight;
+            ++j;
+        }
+        adj[out++] = combined;
+        i = j;
+    }
+    adj.resize(out);
+}
+
+} // namespace
+
+Permutation
+RabbitOrder::reorder(const Graph &graph)
+{
+    stats_ = {};
+    numCommunities_ = 0;
+    ScopedTimer timer(stats_.preprocessSeconds);
+
+    const VertexId n = graph.numVertices();
+    if (n == 0)
+        return Permutation::identity(0);
+
+    Adjacency undirected = undirectedAdjacency(graph);
+
+    // Initial weighted adjacency: every undirected edge has weight 1.
+    std::vector<std::vector<WeightedNeighbour>> adj(n);
+    std::vector<double> strength(n, 0.0); // weighted degree
+    double total_weight2 = 0.0;           // 2m
+    for (VertexId v = 0; v < n; ++v) {
+        auto nbrs = undirected.neighbours(v);
+        adj[v].reserve(nbrs.size());
+        for (VertexId u : nbrs)
+            adj[v].push_back({u, 1.0f});
+        strength[v] = static_cast<double>(nbrs.size());
+        total_weight2 += strength[v];
+    }
+    if (total_weight2 == 0.0)
+        total_weight2 = 1.0; // edgeless graph: no merges happen anyway
+
+    stats_.peakFootprintBytes =
+        graph.numEdges() * 2 * sizeof(WeightedNeighbour) +
+        n * (sizeof(double) + 4 * sizeof(VertexId));
+
+    std::vector<VertexId> parent(n);
+    std::iota(parent.begin(), parent.end(), VertexId{0});
+    std::vector<VertexId> first_child(n, kInvalidVertex);
+    std::vector<VertexId> next_sibling(n, kInvalidVertex);
+    std::vector<VertexId> community_size(n, 1);
+
+    // EDR participation mask (Section VIII-B2): out-of-range vertices
+    // are left out of merging and appended at the end, "in the same
+    // manner as zero degree vertices".
+    std::vector<char> participates(n, 1);
+    if (config_.edrLow || config_.edrHigh) {
+        for (VertexId v = 0; v < n; ++v) {
+            EdgeId d = undirected.degree(v);
+            if ((config_.edrLow && d < *config_.edrLow) ||
+                (config_.edrHigh && d > *config_.edrHigh))
+                participates[v] = 0;
+        }
+    }
+
+    // Merge pass: ascending original degree, ties by ID.
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), VertexId{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](VertexId a, VertexId b) {
+                         return undirected.degree(a) <
+                                undirected.degree(b);
+                     });
+
+    for (VertexId v : order) {
+        if (!participates[v] || parent[v] != v)
+            continue; // excluded, or already absorbed
+
+        canonicalize(adj[v], parent, v);
+
+        VertexId best = kInvalidVertex;
+        double best_gain = 0.0;
+        for (const WeightedNeighbour &entry : adj[v]) {
+            VertexId u = entry.target;
+            if (!participates[u])
+                continue;
+            if (config_.maxCommunitySize != 0 &&
+                community_size[u] + community_size[v] >
+                    config_.maxCommunitySize)
+                continue;
+            double gain =
+                2.0 * (static_cast<double>(entry.weight) /
+                           total_weight2 -
+                       strength[v] * strength[u] /
+                           (total_weight2 * total_weight2));
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = u;
+            }
+        }
+
+        if (best == kInvalidVertex)
+            continue; // no positive gain: v joins the top-level set
+
+        // Merge community v into community best.
+        parent[v] = best;
+        strength[best] += strength[v];
+        community_size[best] += community_size[v];
+        next_sibling[v] = first_child[best];
+        first_child[best] = v;
+        auto &dst = adj[best];
+        dst.insert(dst.end(), adj[v].begin(), adj[v].end());
+        adj[v].clear();
+        adj[v].shrink_to_fit();
+        // Keep the absorbed list from growing unboundedly stale.
+        if (dst.size() > 64 &&
+            dst.size() > 4 * static_cast<std::size_t>(
+                                 community_size[best]))
+            canonicalize(dst, parent, best);
+    }
+
+    // ID assignment: DFS from every top-level root so each community
+    // occupies a contiguous ID block; earliest-merged (lowest-degree)
+    // children are visited first.
+    std::vector<VertexId> new_ids(n, kInvalidVertex);
+    VertexId counter = 0;
+    std::vector<VertexId> stack;
+    for (VertexId r = 0; r < n; ++r) {
+        if (!participates[r] || parent[r] != r)
+            continue;
+        ++numCommunities_;
+        stack.clear();
+        stack.push_back(r);
+        while (!stack.empty()) {
+            VertexId v = stack.back();
+            stack.pop_back();
+            new_ids[v] = counter++;
+            // The child chain is most-recently-merged first; pushing
+            // it onto the stack reverses it, so the earliest merge is
+            // visited first.
+            for (VertexId c = first_child[v]; c != kInvalidVertex;
+                 c = next_sibling[c])
+                stack.push_back(c);
+        }
+    }
+
+    // Excluded vertices keep their relative order at the tail.
+    for (VertexId v = 0; v < n; ++v)
+        if (!participates[v])
+            new_ids[v] = counter++;
+
+    return Permutation(std::move(new_ids));
+}
+
+} // namespace gral

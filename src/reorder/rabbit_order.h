@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Rabbit-Order reorderer (Arai et al., IPDPS 2016).
+ *
+ * Paper Section IV-B: Rabbit-Order "develops communities using
+ * neighbours of vertices. By starting from the vertices with the
+ * lowest degree, it searches for the neighbour with maximum gain that
+ * can be reached through merging", with gain
+ *
+ *     dQ(u, v) = 2 * ( w_uv / (2m)  -  deg_u * deg_v / (2m)^2 )
+ *
+ * (incremental modularity; m is the total undirected edge weight).
+ * A vertex with no positive-gain neighbour becomes a member of the
+ * top-level set (a community root). New IDs are assigned by DFS from
+ * each root over the dendrogram so each community occupies a
+ * contiguous ID range.
+ *
+ * This implementation is sequential and deterministic (the reference
+ * implementation is parallel and varies up to +-5% between runs,
+ * which the paper works around by fixing one output).
+ *
+ * The EDR-restricted variant (paper Section VIII-B2) only feeds
+ * vertices whose degree lies inside an "efficacy degree range" to the
+ * merging phase; all other vertices keep their relative order at the
+ * end of the new ID range, the way zero-degree vertices are handled.
+ */
+
+#ifndef GRAL_REORDER_RABBIT_ORDER_H
+#define GRAL_REORDER_RABBIT_ORDER_H
+
+#include <optional>
+
+#include "reorder/reorderer.h"
+
+namespace gral
+{
+
+/** Configuration of Rabbit-Order. */
+struct RabbitOrderConfig
+{
+    /** Efficacy degree range: when set, only vertices with undirected
+     *  degree in [edrLow, edrHigh] participate in community merging
+     *  (Section VIII-B2). */
+    std::optional<EdgeId> edrLow;
+    std::optional<EdgeId> edrHigh;
+    /** Maximum community size; merging into a community at or above
+     *  this size is rejected. 0 = unlimited. (Section VIII-C suggests
+     *  bounding communities by cache capacity.) */
+    VertexId maxCommunitySize = 0;
+};
+
+/** The Rabbit-Order reordering algorithm. */
+class RabbitOrder : public Reorderer
+{
+  public:
+    explicit RabbitOrder(const RabbitOrderConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        bool restricted = config_.edrLow || config_.edrHigh;
+        return restricted ? "RabbitOrder-EDR" : "RabbitOrder";
+    }
+
+    Permutation reorder(const Graph &graph) override;
+
+    /** Number of top-level communities after the last reorder(). */
+    VertexId numCommunities() const { return numCommunities_; }
+
+    /** Configuration in use. */
+    const RabbitOrderConfig &config() const { return config_; }
+
+  private:
+    RabbitOrderConfig config_;
+    VertexId numCommunities_ = 0;
+};
+
+} // namespace gral
+
+#endif // GRAL_REORDER_RABBIT_ORDER_H

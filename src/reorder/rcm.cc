@@ -1,0 +1,71 @@
+#include "reorder/rcm.h"
+
+#include <algorithm>
+
+#include "reorder/order_util.h"
+#include "reorder/timer.h"
+
+namespace gral
+{
+
+Permutation
+RcmOrder::reorder(const Graph &graph)
+{
+    stats_ = {};
+    ScopedTimer timer(stats_.preprocessSeconds);
+
+    const VertexId n = graph.numVertices();
+    Adjacency undirected = undirectedAdjacency(graph);
+    stats_.peakFootprintBytes =
+        undirected.footprintBytes() + n * 3 * sizeof(VertexId);
+
+    std::vector<char> visited(n, 0);
+    std::vector<VertexId> ordering;
+    ordering.reserve(n);
+    std::vector<VertexId> scratch;
+
+    // Component seeds: ascending degree (pseudo-peripheral start).
+    std::vector<VertexId> seeds(n);
+    for (VertexId v = 0; v < n; ++v)
+        seeds[v] = v;
+    std::stable_sort(seeds.begin(), seeds.end(),
+                     [&](VertexId a, VertexId b) {
+                         return undirected.degree(a) <
+                                undirected.degree(b);
+                     });
+
+    for (VertexId seed : seeds) {
+        if (visited[seed])
+            continue;
+        visited[seed] = 1;
+        std::size_t head = ordering.size();
+        ordering.push_back(seed);
+        // BFS, enqueueing each level's unvisited neighbours in
+        // ascending-degree order.
+        while (head < ordering.size()) {
+            VertexId v = ordering[head++];
+            scratch.clear();
+            for (VertexId u : undirected.neighbours(v))
+                if (!visited[u]) {
+                    visited[u] = 1;
+                    scratch.push_back(u);
+                }
+            std::sort(scratch.begin(), scratch.end(),
+                      [&](VertexId a, VertexId b) {
+                          return undirected.degree(a) !=
+                                         undirected.degree(b)
+                                     ? undirected.degree(a) <
+                                           undirected.degree(b)
+                                     : a < b;
+                      });
+            ordering.insert(ordering.end(), scratch.begin(),
+                            scratch.end());
+        }
+    }
+
+    // The "reverse" in RCM.
+    std::reverse(ordering.begin(), ordering.end());
+    return orderingToPermutation(ordering);
+}
+
+} // namespace gral

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reverse Cuthill-McKee (RCM) reorderer.
+ *
+ * The oldest relabeling algorithm in the paper's lineage (its
+ * reference [3], Cuthill & McKee 1969): BFS from a low-degree
+ * peripheral vertex, visiting neighbours in ascending-degree order,
+ * then reversing the numbering — the classic bandwidth-reduction
+ * heuristic for sparse matrices, included here as the matrix-era
+ * baseline the graph-specific RAs are measured against.
+ */
+
+#ifndef GRAL_REORDER_RCM_H
+#define GRAL_REORDER_RCM_H
+
+#include "reorder/reorderer.h"
+
+namespace gral
+{
+
+/** The Reverse Cuthill-McKee reordering algorithm. */
+class RcmOrder : public Reorderer
+{
+  public:
+    std::string name() const override { return "RCM"; }
+
+    Permutation reorder(const Graph &graph) override;
+};
+
+} // namespace gral
+
+#endif // GRAL_REORDER_RCM_H

@@ -1,0 +1,54 @@
+#include "reorder/registry.h"
+
+#include <stdexcept>
+
+#include "reorder/baselines.h"
+#include "reorder/dbg.h"
+#include "reorder/gorder.h"
+#include "reorder/rabbit_order.h"
+#include "reorder/rcm.h"
+#include "reorder/slashburn.h"
+
+namespace gral
+{
+
+ReordererPtr
+makeReorderer(const std::string &name)
+{
+    if (name == "Bl" || name == "Identity")
+        return std::make_unique<IdentityOrder>();
+    if (name == "Random")
+        return std::make_unique<RandomOrder>();
+    if (name == "DegreeSort")
+        return std::make_unique<DegreeSort>();
+    if (name == "HubSort")
+        return std::make_unique<HubSort>();
+    if (name == "HubCluster")
+        return std::make_unique<HubCluster>();
+    if (name == "SB" || name == "SlashBurn")
+        return std::make_unique<SlashBurn>();
+    if (name == "SB++" || name == "SlashBurn++") {
+        SlashBurnConfig config;
+        config.earlyStop = true;
+        return std::make_unique<SlashBurn>(config);
+    }
+    if (name == "GO" || name == "GOrder")
+        return std::make_unique<GOrder>();
+    if (name == "RO" || name == "RabbitOrder")
+        return std::make_unique<RabbitOrder>();
+    if (name == "RCM")
+        return std::make_unique<RcmOrder>();
+    if (name == "DBG")
+        return std::make_unique<DbgOrder>();
+    throw std::invalid_argument("makeReorderer: unknown RA: " + name);
+}
+
+std::vector<std::string>
+reordererNames()
+{
+    return {"Bl",         "Random", "DegreeSort", "HubSort",
+            "HubCluster", "RCM",    "DBG",        "SB",
+            "SB++",       "GO",     "RO"};
+}
+
+} // namespace gral

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Name-based factory for reordering algorithms.
+ *
+ * Benches, examples and the experiment layer select RAs by the short
+ * names used throughout the paper: "Bl" (baseline/identity), "SB",
+ * "SB++", "GO", "RO", plus the extra baselines.
+ */
+
+#ifndef GRAL_REORDER_REGISTRY_H
+#define GRAL_REORDER_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "reorder/reorderer.h"
+
+namespace gral
+{
+
+/**
+ * Create a reorderer by name (case-sensitive).
+ *
+ * Known names: "Bl" / "Identity", "Random", "DegreeSort", "HubSort",
+ * "HubCluster", "RCM", "DBG", "SB" / "SlashBurn", "SB++" / "SlashBurn++",
+ * "GO" / "GOrder", "RO" / "RabbitOrder".
+ *
+ * @throws std::invalid_argument for unknown names.
+ */
+ReordererPtr makeReorderer(const std::string &name);
+
+/** All canonical names accepted by makeReorderer. */
+std::vector<std::string> reordererNames();
+
+} // namespace gral
+
+#endif // GRAL_REORDER_REGISTRY_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Common interface of reordering algorithms (RAs).
+ *
+ * Paper Section II-E: "A RA permutes vertex IDs and receives a graph
+ * as its input and creates a relabeling array of size |V| which is
+ * indexed by the old ID of a vertex to specify the new ID."
+ *
+ * Every RA also reports preprocessing cost (paper Table II): wall
+ * time and an estimate of the peak auxiliary memory it allocated.
+ */
+
+#ifndef GRAL_REORDER_REORDERER_H
+#define GRAL_REORDER_REORDERER_H
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/permutation.h"
+
+namespace gral
+{
+
+/** Preprocessing-cost record of one reorder() call (paper Table II). */
+struct ReorderStats
+{
+    /** Wall-clock preprocessing time in seconds. */
+    double preprocessSeconds = 0.0;
+    /** Estimated peak auxiliary memory in bytes (working arrays the
+     *  algorithm allocated, not the input graph). */
+    std::size_t peakFootprintBytes = 0;
+    /** Algorithm-specific iteration count (SlashBurn rounds, etc.). */
+    unsigned iterations = 0;
+};
+
+/** Abstract reordering algorithm. */
+class Reorderer
+{
+  public:
+    virtual ~Reorderer() = default;
+
+    /** Short algorithm name ("SlashBurn", "GOrder", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Compute the relabeling array for @p graph.
+     * Deterministic given the object's configuration.
+     * @post result.isValid() and result.size() == graph.numVertices().
+     */
+    virtual Permutation reorder(const Graph &graph) = 0;
+
+    /** Cost of the most recent reorder() call. */
+    const ReorderStats &stats() const { return stats_; }
+
+  protected:
+    ReorderStats stats_;
+};
+
+/** Owning handle to a reorderer. */
+using ReordererPtr = std::unique_ptr<Reorderer>;
+
+} // namespace gral
+
+#endif // GRAL_REORDER_REORDERER_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SlashBurn and SlashBurn++ reorderers.
+ *
+ * SlashBurn (Lim, Kang, Faloutsos, TKDE 2014; paper Section IV-A)
+ * "considers the hubs as the main connector between vertices": each
+ * iteration removes the k highest-degree vertices of the current giant
+ * connected component (GCC), assigns them the next IDs from the front
+ * (basic hub-ordering, by degree), places the non-giant components
+ * ("spokes") from the back, and recurses on the GCC. The paper uses
+ * k = 0.02 |V|.
+ *
+ * SlashBurn++ (paper Section VIII-B1) stops iterating once the GCC's
+ * maximum degree drops below sqrt(|V|): past that point the GCC is an
+ * almost-uniform low-degree network and further iterations only
+ * separate LDV from their neighbours, destroying locality types I and
+ * III.
+ */
+
+#ifndef GRAL_REORDER_SLASHBURN_H
+#define GRAL_REORDER_SLASHBURN_H
+
+#include <vector>
+
+#include "reorder/reorderer.h"
+
+namespace gral
+{
+
+/** Configuration of SlashBurn. */
+struct SlashBurnConfig
+{
+    /** Hubs removed per iteration, as a fraction of |V| (paper: 2%). */
+    double hubFraction = 0.02;
+    /** SlashBurn++: stop when the GCC's max degree < sqrt(|V|). */
+    bool earlyStop = false;
+    /** Record the per-iteration GCC degree histogram (Figure 2). */
+    bool recordHistograms = false;
+    /** Hard cap on iterations (safety; 0 = unlimited). */
+    unsigned maxIterations = 0;
+};
+
+/** Snapshot of the GCC after one SlashBurn iteration (Figure 2). */
+struct SlashBurnIteration
+{
+    /** Iteration number, starting at 1. */
+    unsigned iteration = 0;
+    /** Vertices remaining in the GCC. */
+    VertexId gccVertices = 0;
+    /** Maximum undirected degree inside the GCC subgraph. */
+    EdgeId gccMaxDegree = 0;
+    /** Degree histogram of the GCC *subgraph* (index = degree), only
+     *  filled when SlashBurnConfig::recordHistograms is set. */
+    std::vector<VertexId> gccDegreeHistogram;
+};
+
+/** The SlashBurn reordering algorithm (and SB++ via earlyStop). */
+class SlashBurn : public Reorderer
+{
+  public:
+    explicit SlashBurn(const SlashBurnConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return config_.earlyStop ? "SlashBurn++" : "SlashBurn";
+    }
+
+    Permutation reorder(const Graph &graph) override;
+
+    /** Per-iteration GCC records of the last reorder() call. */
+    const std::vector<SlashBurnIteration> &
+    iterationLog() const
+    {
+        return iterations_;
+    }
+
+    /** Configuration in use. */
+    const SlashBurnConfig &config() const { return config_; }
+
+  private:
+    SlashBurnConfig config_;
+    std::vector<SlashBurnIteration> iterations_;
+};
+
+} // namespace gral
+
+#endif // GRAL_REORDER_SLASHBURN_H

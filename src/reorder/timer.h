@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Scoped wall-clock timer used by reorderers to fill ReorderStats.
+ */
+
+#ifndef GRAL_REORDER_TIMER_H
+#define GRAL_REORDER_TIMER_H
+
+#include <chrono>
+
+namespace gral
+{
+
+/** Accumulates elapsed seconds into a double on destruction. */
+class ScopedTimer
+{
+  public:
+    /** Start timing; writes the elapsed seconds to @p sink when the
+     *  scope ends. */
+    explicit ScopedTimer(double &sink)
+        : sink_(sink), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        sink_ = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    double &sink_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace gral
+
+#endif // GRAL_REORDER_TIMER_H

@@ -1,0 +1,99 @@
+#include "reorder/unit_heap.h"
+
+#include <cassert>
+
+namespace gral
+{
+
+UnitHeap::UnitHeap(VertexId n)
+    : key_(n, 0), prev_(n, kInvalidVertex), next_(n, kInvalidVertex),
+      bucketHead_(1, kInvalidVertex), inHeap_(n, 1), size_(n)
+{
+    // Insert in reverse so vertex 0 ends up at the bucket head and
+    // extraction order among untouched keys is by ascending ID.
+    for (VertexId v = n; v-- > 0;)
+        pushFront(v, 0);
+}
+
+UnitHeap::UnitHeap(VertexId n, std::span<const VertexId> priority_order)
+    : key_(n, 0), prev_(n, kInvalidVertex), next_(n, kInvalidVertex),
+      bucketHead_(1, kInvalidVertex), inHeap_(n, 1), size_(n)
+{
+    assert(priority_order.size() == n);
+    for (std::size_t i = priority_order.size(); i-- > 0;)
+        pushFront(priority_order[i], 0);
+}
+
+void
+UnitHeap::pushFront(VertexId v, std::int32_t key)
+{
+    if (static_cast<std::size_t>(key) >= bucketHead_.size())
+        bucketHead_.resize(key + 1, kInvalidVertex);
+    VertexId head = bucketHead_[key];
+    prev_[v] = kInvalidVertex;
+    next_[v] = head;
+    if (head != kInvalidVertex)
+        prev_[head] = v;
+    bucketHead_[key] = v;
+    key_[v] = key;
+    if (key > topKey_)
+        topKey_ = key;
+}
+
+void
+UnitHeap::unlink(VertexId v)
+{
+    VertexId p = prev_[v];
+    VertexId nx = next_[v];
+    if (p != kInvalidVertex)
+        next_[p] = nx;
+    else
+        bucketHead_[key_[v]] = nx;
+    if (nx != kInvalidVertex)
+        prev_[nx] = p;
+    prev_[v] = kInvalidVertex;
+    next_[v] = kInvalidVertex;
+}
+
+void
+UnitHeap::increment(VertexId v)
+{
+    assert(inHeap_[v]);
+    unlink(v);
+    pushFront(v, key_[v] + 1);
+}
+
+void
+UnitHeap::decrement(VertexId v)
+{
+    assert(inHeap_[v]);
+    if (key_[v] == 0)
+        return;
+    unlink(v);
+    pushFront(v, key_[v] - 1);
+}
+
+VertexId
+UnitHeap::extractMax()
+{
+    assert(!empty());
+    while (topKey_ > 0 && bucketHead_[topKey_] == kInvalidVertex)
+        --topKey_;
+    VertexId v = bucketHead_[topKey_];
+    assert(v != kInvalidVertex);
+    unlink(v);
+    inHeap_[v] = 0;
+    --size_;
+    return v;
+}
+
+void
+UnitHeap::remove(VertexId v)
+{
+    assert(inHeap_[v]);
+    unlink(v);
+    inHeap_[v] = 0;
+    --size_;
+}
+
+} // namespace gral

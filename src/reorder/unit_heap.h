@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bucketed priority structure with unit increments (GOrder's
+ * "UnitHeap").
+ *
+ * GOrder updates candidate scores by +1/-1 as vertices slide through
+ * its window, so a bucket-per-key structure gives O(1) increment,
+ * decrement and near-O(1) extract-max.
+ */
+
+#ifndef GRAL_REORDER_UNIT_HEAP_H
+#define GRAL_REORDER_UNIT_HEAP_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gral
+{
+
+/**
+ * Priority structure over vertex IDs [0, n) with unit key updates.
+ *
+ * Keys are non-negative. Each key value owns an intrusive
+ * doubly-linked list of vertices; extractMax() pops from the highest
+ * non-empty bucket.
+ */
+class UnitHeap
+{
+  public:
+    /** All of [0, n) inserted with key 0, in insertion order
+     *  0, 1, ..., n-1 (each new insert becomes its bucket's head). */
+    explicit UnitHeap(VertexId n);
+
+    /**
+     * All of [0, n) inserted with key 0, such that ties are broken by
+     * @p priority_order: its first element is extracted first among
+     * equal keys. @pre priority_order is a permutation of [0, n).
+     */
+    UnitHeap(VertexId n, std::span<const VertexId> priority_order);
+
+    /** Is @p v still in the heap? */
+    bool contains(VertexId v) const { return inHeap_[v]; }
+
+    /** Current key of @p v (meaningful while contained). */
+    std::int32_t key(VertexId v) const { return key_[v]; }
+
+    /** Number of contained vertices. */
+    VertexId size() const { return size_; }
+
+    /** True when no vertex is contained. */
+    bool empty() const { return size_ == 0; }
+
+    /** key[v] += 1. @pre contains(v). */
+    void increment(VertexId v);
+
+    /** key[v] -= 1 (floored at 0). @pre contains(v). */
+    void decrement(VertexId v);
+
+    /**
+     * Remove and return a vertex with the maximum key.
+     * @pre !empty().
+     */
+    VertexId extractMax();
+
+    /** Remove @p v from the heap. @pre contains(v). */
+    void remove(VertexId v);
+
+  private:
+    void unlink(VertexId v);
+    void pushFront(VertexId v, std::int32_t key);
+
+    std::vector<std::int32_t> key_;
+    std::vector<VertexId> prev_;
+    std::vector<VertexId> next_;
+    std::vector<VertexId> bucketHead_; // indexed by key
+    std::vector<char> inHeap_;
+    std::int32_t topKey_ = 0;
+    VertexId size_ = 0;
+};
+
+} // namespace gral
+
+#endif // GRAL_REORDER_UNIT_HEAP_H

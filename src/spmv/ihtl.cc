@@ -1,0 +1,174 @@
+#include "spmv/ihtl.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/partition.h"
+
+namespace gral
+{
+
+IhtlGraph::IhtlGraph(const Graph &graph, const IhtlConfig &config)
+    : graph_(graph), hubIndex_(graph.numVertices(), kInvalidVertex)
+{
+    const VertexId n = graph.numVertices();
+
+    VertexId num_hubs = config.numHubs;
+    if (num_hubs == 0) {
+        num_hubs = static_cast<VertexId>(
+            config.cacheFraction *
+            static_cast<double>(config.cacheBytes) /
+            kVertexDataBytes);
+    }
+    num_hubs = std::min(num_hubs, n);
+
+    // Select the top in-degree vertices as flipped-block hubs.
+    std::vector<VertexId> by_in_degree(n);
+    std::iota(by_in_degree.begin(), by_in_degree.end(), VertexId{0});
+    std::stable_sort(by_in_degree.begin(), by_in_degree.end(),
+                     [&](VertexId a, VertexId b) {
+                         return graph.inDegree(a) > graph.inDegree(b);
+                     });
+    hubs_.assign(by_in_degree.begin(),
+                 by_in_degree.begin() + num_hubs);
+    for (VertexId slot = 0; slot < num_hubs; ++slot)
+        hubIndex_[hubs_[slot]] = slot;
+
+    // Flipped block: per *source* vertex, the dense hub slots it
+    // feeds (push layout). Sparse block: per vertex, its non-hub
+    // in-neighbours (pull layout).
+    std::vector<EdgeId> flipped_offsets(static_cast<std::size_t>(n) +
+                                        1);
+    std::vector<EdgeId> sparse_offsets(static_cast<std::size_t>(n) +
+                                       1);
+    for (VertexId v = 0; v < n; ++v) {
+        EdgeId to_hubs = 0;
+        for (VertexId u : graph.outNeighbours(v))
+            to_hubs += hubIndex_[u] != kInvalidVertex ? 1 : 0;
+        flipped_offsets[v + 1] = flipped_offsets[v] + to_hubs;
+
+        EdgeId from_non = 0;
+        if (hubIndex_[v] == kInvalidVertex)
+            from_non = graph.inDegree(v);
+        sparse_offsets[v + 1] = sparse_offsets[v] + from_non;
+    }
+
+    std::vector<VertexId> flipped_edges(flipped_offsets.back());
+    std::vector<VertexId> sparse_edges(sparse_offsets.back());
+    for (VertexId v = 0; v < n; ++v) {
+        EdgeId cursor = flipped_offsets[v];
+        for (VertexId u : graph.outNeighbours(v))
+            if (hubIndex_[u] != kInvalidVertex)
+                flipped_edges[cursor++] = hubIndex_[u];
+        if (hubIndex_[v] == kInvalidVertex) {
+            EdgeId scursor = sparse_offsets[v];
+            for (VertexId u : graph.inNeighbours(v))
+                sparse_edges[scursor++] = u;
+        }
+    }
+
+    flipped_ =
+        Adjacency(std::move(flipped_offsets), std::move(flipped_edges));
+    sparse_ =
+        Adjacency(std::move(sparse_offsets), std::move(sparse_edges));
+}
+
+void
+IhtlGraph::spmv(std::span<const double> src,
+                std::span<double> dst) const
+{
+    const VertexId n = graph_.numVertices();
+
+    // Push pass over the flipped block: hub accumulators are a dense
+    // array of numHubs() doubles — the structure sized to the cache.
+    std::vector<double> hub_accumulator(hubs_.size(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+        double value = src[v];
+        for (VertexId slot : flipped_.neighbours(v))
+            hub_accumulator[slot] += value;
+    }
+    for (VertexId slot = 0;
+         slot < static_cast<VertexId>(hubs_.size()); ++slot)
+        dst[hubs_[slot]] = hub_accumulator[slot];
+
+    // Pull pass over the sparse block.
+    for (VertexId v = 0; v < n; ++v) {
+        if (hubIndex_[v] != kInvalidVertex)
+            continue;
+        double sum = 0.0;
+        for (VertexId u : sparse_.neighbours(v))
+            sum += src[u];
+        dst[v] = sum;
+    }
+}
+
+std::vector<ThreadTrace>
+IhtlGraph::generateTrace(const TraceOptions &options) const
+{
+    const VertexId n = graph_.numVertices();
+    // One simulated thread per contiguous vertex range; each thread
+    // performs its share of the push pass then of the pull pass.
+    VertexId num_threads = std::max(1u, options.numThreads);
+    std::vector<ThreadTrace> traces(num_threads);
+
+    // Hub accumulators live where the relabeled vertex data would
+    // be: the first numHubs() slots of the data array, i.e. a compact
+    // cache-resident range.
+    for (VertexId t = 0; t < num_threads; ++t) {
+        ThreadTrace &trace = traces[t];
+        VertexId begin = static_cast<VertexId>(
+            static_cast<std::uint64_t>(n) * t / num_threads);
+        VertexId end = static_cast<VertexId>(
+            static_cast<std::uint64_t>(n) * (t + 1) / num_threads);
+
+        // Push phase: sequential read of own data, near-resident
+        // writes to hub accumulators.
+        for (VertexId v = begin; v < end; ++v) {
+            trace.push_back({options.map.dataOldAddr(v), v, v,
+                             kVertexDataBytes, false,
+                             AccessRegion::DataOld});
+            EdgeId e = flipped_.beginEdge(v);
+            for (VertexId slot : flipped_.neighbours(v)) {
+                if (options.traceEdges) {
+                    trace.push_back({options.map.edgesAddr(e),
+                                     kInvalidVertex, v, kEdgeBytes,
+                                     false, AccessRegion::EdgesArr});
+                }
+                trace.push_back({options.map.dataNewAddr(slot),
+                                 hubs_[slot], v, kVertexDataBytes,
+                                 true, AccessRegion::DataNew});
+                ++e;
+            }
+        }
+        // Pull phase over the sparse block.
+        for (VertexId v = begin; v < end; ++v) {
+            if (hubIndex_[v] != kInvalidVertex)
+                continue;
+            if (options.traceOffsets) {
+                trace.push_back({options.map.offsetsAddr(v),
+                                 kInvalidVertex, v, kOffsetBytes,
+                                 false, AccessRegion::Offsets});
+            }
+            EdgeId e = sparse_.beginEdge(v);
+            for (VertexId u : sparse_.neighbours(v)) {
+                if (options.traceEdges) {
+                    trace.push_back({options.map.edgesAddr(
+                                         flipped_.numEdges() + e),
+                                     kInvalidVertex, v, kEdgeBytes,
+                                     false, AccessRegion::EdgesArr});
+                }
+                trace.push_back({options.map.dataOldAddr(u), u, v,
+                                 kVertexDataBytes, false,
+                                 AccessRegion::DataOld});
+                ++e;
+            }
+            trace.push_back({options.map.dataNewAddr(
+                                 hubs_.size() + v),
+                             v, v, kVertexDataBytes, true,
+                             AccessRegion::DataNew});
+        }
+    }
+    return traces;
+}
+
+} // namespace gral

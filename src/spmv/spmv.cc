@@ -1,0 +1,76 @@
+#include "spmv/spmv.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gral
+{
+
+void
+spmvPullRange(const Graph &graph, std::span<const double> src,
+              std::span<double> dst, VertexId begin, VertexId end)
+{
+    for (VertexId v = begin; v < end; ++v) {
+        double sum = 0.0;
+        for (VertexId u : graph.inNeighbours(v))
+            sum += src[u];
+        dst[v] = sum;
+    }
+}
+
+void
+spmvPull(const Graph &graph, std::span<const double> src,
+         std::span<double> dst)
+{
+    assert(src.size() == graph.numVertices());
+    assert(dst.size() == graph.numVertices());
+    spmvPullRange(graph, src, dst, 0, graph.numVertices());
+}
+
+void
+spmvPush(const Graph &graph, std::span<const double> src,
+         std::span<double> dst)
+{
+    assert(src.size() == graph.numVertices());
+    assert(dst.size() == graph.numVertices());
+    std::fill(dst.begin(), dst.end(), 0.0);
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        double value = src[v];
+        for (VertexId u : graph.outNeighbours(v))
+            dst[u] += value;
+    }
+}
+
+void
+readSum(const Graph &graph, Direction direction,
+        std::span<const double> src, std::span<double> dst)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        double sum = 0.0;
+        for (VertexId u : adj.neighbours(v))
+            sum += src[u];
+        dst[v] = sum;
+    }
+}
+
+std::vector<double>
+spmvIterations(const Graph &graph, unsigned iterations)
+{
+    std::vector<double> current(graph.numVertices(), 1.0);
+    std::vector<double> next(graph.numVertices(), 0.0);
+    for (unsigned i = 0; i < iterations; ++i) {
+        spmvPull(graph, current, next);
+        double peak = 0.0;
+        for (double value : next)
+            peak = std::max(peak, value);
+        if (peak > 0.0)
+            for (double &value : next)
+                value /= peak;
+        std::swap(current, next);
+    }
+    return current;
+}
+
+} // namespace gral

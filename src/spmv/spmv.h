@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SpMV graph traversal kernels (paper Algorithm 1).
+ *
+ * SpMV "traverses all edges of the graph which allows it to reveal the
+ * maximum improvement provided by RAs" (Section II-B). The pull kernel
+ * reads in-neighbour data through the CSC; the push kernel scatters to
+ * out-neighbour data through the CSR; the read-sum kernels isolate the
+ * format (CSC vs CSR) with a common read operation for Table VI.
+ */
+
+#ifndef GRAL_SPMV_SPMV_H
+#define GRAL_SPMV_SPMV_H
+
+#include <span>
+#include <vector>
+
+#include "graph/degree.h"
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/**
+ * Pull SpMV: dst[v] = sum of src[u] over in-neighbours u of v.
+ * Random reads, sequential writes (paper Algorithm 1).
+ * @pre src.size() == dst.size() == |V|; src and dst distinct.
+ */
+void spmvPull(const Graph &graph, std::span<const double> src,
+              std::span<double> dst);
+
+/**
+ * Push SpMV: dst[u] += src[v] for every out-neighbour u of v.
+ * Sequential reads, random writes. @p dst is zeroed first.
+ */
+void spmvPush(const Graph &graph, std::span<const double> src,
+              std::span<double> dst);
+
+/**
+ * Read-sum traversal used by Table VI: each vertex sums the data of
+ * its neighbours in the chosen direction (In = CSC, Out = CSR); both
+ * directions perform the same *read* operation so the comparison
+ * isolates the format.
+ */
+void readSum(const Graph &graph, Direction direction,
+             std::span<const double> src, std::span<double> dst);
+
+/**
+ * Pull SpMV over a vertex range only (parallel workers and the
+ * instrumented tracer share this shape).
+ */
+void spmvPullRange(const Graph &graph, std::span<const double> src,
+                   std::span<double> dst, VertexId begin, VertexId end);
+
+/**
+ * Run @p iterations pull-SpMV steps with ping-pong buffers, starting
+ * from all-ones, normalizing each step by the max to avoid overflow.
+ * @return the final vector (a PageRank-flavoured power iteration).
+ */
+std::vector<double> spmvIterations(const Graph &graph,
+                                   unsigned iterations);
+
+} // namespace gral
+
+#endif // GRAL_SPMV_SPMV_H

@@ -1,0 +1,156 @@
+#include "spmv/thread_pool.h"
+#include <algorithm>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace gral
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One worker's task queue; mutex-guarded (task granularity is whole
+ *  graph partitions, so contention is negligible). */
+struct WorkQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+
+    bool
+    popFront(std::size_t &out)
+    {
+        std::lock_guard lock(mutex);
+        if (tasks.empty())
+            return false;
+        out = tasks.front();
+        tasks.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(std::size_t &out)
+    {
+        std::lock_guard lock(mutex);
+        if (tasks.empty())
+            return false;
+        out = tasks.back();
+        tasks.pop_back();
+        return true;
+    }
+
+    std::size_t
+    size()
+    {
+        std::lock_guard lock(mutex);
+        return tasks.size();
+    }
+};
+
+} // namespace
+
+double
+PoolStats::avgIdlePercent() const
+{
+    if (idleFraction.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double f : idleFraction)
+        sum += f;
+    return 100.0 * sum / static_cast<double>(idleFraction.size());
+}
+
+WorkStealingPool::WorkStealingPool(unsigned num_threads)
+    : numThreads_(num_threads)
+{
+    if (num_threads == 0)
+        throw std::invalid_argument("WorkStealingPool: zero threads");
+}
+
+PoolStats
+WorkStealingPool::run(std::size_t num_tasks,
+                      const std::function<void(std::size_t)> &task)
+{
+    std::vector<WorkQueue> queues(numThreads_);
+    // Deal contiguous blocks so worker t starts on the partitions a
+    // static schedule would give it, preserving spatial locality.
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+        std::size_t owner = i * numThreads_ / std::max<std::size_t>(
+                                                  num_tasks, 1);
+        queues[std::min<std::size_t>(owner, numThreads_ - 1)]
+            .tasks.push_back(i);
+    }
+
+    std::atomic<std::size_t> remaining{num_tasks};
+    std::atomic<std::uint64_t> total_steals{0};
+    std::vector<double> idle_fraction(numThreads_, 0.0);
+
+    auto batch_start = Clock::now();
+    auto worker = [&](unsigned self) {
+        auto start = Clock::now();
+        double busy = 0.0;
+        std::uint64_t steals = 0;
+        while (remaining.load(std::memory_order_acquire) > 0) {
+            std::size_t index = 0;
+            bool got = queues[self].popFront(index);
+            if (!got) {
+                // Steal from the currently longest peer queue.
+                std::size_t best = numThreads_;
+                std::size_t best_size = 0;
+                for (unsigned t = 0; t < numThreads_; ++t) {
+                    if (t == self)
+                        continue;
+                    std::size_t s = queues[t].size();
+                    if (s > best_size) {
+                        best_size = s;
+                        best = t;
+                    }
+                }
+                if (best < numThreads_ &&
+                    queues[best].stealBack(index)) {
+                    got = true;
+                    ++steals;
+                }
+            }
+            if (got) {
+                auto work_start = Clock::now();
+                task(index);
+                busy += secondsSince(work_start);
+                remaining.fetch_sub(1, std::memory_order_release);
+            } else {
+                std::this_thread::yield();
+            }
+        }
+        double total = secondsSince(start);
+        idle_fraction[self] =
+            total > 0.0 ? std::max(0.0, (total - busy) / total) : 0.0;
+        total_steals.fetch_add(steals, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        threads.emplace_back(worker, t);
+    for (std::thread &t : threads)
+        t.join();
+
+    PoolStats stats;
+    stats.wallMs = secondsSince(batch_start) * 1e3;
+    stats.idleFraction = std::move(idle_fraction);
+    stats.steals = total_steals.load();
+    return stats;
+}
+
+} // namespace gral

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Work-stealing task execution with idle-time accounting.
+ *
+ * The paper's framework "applies work-stealing for parallel processing
+ * of graph partitions created by edge-balanced partitioning" and
+ * reports per-thread idle time (Table IV). This pool runs a batch of
+ * indexed tasks across worker threads, each owning a local queue and
+ * stealing from peers when empty, while accounting the fraction of
+ * wall time each thread spends not executing tasks.
+ */
+
+#ifndef GRAL_SPMV_THREAD_POOL_H
+#define GRAL_SPMV_THREAD_POOL_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gral
+{
+
+/** Per-run statistics of a WorkStealingPool batch. */
+struct PoolStats
+{
+    /** Wall-clock duration of the batch in milliseconds. */
+    double wallMs = 0.0;
+    /** Fraction of each worker's time spent idle (stealing/waiting). */
+    std::vector<double> idleFraction;
+    /** Number of successful steals across all workers. */
+    std::uint64_t steals = 0;
+
+    /** Average idle percentage across workers (paper Table IV). */
+    double avgIdlePercent() const;
+};
+
+/**
+ * Executes a batch of indexed tasks on worker threads with
+ * work stealing.
+ */
+class WorkStealingPool
+{
+  public:
+    /** @p num_threads workers; @pre num_threads >= 1. */
+    explicit WorkStealingPool(unsigned num_threads);
+
+    /**
+     * Run tasks 0 .. num_tasks-1. Tasks are dealt to workers in
+     * contiguous blocks; a worker that drains its queue steals the
+     * tail of the busiest peer. Blocks until every task completed.
+     *
+     * @param num_tasks number of tasks.
+     * @param task      callable invoked with the task index; must be
+     *                  safe to call concurrently for distinct indices.
+     */
+    PoolStats run(std::size_t num_tasks,
+                  const std::function<void(std::size_t)> &task);
+
+    /** Number of worker threads. */
+    unsigned numThreads() const { return numThreads_; }
+
+  private:
+    unsigned numThreads_;
+};
+
+} // namespace gral
+
+#endif // GRAL_SPMV_THREAD_POOL_H

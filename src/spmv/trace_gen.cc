@@ -1,0 +1,140 @@
+#include "spmv/trace_gen.h"
+
+#include "graph/partition.h"
+
+namespace gral
+{
+
+AccessRegion
+AddressMap::regionOf(std::uint64_t addr) const
+{
+    if (addr >= dataNewBase)
+        return AccessRegion::DataNew;
+    if (addr >= dataOldBase)
+        return AccessRegion::DataOld;
+    if (addr >= edgesBase)
+        return AccessRegion::EdgesArr;
+    if (addr >= offsetsBase)
+        return AccessRegion::Offsets;
+    return AccessRegion::Other;
+}
+
+namespace
+{
+
+/** Reserve a thread trace sized for its partition's edges. */
+void
+reserveFor(ThreadTrace &trace, const Graph &graph, Direction direction,
+           VertexRange range, bool offsets, bool edges)
+{
+    EdgeId edge_count = edgesInRange(graph, direction, range);
+    std::size_t per_edge = 1 + (edges ? 1 : 0);
+    std::size_t per_vertex = 1 + (offsets ? 1 : 0);
+    trace.reserve(static_cast<std::size_t>(edge_count) * per_edge +
+                  static_cast<std::size_t>(range.size()) * per_vertex);
+}
+
+} // namespace
+
+std::vector<ThreadTrace>
+generateReadSumTrace(const Graph &graph, Direction direction,
+                     const TraceOptions &options)
+{
+    const Adjacency &adj =
+        direction == Direction::In ? graph.in() : graph.out();
+    std::vector<VertexRange> parts =
+        edgeBalancedPartitions(graph, direction, options.numThreads);
+
+    std::vector<ThreadTrace> traces(parts.size());
+    for (std::size_t t = 0; t < parts.size(); ++t) {
+        ThreadTrace &trace = traces[t];
+        VertexRange range = parts[t];
+        reserveFor(trace, graph, direction, range, options.traceOffsets,
+                   options.traceEdges);
+        for (VertexId v = range.begin; v < range.end; ++v) {
+            if (options.traceOffsets) {
+                trace.push_back({options.map.offsetsAddr(v),
+                                 kInvalidVertex, v, kOffsetBytes,
+                                 false, AccessRegion::Offsets});
+            }
+            EdgeId e = adj.beginEdge(v);
+            for (VertexId u : adj.neighbours(v)) {
+                if (options.traceEdges) {
+                    trace.push_back({options.map.edgesAddr(e),
+                                     kInvalidVertex, v, kEdgeBytes,
+                                     false, AccessRegion::EdgesArr});
+                }
+                // The random access RAs target: load neighbour data.
+                trace.push_back({options.map.dataOldAddr(u), u, v,
+                                 kVertexDataBytes, false,
+                                 AccessRegion::DataOld});
+                ++e;
+            }
+            // Sequential result store.
+            trace.push_back({options.map.dataNewAddr(v), v, v,
+                             kVertexDataBytes, true,
+                             AccessRegion::DataNew});
+        }
+    }
+    return traces;
+}
+
+std::vector<ThreadTrace>
+generatePullTrace(const Graph &graph, const TraceOptions &options)
+{
+    return generateReadSumTrace(graph, Direction::In, options);
+}
+
+std::vector<ThreadTrace>
+generatePushTrace(const Graph &graph, const TraceOptions &options)
+{
+    std::vector<VertexRange> parts =
+        edgeBalancedPartitions(graph, Direction::Out,
+                               options.numThreads);
+
+    std::vector<ThreadTrace> traces(parts.size());
+    for (std::size_t t = 0; t < parts.size(); ++t) {
+        ThreadTrace &trace = traces[t];
+        VertexRange range = parts[t];
+        reserveFor(trace, graph, Direction::Out, range,
+                   options.traceOffsets, options.traceEdges);
+        for (VertexId v = range.begin; v < range.end; ++v) {
+            if (options.traceOffsets) {
+                trace.push_back({options.map.offsetsAddr(v),
+                                 kInvalidVertex, v, kOffsetBytes,
+                                 false, AccessRegion::Offsets});
+            }
+            // Sequential load of the source's own (old) data.
+            trace.push_back({options.map.dataOldAddr(v), v, v,
+                             kVertexDataBytes, false,
+                             AccessRegion::DataOld});
+            EdgeId e = graph.out().beginEdge(v);
+            for (VertexId u : graph.outNeighbours(v)) {
+                if (options.traceEdges) {
+                    trace.push_back({options.map.edgesAddr(e),
+                                     kInvalidVertex, v, kEdgeBytes,
+                                     false, AccessRegion::EdgesArr});
+                }
+                // Random read-modify-write of the destination's data;
+                // one store access models the cache behaviour of the
+                // atomic update (write-allocate).
+                trace.push_back({options.map.dataNewAddr(u), u, v,
+                                 kVertexDataBytes, true,
+                                 AccessRegion::DataNew});
+                ++e;
+            }
+        }
+    }
+    return traces;
+}
+
+std::size_t
+traceAccessCount(const std::vector<ThreadTrace> &traces)
+{
+    std::size_t total = 0;
+    for (const ThreadTrace &trace : traces)
+        total += trace.size();
+    return total;
+}
+
+} // namespace gral

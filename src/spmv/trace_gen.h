@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Source-level instrumentation of SpMV: memory-access trace generation.
+ *
+ * The paper instruments Algorithm 1 "at source code level to call the
+ * simulator for every load/store" (Section V-B). Here the instrumented
+ * traversal emits per-thread MemoryAccess logs over a synthetic address
+ * space; TraceInterleaver + Cache then replay them.
+ *
+ * Address-space model (element sizes per paper Section II-A):
+ *  - offsets array: 8-byte elements, sequential accesses,
+ *  - edges array:   4-byte elements, sequential, streamed once,
+ *  - vertex data:   8-byte elements, random accesses (the RA target).
+ */
+
+#ifndef GRAL_SPMV_TRACE_GEN_H
+#define GRAL_SPMV_TRACE_GEN_H
+
+#include <vector>
+
+#include "cachesim/trace.h"
+#include "graph/degree.h"
+#include "graph/graph.h"
+
+namespace gral
+{
+
+/** Base addresses of the traversal's arrays in the synthetic address
+ *  space. Regions are spaced far apart so they never alias. */
+struct AddressMap
+{
+    std::uint64_t offsetsBase = 0x10'0000'0000ULL;
+    std::uint64_t edgesBase = 0x20'0000'0000ULL;
+    std::uint64_t dataOldBase = 0x30'0000'0000ULL;
+    std::uint64_t dataNewBase = 0x40'0000'0000ULL;
+
+    /** Address of offsets[v]. */
+    std::uint64_t
+    offsetsAddr(VertexId v) const
+    {
+        return offsetsBase + static_cast<std::uint64_t>(v) * kOffsetBytes;
+    }
+
+    /** Address of edges[e]. */
+    std::uint64_t
+    edgesAddr(EdgeId e) const
+    {
+        return edgesBase + e * kEdgeBytes;
+    }
+
+    /** Address of the old vertex-data element of @p v. */
+    std::uint64_t
+    dataOldAddr(VertexId v) const
+    {
+        return dataOldBase +
+               static_cast<std::uint64_t>(v) * kVertexDataBytes;
+    }
+
+    /** Address of the new vertex-data element of @p v. */
+    std::uint64_t
+    dataNewAddr(VertexId v) const
+    {
+        return dataNewBase +
+               static_cast<std::uint64_t>(v) * kVertexDataBytes;
+    }
+
+    /** Region classification of an arbitrary address. */
+    AccessRegion regionOf(std::uint64_t addr) const;
+};
+
+/** Trace-generation knobs. */
+struct TraceOptions
+{
+    /** Simulated parallel threads (per-thread logs; paper phase 1). */
+    unsigned numThreads = 8;
+    /** Emit offsets-array accesses (on by default; they are part of
+     *  the real kernel's footprint). */
+    bool traceOffsets = true;
+    /** Emit edges-array accesses. */
+    bool traceEdges = true;
+    /** Synthetic layout. */
+    AddressMap map;
+};
+
+/**
+ * Instrumented *pull* SpMV (Algorithm 1): per destination vertex v,
+ * sequential offsets/edges loads, a random load of dataOld[u] for
+ * every in-neighbour u (tagged with u for degree binning), and a
+ * sequential store to dataNew[v].
+ *
+ * Threads own edge-balanced contiguous destination ranges.
+ */
+std::vector<ThreadTrace> generatePullTrace(
+    const Graph &graph, const TraceOptions &options = {});
+
+/**
+ * Instrumented *push* SpMV: per source vertex v, a sequential load of
+ * dataOld[v] and a random read-modify-write of dataNew[u] for every
+ * out-neighbour u (tagged with u).
+ */
+std::vector<ThreadTrace> generatePushTrace(
+    const Graph &graph, const TraceOptions &options = {});
+
+/**
+ * Instrumented *read-sum* traversal for Table VI: identical read
+ * operation over CSC (In) or CSR (Out) plus the sequential result
+ * store, isolating the effect of the format.
+ */
+std::vector<ThreadTrace> generateReadSumTrace(
+    const Graph &graph, Direction direction,
+    const TraceOptions &options = {});
+
+/** Total accesses across all threads of a trace. */
+std::size_t traceAccessCount(const std::vector<ThreadTrace> &traces);
+
+} // namespace gral
+
+#endif // GRAL_SPMV_TRACE_GEN_H

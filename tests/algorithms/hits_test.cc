@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for HITS.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/hits.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Hits, EmptyGraph)
+{
+    Graph graph;
+    HitsResult result = hits(graph);
+    EXPECT_TRUE(result.authority.empty());
+    EXPECT_TRUE(result.hub.empty());
+}
+
+TEST(Hits, VectorsL2Normalized)
+{
+    Graph graph = generateErdosRenyi(300, 3000, 4);
+    HitsResult result = hits(graph);
+    double auth_norm = 0.0;
+    double hub_norm = 0.0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        auth_norm += result.authority[v] * result.authority[v];
+        hub_norm += result.hub[v] * result.hub[v];
+    }
+    EXPECT_NEAR(std::sqrt(auth_norm), 1.0, 1e-9);
+    EXPECT_NEAR(std::sqrt(hub_norm), 1.0, 1e-9);
+}
+
+TEST(Hits, BipartiteRoles)
+{
+    // Sources 0..4 all point to sinks 5..6: sources are pure hubs,
+    // sinks pure authorities.
+    std::vector<Edge> edges;
+    for (VertexId s = 0; s < 5; ++s)
+        for (VertexId t = 5; t < 7; ++t)
+            edges.push_back({s, t});
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(7, edges, options);
+    HitsResult result = hits(graph);
+    for (VertexId s = 0; s < 5; ++s) {
+        EXPECT_GT(result.hub[s], 0.1);
+        EXPECT_NEAR(result.authority[s], 0.0, 1e-12);
+    }
+    for (VertexId t = 5; t < 7; ++t) {
+        EXPECT_GT(result.authority[t], 0.1);
+        EXPECT_NEAR(result.hub[t], 0.0, 1e-12);
+    }
+}
+
+TEST(Hits, StarCentreIsTopAuthority)
+{
+    // Symmetric star: the authority vector keeps the centre on top
+    // (ratio 29:1 after the first gather), while the hub update
+    // h' = A^2 h has a degenerate eigenspace on the star — the
+    // centre's 29 one-hop paths balance each leaf's single path to
+    // the 29-strong centre — so hub scores converge to uniform.
+    Graph graph = makeStar(30);
+    HitsResult result = hits(graph);
+    for (VertexId leaf = 1; leaf < 30; ++leaf) {
+        EXPECT_GT(result.authority[0], result.authority[leaf]);
+        EXPECT_NEAR(result.hub[0], result.hub[leaf], 1e-9);
+    }
+}
+
+TEST(Hits, ConvergesEarly)
+{
+    Graph graph = makeGrid(8, 8);
+    HitsOptions options;
+    options.maxIterations = 200;
+    options.tolerance = 1e-10;
+    HitsResult result = hits(graph, options);
+    EXPECT_LT(result.iterations, options.maxIterations);
+}
+
+} // namespace
+} // namespace gral

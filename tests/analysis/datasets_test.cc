@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the dataset registry (Table I stand-ins).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/datasets.h"
+#include "graph/degree.h"
+#include "metrics/asymmetricity.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Datasets, RegistryMatchesTableOne)
+{
+    const auto &registry = datasetRegistry();
+    EXPECT_EQ(registry.size(), 9u); // Table I has nine datasets
+    EXPECT_EQ(registry.front().paperName, "WebBase-2001");
+    EXPECT_EQ(registry.back().paperName, "ClueWeb09");
+    int social = 0;
+    for (const DatasetSpec &spec : registry)
+        if (spec.type == GraphType::SocialNetwork)
+            ++social;
+    EXPECT_EQ(social, 2); // TwtrMpi and Frndstr
+}
+
+TEST(Datasets, LookupById)
+{
+    EXPECT_EQ(datasetSpec("twtr-s").paperName, "Twitter MPI");
+    EXPECT_THROW((void)datasetSpec("nope"), std::invalid_argument);
+}
+
+TEST(Datasets, TypeNames)
+{
+    EXPECT_STREQ(toString(GraphType::SocialNetwork), "SN");
+    EXPECT_STREQ(toString(GraphType::WebGraph), "WG");
+}
+
+TEST(Datasets, GenerationDeterministic)
+{
+    Graph a = makeDataset("sk-s", 0.05);
+    Graph b = makeDataset("sk-s", 0.05);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Datasets, ScaleChangesSize)
+{
+    Graph small = makeDataset("webb-s", 0.02);
+    Graph larger = makeDataset("webb-s", 0.05);
+    EXPECT_LT(small.numVertices(), larger.numVertices());
+}
+
+TEST(Datasets, AverageDegreeInBallpark)
+{
+    for (const std::string &id : {"twtr-s", "sk-s"}) {
+        const DatasetSpec &spec = datasetSpec(id);
+        Graph graph = makeDataset(spec, 0.2);
+        EXPECT_GT(graph.averageDegree(), spec.averageDegree * 0.4)
+            << id;
+        EXPECT_LT(graph.averageDegree(), spec.averageDegree * 2.0)
+            << id;
+    }
+}
+
+TEST(Datasets, TypesShowExpectedStructure)
+{
+    Graph social = makeDataset("twtr-s", 0.1);
+    Graph web = makeDataset("ukdls-s", 0.1);
+    EXPECT_GT(meanAsymmetricity(web), meanAsymmetricity(social));
+}
+
+TEST(Datasets, DefaultBenchSubsetValid)
+{
+    for (const std::string &id : defaultBenchDatasets())
+        EXPECT_NO_THROW((void)datasetSpec(id));
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for text-table and number formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/report.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"Name", "Value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "22"});
+    std::ostringstream out;
+    table.print(out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("Name"), std::string::npos);
+    EXPECT_NE(text.find("long-name"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TextTable, MissingCellsRenderEmpty)
+{
+    TextTable table({"A", "B", "C"});
+    table.addRow({"x"});
+    std::ostringstream out;
+    table.print(out);
+    EXPECT_EQ(table.numRows(), 1u);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable table({"A", "B"});
+    table.addRow({"plain", "has,comma"});
+    table.addRow({"has\"quote", "x"});
+    std::ostringstream out;
+    table.printCsv(out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Format, Doubles)
+{
+    EXPECT_EQ(formatDouble(12.345, 2), "12.35");
+    EXPECT_EQ(formatDouble(1.0, 0), "1");
+}
+
+TEST(Format, Counts)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KB");
+    EXPECT_EQ(formatBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(Format, MillionsAndThousands)
+{
+    EXPECT_EQ(formatMillions(15'700'000), "15.7");
+    EXPECT_EQ(formatThousands(4'700), "4.7");
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the optional multi-level cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cachesim/hierarchy.h"
+
+namespace gral
+{
+namespace
+{
+
+CacheConfig
+level(std::uint64_t size)
+{
+    CacheConfig config;
+    config.sizeBytes = size;
+    config.associativity = 4;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::LRU;
+    return config;
+}
+
+TEST(Hierarchy, RejectsEmpty)
+{
+    EXPECT_THROW(CacheHierarchy{std::vector<CacheConfig>{}},
+                 std::invalid_argument);
+}
+
+TEST(Hierarchy, HitLevelReporting)
+{
+    CacheHierarchy hierarchy({level(1024), level(65536)});
+    // Cold access: misses both levels.
+    EXPECT_EQ(hierarchy.access(0x0, 8, false), 2u);
+    // Immediately after: L1 hit.
+    EXPECT_EQ(hierarchy.access(0x0, 8, false), 0u);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions)
+{
+    CacheHierarchy hierarchy({level(1024), level(65536)});
+    // 1 KB L1 = 16 lines; walk 64 lines, then rewalk: L1 misses but
+    // L2 (64 KB) still holds them.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        hierarchy.access(i * 64, 8, false);
+    std::size_t l2_hits = 0;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        if (hierarchy.access(i * 64, 8, false) == 1)
+            ++l2_hits;
+    EXPECT_GT(l2_hits, 32u);
+    EXPECT_EQ(hierarchy.level(1).stats().misses, 64u);
+}
+
+TEST(Hierarchy, FlushClearsAllLevels)
+{
+    CacheHierarchy hierarchy({level(1024), level(65536)});
+    hierarchy.access(0x0, 8, false);
+    hierarchy.flush();
+    EXPECT_EQ(hierarchy.access(0x0, 8, false), 2u);
+}
+
+TEST(Hierarchy, SingleLevelDegeneratesToCache)
+{
+    CacheHierarchy hierarchy({level(4096)});
+    EXPECT_EQ(hierarchy.levels(), 1u);
+    EXPECT_EQ(hierarchy.access(0x40, 4, false), 1u);
+    EXPECT_EQ(hierarchy.access(0x40, 4, false), 0u);
+}
+
+} // namespace
+} // namespace gral

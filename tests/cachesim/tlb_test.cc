@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cachesim/tlb.h"
+
+namespace gral
+{
+namespace
+{
+
+TlbConfig
+toyTlb()
+{
+    TlbConfig config;
+    config.entries = 8;
+    config.associativity = 2;
+    config.pageBytes = 4096;
+    return config;
+}
+
+TEST(Tlb, PresetConfigsConstruct)
+{
+    Tlb stlb(stlb4kConfig());
+    Tlb huge(tlb2mConfig());
+    EXPECT_EQ(stlb.config().pageBytes, 4096u);
+    EXPECT_EQ(huge.config().pageBytes, 2ull * 1024 * 1024);
+}
+
+TEST(Tlb, RejectsBrokenGeometry)
+{
+    TlbConfig config = toyTlb();
+    config.pageBytes = 5000;
+    EXPECT_THROW(Tlb{config}, std::invalid_argument);
+    config = toyTlb();
+    config.associativity = 3; // 8/3 -> 2 sets? 8/3=2 non-pow2 check
+    config.entries = 9;
+    EXPECT_THROW(Tlb{config}, std::invalid_argument);
+}
+
+TEST(Tlb, SamePageHits)
+{
+    Tlb tlb(toyTlb());
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1800)); // same 4K page
+    EXPECT_FALSE(tlb.access(0x2000)); // next page
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 2u);
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    Tlb tlb(toyTlb()); // 4 sets x 2 ways
+    // Pages 0, 4, 8 all map to set 0.
+    tlb.access(0 * 4096);
+    tlb.access(4 * 4096);
+    tlb.access(0 * 4096);     // page 0 most recent
+    tlb.access(8 * 4096);     // evicts page 4
+    EXPECT_TRUE(tlb.access(0 * 4096));
+    EXPECT_FALSE(tlb.access(4 * 4096));
+}
+
+TEST(Tlb, HugePagesCoverMoreAddressSpace)
+{
+    Tlb small(stlb4kConfig());
+    Tlb huge(tlb2mConfig());
+    // Walk 64 MB sequentially in 4 KB steps.
+    for (std::uint64_t addr = 0; addr < (64ull << 20); addr += 4096) {
+        small.access(addr);
+        huge.access(addr);
+    }
+    // 4 KB pages: 16384 pages > 1536 entries -> many misses.
+    // 2 MB pages: only 32 distinct pages but also only 32 entries;
+    // sequential access still hits within each page.
+    EXPECT_EQ(huge.stats().misses, 32u);
+    EXPECT_EQ(small.stats().misses, 16384u);
+    EXPECT_GT(huge.stats().hits, small.stats().hits / 2);
+}
+
+TEST(Tlb, FlushAndResetStats)
+{
+    Tlb tlb(toyTlb());
+    tlb.access(0x0);
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0x0)); // re-misses after flush
+    tlb.resetStats();
+    EXPECT_EQ(tlb.stats().accesses(), 0u);
+}
+
+TEST(Tlb, MissRateComputation)
+{
+    Tlb tlb(toyTlb());
+    tlb.access(0x0);
+    tlb.access(0x0);
+    tlb.access(0x0);
+    tlb.access(0x0);
+    EXPECT_DOUBLE_EQ(tlb.stats().missRate(), 0.25);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for GraphBuilder cleanup (dedup, self loops, zero-degree
+ * compaction) and symmetrize().
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(GraphBuilder, GrowsVertexCount)
+{
+    GraphBuilder builder;
+    builder.addEdge(0, 9);
+    EXPECT_EQ(builder.numVertices(), 10u);
+    builder.addEdge(20, 1);
+    EXPECT_EQ(builder.numVertices(), 21u);
+}
+
+TEST(GraphBuilder, RemovesSelfLoops)
+{
+    GraphBuilder builder;
+    builder.addEdge(0, 0);
+    builder.addEdge(0, 1);
+    builder.addEdge(1, 1);
+    Graph graph = builder.finalize();
+    EXPECT_EQ(graph.numEdges(), 1u);
+}
+
+TEST(GraphBuilder, KeepsSelfLoopsWhenAsked)
+{
+    GraphBuilder builder;
+    builder.addEdge(0, 0);
+    builder.addEdge(0, 1);
+    BuildOptions options;
+    options.removeSelfLoops = false;
+    Graph graph = builder.finalize(options);
+    EXPECT_EQ(graph.numEdges(), 2u);
+}
+
+TEST(GraphBuilder, RemovesDuplicates)
+{
+    GraphBuilder builder;
+    builder.addEdge(0, 1);
+    builder.addEdge(0, 1);
+    builder.addEdge(1, 0);
+    Graph graph = builder.finalize();
+    EXPECT_EQ(graph.numEdges(), 2u);
+}
+
+TEST(GraphBuilder, CompactsZeroDegreeVertices)
+{
+    GraphBuilder builder(10); // vertices 0..9, most isolated
+    builder.addEdge(2, 7);
+    std::vector<VertexId> remap;
+    Graph graph = builder.finalize({}, &remap);
+    EXPECT_EQ(graph.numVertices(), 2u);
+    EXPECT_EQ(graph.numEdges(), 1u);
+    EXPECT_EQ(remap[2], 0u);
+    EXPECT_EQ(remap[7], 1u);
+    EXPECT_EQ(remap[0], kInvalidVertex);
+    EXPECT_EQ(remap[9], kInvalidVertex);
+}
+
+TEST(GraphBuilder, ZeroDegreeKeptWhenDisabled)
+{
+    GraphBuilder builder(10);
+    builder.addEdge(2, 7);
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    std::vector<VertexId> remap;
+    Graph graph = builder.finalize(options, &remap);
+    EXPECT_EQ(graph.numVertices(), 10u);
+    for (VertexId v = 0; v < 10; ++v)
+        EXPECT_EQ(remap[v], v);
+}
+
+TEST(GraphBuilder, FinalizeLeavesBuilderEmpty)
+{
+    GraphBuilder builder;
+    builder.addEdge(0, 1);
+    builder.finalize();
+    EXPECT_EQ(builder.numEdges(), 0u);
+}
+
+TEST(GraphBuilder, AddEdgesBatch)
+{
+    GraphBuilder builder;
+    std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}};
+    builder.addEdges(edges);
+    EXPECT_EQ(builder.numEdges(), 3u);
+    Graph graph = builder.finalize();
+    EXPECT_EQ(graph.numEdges(), 3u);
+}
+
+TEST(Symmetrize, AddsReverseEdges)
+{
+    std::vector<Edge> edges = {{0, 1}, {1, 2}};
+    Graph graph = buildGraph(3, edges);
+    Graph sym = symmetrize(graph);
+    EXPECT_EQ(sym.numEdges(), 4u);
+    EXPECT_TRUE(sym.out().hasNeighbour(1, 0));
+    EXPECT_TRUE(sym.out().hasNeighbour(2, 1));
+}
+
+TEST(Symmetrize, AlreadySymmetricUnchanged)
+{
+    std::vector<Edge> edges = {{0, 1}, {1, 0}};
+    Graph graph = buildGraph(2, edges);
+    Graph sym = symmetrize(graph);
+    EXPECT_EQ(sym.numEdges(), 2u);
+}
+
+TEST(Symmetrize, InOutDegreesEqual)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 2}, {3, 0}, {2, 1}};
+    Graph sym = symmetrize(buildGraph(4, edges));
+    for (VertexId v = 0; v < sym.numVertices(); ++v)
+        EXPECT_EQ(sym.inDegree(v), sym.outDegree(v));
+}
+
+} // namespace
+} // namespace gral

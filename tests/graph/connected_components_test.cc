@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for connected components with active-subset support.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "graph/connected_components.h"
+#include "graph/generators.h"
+#include "graph/union_find.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(ConnectedComponents, SingleComponentPath)
+{
+    Graph graph = makePath(5);
+    ComponentResult result = connectedComponents(graph);
+    EXPECT_EQ(result.numComponents, 1u);
+    EXPECT_EQ(result.vertexCount[0], 5u);
+}
+
+TEST(ConnectedComponents, DisjointPieces)
+{
+    // Two triangles and an isolated vertex.
+    std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0},
+                               {3, 4}, {4, 5}, {5, 3}};
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(7, edges, options);
+    ComponentResult result = connectedComponents(graph);
+    EXPECT_EQ(result.numComponents, 3u);
+    EXPECT_EQ(result.label[0], result.label[2]);
+    EXPECT_EQ(result.label[3], result.label[5]);
+    EXPECT_NE(result.label[0], result.label[3]);
+    EXPECT_NE(result.label[6], result.label[0]);
+}
+
+TEST(ConnectedComponents, DirectionIgnored)
+{
+    // A directed chain is one undirected component.
+    std::vector<Edge> edges = {{0, 1}, {2, 1}, {2, 3}};
+    Graph graph(4, edges);
+    ComponentResult result = connectedComponents(graph);
+    EXPECT_EQ(result.numComponents, 1u);
+}
+
+TEST(ConnectedComponents, ActiveMaskSplitsGraph)
+{
+    Graph graph = makePath(5); // 0-1-2-3-4
+    std::vector<char> active(5, 1);
+    active[2] = 0; // removing the middle splits the path
+    ComponentResult result = connectedComponents(graph, active);
+    EXPECT_EQ(result.numComponents, 2u);
+    EXPECT_EQ(result.label[2], kInvalidVertex);
+    EXPECT_EQ(result.label[0], result.label[1]);
+    EXPECT_EQ(result.label[3], result.label[4]);
+    EXPECT_NE(result.label[0], result.label[3]);
+}
+
+TEST(ConnectedComponents, GiantSelection)
+{
+    // A 4-clique (12 directed edges) and a 2-path.
+    std::vector<Edge> edges;
+    for (VertexId u = 0; u < 4; ++u)
+        for (VertexId v = 0; v < 4; ++v)
+            if (u != v)
+                edges.push_back({u, v});
+    edges.push_back({4, 5});
+    edges.push_back({5, 4});
+    Graph graph(6, edges);
+    ComponentResult result = connectedComponents(graph);
+    ASSERT_EQ(result.numComponents, 2u);
+    EXPECT_EQ(result.giantByEdges(), result.label[0]);
+    EXPECT_EQ(result.giantByVertices(), result.label[0]);
+}
+
+TEST(ConnectedComponents, GiantByEdgesPrefersDenser)
+{
+    // Component A: star on 5 vertices (4 undirected edges,
+    // 5 vertices). Component B: 4-clique (6 undirected edges,
+    // 4 vertices). Giant-by-vertices is A, giant-by-edges is B.
+    std::vector<Edge> edges;
+    for (VertexId leaf = 1; leaf < 5; ++leaf) {
+        edges.push_back({0, leaf});
+        edges.push_back({leaf, 0});
+    }
+    for (VertexId u = 5; u < 9; ++u)
+        for (VertexId v = 5; v < 9; ++v)
+            if (u != v)
+                edges.push_back({u, v});
+    Graph graph(9, edges);
+    ComponentResult result = connectedComponents(graph);
+    ASSERT_EQ(result.numComponents, 2u);
+    EXPECT_EQ(result.giantByVertices(), result.label[0]);
+    EXPECT_EQ(result.giantByEdges(), result.label[5]);
+}
+
+TEST(ConnectedComponents, EmptyActiveMask)
+{
+    Graph graph = makePath(3);
+    std::vector<char> active(3, 0);
+    ComponentResult result = connectedComponents(graph, active);
+    EXPECT_EQ(result.numComponents, 0u);
+    EXPECT_EQ(result.giantByEdges(), kInvalidVertex);
+}
+
+TEST(ConnectedComponents, WrongMaskSizeThrows)
+{
+    Graph graph = makePath(3);
+    std::vector<char> active(2, 1);
+    EXPECT_THROW((void)connectedComponents(graph, active),
+                 std::invalid_argument);
+}
+
+TEST(ConnectedComponents, AgreesWithUnionFindOracle)
+{
+    Graph graph = generateErdosRenyi(300, 400, 5);
+    ComponentResult result = connectedComponents(graph);
+
+    UnionFind oracle(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        for (VertexId u : graph.outNeighbours(v))
+            oracle.unite(v, u);
+
+    EXPECT_EQ(result.numComponents, oracle.numComponents());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        for (VertexId u = v + 1; u < graph.numVertices(); ++u)
+            EXPECT_EQ(result.label[v] == result.label[u],
+                      oracle.connected(v, u));
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the Adjacency (CSR/CSC) container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/csr.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Adjacency, EmptyByDefault)
+{
+    Adjacency adj;
+    EXPECT_EQ(adj.numVertices(), 0u);
+    EXPECT_EQ(adj.numEdges(), 0u);
+}
+
+TEST(Adjacency, BuildFromArrays)
+{
+    Adjacency adj({0, 2, 3, 3}, {1, 2, 0});
+    EXPECT_EQ(adj.numVertices(), 3u);
+    EXPECT_EQ(adj.numEdges(), 3u);
+    EXPECT_EQ(adj.degree(0), 2u);
+    EXPECT_EQ(adj.degree(1), 1u);
+    EXPECT_EQ(adj.degree(2), 0u);
+}
+
+TEST(Adjacency, NeighboursSpan)
+{
+    Adjacency adj({0, 2, 3, 3}, {1, 2, 0});
+    auto n0 = adj.neighbours(0);
+    ASSERT_EQ(n0.size(), 2u);
+    EXPECT_EQ(n0[0], 1u);
+    EXPECT_EQ(n0[1], 2u);
+    EXPECT_TRUE(adj.neighbours(2).empty());
+}
+
+TEST(Adjacency, RejectsMalformedOffsets)
+{
+    EXPECT_THROW(Adjacency({}, {}), std::invalid_argument);
+    EXPECT_THROW(Adjacency({1, 2}, {0}), std::invalid_argument);
+    // back != edges.size()
+    EXPECT_THROW(Adjacency({0, 3}, {0}), std::invalid_argument);
+    // non-monotone
+    EXPECT_THROW(Adjacency({0, 2, 1, 3}, {0, 1, 2}),
+                 std::invalid_argument);
+}
+
+TEST(Adjacency, HasNeighbourBinarySearch)
+{
+    Adjacency adj({0, 3, 3}, {0, 3, 7});
+    EXPECT_TRUE(adj.hasNeighbour(0, 0));
+    EXPECT_TRUE(adj.hasNeighbour(0, 3));
+    EXPECT_TRUE(adj.hasNeighbour(0, 7));
+    EXPECT_FALSE(adj.hasNeighbour(0, 5));
+    EXPECT_FALSE(adj.hasNeighbour(1, 0));
+}
+
+TEST(Adjacency, SortNeighbours)
+{
+    Adjacency adj({0, 3}, {7, 3, 0});
+    EXPECT_FALSE(adj.neighboursSorted());
+    adj.sortNeighbours();
+    EXPECT_TRUE(adj.neighboursSorted());
+    EXPECT_EQ(adj.neighbours(0)[0], 0u);
+    EXPECT_EQ(adj.neighbours(0)[2], 7u);
+}
+
+TEST(Adjacency, EdgeIndices)
+{
+    Adjacency adj({0, 2, 5}, {1, 2, 0, 1, 2});
+    EXPECT_EQ(adj.beginEdge(0), 0u);
+    EXPECT_EQ(adj.endEdge(0), 2u);
+    EXPECT_EQ(adj.beginEdge(1), 2u);
+    EXPECT_EQ(adj.endEdge(1), 5u);
+}
+
+TEST(Adjacency, FootprintUsesPaperElementSizes)
+{
+    Adjacency adj({0, 2, 3}, {1, 0, 0});
+    // 3 offsets x 8 B + 3 edges x 4 B.
+    EXPECT_EQ(adj.footprintBytes(), 3 * 8 + 3 * 4);
+}
+
+TEST(BuildAdjacency, BySourceAndByDestination)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 2}, {2, 1}};
+    Adjacency csr = buildAdjacency(3, edges, /*by_source=*/true);
+    Adjacency csc = buildAdjacency(3, edges, /*by_source=*/false);
+
+    EXPECT_EQ(csr.degree(0), 2u); // out-degree
+    EXPECT_EQ(csr.degree(2), 1u);
+    EXPECT_EQ(csc.degree(1), 2u); // in-degree
+    EXPECT_EQ(csc.degree(0), 0u);
+    EXPECT_TRUE(csr.hasNeighbour(0, 2));
+    EXPECT_TRUE(csc.hasNeighbour(1, 2));
+}
+
+TEST(BuildAdjacency, ProducesSortedNeighbours)
+{
+    std::vector<Edge> edges = {{0, 9}, {0, 1}, {0, 5}, {0, 3}};
+    Adjacency csr = buildAdjacency(10, edges, true);
+    EXPECT_TRUE(csr.neighboursSorted());
+}
+
+TEST(BuildAdjacency, EmptyEdgeList)
+{
+    Adjacency csr = buildAdjacency(4, {}, true);
+    EXPECT_EQ(csr.numVertices(), 4u);
+    EXPECT_EQ(csr.numEdges(), 0u);
+    for (VertexId v = 0; v < 4; ++v)
+        EXPECT_EQ(csr.degree(v), 0u);
+}
+
+TEST(BuildAdjacency, DuplicateEdgesPreserved)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 1}, {0, 1}};
+    Adjacency csr = buildAdjacency(2, edges, true);
+    EXPECT_EQ(csr.degree(0), 3u);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for degree utilities and the paper's vertex classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/degree.h"
+#include "graph/generators.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Degree, DegreesVector)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 2}};
+    Graph graph(3, edges);
+    auto out = degrees(graph, Direction::Out);
+    auto in = degrees(graph, Direction::In);
+    EXPECT_EQ(out, (std::vector<EdgeId>{2, 1, 0}));
+    EXPECT_EQ(in, (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(Degree, HubThresholdIsSqrtV)
+{
+    Graph graph = makePath(100);
+    EXPECT_DOUBLE_EQ(hubThreshold(graph), 10.0);
+}
+
+TEST(Degree, StarCenterIsHub)
+{
+    // Star on 50 vertices: centre has degree 49 > sqrt(50).
+    Graph graph = makeStar(50);
+    EXPECT_TRUE(isInHub(graph, 0));
+    EXPECT_TRUE(isOutHub(graph, 0));
+    EXPECT_FALSE(isInHub(graph, 1));
+    EXPECT_EQ(inHubs(graph), std::vector<VertexId>{0});
+    EXPECT_EQ(outHubs(graph), std::vector<VertexId>{0});
+}
+
+TEST(Degree, ClassifyCounts)
+{
+    Graph graph = makeStar(50);
+    DegreeClassCounts counts = classifyDegrees(graph, Direction::Out);
+    // Average degree = 98/50 = 1.96: leaves have degree 1 (LDV),
+    // centre 49 (HDV and hub).
+    EXPECT_EQ(counts.lowDegree, 49u);
+    EXPECT_EQ(counts.highDegree, 1u);
+    EXPECT_EQ(counts.hubs, 1u);
+}
+
+TEST(Degree, Histogram)
+{
+    Graph graph = makeStar(5); // centre degree 4, leaves degree 1
+    auto histogram = degreeHistogram(graph, Direction::Out);
+    ASSERT_EQ(histogram.size(), 5u);
+    EXPECT_EQ(histogram[1], 4u);
+    EXPECT_EQ(histogram[4], 1u);
+    EXPECT_EQ(histogram[0], 0u);
+}
+
+TEST(Degree, MaxDegree)
+{
+    Graph graph = makeStar(17);
+    EXPECT_EQ(maxDegree(graph, Direction::Out), 16u);
+    EXPECT_EQ(maxDegree(graph, Direction::In), 16u);
+}
+
+TEST(LogDegreeBin, CanonicalBoundaries)
+{
+    EXPECT_EQ(logDegreeBin(0), 0u);
+    EXPECT_EQ(logDegreeBin(1), 1u);
+    EXPECT_EQ(logDegreeBin(2), 2u);
+    EXPECT_EQ(logDegreeBin(4), 2u);
+    EXPECT_EQ(logDegreeBin(5), 3u);
+    EXPECT_EQ(logDegreeBin(9), 3u);
+    EXPECT_EQ(logDegreeBin(10), 4u);
+    EXPECT_EQ(logDegreeBin(19), 4u);
+    EXPECT_EQ(logDegreeBin(20), 5u);
+    EXPECT_EQ(logDegreeBin(50), 6u);
+    EXPECT_EQ(logDegreeBin(100), 7u);
+    EXPECT_EQ(logDegreeBin(1000), 10u);
+}
+
+TEST(LogDegreeBin, BinLowInvertsBin)
+{
+    for (std::size_t bin = 0; bin < 25; ++bin)
+        EXPECT_EQ(logDegreeBin(logDegreeBinLow(bin)), bin);
+}
+
+/** Property sweep: bins are monotone and contain their lower edge. */
+class LogBinProperty : public ::testing::TestWithParam<EdgeId>
+{
+};
+
+TEST_P(LogBinProperty, MonotoneAndBounded)
+{
+    EdgeId degree = GetParam();
+    std::size_t bin = logDegreeBin(degree);
+    EXPECT_LE(logDegreeBinLow(bin), std::max<EdgeId>(degree, 1));
+    if (degree > 0)
+        EXPECT_LE(logDegreeBin(degree - 1), bin);
+    EXPECT_GE(logDegreeBin(degree + 1), bin);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, LogBinProperty,
+                         ::testing::Values(0, 1, 2, 3, 5, 9, 10, 49,
+                                           50, 99, 100, 999, 1000,
+                                           123456, 10000000));
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the synthetic generators, including the structural
+ * properties the paper's dataset analysis relies on (Section VII).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/degree.h"
+#include "graph/generators.h"
+#include "metrics/asymmetricity.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(SmallGraphs, PathShape)
+{
+    Graph graph = makePath(4);
+    EXPECT_EQ(graph.numVertices(), 4u);
+    EXPECT_EQ(graph.numEdges(), 6u); // 3 undirected edges, both ways
+    EXPECT_EQ(graph.outDegree(0), 1u);
+    EXPECT_EQ(graph.outDegree(1), 2u);
+}
+
+TEST(SmallGraphs, CycleShape)
+{
+    Graph graph = makeCycle(5);
+    EXPECT_EQ(graph.numEdges(), 10u);
+    for (VertexId v = 0; v < 5; ++v)
+        EXPECT_EQ(graph.outDegree(v), 2u);
+}
+
+TEST(SmallGraphs, StarShape)
+{
+    Graph graph = makeStar(6);
+    EXPECT_EQ(graph.outDegree(0), 5u);
+    EXPECT_EQ(graph.inDegree(0), 5u);
+    for (VertexId v = 1; v < 6; ++v)
+        EXPECT_EQ(graph.outDegree(v), 1u);
+}
+
+TEST(SmallGraphs, CompleteShape)
+{
+    Graph graph = makeComplete(5);
+    EXPECT_EQ(graph.numEdges(), 20u);
+    for (VertexId v = 0; v < 5; ++v)
+        EXPECT_EQ(graph.outDegree(v), 4u);
+}
+
+TEST(SmallGraphs, GridShape)
+{
+    Graph graph = makeGrid(3, 4);
+    EXPECT_EQ(graph.numVertices(), 12u);
+    // Corner has 2 neighbours, edge 3, inner 4.
+    EXPECT_EQ(graph.outDegree(0), 2u);
+    EXPECT_EQ(graph.outDegree(1), 3u);
+    EXPECT_EQ(graph.outDegree(5), 4u);
+}
+
+TEST(ErdosRenyi, SeedDeterminism)
+{
+    Graph a = generateErdosRenyi(500, 3000, 42);
+    Graph b = generateErdosRenyi(500, 3000, 42);
+    Graph c = generateErdosRenyi(500, 3000, 43);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(ErdosRenyi, RoughlyUniformDegrees)
+{
+    Graph graph = generateErdosRenyi(1000, 20000, 1);
+    // No vertex should be a sqrt(|V|) hub in a uniform graph of
+    // average degree ~20.
+    EXPECT_LT(maxDegree(graph, Direction::Out), 80u);
+}
+
+TEST(RMat, SkewedDegrees)
+{
+    RMatParams params;
+    params.scale = 12;
+    params.edgeFactor = 16;
+    Graph graph = generateRMat(params);
+    // R-MAT with Graph500 parameters produces hubs far above the
+    // uniform expectation.
+    EXPECT_GT(maxDegree(graph, Direction::Out), 200u);
+}
+
+TEST(RMat, RejectsBadProbabilities)
+{
+    RMatParams params;
+    params.a = 0.9;
+    params.b = 0.9;
+    EXPECT_THROW((void)generateRMat(params), std::invalid_argument);
+}
+
+TEST(SocialNetwork, SeedDeterminism)
+{
+    SocialNetworkParams params;
+    params.numVertices = 2000;
+    params.edgesPerVertex = 8;
+    Graph a = generateSocialNetwork(params);
+    Graph b = generateSocialNetwork(params);
+    EXPECT_EQ(a, b);
+    params.seed = 2;
+    EXPECT_NE(a, generateSocialNetwork(params));
+}
+
+TEST(SocialNetwork, HeavyTailedWithHubs)
+{
+    SocialNetworkParams params;
+    params.numVertices = 5000;
+    params.edgesPerVertex = 8;
+    Graph graph = generateSocialNetwork(params);
+    // Preferential attachment creates hubs well above sqrt(|V|)
+    // (community bias moderates the tail at this small test size).
+    EXPECT_GT(static_cast<double>(maxDegree(graph, Direction::In)),
+              1.5 * hubThreshold(graph));
+    EXPECT_FALSE(inHubs(graph).empty());
+    EXPECT_FALSE(outHubs(graph).empty());
+}
+
+TEST(SocialNetwork, InHubsAreNearlySymmetric)
+{
+    SocialNetworkParams params;
+    params.numVertices = 5000;
+    params.edgesPerVertex = 8;
+    Graph graph = generateSocialNetwork(params);
+    // Paper Fig. 4: social-network in-hubs are almost symmetric.
+    double hub_asym = 0.0;
+    auto hubs = inHubs(graph);
+    ASSERT_FALSE(hubs.empty());
+    for (VertexId v : hubs)
+        hub_asym += vertexAsymmetricity(graph, v);
+    hub_asym /= static_cast<double>(hubs.size());
+    EXPECT_LT(hub_asym, 0.15);
+}
+
+TEST(SocialNetwork, LdvMoreAsymmetricThanHubs)
+{
+    SocialNetworkParams params;
+    params.numVertices = 5000;
+    params.edgesPerVertex = 8;
+    Graph graph = generateSocialNetwork(params);
+    double threshold = hubThreshold(graph);
+    double ldv_sum = 0.0;
+    double hub_sum = 0.0;
+    std::uint64_t ldv_count = 0;
+    std::uint64_t hub_count = 0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (graph.inDegree(v) == 0)
+            continue;
+        double a = vertexAsymmetricity(graph, v);
+        if (static_cast<double>(graph.inDegree(v)) > threshold) {
+            hub_sum += a;
+            ++hub_count;
+        } else {
+            ldv_sum += a;
+            ++ldv_count;
+        }
+    }
+    ASSERT_GT(ldv_count, 0u);
+    ASSERT_GT(hub_count, 0u);
+    EXPECT_GT(ldv_sum / ldv_count, hub_sum / hub_count);
+}
+
+TEST(SocialNetwork, TooFewVerticesThrows)
+{
+    SocialNetworkParams params;
+    params.numVertices = 4;
+    params.edgesPerVertex = 8;
+    EXPECT_THROW((void)generateSocialNetwork(params),
+                 std::invalid_argument);
+}
+
+TEST(WebGraph, SeedDeterminism)
+{
+    WebGraphParams params;
+    params.numVertices = 3000;
+    Graph a = generateWebGraph(params);
+    Graph b = generateWebGraph(params);
+    EXPECT_EQ(a, b);
+}
+
+TEST(WebGraph, StrongInHubsWeakOutHubs)
+{
+    WebGraphParams params;
+    params.numVertices = 8000;
+    params.meanOutDegree = 15.0;
+    Graph graph = generateWebGraph(params);
+    // Paper Fig. 6: web graphs have powerful in-hubs but bounded
+    // out-degrees.
+    EXPECT_GT(maxDegree(graph, Direction::In),
+              2 * maxDegree(graph, Direction::Out));
+    EXPECT_LE(maxDegree(graph, Direction::Out), params.maxOutDegree);
+}
+
+TEST(WebGraph, HighAsymmetricityEverywhere)
+{
+    WebGraphParams params;
+    params.numVertices = 8000;
+    Graph graph = generateWebGraph(params);
+    // Paper Fig. 4: web graphs lack symmetric in-hubs.
+    EXPECT_GT(meanAsymmetricity(graph), 0.7);
+}
+
+TEST(WebGraph, ApproximatesRequestedAverageDegree)
+{
+    WebGraphParams params;
+    params.numVertices = 10000;
+    params.meanOutDegree = 20.0;
+    Graph graph = generateWebGraph(params);
+    EXPECT_GT(graph.averageDegree(), 10.0);
+    EXPECT_LT(graph.averageDegree(), 30.0);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the Graph class (paired CSR/CSC).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace gral
+{
+namespace
+{
+
+Graph
+triangle()
+{
+    std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+    return Graph(3, edges);
+}
+
+TEST(Graph, EmptyGraph)
+{
+    Graph graph;
+    EXPECT_EQ(graph.numVertices(), 0u);
+    EXPECT_EQ(graph.numEdges(), 0u);
+    EXPECT_EQ(graph.averageDegree(), 0.0);
+}
+
+TEST(Graph, DirectedTriangle)
+{
+    Graph graph = triangle();
+    EXPECT_EQ(graph.numVertices(), 3u);
+    EXPECT_EQ(graph.numEdges(), 3u);
+    for (VertexId v = 0; v < 3; ++v) {
+        EXPECT_EQ(graph.outDegree(v), 1u);
+        EXPECT_EQ(graph.inDegree(v), 1u);
+    }
+    EXPECT_DOUBLE_EQ(graph.averageDegree(), 1.0);
+}
+
+TEST(Graph, CsrCscConsistency)
+{
+    Graph graph = triangle();
+    // (u, v) in CSR iff (v has u as in-neighbour) in CSC.
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        for (VertexId u : graph.outNeighbours(v))
+            EXPECT_TRUE(graph.in().hasNeighbour(u, v));
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        for (VertexId u : graph.inNeighbours(v))
+            EXPECT_TRUE(graph.out().hasNeighbour(u, v));
+}
+
+TEST(Graph, EdgeListRoundTrip)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 2}, {3, 1}, {2, 2}};
+    std::sort(edges.begin(), edges.end());
+    Graph graph(4, edges);
+    std::vector<Edge> back = graph.edgeList();
+    std::sort(back.begin(), back.end());
+    EXPECT_EQ(back, edges);
+}
+
+TEST(Graph, MismatchedAdjacenciesRejected)
+{
+    Adjacency out({0, 1}, {0});
+    Adjacency in({0, 0, 0}, {});
+    EXPECT_THROW(Graph(std::move(out), std::move(in)),
+                 std::invalid_argument);
+}
+
+TEST(Graph, FootprintCountsBothDirections)
+{
+    Graph graph = triangle();
+    // 2 x ((|V|+1) x 8 + |E| x 4).
+    EXPECT_EQ(graph.footprintBytes(), 2 * (4 * 8 + 3 * 4));
+}
+
+TEST(Graph, GeneratedGraphConsistency)
+{
+    Graph graph = generateErdosRenyi(200, 1000, 7);
+    EXPECT_EQ(graph.out().numEdges(), graph.in().numEdges());
+    EdgeId out_sum = 0;
+    EdgeId in_sum = 0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        out_sum += graph.outDegree(v);
+        in_sum += graph.inDegree(v);
+    }
+    EXPECT_EQ(out_sum, graph.numEdges());
+    EXPECT_EQ(in_sum, graph.numEdges());
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for text and binary graph serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(TextIo, ParsesEdgeList)
+{
+    std::istringstream in("# comment\n0 1\n% other comment\n2 3\n\n1 2\n");
+    std::vector<Edge> edges = readEdgeListText(in);
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_EQ(edges[0], (Edge{0, 1}));
+    EXPECT_EQ(edges[1], (Edge{2, 3}));
+    EXPECT_EQ(edges[2], (Edge{1, 2}));
+}
+
+TEST(TextIo, RejectsGarbage)
+{
+    std::istringstream in("0 not-a-number\n");
+    EXPECT_THROW((void)readEdgeListText(in), std::runtime_error);
+}
+
+TEST(TextIo, RejectsHugeIds)
+{
+    std::istringstream in("0 99999999999\n");
+    EXPECT_THROW((void)readEdgeListText(in), std::runtime_error);
+}
+
+TEST(TextIo, RoundTrip)
+{
+    Graph graph = makeCycle(6);
+    std::ostringstream out;
+    writeEdgeListText(graph, out);
+    std::istringstream in(out.str());
+    std::vector<Edge> edges = readEdgeListText(in);
+    Graph back(graph.numVertices(), edges);
+    EXPECT_EQ(back, graph);
+}
+
+TEST(TextIo, MissingFileThrows)
+{
+    EXPECT_THROW((void)readEdgeListTextFile("/nonexistent/file.txt"),
+                 std::runtime_error);
+}
+
+TEST(BinaryIo, RoundTrip)
+{
+    Graph graph = generateErdosRenyi(300, 2000, 17);
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinary(graph, buffer);
+    Graph back = readBinary(buffer);
+    EXPECT_EQ(back, graph);
+}
+
+TEST(BinaryIo, RoundTripEmptyGraph)
+{
+    std::vector<Edge> no_edges;
+    Graph graph(3, no_edges);
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinary(graph, buffer);
+    Graph back = readBinary(buffer);
+    EXPECT_EQ(back, graph);
+}
+
+TEST(BinaryIo, BadMagicRejected)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    buffer << "NOTAGRPH" << std::string(64, '\0');
+    EXPECT_THROW((void)readBinary(buffer), std::runtime_error);
+}
+
+TEST(BinaryIo, TruncatedStreamRejected)
+{
+    Graph graph = makePath(10);
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinary(graph, buffer);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::istringstream truncated(bytes);
+    EXPECT_THROW((void)readBinary(truncated), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip)
+{
+    Graph graph = makeGrid(5, 5);
+    std::string path = testing::TempDir() + "/gral_io_test.bin";
+    writeBinaryFile(graph, path);
+    Graph back = readBinaryFile(path);
+    EXPECT_EQ(back, graph);
+}
+
+TEST(BinaryIo, MissingFileThrows)
+{
+    EXPECT_THROW((void)readBinaryFile("/nonexistent/graph.bin"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit and property tests for edge-balanced partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/partition.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Partition, CoversAllVerticesDisjointly)
+{
+    Graph graph = makeGrid(10, 10);
+    auto parts = edgeBalancedPartitions(graph, Direction::Out, 4);
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts.front().begin, 0u);
+    EXPECT_EQ(parts.back().end, graph.numVertices());
+    for (std::size_t i = 1; i < parts.size(); ++i)
+        EXPECT_EQ(parts[i].begin, parts[i - 1].end);
+}
+
+TEST(Partition, EdgeCountsRoughlyBalanced)
+{
+    Graph graph = generateErdosRenyi(2000, 20000, 3);
+    auto parts = edgeBalancedPartitions(graph, Direction::In, 8);
+    EdgeId total = 0;
+    EdgeId target = graph.numEdges() / 8;
+    for (const VertexRange &part : parts) {
+        EdgeId count = edgesInRange(graph, Direction::In, part);
+        total += count;
+        // Each partition within 50% of the ideal share (slack for
+        // boundary rounding).
+        EXPECT_LE(count, target * 3 / 2 + 64);
+    }
+    EXPECT_EQ(total, graph.numEdges());
+}
+
+TEST(Partition, SkewedHubGetsOwnPartition)
+{
+    // Star graph: the centre holds all in-edges; partitions after the
+    // centre's are mostly empty, but coverage must still hold.
+    Graph graph = makeStar(1000);
+    auto parts = edgeBalancedPartitions(graph, Direction::In, 4);
+    EdgeId total = 0;
+    for (const VertexRange &part : parts)
+        total += edgesInRange(graph, Direction::In, part);
+    EXPECT_EQ(total, graph.numEdges());
+    EXPECT_EQ(parts.back().end, graph.numVertices());
+}
+
+TEST(Partition, SinglePartition)
+{
+    Graph graph = makePath(10);
+    auto parts = edgeBalancedPartitions(graph, Direction::Out, 1);
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0].begin, 0u);
+    EXPECT_EQ(parts[0].end, 10u);
+}
+
+TEST(Partition, MorePartitionsThanVertices)
+{
+    Graph graph = makePath(3);
+    auto parts = edgeBalancedPartitions(graph, Direction::Out, 16);
+    EXPECT_EQ(parts.size(), 16u);
+    EXPECT_EQ(parts.back().end, graph.numVertices());
+    EdgeId total = 0;
+    for (const VertexRange &part : parts)
+        total += edgesInRange(graph, Direction::Out, part);
+    EXPECT_EQ(total, graph.numEdges());
+}
+
+class PartitionProperty : public ::testing::TestWithParam<VertexId>
+{
+};
+
+TEST_P(PartitionProperty, AlwaysDisjointAndComplete)
+{
+    VertexId num_parts = GetParam();
+    Graph graph = generateErdosRenyi(500, 5000, 11);
+    auto parts =
+        edgeBalancedPartitions(graph, Direction::In, num_parts);
+    ASSERT_EQ(parts.size(), num_parts);
+    VertexId cursor = 0;
+    for (const VertexRange &part : parts) {
+        EXPECT_EQ(part.begin, cursor);
+        EXPECT_LE(part.begin, part.end);
+        cursor = part.end;
+    }
+    EXPECT_EQ(cursor, graph.numVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PartitionProperty,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 499,
+                                           500, 777));
+
+} // namespace
+} // namespace gral

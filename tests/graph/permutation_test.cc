@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit and property tests for Permutation and applyPermutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "graph/permutation.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Permutation, Identity)
+{
+    Permutation p = Permutation::identity(5);
+    EXPECT_TRUE(p.isValid());
+    for (VertexId v = 0; v < 5; ++v)
+        EXPECT_EQ(p.newId(v), v);
+}
+
+TEST(Permutation, ValidityChecks)
+{
+    EXPECT_TRUE(Permutation({2, 0, 1}).isValid());
+    EXPECT_FALSE(Permutation({0, 0, 1}).isValid()); // repeated
+    EXPECT_FALSE(Permutation({0, 3, 1}).isValid()); // out of range
+    EXPECT_TRUE(
+        Permutation(std::vector<VertexId>{}).isValid()); // empty OK
+}
+
+TEST(Permutation, Inverse)
+{
+    Permutation p({2, 0, 1});
+    Permutation inv = p.inverse();
+    for (VertexId v = 0; v < 3; ++v)
+        EXPECT_EQ(inv.newId(p.newId(v)), v);
+}
+
+TEST(Permutation, ComposeAppliesRightFirst)
+{
+    Permutation first({1, 2, 0});  // v -> v+1 mod 3
+    Permutation second({2, 0, 1}); // v -> v-1 mod 3
+    Permutation composed = second.compose(first);
+    for (VertexId v = 0; v < 3; ++v)
+        EXPECT_EQ(composed.newId(v), second.newId(first.newId(v)));
+    // second undoes first here.
+    EXPECT_EQ(composed, Permutation::identity(3));
+}
+
+TEST(Permutation, ComposeSizeMismatchThrows)
+{
+    Permutation a = Permutation::identity(3);
+    Permutation b = Permutation::identity(4);
+    EXPECT_THROW((void)a.compose(b), std::invalid_argument);
+}
+
+TEST(ApplyPermutation, RelabelsEdges)
+{
+    std::vector<Edge> edges = {{0, 1}, {1, 2}};
+    Graph graph(3, edges);
+    Permutation p({2, 0, 1}); // 0->2, 1->0, 2->1
+    Graph relabeled = applyPermutation(graph, p);
+    EXPECT_TRUE(relabeled.out().hasNeighbour(2, 0)); // was (0,1)
+    EXPECT_TRUE(relabeled.out().hasNeighbour(0, 1)); // was (1,2)
+    EXPECT_EQ(relabeled.numEdges(), 2u);
+}
+
+TEST(ApplyPermutation, SizeMismatchThrows)
+{
+    Graph graph = makePath(4);
+    Permutation p = Permutation::identity(3);
+    EXPECT_THROW((void)applyPermutation(graph, p),
+                 std::invalid_argument);
+}
+
+TEST(ApplyPermutation, RelabelsVertexValues)
+{
+    std::vector<int> values = {10, 11, 12};
+    Permutation p({2, 0, 1});
+    std::vector<int> moved =
+        applyPermutation<int>(values, p);
+    EXPECT_EQ(moved[2], 10);
+    EXPECT_EQ(moved[0], 11);
+    EXPECT_EQ(moved[1], 12);
+}
+
+TEST(RandomPermutation, IsValidAndSeedDeterministic)
+{
+    Permutation a = randomPermutation(1000, 9);
+    Permutation b = randomPermutation(1000, 9);
+    Permutation c = randomPermutation(1000, 10);
+    EXPECT_TRUE(a.isValid());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+/** Property sweep: inverse composes to identity for random sizes. */
+class PermutationProperty : public ::testing::TestWithParam<VertexId>
+{
+};
+
+TEST_P(PermutationProperty, InverseComposesToIdentity)
+{
+    VertexId n = GetParam();
+    Permutation p = randomPermutation(n, 1234 + n);
+    ASSERT_TRUE(p.isValid());
+    EXPECT_EQ(p.inverse().compose(p), Permutation::identity(n));
+    EXPECT_EQ(p.compose(p.inverse()), Permutation::identity(n));
+}
+
+TEST_P(PermutationProperty, RelabelingPreservesStructure)
+{
+    VertexId n = GetParam();
+    if (n < 2)
+        return;
+    Graph graph = generateErdosRenyi(n, n * 4, n);
+    Permutation p = randomPermutation(graph.numVertices(), n);
+    Graph relabeled = applyPermutation(graph, p);
+
+    EXPECT_EQ(relabeled.numVertices(), graph.numVertices());
+    EXPECT_EQ(relabeled.numEdges(), graph.numEdges());
+    // Degree multiset must be preserved vertex-by-vertex under p.
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        EXPECT_EQ(relabeled.outDegree(p.newId(v)), graph.outDegree(v));
+        EXPECT_EQ(relabeled.inDegree(p.newId(v)), graph.inDegree(v));
+    }
+    // Applying the inverse returns the original graph.
+    EXPECT_EQ(applyPermutation(relabeled, p.inverse()), graph);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationProperty,
+                         ::testing::Values(1, 2, 3, 10, 64, 257,
+                                           1000));
+
+} // namespace
+} // namespace gral

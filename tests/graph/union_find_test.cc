@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the disjoint-set structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/union_find.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(UnionFind, StartsAsSingletons)
+{
+    UnionFind uf(5);
+    EXPECT_EQ(uf.numComponents(), 5u);
+    for (VertexId v = 0; v < 5; ++v) {
+        EXPECT_EQ(uf.find(v), v);
+        EXPECT_EQ(uf.componentSize(v), 1u);
+    }
+}
+
+TEST(UnionFind, UniteMergesOnce)
+{
+    UnionFind uf(4);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_FALSE(uf.unite(1, 0)); // already merged
+    EXPECT_EQ(uf.numComponents(), 3u);
+    EXPECT_TRUE(uf.connected(0, 1));
+    EXPECT_FALSE(uf.connected(0, 2));
+    EXPECT_EQ(uf.componentSize(0), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity)
+{
+    UnionFind uf(6);
+    uf.unite(0, 1);
+    uf.unite(2, 3);
+    uf.unite(1, 2);
+    EXPECT_TRUE(uf.connected(0, 3));
+    EXPECT_EQ(uf.componentSize(3), 4u);
+    EXPECT_EQ(uf.numComponents(), 3u); // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, ChainCollapsesToOne)
+{
+    const VertexId n = 1000;
+    UnionFind uf(n);
+    for (VertexId v = 1; v < n; ++v)
+        uf.unite(v - 1, v);
+    EXPECT_EQ(uf.numComponents(), 1u);
+    EXPECT_EQ(uf.componentSize(0), n);
+    EXPECT_EQ(uf.find(0), uf.find(n - 1));
+}
+
+TEST(UnionFind, SizeAccessor)
+{
+    UnionFind uf(17);
+    EXPECT_EQ(uf.size(), 17u);
+}
+
+} // namespace
+} // namespace gral

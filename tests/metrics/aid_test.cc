@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for N2N AID (paper Eq. 1) and the average gap profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "metrics/aid.h"
+#include "reorder/rabbit_order.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Aid, HandComputedExample)
+{
+    // Vertex 0 has in-neighbours {2, 5, 9}:
+    // AID = (|5-2| + |9-5|) / 3 = 7/3.
+    std::vector<Edge> edges = {{2, 0}, {5, 0}, {9, 0}};
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(10, edges, options);
+    EXPECT_DOUBLE_EQ(vertexAid(graph.in(), 0), 7.0 / 3.0);
+}
+
+TEST(Aid, FewerThanTwoNeighboursIsZero)
+{
+    std::vector<Edge> edges = {{1, 0}};
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(3, edges, options);
+    EXPECT_DOUBLE_EQ(vertexAid(graph.in(), 0), 0.0);
+    EXPECT_DOUBLE_EQ(vertexAid(graph.in(), 2), 0.0);
+}
+
+TEST(Aid, ConsecutiveNeighboursGiveSmallAid)
+{
+    // Neighbours {4, 5, 6}: AID = 2/3.
+    std::vector<Edge> edges = {{4, 0}, {5, 0}, {6, 0}};
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(7, edges, options);
+    EXPECT_DOUBLE_EQ(vertexAid(graph.in(), 0), 2.0 / 3.0);
+}
+
+TEST(Aid, PaperNonDeterminismExample)
+{
+    // The paper's caveat: {1600, 3200, 6400} -> {400, 800, 1600}
+    // reduces AID though the lines stay distinct.
+    std::vector<Edge> a = {{1600, 0}, {3200, 0}, {6400, 0}};
+    std::vector<Edge> b = {{400, 0}, {800, 0}, {1600, 0}};
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph ga = buildGraph(6401, a, options);
+    Graph gb = buildGraph(6401, b, options);
+    EXPECT_GT(vertexAid(ga.in(), 0), vertexAid(gb.in(), 0));
+}
+
+TEST(Aid, AllAidSizes)
+{
+    Graph graph = makeGrid(4, 4);
+    auto values = allAid(graph, Direction::In);
+    EXPECT_EQ(values.size(), graph.numVertices());
+    for (double value : values)
+        EXPECT_GE(value, 0.0);
+}
+
+TEST(Aid, DistributionBinsByDegree)
+{
+    Graph graph = makeStar(100);
+    auto dist = aidDegreeDistribution(graph, Direction::In);
+    auto rows = dist.rows();
+    ASSERT_FALSE(rows.empty());
+    // Leaves (degree 1, AID 0) and the centre (degree 99).
+    EXPECT_EQ(rows.front().degreeLow, 1u);
+    EXPECT_EQ(rows.front().count, 99u);
+    EXPECT_EQ(rows.back().count, 1u);
+    // Centre neighbours are 1..99: AID = 98/99.
+    EXPECT_NEAR(rows.back().mean(), 98.0 / 99.0, 1e-9);
+}
+
+TEST(Aid, MeanAidSkipsDegreeUnderTwo)
+{
+    std::vector<Edge> edges = {{2, 0}, {5, 0}, {9, 0}, {3, 1}};
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(10, edges, options);
+    // Only vertex 0 has >= 2 in-neighbours.
+    EXPECT_DOUBLE_EQ(meanAid(graph, Direction::In), 7.0 / 3.0);
+}
+
+TEST(Aid, RabbitOrderReducesAidOfClusteredGraph)
+{
+    // Scattered communities: RO must reduce in-AID (paper Fig. 3,
+    // LDV side).
+    const VertexId cliques = 10;
+    const VertexId size = 12;
+    std::vector<Edge> edges;
+    for (VertexId a = 0; a < cliques * size; ++a)
+        for (VertexId b = 0; b < cliques * size; ++b)
+            if (a != b && a % cliques == b % cliques)
+                edges.push_back({a, b});
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(cliques * size, edges, options);
+
+    RabbitOrder ra;
+    Graph relabeled = applyPermutation(graph, ra.reorder(graph));
+    EXPECT_LT(meanAid(relabeled, Direction::In),
+              meanAid(graph, Direction::In) / 2.0);
+}
+
+TEST(GapProfile, HandComputed)
+{
+    // Edges (0,3) and (2,1): mean gap = (3 + 1) / 2 = 2.
+    std::vector<Edge> edges = {{0, 3}, {2, 1}};
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(4, edges, options);
+    EXPECT_DOUBLE_EQ(averageGapProfile(graph), 2.0);
+}
+
+TEST(GapProfile, EmptyGraphIsZero)
+{
+    Graph graph;
+    EXPECT_DOUBLE_EQ(averageGapProfile(graph), 0.0);
+}
+
+TEST(GapProfile, AidMeasuresDifferentThingThanGap)
+{
+    // Neighbours of 0 are {100, 101}: far from 0 (large gap) but
+    // adjacent to each other (tiny AID) — the paper's argument for
+    // AID over the gap profile.
+    std::vector<Edge> edges = {{100, 0}, {101, 0}};
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(102, edges, options);
+    EXPECT_DOUBLE_EQ(vertexAid(graph.in(), 0), 0.5);
+    EXPECT_GT(averageGapProfile(graph), 99.0);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the asymmetricity metric (paper Section VII-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "metrics/asymmetricity.h"
+
+namespace gral
+{
+namespace
+{
+
+Graph
+fromEdges(VertexId n, std::vector<Edge> edges)
+{
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    return buildGraph(n, edges, options);
+}
+
+TEST(Asymmetricity, SymmetricPairIsZero)
+{
+    Graph graph = fromEdges(2, {{0, 1}, {1, 0}});
+    EXPECT_DOUBLE_EQ(vertexAsymmetricity(graph, 0), 0.0);
+    EXPECT_DOUBLE_EQ(vertexAsymmetricity(graph, 1), 0.0);
+}
+
+TEST(Asymmetricity, OneWayEdgeIsOne)
+{
+    Graph graph = fromEdges(2, {{0, 1}});
+    EXPECT_DOUBLE_EQ(vertexAsymmetricity(graph, 1), 1.0);
+    // Vertex 0 has no in-neighbours: defined as 0.
+    EXPECT_DOUBLE_EQ(vertexAsymmetricity(graph, 0), 0.0);
+}
+
+TEST(Asymmetricity, MixedFraction)
+{
+    // In-neighbours of 3: {0, 1, 2}; reciprocated: only 0.
+    Graph graph =
+        fromEdges(4, {{0, 3}, {3, 0}, {1, 3}, {2, 3}});
+    EXPECT_DOUBLE_EQ(vertexAsymmetricity(graph, 3), 2.0 / 3.0);
+}
+
+TEST(Asymmetricity, AllVector)
+{
+    Graph graph = fromEdges(3, {{0, 1}, {1, 0}, {2, 0}});
+    auto values = allAsymmetricity(graph);
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_DOUBLE_EQ(values[0], 0.5); // in: {1 (recip), 2 (not)}
+    EXPECT_DOUBLE_EQ(values[1], 0.0);
+    EXPECT_DOUBLE_EQ(values[2], 0.0); // no in-neighbours
+}
+
+TEST(Asymmetricity, SymmetricGraphIsZeroEverywhere)
+{
+    Graph graph = makeGrid(5, 5);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        EXPECT_DOUBLE_EQ(vertexAsymmetricity(graph, v), 0.0);
+    EXPECT_DOUBLE_EQ(meanAsymmetricity(graph), 0.0);
+}
+
+TEST(Asymmetricity, DistributionSkipsZeroInDegree)
+{
+    Graph graph = fromEdges(3, {{0, 1}});
+    auto dist = asymmetricityDegreeDistribution(graph);
+    // Only vertex 1 (in-degree 1) contributes.
+    EXPECT_EQ(dist.totalCount(), 1u);
+    EXPECT_DOUBLE_EQ(dist.overallMean(), 1.0);
+}
+
+TEST(Asymmetricity, PaperFigure4Contrast)
+{
+    // Social networks: symmetric in-hubs. Web graphs: asymmetric
+    // in-hubs. This is the structural contrast behind Fig. 4.
+    SocialNetworkParams sn;
+    sn.numVertices = 4000;
+    sn.edgesPerVertex = 8;
+    WebGraphParams wg;
+    wg.numVertices = 4000;
+    Graph social = generateSocialNetwork(sn);
+    Graph web = generateWebGraph(wg);
+
+    auto hub_mean = [](const Graph &graph) {
+        auto dist = asymmetricityDegreeDistribution(graph);
+        auto rows = dist.rows();
+        // Average over the top third of degree bins (the hub side).
+        double sum = 0.0;
+        std::uint64_t count = 0;
+        for (std::size_t i = rows.size() * 2 / 3; i < rows.size();
+             ++i) {
+            sum += rows[i].sum;
+            count += rows[i].count;
+        }
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    };
+    EXPECT_LT(hub_mean(social), 0.2);
+    EXPECT_GT(hub_mean(web), 0.8);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for CCDF, power-law MLE, and degree Gini.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "metrics/degree_distribution.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Ccdf, EmptyInput)
+{
+    std::vector<EdgeId> none;
+    EXPECT_TRUE(degreeCcdf(none).empty());
+}
+
+TEST(Ccdf, SimpleFractions)
+{
+    std::vector<EdgeId> degrees = {1, 1, 2, 5, 10};
+    auto ccdf = degreeCcdf(degrees);
+    ASSERT_GE(ccdf.size(), 4u);
+    EXPECT_EQ(ccdf[0].degree, 1u);
+    EXPECT_DOUBLE_EQ(ccdf[0].fraction, 1.0); // all >= 1
+    EXPECT_EQ(ccdf[1].degree, 2u);
+    EXPECT_DOUBLE_EQ(ccdf[1].fraction, 3.0 / 5.0);
+    EXPECT_EQ(ccdf[2].degree, 5u);
+    EXPECT_DOUBLE_EQ(ccdf[2].fraction, 2.0 / 5.0);
+    EXPECT_EQ(ccdf[3].degree, 10u);
+    EXPECT_DOUBLE_EQ(ccdf[3].fraction, 1.0 / 5.0);
+}
+
+TEST(Ccdf, MonotoneNonIncreasing)
+{
+    Graph graph = generateSocialNetwork({});
+    auto ccdf = degreeCcdf(graph, Direction::In);
+    for (std::size_t i = 1; i < ccdf.size(); ++i)
+        EXPECT_LE(ccdf[i].fraction, ccdf[i - 1].fraction);
+}
+
+TEST(PowerLawAlpha, RecoversSyntheticExponent)
+{
+    // Sample a discrete power law with alpha = 2.5 via inverse
+    // transform, then check the MLE lands near it.
+    SplitMix64 rng(9);
+    std::vector<EdgeId> degrees;
+    const double alpha = 2.5;
+    for (int i = 0; i < 200000; ++i) {
+        double u = rng.nextDouble();
+        double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+        // Round to the nearest integer so the d_min - 0.5 offset of
+        // the continuous-approximation MLE matches the discretization.
+        degrees.push_back(static_cast<EdgeId>(x + 0.5));
+    }
+    // Estimate in the tail (d >= 3), where the continuous
+    // approximation is accurate.
+    double estimate = powerLawAlpha(degrees, 3);
+    EXPECT_NEAR(estimate, alpha, 0.2);
+}
+
+TEST(PowerLawAlpha, TooFewSamplesGivesZero)
+{
+    std::vector<EdgeId> degrees = {5};
+    EXPECT_DOUBLE_EQ(powerLawAlpha(degrees, 1), 0.0);
+}
+
+TEST(Gini, UniformDegreesAreZero)
+{
+    std::vector<EdgeId> degrees(100, 7);
+    EXPECT_NEAR(degreeGini(degrees), 0.0, 1e-9);
+}
+
+TEST(Gini, ExtremeConcentrationNearOne)
+{
+    std::vector<EdgeId> degrees(1000, 0);
+    degrees[0] = 100000;
+    EXPECT_GT(degreeGini(degrees), 0.99);
+}
+
+TEST(Gini, SocialNetworkMoreSkewedThanUniformGraph)
+{
+    Graph social = generateSocialNetwork({});
+    Graph uniform = generateErdosRenyi(
+        social.numVertices(), social.numEdges(), 4);
+    EXPECT_GT(degreeGini(social, Direction::In),
+              degreeGini(uniform, Direction::In) + 0.1);
+}
+
+TEST(Gini, DegenerateInputs)
+{
+    std::vector<EdgeId> one = {5};
+    EXPECT_DOUBLE_EQ(degreeGini(one), 0.0);
+    std::vector<EdgeId> zeros(10, 0);
+    EXPECT_DOUBLE_EQ(degreeGini(zeros), 0.0);
+}
+
+} // namespace
+} // namespace gral

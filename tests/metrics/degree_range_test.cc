@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for degree range decomposition (paper Figure 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "metrics/degree_range.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(DecadeClass, Boundaries)
+{
+    EXPECT_EQ(decadeClass(0), 0u);
+    EXPECT_EQ(decadeClass(1), 0u);
+    EXPECT_EQ(decadeClass(10), 0u);
+    EXPECT_EQ(decadeClass(11), 1u);
+    EXPECT_EQ(decadeClass(100), 1u);
+    EXPECT_EQ(decadeClass(101), 2u);
+    EXPECT_EQ(decadeClass(1000), 2u);
+    EXPECT_EQ(decadeClass(10001), 4u);
+}
+
+TEST(DecadeClass, Labels)
+{
+    EXPECT_EQ(decadeClassLabel(0), "1-10");
+    EXPECT_EQ(decadeClassLabel(1), "10-100");
+    EXPECT_EQ(decadeClassLabel(2), "100-1K");
+    EXPECT_EQ(decadeClassLabel(3), "1K-10K");
+    EXPECT_EQ(decadeClassLabel(4), "10K-100K");
+    EXPECT_EQ(decadeClassLabel(5), "100K-1M");
+    EXPECT_EQ(decadeClassLabel(6), "1M-10M");
+}
+
+TEST(DegreeRange, RowsSumToHundred)
+{
+    SocialNetworkParams params;
+    params.numVertices = 2000;
+    params.edgesPerVertex = 8;
+    Graph graph = generateSocialNetwork(params);
+    auto result = degreeRangeDecomposition(graph);
+    for (std::size_t dst = 0; dst < result.percent.size(); ++dst) {
+        if (result.edgesPerClass[dst] == 0)
+            continue;
+        double sum = 0.0;
+        for (double cell : result.percent[dst])
+            sum += cell;
+        EXPECT_NEAR(sum, 100.0, 1e-6);
+    }
+}
+
+TEST(DegreeRange, EdgeTotalsMatchGraph)
+{
+    Graph graph = makeGrid(10, 10);
+    auto result = degreeRangeDecomposition(graph);
+    EdgeId total = 0;
+    for (EdgeId count : result.edgesPerClass)
+        total += count;
+    EXPECT_EQ(total, graph.numEdges());
+}
+
+TEST(DegreeRange, StarGraphPlacement)
+{
+    // Star on 200: centre in-degree 199 (class 2), leaves in-degree 1
+    // (class 0). Leaf in-edges all come from the centre whose
+    // out-degree is 199 (class 2).
+    Graph graph = makeStar(200);
+    auto result = degreeRangeDecomposition(graph);
+    ASSERT_GE(result.percent.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.percent[0][2], 100.0);
+    // Centre's in-edges come from leaves (out-degree 1, class 0).
+    EXPECT_DOUBLE_EQ(result.percent[2][0], 100.0);
+    EXPECT_EQ(result.edgesPerClass[0], 199u);
+    EXPECT_EQ(result.edgesPerClass[2], 199u);
+}
+
+TEST(DegreeRange, PaperFigure5Contrast)
+{
+    // Social networks: hub classes draw many edges from other hubs.
+    // Web graphs: every class is dominated by low-degree sources.
+    SocialNetworkParams sn;
+    sn.numVertices = 4000;
+    sn.edgesPerVertex = 8;
+    WebGraphParams wg;
+    wg.numVertices = 4000;
+    Graph social = generateSocialNetwork(sn);
+    Graph web = generateWebGraph(wg);
+
+    // Fraction of incoming edges of the top in-degree class that come
+    // from sources with out-degree > 100 (class >= 2).
+    auto hub_to_hub = [](const Graph &graph) {
+        auto result = degreeRangeDecomposition(graph);
+        std::size_t top = result.percent.size();
+        while (top > 0 && result.edgesPerClass[top - 1] == 0)
+            --top;
+        if (top == 0)
+            return 0.0;
+        double high_src = 0.0;
+        for (std::size_t src = 2; src < result.percent[top - 1].size();
+             ++src)
+            high_src += result.percent[top - 1][src];
+        return high_src;
+    };
+    EXPECT_GT(hub_to_hub(social), hub_to_hub(web));
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the degree-binned accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/distribution.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Distribution, EmptyHasNoRows)
+{
+    DegreeBinnedAccumulator acc;
+    EXPECT_TRUE(acc.rows().empty());
+    EXPECT_EQ(acc.totalCount(), 0u);
+    EXPECT_DOUBLE_EQ(acc.overallMean(), 0.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    DegreeBinnedAccumulator acc;
+    acc.add(7, 0.5);
+    auto rows = acc.rows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].degreeLow, 5u); // bin [5, 10)
+    EXPECT_EQ(rows[0].count, 1u);
+    EXPECT_DOUBLE_EQ(rows[0].mean(), 0.5);
+}
+
+TEST(Distribution, SamplesAggregateWithinBin)
+{
+    DegreeBinnedAccumulator acc;
+    acc.add(10, 1.0);
+    acc.add(15, 0.0);
+    acc.add(19, 0.5);
+    auto rows = acc.rows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].degreeLow, 10u);
+    EXPECT_EQ(rows[0].count, 3u);
+    EXPECT_DOUBLE_EQ(rows[0].mean(), 0.5);
+}
+
+TEST(Distribution, RowsAscendingSkippingEmpty)
+{
+    DegreeBinnedAccumulator acc;
+    acc.add(1000, 2.0);
+    acc.add(1, 1.0);
+    auto rows = acc.rows();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].degreeLow, 1u);
+    EXPECT_EQ(rows[1].degreeLow, 1000u);
+}
+
+TEST(Distribution, WeightedAdd)
+{
+    DegreeBinnedAccumulator acc;
+    acc.add(3, 10.0, 5); // 5 samples summing to 10
+    EXPECT_EQ(acc.totalCount(), 5u);
+    EXPECT_DOUBLE_EQ(acc.overallMean(), 2.0);
+}
+
+TEST(Distribution, OverallMeanSpansBins)
+{
+    DegreeBinnedAccumulator acc;
+    acc.add(1, 0.0);
+    acc.add(100, 1.0);
+    EXPECT_DOUBLE_EQ(acc.overallMean(), 0.5);
+}
+
+TEST(Distribution, DegreeZeroBin)
+{
+    DegreeBinnedAccumulator acc;
+    acc.add(0, 1.0);
+    auto rows = acc.rows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].degreeLow, 0u);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for hub edge-coverage curves (paper Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "metrics/hub_coverage.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(HubCoverage, StarCoveredByOneHub)
+{
+    Graph graph = makeStar(100);
+    auto curve = hubCoverage(graph, {1});
+    ASSERT_EQ(curve.size(), 1u);
+    // The centre holds half of all edges in each direction.
+    EXPECT_NEAR(curve[0].inHubEdgePercent, 50.0, 1e-9);
+    EXPECT_NEAR(curve[0].outHubEdgePercent, 50.0, 1e-9);
+}
+
+TEST(HubCoverage, FullSweepReachesHundred)
+{
+    Graph graph = makeGrid(8, 8);
+    auto curve = hubCoverage(graph, {graph.numVertices()});
+    EXPECT_NEAR(curve[0].inHubEdgePercent, 100.0, 1e-9);
+    EXPECT_NEAR(curve[0].outHubEdgePercent, 100.0, 1e-9);
+}
+
+TEST(HubCoverage, DefaultSweepIsDecadic)
+{
+    Graph graph = makeGrid(20, 20);
+    auto curve = hubCoverage(graph);
+    ASSERT_GE(curve.size(), 3u);
+    EXPECT_EQ(curve[0].hubCount, 1u);
+    EXPECT_EQ(curve[1].hubCount, 10u);
+    EXPECT_EQ(curve[2].hubCount, 100u);
+    EXPECT_EQ(curve.back().hubCount, graph.numVertices());
+}
+
+TEST(HubCoverage, MonotoneNonDecreasing)
+{
+    WebGraphParams params;
+    params.numVertices = 3000;
+    Graph graph = generateWebGraph(params);
+    auto curve = hubCoverage(graph);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].inHubEdgePercent,
+                  curve[i - 1].inHubEdgePercent);
+        EXPECT_GE(curve[i].outHubEdgePercent,
+                  curve[i - 1].outHubEdgePercent);
+    }
+}
+
+TEST(HubCoverage, ClampsOversizedH)
+{
+    Graph graph = makePath(10);
+    auto curve = hubCoverage(graph, {1000000});
+    EXPECT_NEAR(curve[0].inHubEdgePercent, 100.0, 1e-9);
+}
+
+TEST(HubCoverage, PaperFigure6Contrast)
+{
+    // Web graphs: in-hubs cover far more edges than out-hubs.
+    // Social networks: the two sides are comparable (hubs symmetric).
+    WebGraphParams wg;
+    wg.numVertices = 5000;
+    Graph web = generateWebGraph(wg);
+    SocialNetworkParams sn;
+    sn.numVertices = 5000;
+    sn.edgesPerVertex = 8;
+    Graph social = generateSocialNetwork(sn);
+
+    std::uint64_t h = 100;
+    auto web_curve = hubCoverage(web, {h});
+    auto social_curve = hubCoverage(social, {h});
+
+    EXPECT_GT(web_curve[0].inHubEdgePercent,
+              2.0 * web_curve[0].outHubEdgePercent);
+    // Social networks: out-hubs at least as powerful as in-hubs
+    // (paper Fig. 6 Twitter: out-hub coverage ~2x in-hub coverage at
+    // 100K hubs thanks to aggregator accounts).
+    double social_ratio = social_curve[0].inHubEdgePercent /
+                          social_curve[0].outHubEdgePercent;
+    EXPECT_GT(social_ratio, 0.25);
+    EXPECT_LT(social_ratio, 1.1);
+}
+
+TEST(HubsForCoverage, FindsMinimalPrefix)
+{
+    Graph graph = makeStar(100);
+    // 50% of edges are covered by the centre alone.
+    EXPECT_EQ(hubsForCoverage(graph, Direction::In, 50.0), 1u);
+    // 100% needs every leaf as well.
+    EXPECT_EQ(hubsForCoverage(graph, Direction::In, 100.0), 100u);
+    EXPECT_EQ(hubsForCoverage(graph, Direction::In, 0.0), 0u);
+}
+
+} // namespace
+} // namespace gral

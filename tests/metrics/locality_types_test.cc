@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the locality-type classifier (paper Section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "metrics/locality_types.h"
+
+namespace gral
+{
+namespace
+{
+
+Graph
+fromEdges(VertexId n, std::vector<Edge> edges)
+{
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    return buildGraph(n, edges, options);
+}
+
+TEST(LocalityTypes, EmptyGraph)
+{
+    Graph graph;
+    auto summary = classifyLocalityTypes(graph);
+    EXPECT_EQ(summary.edges, 0u);
+    EXPECT_DOUBLE_EQ(summary.typeI, 0.0);
+}
+
+TEST(LocalityTypes, TypeOneAdjacentNeighbours)
+{
+    // Vertex 0's in-neighbours {1, 2} share a line (8 elems/line);
+    // one consecutive pair out of 2 edges -> typeI = 0.5.
+    Graph graph = fromEdges(3, {{1, 0}, {2, 0}});
+    auto summary = classifyLocalityTypes(graph, Direction::In);
+    EXPECT_DOUBLE_EQ(summary.typeI, 0.5);
+}
+
+TEST(LocalityTypes, TypeOneFarNeighbours)
+{
+    Graph graph = fromEdges(101, {{10, 0}, {100, 0}});
+    auto summary = classifyLocalityTypes(graph, Direction::In);
+    EXPECT_DOUBLE_EQ(summary.typeI, 0.0);
+}
+
+TEST(LocalityTypes, TypeTwoSharedNeighbour)
+{
+    // Vertices 1 and 2 (consecutive) share in-neighbour 50.
+    Graph graph = fromEdges(51, {{50, 1}, {50, 2}});
+    auto summary = classifyLocalityTypes(graph, Direction::In);
+    EXPECT_GT(summary.typeII, 0.0);
+}
+
+TEST(LocalityTypes, TypeThreeNearbyDistinctNeighbours)
+{
+    // Vertices 1 and 2 have distinct in-neighbours 48 and 50 on the
+    // same 8-element line.
+    Graph graph = fromEdges(51, {{48, 1}, {50, 2}});
+    auto summary = classifyLocalityTypes(graph, Direction::In);
+    EXPECT_GT(summary.typeIII, 0.0);
+    EXPECT_DOUBLE_EQ(summary.typeII, 0.0);
+}
+
+TEST(LocalityTypes, WindowExtendsReach)
+{
+    // Shared neighbour between vertices 1 and 3 (delta 2): only seen
+    // with window >= 2.
+    Graph graph = fromEdges(51, {{50, 1}, {50, 3}});
+    LocalityTypeOptions narrow;
+    narrow.window = 1;
+    LocalityTypeOptions wide;
+    wide.window = 2;
+    EXPECT_DOUBLE_EQ(
+        classifyLocalityTypes(graph, Direction::In, narrow).typeII,
+        0.0);
+    EXPECT_GT(
+        classifyLocalityTypes(graph, Direction::In, wide).typeII,
+        0.0);
+}
+
+TEST(LocalityTypes, ShuffleDestroysLocality)
+{
+    Graph graph = makeGrid(60, 60);
+    auto ordered = classifyLocalityTypes(graph, Direction::In);
+    Graph shuffled = applyPermutation(
+        graph, randomPermutation(graph.numVertices(), 5));
+    auto scattered = classifyLocalityTypes(shuffled, Direction::In);
+    EXPECT_GT(ordered.typeI + ordered.typeIII,
+              2.0 * (scattered.typeI + scattered.typeIII));
+}
+
+} // namespace
+} // namespace gral

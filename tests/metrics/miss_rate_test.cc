@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the simulated miss-rate degree distribution (Figure 1)
+ * and threshold miss counting (Table III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/degree.h"
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "metrics/miss_rate.h"
+#include "spmv/trace_gen.h"
+
+namespace gral
+{
+namespace
+{
+
+SimulationOptions
+smallSim()
+{
+    SimulationOptions options;
+    options.cache.sizeBytes = 64 * 1024; // 64 KB keeps tests honest
+    options.cache.associativity = 8;
+    options.chunkSize = 64;
+    return options;
+}
+
+TEST(MissProfile, CountsOnlyDataAccesses)
+{
+    Graph graph = generateErdosRenyi(500, 4000, 3);
+    auto traces = generatePullTrace(graph, {});
+    auto reuse = degrees(graph, Direction::Out);
+    auto result = simulateMissProfile(traces, reuse, smallSim());
+    // Data accesses = |E| loads + |V| stores.
+    EXPECT_EQ(result.dataAccesses,
+              graph.numEdges() + graph.numVertices());
+    // Aggregate cache counters include topology accesses too.
+    EXPECT_GT(result.cache.accesses(), result.dataAccesses);
+    EXPECT_LE(result.dataMisses, result.dataAccesses);
+    EXPECT_GT(result.perDegree.totalCount(), 0u);
+}
+
+TEST(MissProfile, TinyGraphFitsInCacheAfterColdMisses)
+{
+    Graph graph = makeGrid(8, 8); // 64 vertices: data fits anywhere
+    auto traces = generatePullTrace(graph, {});
+    auto reuse = degrees(graph, Direction::Out);
+    SimulationOptions options = smallSim();
+    auto result = simulateMissProfile(traces, reuse, options);
+    // Vertex data spans 8 lines; every miss beyond compulsory would
+    // signal a simulator bug.
+    EXPECT_LE(result.dataMisses, 8u + graph.numVertices() / 8 + 2);
+}
+
+TEST(MissProfile, RandomOrderWorseThanIdentityOnClusteredGraph)
+{
+    // A grid in row-major order has excellent neighbour locality;
+    // shuffling IDs must raise the simulated miss rate (the premise
+    // of the whole paper).
+    Graph graph = makeGrid(150, 150);
+    auto reuse = degrees(graph, Direction::Out);
+    auto traces = generatePullTrace(graph, {});
+    auto base = simulateMissProfile(traces, reuse, smallSim());
+
+    Graph shuffled = applyPermutation(
+        graph, randomPermutation(graph.numVertices(), 99));
+    auto shuffled_reuse = degrees(shuffled, Direction::Out);
+    auto shuffled_traces = generatePullTrace(shuffled, {});
+    auto worse =
+        simulateMissProfile(shuffled_traces, shuffled_reuse,
+                            smallSim());
+
+    EXPECT_GT(worse.dataMissRate(), 2.0 * base.dataMissRate());
+}
+
+TEST(MissProfile, ThresholdCountsAreMonotone)
+{
+    SocialNetworkParams params;
+    params.numVertices = 3000;
+    params.edgesPerVertex = 8;
+    Graph graph = generateSocialNetwork(params);
+    auto traces = generatePullTrace(graph, {});
+    auto reuse = degrees(graph, Direction::Out);
+    SimulationOptions options = smallSim();
+    options.missThresholds = {0, 20, 100, 2000};
+    auto result = simulateMissProfile(traces, reuse, options);
+    ASSERT_EQ(result.missesAboveThreshold.size(), 4u);
+    // Higher thresholds can only reduce the count.
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_LE(result.missesAboveThreshold[i],
+                  result.missesAboveThreshold[i - 1]);
+    // Threshold 0 counts every data miss of vertices with degree > 0.
+    EXPECT_LE(result.missesAboveThreshold[0], result.dataMisses);
+}
+
+TEST(MissProfile, PerDegreeMeansAreRates)
+{
+    Graph graph = generateErdosRenyi(2000, 20000, 8);
+    auto traces = generatePullTrace(graph, {});
+    auto reuse = degrees(graph, Direction::Out);
+    auto result = simulateMissProfile(traces, reuse, smallSim());
+    for (const DegreeBinRow &row : result.perDegree.rows()) {
+        EXPECT_GE(row.mean(), 0.0);
+        EXPECT_LE(row.mean(), 1.0);
+    }
+}
+
+TEST(MissProfile, TlbCanBeDisabled)
+{
+    Graph graph = makeGrid(10, 10);
+    auto traces = generatePullTrace(graph, {});
+    auto reuse = degrees(graph, Direction::Out);
+    SimulationOptions options = smallSim();
+    options.simulateTlb = false;
+    auto result = simulateMissProfile(traces, reuse, options);
+    EXPECT_EQ(result.tlb.accesses(), 0u);
+    options.simulateTlb = true;
+    auto with_tlb = simulateMissProfile(traces, reuse, options);
+    EXPECT_GT(with_tlb.tlb.accesses(), 0u);
+}
+
+} // namespace
+} // namespace gral

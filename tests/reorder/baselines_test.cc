@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the baseline reorderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/degree.h"
+#include "graph/generators.h"
+#include "reorder/baselines.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(IdentityOrder, IsIdentity)
+{
+    Graph graph = makeGrid(4, 4);
+    IdentityOrder ra;
+    Permutation p = ra.reorder(graph);
+    EXPECT_EQ(p, Permutation::identity(graph.numVertices()));
+    EXPECT_EQ(ra.name(), "Identity");
+}
+
+TEST(RandomOrder, ValidAndSeeded)
+{
+    Graph graph = makeGrid(8, 8);
+    RandomOrder a(7);
+    RandomOrder b(7);
+    RandomOrder c(8);
+    Permutation pa = a.reorder(graph);
+    EXPECT_TRUE(pa.isValid());
+    EXPECT_EQ(pa, b.reorder(graph));
+    EXPECT_NE(pa, c.reorder(graph));
+}
+
+TEST(DegreeSort, DescendingByDegree)
+{
+    Graph graph = makeStar(10); // centre 0 has max degree
+    DegreeSort ra(Direction::Out, /*descending=*/true);
+    Permutation p = ra.reorder(graph);
+    ASSERT_TRUE(p.isValid());
+    EXPECT_EQ(p.newId(0), 0u); // hub first
+    // All leaves keep relative order (stable sort).
+    for (VertexId v = 1; v < 9; ++v)
+        EXPECT_LT(p.newId(v), p.newId(v + 1));
+}
+
+TEST(DegreeSort, Ascending)
+{
+    Graph graph = makeStar(10);
+    DegreeSort ra(Direction::Out, /*descending=*/false);
+    Permutation p = ra.reorder(graph);
+    EXPECT_EQ(p.newId(0), 9u); // hub last
+}
+
+TEST(DegreeSort, NewIdOrderMatchesDegreeOrder)
+{
+    Graph graph = generateErdosRenyi(300, 3000, 3);
+    DegreeSort ra(Direction::In, true);
+    Permutation p = ra.reorder(graph);
+    ASSERT_TRUE(p.isValid());
+    Permutation inv = p.inverse();
+    for (VertexId pos = 1; pos < graph.numVertices(); ++pos) {
+        EXPECT_GE(graph.inDegree(inv.newId(pos - 1)),
+                  graph.inDegree(inv.newId(pos)));
+    }
+}
+
+TEST(HubSort, HubsFirstByDegreeRestStable)
+{
+    SocialNetworkParams params;
+    params.numVertices = 2000;
+    params.edgesPerVertex = 6;
+    Graph graph = generateSocialNetwork(params);
+    HubSort ra(Direction::Out);
+    Permutation p = ra.reorder(graph);
+    ASSERT_TRUE(p.isValid());
+
+    auto hubs = outHubs(graph);
+    ASSERT_FALSE(hubs.empty());
+    // Every hub is placed before every non-hub.
+    double threshold = hubThreshold(graph);
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        bool is_hub =
+            static_cast<double>(graph.outDegree(v)) > threshold;
+        if (is_hub)
+            EXPECT_LT(p.newId(v), hubs.size());
+        else
+            EXPECT_GE(p.newId(v), hubs.size());
+    }
+}
+
+TEST(HubCluster, PreservesRelativeOrder)
+{
+    Graph graph = makeStar(30);
+    HubCluster ra(Direction::Out);
+    Permutation p = ra.reorder(graph);
+    ASSERT_TRUE(p.isValid());
+    EXPECT_EQ(p.newId(0), 0u);
+    for (VertexId v = 1; v + 1 < graph.numVertices(); ++v)
+        EXPECT_LT(p.newId(v), p.newId(v + 1));
+}
+
+TEST(Baselines, StatsPopulated)
+{
+    Graph graph = makeGrid(10, 10);
+    DegreeSort ra;
+    ra.reorder(graph);
+    EXPECT_GE(ra.stats().preprocessSeconds, 0.0);
+    EXPECT_GT(ra.stats().peakFootprintBytes, 0u);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the GOrder reorderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/degree.h"
+#include "graph/generators.h"
+#include "reorder/gorder.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(GOrder, ValidPermutationOnSmallGraphs)
+{
+    for (const Graph &graph :
+         {makePath(20), makeStar(20), makeGrid(5, 5), makeCycle(9)}) {
+        GOrder ra;
+        Permutation p = ra.reorder(graph);
+        EXPECT_TRUE(p.isValid());
+    }
+}
+
+TEST(GOrder, EmptyGraph)
+{
+    Graph graph;
+    GOrder ra;
+    Permutation p = ra.reorder(graph);
+    EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(GOrder, SeedIsMaxDegreeVertex)
+{
+    Graph graph = makeStar(50);
+    GOrder ra;
+    Permutation p = ra.reorder(graph);
+    EXPECT_EQ(p.newId(0), 0u); // the star centre seeds the order
+}
+
+TEST(GOrder, NeighboursOfSeedFollowIt)
+{
+    // Star: after the centre, every leaf has score 1 (edge to the
+    // centre), so leaves fill the next positions — no vertex can
+    // appear before a leaf that has score 0.
+    Graph graph = makeStar(20);
+    GOrder ra;
+    Permutation p = ra.reorder(graph);
+    for (VertexId leaf = 1; leaf < 20; ++leaf)
+        EXPECT_GT(p.newId(leaf), 0u);
+}
+
+TEST(GOrder, SiblingsClusterTogether)
+{
+    // Two disjoint "families": vertices sharing a common in-neighbour
+    // (siblings) should receive closer IDs than unrelated vertices.
+    // parents: 0 -> {2..9}, 1 -> {10..17}.
+    std::vector<Edge> edges;
+    for (VertexId child = 2; child < 10; ++child)
+        edges.push_back({0, child});
+    for (VertexId child = 10; child < 18; ++child)
+        edges.push_back({1, child});
+    Graph graph(18, edges);
+    GOrder ra;
+    Permutation p = ra.reorder(graph);
+    ASSERT_TRUE(p.isValid());
+
+    // Measure average intra-family ID spread vs inter-family spread.
+    auto spread = [&](VertexId lo, VertexId hi) {
+        double sum = 0.0;
+        int count = 0;
+        for (VertexId a = lo; a < hi; ++a)
+            for (VertexId b = a + 1; b < hi; ++b) {
+                sum += std::abs(static_cast<double>(p.newId(a)) -
+                                static_cast<double>(p.newId(b)));
+                ++count;
+            }
+        return sum / count;
+    };
+    double intra = (spread(2, 10) + spread(10, 18)) / 2.0;
+    // Random assignment would give intra spread ~ n/3 = 6; GOrder
+    // packs siblings adjacently.
+    EXPECT_LT(intra, 4.0);
+}
+
+TEST(GOrder, Deterministic)
+{
+    SocialNetworkParams params;
+    params.numVertices = 1000;
+    params.edgesPerVertex = 5;
+    Graph graph = generateSocialNetwork(params);
+    GOrder a;
+    GOrder b;
+    EXPECT_EQ(a.reorder(graph), b.reorder(graph));
+}
+
+TEST(GOrder, WindowSizeConfigurable)
+{
+    SocialNetworkParams params;
+    params.numVertices = 500;
+    params.edgesPerVertex = 5;
+    Graph graph = generateSocialNetwork(params);
+    GOrderConfig config;
+    config.windowSize = 10;
+    GOrder ra(config);
+    Permutation p = ra.reorder(graph);
+    EXPECT_TRUE(p.isValid());
+    EXPECT_EQ(ra.config().windowSize, 10u);
+}
+
+TEST(GOrder, HubCapDoesNotBreakValidity)
+{
+    Graph graph = makeStar(200);
+    GOrderConfig config;
+    config.maxExpandOutDegree = 4; // centre excluded from expansion
+    GOrder ra(config);
+    Permutation p = ra.reorder(graph);
+    EXPECT_TRUE(p.isValid());
+}
+
+TEST(GOrder, DisconnectedComponentsAllPlaced)
+{
+    std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2},
+                               {4, 5}, {5, 4}};
+    Graph graph(6, edges);
+    GOrder ra;
+    Permutation p = ra.reorder(graph);
+    EXPECT_TRUE(p.isValid());
+}
+
+TEST(GOrder, StatsPopulated)
+{
+    Graph graph = makeGrid(6, 6);
+    GOrder ra;
+    ra.reorder(graph);
+    EXPECT_GT(ra.stats().peakFootprintBytes, 0u);
+    EXPECT_GE(ra.stats().preprocessSeconds, 0.0);
+}
+
+} // namespace
+} // namespace gral

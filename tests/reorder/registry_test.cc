@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the reorderer registry and cross-RA invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "reorder/registry.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Registry, KnownNamesConstruct)
+{
+    for (const std::string &name : reordererNames()) {
+        ReordererPtr ra = makeReorderer(name);
+        ASSERT_NE(ra, nullptr) << name;
+        EXPECT_FALSE(ra->name().empty());
+    }
+}
+
+TEST(Registry, AliasesWork)
+{
+    EXPECT_EQ(makeReorderer("Bl")->name(), "Identity");
+    EXPECT_EQ(makeReorderer("SlashBurn")->name(), "SlashBurn");
+    EXPECT_EQ(makeReorderer("SB++")->name(), "SlashBurn++");
+    EXPECT_EQ(makeReorderer("GOrder")->name(), "GOrder");
+    EXPECT_EQ(makeReorderer("RO")->name(), "RabbitOrder");
+}
+
+TEST(Registry, UnknownNameThrows)
+{
+    EXPECT_THROW((void)makeReorderer("NotAnAlgorithm"),
+                 std::invalid_argument);
+}
+
+/** Every registered RA must emit a valid permutation on every graph
+ *  shape — the core contract of the paper's Section II-E. */
+class EveryRaProperty
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryRaProperty, ValidOnVariedShapes)
+{
+    ReordererPtr ra = makeReorderer(GetParam());
+    SocialNetworkParams sn;
+    sn.numVertices = 400;
+    sn.edgesPerVertex = 5;
+    WebGraphParams wg;
+    wg.numVertices = 400;
+    wg.meanOutDegree = 8;
+    for (const Graph &graph :
+         {makePath(30), makeStar(30), makeGrid(6, 6),
+          generateSocialNetwork(sn), generateWebGraph(wg)}) {
+        Permutation p = ra->reorder(graph);
+        EXPECT_TRUE(p.isValid()) << GetParam();
+        EXPECT_EQ(p.size(), graph.numVertices());
+    }
+}
+
+TEST_P(EveryRaProperty, RelabeledGraphPreservesEdgeCount)
+{
+    ReordererPtr ra = makeReorderer(GetParam());
+    WebGraphParams wg;
+    wg.numVertices = 300;
+    wg.meanOutDegree = 10;
+    Graph graph = generateWebGraph(wg);
+    Permutation p = ra->reorder(graph);
+    Graph relabeled = applyPermutation(graph, p);
+    EXPECT_EQ(relabeled.numEdges(), graph.numEdges());
+    EXPECT_EQ(relabeled.numVertices(), graph.numVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRas, EveryRaProperty,
+                         ::testing::ValuesIn(reordererNames()));
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for SlashBurn and SlashBurn++.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/datasets.h"
+#include "graph/builder.h"
+#include "graph/degree.h"
+#include "graph/generators.h"
+#include "reorder/order_util.h"
+#include "reorder/slashburn.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(SlashBurn, ValidPermutationOnSmallGraphs)
+{
+    for (const Graph &graph :
+         {makePath(20), makeStar(20), makeGrid(5, 5), makeCycle(9)}) {
+        SlashBurn ra;
+        Permutation p = ra.reorder(graph);
+        EXPECT_TRUE(p.isValid());
+        EXPECT_EQ(p.size(), graph.numVertices());
+    }
+}
+
+TEST(SlashBurn, StarCentreGetsIdZero)
+{
+    Graph graph = makeStar(100);
+    SlashBurn ra;
+    Permutation p = ra.reorder(graph);
+    ASSERT_TRUE(p.isValid());
+    // The hub is slashed first and hub-ordering is by degree.
+    EXPECT_EQ(p.newId(0), 0u);
+}
+
+TEST(SlashBurn, HubsGetLowIdsOnPowerLawGraph)
+{
+    SocialNetworkParams params;
+    params.numVertices = 3000;
+    params.edgesPerVertex = 6;
+    Graph graph = generateSocialNetwork(params);
+    SlashBurn ra;
+    Permutation p = ra.reorder(graph);
+    ASSERT_TRUE(p.isValid());
+
+    // The highest-degree vertex (by SB's own degree definition:
+    // distinct undirected neighbours) must land within the first
+    // slash (k = 2% of |V|).
+    std::vector<EdgeId> undirected = undirectedDegrees(graph);
+    VertexId top = 0;
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        if (undirected[v] > undirected[top])
+            top = v;
+    EXPECT_LT(p.newId(top), graph.numVertices() / 50 + 1);
+}
+
+TEST(SlashBurn, IterationLogRecorded)
+{
+    SocialNetworkParams params;
+    params.numVertices = 2000;
+    params.edgesPerVertex = 5;
+    Graph graph = generateSocialNetwork(params);
+    SlashBurnConfig config;
+    config.recordHistograms = true;
+    SlashBurn ra(config);
+    ra.reorder(graph);
+    ASSERT_FALSE(ra.iterationLog().empty());
+    EXPECT_EQ(ra.stats().iterations, ra.iterationLog().size());
+
+    // GCC shrinks monotonically (paper Fig. 2 behaviour).
+    VertexId previous = graph.numVertices();
+    for (const SlashBurnIteration &record : ra.iterationLog()) {
+        EXPECT_LE(record.gccVertices, previous);
+        previous = record.gccVertices;
+        // Histogram sums to the GCC vertex count.
+        VertexId total = 0;
+        for (VertexId count : record.gccDegreeHistogram)
+            total += count;
+        EXPECT_EQ(total, record.gccVertices);
+    }
+}
+
+TEST(SlashBurn, GccMaxDegreeDecays)
+{
+    // Paper Section VI-A: after a few iterations the GCC loses its
+    // power-law hubs.
+    SocialNetworkParams params;
+    params.numVertices = 3000;
+    params.edgesPerVertex = 6;
+    Graph graph = generateSocialNetwork(params);
+    SlashBurn ra;
+    ra.reorder(graph);
+    const auto &log = ra.iterationLog();
+    ASSERT_GE(log.size(), 2u);
+    EXPECT_LT(log.back().gccMaxDegree, log.front().gccMaxDegree);
+}
+
+TEST(SlashBurnPp, StopsEarlierThanSlashBurn)
+{
+    SocialNetworkParams params;
+    params.numVertices = 3000;
+    params.edgesPerVertex = 6;
+    Graph graph = generateSocialNetwork(params);
+
+    SlashBurn sb;
+    sb.reorder(graph);
+
+    SlashBurnConfig config;
+    config.earlyStop = true;
+    SlashBurn sbpp(config);
+    Permutation p = sbpp.reorder(graph);
+
+    EXPECT_TRUE(p.isValid());
+    EXPECT_LE(sbpp.stats().iterations, sb.stats().iterations);
+    EXPECT_EQ(sbpp.name(), "SlashBurn++");
+    EXPECT_EQ(sb.name(), "SlashBurn");
+}
+
+TEST(SlashBurn, MaxIterationsCap)
+{
+    SocialNetworkParams params;
+    params.numVertices = 2000;
+    params.edgesPerVertex = 5;
+    Graph graph = generateSocialNetwork(params);
+    SlashBurnConfig config;
+    config.maxIterations = 2;
+    SlashBurn ra(config);
+    Permutation p = ra.reorder(graph);
+    EXPECT_TRUE(p.isValid());
+    EXPECT_LE(ra.stats().iterations, 2u);
+}
+
+TEST(SlashBurn, Deterministic)
+{
+    Graph graph = makeDataset("twtr-s", 0.02);
+    SlashBurn a;
+    SlashBurn b;
+    EXPECT_EQ(a.reorder(graph), b.reorder(graph));
+}
+
+TEST(SlashBurn, DisconnectedGraph)
+{
+    // Two components: SlashBurn must still emit a bijection.
+    std::vector<Edge> edges;
+    for (VertexId v = 1; v < 20; ++v) {
+        edges.push_back({0, v});
+        edges.push_back({v, 0});
+    }
+    for (VertexId v = 21; v < 30; ++v) {
+        edges.push_back({20, v});
+        edges.push_back({v, 20});
+    }
+    BuildOptions options;
+    options.removeZeroDegree = false;
+    Graph graph = buildGraph(30, edges, options);
+    SlashBurn ra;
+    Permutation p = ra.reorder(graph);
+    EXPECT_TRUE(p.isValid());
+}
+
+TEST(SlashBurn, TinyGraphsDoNotCrash)
+{
+    for (VertexId n : {1u, 2u, 3u}) {
+        Graph graph = makePath(n);
+        SlashBurn ra;
+        Permutation p = ra.reorder(graph);
+        EXPECT_TRUE(p.isValid());
+    }
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the UnitHeap priority structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "reorder/unit_heap.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(UnitHeap, StartsFull)
+{
+    UnitHeap heap(5);
+    EXPECT_EQ(heap.size(), 5u);
+    EXPECT_FALSE(heap.empty());
+    for (VertexId v = 0; v < 5; ++v) {
+        EXPECT_TRUE(heap.contains(v));
+        EXPECT_EQ(heap.key(v), 0);
+    }
+}
+
+TEST(UnitHeap, ExtractMaxPicksHighestKey)
+{
+    UnitHeap heap(4);
+    heap.increment(2);
+    heap.increment(2);
+    heap.increment(1);
+    EXPECT_EQ(heap.extractMax(), 2u);
+    EXPECT_EQ(heap.extractMax(), 1u);
+    EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(UnitHeap, DefaultTieBreakIsAscendingId)
+{
+    UnitHeap heap(4);
+    EXPECT_EQ(heap.extractMax(), 0u);
+    EXPECT_EQ(heap.extractMax(), 1u);
+}
+
+TEST(UnitHeap, PriorityOrderTieBreak)
+{
+    std::vector<VertexId> order = {3, 1, 0, 2};
+    UnitHeap heap(4, order);
+    EXPECT_EQ(heap.extractMax(), 3u);
+    EXPECT_EQ(heap.extractMax(), 1u);
+    heap.increment(2);
+    EXPECT_EQ(heap.extractMax(), 2u);
+    EXPECT_EQ(heap.extractMax(), 0u);
+    EXPECT_TRUE(heap.empty());
+}
+
+TEST(UnitHeap, DecrementFloorsAtZero)
+{
+    UnitHeap heap(2);
+    heap.decrement(0);
+    EXPECT_EQ(heap.key(0), 0);
+    heap.increment(0);
+    heap.decrement(0);
+    EXPECT_EQ(heap.key(0), 0);
+}
+
+TEST(UnitHeap, IncrementDecrementRoundTrip)
+{
+    UnitHeap heap(3);
+    heap.increment(1);
+    heap.increment(1);
+    heap.decrement(1);
+    EXPECT_EQ(heap.key(1), 1);
+    EXPECT_EQ(heap.extractMax(), 1u);
+}
+
+TEST(UnitHeap, RemoveSkipsVertex)
+{
+    UnitHeap heap(3);
+    heap.increment(0);
+    heap.remove(0);
+    EXPECT_FALSE(heap.contains(0));
+    EXPECT_EQ(heap.extractMax(), 1u);
+    EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(UnitHeap, ExtractedVerticesNotContained)
+{
+    UnitHeap heap(3);
+    VertexId v = heap.extractMax();
+    EXPECT_FALSE(heap.contains(v));
+}
+
+TEST(UnitHeap, DrainsCompletely)
+{
+    const VertexId n = 100;
+    UnitHeap heap(n);
+    std::vector<char> seen(n, 0);
+    while (!heap.empty())
+        seen[heap.extractMax()] = 1;
+    for (VertexId v = 0; v < n; ++v)
+        EXPECT_TRUE(seen[v]);
+}
+
+TEST(UnitHeap, ManyIncrementsGrowBuckets)
+{
+    UnitHeap heap(2);
+    for (int i = 0; i < 1000; ++i)
+        heap.increment(1);
+    EXPECT_EQ(heap.key(1), 1000);
+    EXPECT_EQ(heap.extractMax(), 1u);
+}
+
+TEST(UnitHeap, MaxKeyTracksAfterExtraction)
+{
+    UnitHeap heap(3);
+    heap.increment(0);
+    heap.increment(0);
+    heap.increment(1);
+    EXPECT_EQ(heap.extractMax(), 0u); // key 2
+    EXPECT_EQ(heap.extractMax(), 1u); // key 1 found after top decay
+    EXPECT_EQ(heap.extractMax(), 2u); // key 0
+}
+
+} // namespace
+} // namespace gral

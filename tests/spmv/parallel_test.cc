@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the parallel SpMV driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "spmv/parallel.h"
+#include "spmv/spmv.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(ParallelSpmv, MatchesSequential)
+{
+    Graph graph = generateErdosRenyi(2000, 20000, 33);
+    std::vector<double> src(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        src[v] = static_cast<double>(v % 13);
+    std::vector<double> sequential(graph.numVertices());
+    std::vector<double> parallel(graph.numVertices(), -1.0);
+    spmvPull(graph, src, sequential);
+
+    ParallelOptions options;
+    options.numThreads = 4;
+    ParallelResult result =
+        spmvPullParallel(graph, src, parallel, options);
+    EXPECT_EQ(sequential, parallel);
+    EXPECT_GE(result.wallMs, 0.0);
+    EXPECT_GE(result.idlePercent, 0.0);
+    EXPECT_LE(result.idlePercent, 100.0);
+}
+
+TEST(ParallelSpmv, ReadSumBothDirections)
+{
+    Graph graph = generateErdosRenyi(1000, 8000, 44);
+    std::vector<double> src(graph.numVertices(), 1.0);
+    std::vector<double> expected(graph.numVertices());
+    std::vector<double> actual(graph.numVertices());
+
+    for (Direction direction : {Direction::In, Direction::Out}) {
+        readSum(graph, direction, src, expected);
+        readSumParallel(graph, direction, src, actual);
+        EXPECT_EQ(expected, actual);
+    }
+}
+
+TEST(ParallelSpmv, SingleThreadDegenerate)
+{
+    Graph graph = makeGrid(8, 8);
+    std::vector<double> src(graph.numVertices(), 3.0);
+    std::vector<double> sequential(graph.numVertices());
+    std::vector<double> parallel(graph.numVertices());
+    spmvPull(graph, src, sequential);
+    ParallelOptions options;
+    options.numThreads = 1;
+    options.partitionsPerThread = 1;
+    spmvPullParallel(graph, src, parallel, options);
+    EXPECT_EQ(sequential, parallel);
+}
+
+TEST(ParallelSpmv, PushMatchesSequentialPush)
+{
+    Graph graph = generateErdosRenyi(1500, 15000, 55);
+    std::vector<double> src(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        src[v] = static_cast<double>(v % 7) + 0.5;
+    std::vector<double> sequential(graph.numVertices());
+    std::vector<double> parallel(graph.numVertices(), -1.0);
+    spmvPush(graph, src, sequential);
+    ParallelOptions options;
+    options.numThreads = 4;
+    ParallelResult result =
+        spmvPushParallel(graph, src, parallel, options);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        EXPECT_DOUBLE_EQ(sequential[v], parallel[v]) << v;
+    EXPECT_GE(result.wallMs, 0.0);
+}
+
+TEST(ParallelSpmv, PushMatchesPullParallel)
+{
+    Graph graph = generateErdosRenyi(800, 9000, 66);
+    std::vector<double> src(graph.numVertices(), 2.5);
+    std::vector<double> pull(graph.numVertices());
+    std::vector<double> push(graph.numVertices());
+    ParallelOptions options;
+    options.numThreads = 3;
+    spmvPullParallel(graph, src, pull, options);
+    spmvPushParallel(graph, src, push, options);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        EXPECT_NEAR(pull[v], push[v], 1e-9);
+}
+
+TEST(ParallelSpmv, PushSingleThread)
+{
+    Graph graph = makeStar(300);
+    std::vector<double> src(graph.numVertices(), 1.0);
+    std::vector<double> expected(graph.numVertices());
+    std::vector<double> actual(graph.numVertices());
+    spmvPush(graph, src, expected);
+    ParallelOptions options;
+    options.numThreads = 1;
+    spmvPushParallel(graph, src, actual, options);
+    EXPECT_EQ(expected, actual);
+}
+
+TEST(ParallelSpmv, ManyPartitions)
+{
+    Graph graph = makeStar(500);
+    std::vector<double> src(graph.numVertices(), 1.0);
+    std::vector<double> sequential(graph.numVertices());
+    std::vector<double> parallel(graph.numVertices());
+    spmvPull(graph, src, sequential);
+    ParallelOptions options;
+    options.numThreads = 3;
+    options.partitionsPerThread = 32;
+    spmvPullParallel(graph, src, parallel, options);
+    EXPECT_EQ(sequential, parallel);
+}
+
+} // namespace
+} // namespace gral

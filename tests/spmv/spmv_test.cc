@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the SpMV kernels, including pull/push equivalence and a
+ * dense matrix-vector oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "spmv/spmv.h"
+
+namespace gral
+{
+namespace
+{
+
+std::vector<double>
+denseOracle(const Graph &graph, const std::vector<double> &src)
+{
+    // dst[v] = sum over edges (u -> v) of src[u].
+    std::vector<double> dst(graph.numVertices(), 0.0);
+    for (VertexId u = 0; u < graph.numVertices(); ++u)
+        for (VertexId v : graph.outNeighbours(u))
+            dst[v] += src[u];
+    return dst;
+}
+
+TEST(Spmv, PullMatchesHandComputed)
+{
+    // 0 -> 1, 0 -> 2, 1 -> 2.
+    std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 2}};
+    Graph graph(3, edges);
+    std::vector<double> src = {1.0, 2.0, 4.0};
+    std::vector<double> dst(3, -1.0);
+    spmvPull(graph, src, dst);
+    EXPECT_DOUBLE_EQ(dst[0], 0.0);
+    EXPECT_DOUBLE_EQ(dst[1], 1.0);
+    EXPECT_DOUBLE_EQ(dst[2], 3.0);
+}
+
+TEST(Spmv, PushMatchesPull)
+{
+    Graph graph = generateErdosRenyi(500, 5000, 21);
+    std::vector<double> src(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        src[v] = static_cast<double>(v % 17) + 0.5;
+    std::vector<double> pull(graph.numVertices());
+    std::vector<double> push(graph.numVertices());
+    spmvPull(graph, src, pull);
+    spmvPush(graph, src, push);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        EXPECT_DOUBLE_EQ(pull[v], push[v]) << "vertex " << v;
+}
+
+TEST(Spmv, PullMatchesDenseOracle)
+{
+    Graph graph = generateErdosRenyi(200, 2000, 5);
+    std::vector<double> src(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        src[v] = 1.0 / (1.0 + v);
+    std::vector<double> dst(graph.numVertices());
+    spmvPull(graph, src, dst);
+    std::vector<double> oracle = denseOracle(graph, src);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        EXPECT_NEAR(dst[v], oracle[v], 1e-9);
+}
+
+TEST(Spmv, ReadSumDirections)
+{
+    // In a symmetric graph CSC and CSR read-sums agree.
+    Graph graph = makeGrid(6, 6);
+    std::vector<double> src(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        src[v] = static_cast<double>(v);
+    std::vector<double> in_sum(graph.numVertices());
+    std::vector<double> out_sum(graph.numVertices());
+    readSum(graph, Direction::In, src, in_sum);
+    readSum(graph, Direction::Out, src, out_sum);
+    EXPECT_EQ(in_sum, out_sum);
+}
+
+TEST(Spmv, ReadSumAsymmetric)
+{
+    std::vector<Edge> edges = {{0, 1}};
+    Graph graph(2, edges);
+    std::vector<double> src = {5.0, 7.0};
+    std::vector<double> in_sum(2);
+    std::vector<double> out_sum(2);
+    readSum(graph, Direction::In, src, in_sum);  // in-nbrs: 1 <- 0
+    readSum(graph, Direction::Out, src, out_sum); // out-nbrs: 0 -> 1
+    EXPECT_DOUBLE_EQ(in_sum[1], 5.0);
+    EXPECT_DOUBLE_EQ(in_sum[0], 0.0);
+    EXPECT_DOUBLE_EQ(out_sum[0], 7.0);
+    EXPECT_DOUBLE_EQ(out_sum[1], 0.0);
+}
+
+TEST(Spmv, RangeMatchesFull)
+{
+    Graph graph = generateErdosRenyi(100, 800, 9);
+    std::vector<double> src(graph.numVertices(), 2.0);
+    std::vector<double> full(graph.numVertices());
+    std::vector<double> ranged(graph.numVertices(), 0.0);
+    spmvPull(graph, src, full);
+    spmvPullRange(graph, src, ranged, 0, 50);
+    spmvPullRange(graph, src, ranged, 50, graph.numVertices());
+    EXPECT_EQ(full, ranged);
+}
+
+TEST(Spmv, IterationsConverge)
+{
+    // On a symmetric connected graph the normalized power iteration
+    // stays bounded in (0, 1].
+    Graph graph = makeCycle(50);
+    std::vector<double> result = spmvIterations(graph, 20);
+    for (double value : result) {
+        EXPECT_GT(value, 0.0);
+        EXPECT_LE(value, 1.0);
+    }
+}
+
+TEST(Spmv, ZeroIterationsIsAllOnes)
+{
+    Graph graph = makePath(5);
+    std::vector<double> result = spmvIterations(graph, 0);
+    for (double value : result)
+        EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+} // namespace
+} // namespace gral

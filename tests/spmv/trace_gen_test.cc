@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for instrumented-traversal trace generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "spmv/trace_gen.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(AddressMap, RegionsClassify)
+{
+    AddressMap map;
+    EXPECT_EQ(map.regionOf(map.offsetsAddr(5)), AccessRegion::Offsets);
+    EXPECT_EQ(map.regionOf(map.edgesAddr(5)), AccessRegion::EdgesArr);
+    EXPECT_EQ(map.regionOf(map.dataOldAddr(5)), AccessRegion::DataOld);
+    EXPECT_EQ(map.regionOf(map.dataNewAddr(5)), AccessRegion::DataNew);
+    EXPECT_EQ(map.regionOf(0x42), AccessRegion::Other);
+}
+
+TEST(AddressMap, ElementStrides)
+{
+    AddressMap map;
+    EXPECT_EQ(map.offsetsAddr(1) - map.offsetsAddr(0), kOffsetBytes);
+    EXPECT_EQ(map.edgesAddr(1) - map.edgesAddr(0), kEdgeBytes);
+    EXPECT_EQ(map.dataOldAddr(1) - map.dataOldAddr(0),
+              kVertexDataBytes);
+}
+
+TEST(PullTrace, AccessCountFormula)
+{
+    Graph graph = generateErdosRenyi(200, 1500, 6);
+    TraceOptions options;
+    options.numThreads = 4;
+    auto traces = generatePullTrace(graph, options);
+    EXPECT_EQ(traces.size(), 4u);
+    // Per vertex: 1 offsets load + 1 result store; per edge: 1 edges
+    // load + 1 data load.
+    std::size_t expected = 2ull * graph.numVertices() +
+                           2ull * graph.numEdges();
+    EXPECT_EQ(traceAccessCount(traces), expected);
+}
+
+TEST(PullTrace, WithoutTopology)
+{
+    Graph graph = makeGrid(5, 5);
+    TraceOptions options;
+    options.numThreads = 1;
+    options.traceOffsets = false;
+    options.traceEdges = false;
+    auto traces = generatePullTrace(graph, options);
+    EXPECT_EQ(traceAccessCount(traces),
+              graph.numVertices() + graph.numEdges());
+    for (const MemoryAccess &access : traces[0]) {
+        EXPECT_TRUE(access.region == AccessRegion::DataOld ||
+                    access.region == AccessRegion::DataNew);
+    }
+}
+
+TEST(PullTrace, DataVertexTagsMatchNeighbours)
+{
+    std::vector<Edge> edges = {{0, 1}, {2, 1}};
+    Graph graph(3, edges);
+    TraceOptions options;
+    options.numThreads = 1;
+    options.traceOffsets = false;
+    options.traceEdges = false;
+    auto traces = generatePullTrace(graph, options);
+    // Vertex 1's in-neighbours are {0, 2}: its two data loads must be
+    // tagged with 0 and 2; each store is tagged with its own vertex.
+    std::vector<VertexId> loads;
+    std::vector<VertexId> stores;
+    for (const MemoryAccess &access : traces[0]) {
+        if (access.isWrite)
+            stores.push_back(access.dataVertex);
+        else
+            loads.push_back(access.dataVertex);
+    }
+    EXPECT_EQ(loads, (std::vector<VertexId>{0, 2}));
+    EXPECT_EQ(stores, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(PullTrace, LoadsAreReadsStoresAreWrites)
+{
+    Graph graph = makeStar(20);
+    auto traces = generatePullTrace(graph, {});
+    for (const ThreadTrace &trace : traces) {
+        for (const MemoryAccess &access : trace) {
+            if (access.region == AccessRegion::DataNew)
+                EXPECT_TRUE(access.isWrite);
+            else
+                EXPECT_FALSE(access.isWrite);
+        }
+    }
+}
+
+TEST(PushTrace, RandomWritesToOutNeighbours)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 2}};
+    Graph graph(3, edges);
+    TraceOptions options;
+    options.numThreads = 1;
+    options.traceOffsets = false;
+    options.traceEdges = false;
+    auto traces = generatePushTrace(graph, options);
+    // Vertex 0: one sequential DataOld load + writes to 1 and 2.
+    std::vector<VertexId> writes;
+    for (const MemoryAccess &access : traces[0]) {
+        if (access.isWrite) {
+            EXPECT_EQ(access.region, AccessRegion::DataNew);
+            writes.push_back(access.dataVertex);
+        }
+    }
+    EXPECT_EQ(writes, (std::vector<VertexId>{1, 2}));
+}
+
+TEST(PushTrace, AccessCountFormula)
+{
+    Graph graph = generateErdosRenyi(150, 900, 8);
+    TraceOptions options;
+    options.numThreads = 2;
+    auto traces = generatePushTrace(graph, options);
+    // Per vertex: offsets load + own data load; per edge: edges load
+    // + destination write.
+    std::size_t expected = 2ull * graph.numVertices() +
+                           2ull * graph.numEdges();
+    EXPECT_EQ(traceAccessCount(traces), expected);
+}
+
+TEST(ReadSumTrace, DirectionSelectsAdjacency)
+{
+    std::vector<Edge> edges = {{0, 1}}; // out-deg(0)=1, in-deg(1)=1
+    Graph graph(2, edges);
+    TraceOptions options;
+    options.numThreads = 1;
+    options.traceOffsets = false;
+    options.traceEdges = false;
+
+    auto in_traces =
+        generateReadSumTrace(graph, Direction::In, options);
+    auto out_traces =
+        generateReadSumTrace(graph, Direction::Out, options);
+
+    // CSC traversal: vertex 1 loads data of 0.
+    // CSR traversal: vertex 0 loads data of 1.
+    auto first_load = [](const std::vector<ThreadTrace> &traces) {
+        for (const MemoryAccess &access : traces[0])
+            if (!access.isWrite)
+                return access.dataVertex;
+        return kInvalidVertex;
+    };
+    EXPECT_EQ(first_load(in_traces), 0u);
+    EXPECT_EQ(first_load(out_traces), 1u);
+}
+
+TEST(Trace, SequentialAddressesAreMonotone)
+{
+    Graph graph = makePath(50);
+    TraceOptions options;
+    options.numThreads = 1;
+    auto traces = generatePullTrace(graph, options);
+    std::uint64_t last_offset = 0;
+    std::uint64_t last_edge = 0;
+    for (const MemoryAccess &access : traces[0]) {
+        if (access.region == AccessRegion::Offsets) {
+            EXPECT_GE(access.addr, last_offset);
+            last_offset = access.addr;
+        } else if (access.region == AccessRegion::EdgesArr) {
+            EXPECT_GE(access.addr, last_edge);
+            last_edge = access.addr;
+        }
+    }
+}
+
+} // namespace
+} // namespace gral
