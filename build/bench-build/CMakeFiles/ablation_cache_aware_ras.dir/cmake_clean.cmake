@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cache_aware_ras"
+  "../bench/ablation_cache_aware_ras.pdb"
+  "CMakeFiles/ablation_cache_aware_ras.dir/ablation_cache_aware_ras.cc.o"
+  "CMakeFiles/ablation_cache_aware_ras.dir/ablation_cache_aware_ras.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_aware_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ihtl"
+  "../bench/ablation_ihtl.pdb"
+  "CMakeFiles/ablation_ihtl.dir/ablation_ihtl.cc.o"
+  "CMakeFiles/ablation_ihtl.dir/ablation_ihtl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ihtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

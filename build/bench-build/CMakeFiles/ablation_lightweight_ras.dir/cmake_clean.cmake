@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lightweight_ras"
+  "../bench/ablation_lightweight_ras.pdb"
+  "CMakeFiles/ablation_lightweight_ras.dir/ablation_lightweight_ras.cc.o"
+  "CMakeFiles/ablation_lightweight_ras.dir/ablation_lightweight_ras.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lightweight_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_missrate_distribution"
+  "../bench/fig1_missrate_distribution.pdb"
+  "CMakeFiles/fig1_missrate_distribution.dir/fig1_missrate_distribution.cc.o"
+  "CMakeFiles/fig1_missrate_distribution.dir/fig1_missrate_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_missrate_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

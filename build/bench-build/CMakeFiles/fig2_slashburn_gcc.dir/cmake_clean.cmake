@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_slashburn_gcc"
+  "../bench/fig2_slashburn_gcc.pdb"
+  "CMakeFiles/fig2_slashburn_gcc.dir/fig2_slashburn_gcc.cc.o"
+  "CMakeFiles/fig2_slashburn_gcc.dir/fig2_slashburn_gcc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_slashburn_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

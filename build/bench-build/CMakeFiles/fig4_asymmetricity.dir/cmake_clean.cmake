@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_asymmetricity"
+  "../bench/fig4_asymmetricity.pdb"
+  "CMakeFiles/fig4_asymmetricity.dir/fig4_asymmetricity.cc.o"
+  "CMakeFiles/fig4_asymmetricity.dir/fig4_asymmetricity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_asymmetricity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_degree_range_decomposition"
+  "../bench/fig5_degree_range_decomposition.pdb"
+  "CMakeFiles/fig5_degree_range_decomposition.dir/fig5_degree_range_decomposition.cc.o"
+  "CMakeFiles/fig5_degree_range_decomposition.dir/fig5_degree_range_decomposition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_degree_range_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_degree_range_decomposition.
+# This may be replaced when dependencies are built.

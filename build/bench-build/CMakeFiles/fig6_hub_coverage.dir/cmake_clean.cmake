@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_hub_coverage"
+  "../bench/fig6_hub_coverage.pdb"
+  "CMakeFiles/fig6_hub_coverage.dir/fig6_hub_coverage.cc.o"
+  "CMakeFiles/fig6_hub_coverage.dir/fig6_hub_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hub_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

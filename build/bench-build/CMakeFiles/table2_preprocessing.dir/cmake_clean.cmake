@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_preprocessing"
+  "../bench/table2_preprocessing.pdb"
+  "CMakeFiles/table2_preprocessing.dir/table2_preprocessing.cc.o"
+  "CMakeFiles/table2_preprocessing.dir/table2_preprocessing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

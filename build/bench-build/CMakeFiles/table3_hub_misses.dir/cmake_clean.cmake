@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_hub_misses"
+  "../bench/table3_hub_misses.pdb"
+  "CMakeFiles/table3_hub_misses.dir/table3_hub_misses.cc.o"
+  "CMakeFiles/table3_hub_misses.dir/table3_hub_misses.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hub_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

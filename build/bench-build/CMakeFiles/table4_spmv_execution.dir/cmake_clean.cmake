@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_spmv_execution"
+  "../bench/table4_spmv_execution.pdb"
+  "CMakeFiles/table4_spmv_execution.dir/table4_spmv_execution.cc.o"
+  "CMakeFiles/table4_spmv_execution.dir/table4_spmv_execution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_spmv_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

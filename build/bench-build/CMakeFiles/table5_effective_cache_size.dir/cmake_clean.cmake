@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_effective_cache_size"
+  "../bench/table5_effective_cache_size.pdb"
+  "CMakeFiles/table5_effective_cache_size.dir/table5_effective_cache_size.cc.o"
+  "CMakeFiles/table5_effective_cache_size.dir/table5_effective_cache_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_effective_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_csc_vs_csr"
+  "../bench/table6_csc_vs_csr.pdb"
+  "CMakeFiles/table6_csc_vs_csr.dir/table6_csc_vs_csr.cc.o"
+  "CMakeFiles/table6_csc_vs_csr.dir/table6_csc_vs_csr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_csc_vs_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_slashburn_pp"
+  "../bench/table7_slashburn_pp.pdb"
+  "CMakeFiles/table7_slashburn_pp.dir/table7_slashburn_pp.cc.o"
+  "CMakeFiles/table7_slashburn_pp.dir/table7_slashburn_pp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_slashburn_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_edr_rabbit"
+  "../bench/table8_edr_rabbit.pdb"
+  "CMakeFiles/table8_edr_rabbit.dir/table8_edr_rabbit.cc.o"
+  "CMakeFiles/table8_edr_rabbit.dir/table8_edr_rabbit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_edr_rabbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/analytics.cpp" "examples/CMakeFiles/analytics.dir/analytics.cpp.o" "gcc" "examples/CMakeFiles/analytics.dir/analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gral_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/gral_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gral_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gral_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmv/CMakeFiles/gral_spmv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gral_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gral_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

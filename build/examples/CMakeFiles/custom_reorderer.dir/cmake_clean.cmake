@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_reorderer.dir/custom_reorderer.cpp.o"
+  "CMakeFiles/custom_reorderer.dir/custom_reorderer.cpp.o.d"
+  "custom_reorderer"
+  "custom_reorderer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_reorderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_vs_web.dir/social_vs_web.cpp.o"
+  "CMakeFiles/social_vs_web.dir/social_vs_web.cpp.o.d"
+  "social_vs_web"
+  "social_vs_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_vs_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/hits.cc" "src/algorithms/CMakeFiles/gral_algorithms.dir/hits.cc.o" "gcc" "src/algorithms/CMakeFiles/gral_algorithms.dir/hits.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "src/algorithms/CMakeFiles/gral_algorithms.dir/pagerank.cc.o" "gcc" "src/algorithms/CMakeFiles/gral_algorithms.dir/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/traversal.cc" "src/algorithms/CMakeFiles/gral_algorithms.dir/traversal.cc.o" "gcc" "src/algorithms/CMakeFiles/gral_algorithms.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gral_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmv/CMakeFiles/gral_spmv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gral_cachesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

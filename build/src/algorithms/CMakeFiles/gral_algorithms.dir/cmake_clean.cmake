@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gral_algorithms.dir/hits.cc.o"
+  "CMakeFiles/gral_algorithms.dir/hits.cc.o.d"
+  "CMakeFiles/gral_algorithms.dir/pagerank.cc.o"
+  "CMakeFiles/gral_algorithms.dir/pagerank.cc.o.d"
+  "CMakeFiles/gral_algorithms.dir/traversal.cc.o"
+  "CMakeFiles/gral_algorithms.dir/traversal.cc.o.d"
+  "libgral_algorithms.a"
+  "libgral_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gral_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gral_analysis.dir/datasets.cc.o"
+  "CMakeFiles/gral_analysis.dir/datasets.cc.o.d"
+  "CMakeFiles/gral_analysis.dir/experiment.cc.o"
+  "CMakeFiles/gral_analysis.dir/experiment.cc.o.d"
+  "CMakeFiles/gral_analysis.dir/report.cc.o"
+  "CMakeFiles/gral_analysis.dir/report.cc.o.d"
+  "libgral_analysis.a"
+  "libgral_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gral_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gral_cachesim.dir/cache.cc.o"
+  "CMakeFiles/gral_cachesim.dir/cache.cc.o.d"
+  "CMakeFiles/gral_cachesim.dir/hierarchy.cc.o"
+  "CMakeFiles/gral_cachesim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/gral_cachesim.dir/interleave.cc.o"
+  "CMakeFiles/gral_cachesim.dir/interleave.cc.o.d"
+  "CMakeFiles/gral_cachesim.dir/tlb.cc.o"
+  "CMakeFiles/gral_cachesim.dir/tlb.cc.o.d"
+  "libgral_cachesim.a"
+  "libgral_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gral_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

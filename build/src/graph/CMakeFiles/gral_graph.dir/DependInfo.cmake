@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/gral_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/connected_components.cc" "src/graph/CMakeFiles/gral_graph.dir/connected_components.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/connected_components.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/gral_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/degree.cc" "src/graph/CMakeFiles/gral_graph.dir/degree.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/degree.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/gral_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/gral_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/gral_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/gral_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/partition.cc.o.d"
+  "/root/repo/src/graph/permutation.cc" "src/graph/CMakeFiles/gral_graph.dir/permutation.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/permutation.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/graph/CMakeFiles/gral_graph.dir/union_find.cc.o" "gcc" "src/graph/CMakeFiles/gral_graph.dir/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gral_graph.dir/builder.cc.o"
+  "CMakeFiles/gral_graph.dir/builder.cc.o.d"
+  "CMakeFiles/gral_graph.dir/connected_components.cc.o"
+  "CMakeFiles/gral_graph.dir/connected_components.cc.o.d"
+  "CMakeFiles/gral_graph.dir/csr.cc.o"
+  "CMakeFiles/gral_graph.dir/csr.cc.o.d"
+  "CMakeFiles/gral_graph.dir/degree.cc.o"
+  "CMakeFiles/gral_graph.dir/degree.cc.o.d"
+  "CMakeFiles/gral_graph.dir/generators.cc.o"
+  "CMakeFiles/gral_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gral_graph.dir/graph.cc.o"
+  "CMakeFiles/gral_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gral_graph.dir/io.cc.o"
+  "CMakeFiles/gral_graph.dir/io.cc.o.d"
+  "CMakeFiles/gral_graph.dir/partition.cc.o"
+  "CMakeFiles/gral_graph.dir/partition.cc.o.d"
+  "CMakeFiles/gral_graph.dir/permutation.cc.o"
+  "CMakeFiles/gral_graph.dir/permutation.cc.o.d"
+  "CMakeFiles/gral_graph.dir/union_find.cc.o"
+  "CMakeFiles/gral_graph.dir/union_find.cc.o.d"
+  "libgral_graph.a"
+  "libgral_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gral_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

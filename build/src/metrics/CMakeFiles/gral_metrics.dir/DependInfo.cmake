@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/aid.cc" "src/metrics/CMakeFiles/gral_metrics.dir/aid.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/aid.cc.o.d"
+  "/root/repo/src/metrics/asymmetricity.cc" "src/metrics/CMakeFiles/gral_metrics.dir/asymmetricity.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/asymmetricity.cc.o.d"
+  "/root/repo/src/metrics/degree_distribution.cc" "src/metrics/CMakeFiles/gral_metrics.dir/degree_distribution.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/degree_distribution.cc.o.d"
+  "/root/repo/src/metrics/degree_range.cc" "src/metrics/CMakeFiles/gral_metrics.dir/degree_range.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/degree_range.cc.o.d"
+  "/root/repo/src/metrics/distribution.cc" "src/metrics/CMakeFiles/gral_metrics.dir/distribution.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/distribution.cc.o.d"
+  "/root/repo/src/metrics/ecs.cc" "src/metrics/CMakeFiles/gral_metrics.dir/ecs.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/ecs.cc.o.d"
+  "/root/repo/src/metrics/hub_coverage.cc" "src/metrics/CMakeFiles/gral_metrics.dir/hub_coverage.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/hub_coverage.cc.o.d"
+  "/root/repo/src/metrics/locality_types.cc" "src/metrics/CMakeFiles/gral_metrics.dir/locality_types.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/locality_types.cc.o.d"
+  "/root/repo/src/metrics/miss_rate.cc" "src/metrics/CMakeFiles/gral_metrics.dir/miss_rate.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/miss_rate.cc.o.d"
+  "/root/repo/src/metrics/reuse_distance.cc" "src/metrics/CMakeFiles/gral_metrics.dir/reuse_distance.cc.o" "gcc" "src/metrics/CMakeFiles/gral_metrics.dir/reuse_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gral_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gral_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmv/CMakeFiles/gral_spmv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

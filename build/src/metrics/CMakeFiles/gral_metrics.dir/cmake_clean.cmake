@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gral_metrics.dir/aid.cc.o"
+  "CMakeFiles/gral_metrics.dir/aid.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/asymmetricity.cc.o"
+  "CMakeFiles/gral_metrics.dir/asymmetricity.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/degree_distribution.cc.o"
+  "CMakeFiles/gral_metrics.dir/degree_distribution.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/degree_range.cc.o"
+  "CMakeFiles/gral_metrics.dir/degree_range.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/distribution.cc.o"
+  "CMakeFiles/gral_metrics.dir/distribution.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/ecs.cc.o"
+  "CMakeFiles/gral_metrics.dir/ecs.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/hub_coverage.cc.o"
+  "CMakeFiles/gral_metrics.dir/hub_coverage.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/locality_types.cc.o"
+  "CMakeFiles/gral_metrics.dir/locality_types.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/miss_rate.cc.o"
+  "CMakeFiles/gral_metrics.dir/miss_rate.cc.o.d"
+  "CMakeFiles/gral_metrics.dir/reuse_distance.cc.o"
+  "CMakeFiles/gral_metrics.dir/reuse_distance.cc.o.d"
+  "libgral_metrics.a"
+  "libgral_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gral_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgral_metrics.a"
+)

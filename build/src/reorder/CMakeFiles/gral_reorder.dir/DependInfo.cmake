@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorder/baselines.cc" "src/reorder/CMakeFiles/gral_reorder.dir/baselines.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/baselines.cc.o.d"
+  "/root/repo/src/reorder/dbg.cc" "src/reorder/CMakeFiles/gral_reorder.dir/dbg.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/dbg.cc.o.d"
+  "/root/repo/src/reorder/gorder.cc" "src/reorder/CMakeFiles/gral_reorder.dir/gorder.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/gorder.cc.o.d"
+  "/root/repo/src/reorder/order_util.cc" "src/reorder/CMakeFiles/gral_reorder.dir/order_util.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/order_util.cc.o.d"
+  "/root/repo/src/reorder/rabbit_order.cc" "src/reorder/CMakeFiles/gral_reorder.dir/rabbit_order.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/rabbit_order.cc.o.d"
+  "/root/repo/src/reorder/rcm.cc" "src/reorder/CMakeFiles/gral_reorder.dir/rcm.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/rcm.cc.o.d"
+  "/root/repo/src/reorder/registry.cc" "src/reorder/CMakeFiles/gral_reorder.dir/registry.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/registry.cc.o.d"
+  "/root/repo/src/reorder/slashburn.cc" "src/reorder/CMakeFiles/gral_reorder.dir/slashburn.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/slashburn.cc.o.d"
+  "/root/repo/src/reorder/unit_heap.cc" "src/reorder/CMakeFiles/gral_reorder.dir/unit_heap.cc.o" "gcc" "src/reorder/CMakeFiles/gral_reorder.dir/unit_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gral_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gral_reorder.dir/baselines.cc.o"
+  "CMakeFiles/gral_reorder.dir/baselines.cc.o.d"
+  "CMakeFiles/gral_reorder.dir/dbg.cc.o"
+  "CMakeFiles/gral_reorder.dir/dbg.cc.o.d"
+  "CMakeFiles/gral_reorder.dir/gorder.cc.o"
+  "CMakeFiles/gral_reorder.dir/gorder.cc.o.d"
+  "CMakeFiles/gral_reorder.dir/order_util.cc.o"
+  "CMakeFiles/gral_reorder.dir/order_util.cc.o.d"
+  "CMakeFiles/gral_reorder.dir/rabbit_order.cc.o"
+  "CMakeFiles/gral_reorder.dir/rabbit_order.cc.o.d"
+  "CMakeFiles/gral_reorder.dir/rcm.cc.o"
+  "CMakeFiles/gral_reorder.dir/rcm.cc.o.d"
+  "CMakeFiles/gral_reorder.dir/registry.cc.o"
+  "CMakeFiles/gral_reorder.dir/registry.cc.o.d"
+  "CMakeFiles/gral_reorder.dir/slashburn.cc.o"
+  "CMakeFiles/gral_reorder.dir/slashburn.cc.o.d"
+  "CMakeFiles/gral_reorder.dir/unit_heap.cc.o"
+  "CMakeFiles/gral_reorder.dir/unit_heap.cc.o.d"
+  "libgral_reorder.a"
+  "libgral_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gral_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spmv/ihtl.cc" "src/spmv/CMakeFiles/gral_spmv.dir/ihtl.cc.o" "gcc" "src/spmv/CMakeFiles/gral_spmv.dir/ihtl.cc.o.d"
+  "/root/repo/src/spmv/parallel.cc" "src/spmv/CMakeFiles/gral_spmv.dir/parallel.cc.o" "gcc" "src/spmv/CMakeFiles/gral_spmv.dir/parallel.cc.o.d"
+  "/root/repo/src/spmv/spmv.cc" "src/spmv/CMakeFiles/gral_spmv.dir/spmv.cc.o" "gcc" "src/spmv/CMakeFiles/gral_spmv.dir/spmv.cc.o.d"
+  "/root/repo/src/spmv/thread_pool.cc" "src/spmv/CMakeFiles/gral_spmv.dir/thread_pool.cc.o" "gcc" "src/spmv/CMakeFiles/gral_spmv.dir/thread_pool.cc.o.d"
+  "/root/repo/src/spmv/trace_gen.cc" "src/spmv/CMakeFiles/gral_spmv.dir/trace_gen.cc.o" "gcc" "src/spmv/CMakeFiles/gral_spmv.dir/trace_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gral_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gral_cachesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gral_spmv.dir/ihtl.cc.o"
+  "CMakeFiles/gral_spmv.dir/ihtl.cc.o.d"
+  "CMakeFiles/gral_spmv.dir/parallel.cc.o"
+  "CMakeFiles/gral_spmv.dir/parallel.cc.o.d"
+  "CMakeFiles/gral_spmv.dir/spmv.cc.o"
+  "CMakeFiles/gral_spmv.dir/spmv.cc.o.d"
+  "CMakeFiles/gral_spmv.dir/thread_pool.cc.o"
+  "CMakeFiles/gral_spmv.dir/thread_pool.cc.o.d"
+  "CMakeFiles/gral_spmv.dir/trace_gen.cc.o"
+  "CMakeFiles/gral_spmv.dir/trace_gen.cc.o.d"
+  "libgral_spmv.a"
+  "libgral_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gral_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

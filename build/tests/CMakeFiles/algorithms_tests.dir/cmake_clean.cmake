@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithms_tests.dir/algorithms/hits_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/hits_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/pagerank_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/pagerank_test.cc.o.d"
+  "CMakeFiles/algorithms_tests.dir/algorithms/traversal_test.cc.o"
+  "CMakeFiles/algorithms_tests.dir/algorithms/traversal_test.cc.o.d"
+  "algorithms_tests"
+  "algorithms_tests.pdb"
+  "algorithms_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithms_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_tests.dir/cachesim/cache_test.cc.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/cache_test.cc.o.d"
+  "CMakeFiles/cachesim_tests.dir/cachesim/hierarchy_test.cc.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/hierarchy_test.cc.o.d"
+  "CMakeFiles/cachesim_tests.dir/cachesim/interleave_test.cc.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/interleave_test.cc.o.d"
+  "CMakeFiles/cachesim_tests.dir/cachesim/tlb_test.cc.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/tlb_test.cc.o.d"
+  "cachesim_tests"
+  "cachesim_tests.pdb"
+  "cachesim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

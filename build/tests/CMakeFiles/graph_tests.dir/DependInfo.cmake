@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/builder_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/builder_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/builder_test.cc.o.d"
+  "/root/repo/tests/graph/connected_components_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/connected_components_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/connected_components_test.cc.o.d"
+  "/root/repo/tests/graph/csr_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/csr_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/csr_test.cc.o.d"
+  "/root/repo/tests/graph/degree_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/degree_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/degree_test.cc.o.d"
+  "/root/repo/tests/graph/generator_structure_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/generator_structure_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/generator_structure_test.cc.o.d"
+  "/root/repo/tests/graph/generators_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/generators_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/generators_test.cc.o.d"
+  "/root/repo/tests/graph/graph_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/graph_test.cc.o.d"
+  "/root/repo/tests/graph/io_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/io_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/io_test.cc.o.d"
+  "/root/repo/tests/graph/partition_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/partition_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/partition_test.cc.o.d"
+  "/root/repo/tests/graph/permutation_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/permutation_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/permutation_test.cc.o.d"
+  "/root/repo/tests/graph/union_find_test.cc" "tests/CMakeFiles/graph_tests.dir/graph/union_find_test.cc.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/union_find_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gral_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/gral_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gral_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gral_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmv/CMakeFiles/gral_spmv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gral_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gral_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/builder_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/builder_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/connected_components_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/connected_components_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/csr_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/csr_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/degree_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/degree_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/generator_structure_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/generator_structure_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/generators_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/generators_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/graph_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/graph_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/io_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/io_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/partition_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/partition_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/permutation_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/permutation_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/union_find_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/union_find_test.cc.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/aid_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/aid_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/aid_test.cc.o.d"
+  "/root/repo/tests/metrics/asymmetricity_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/asymmetricity_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/asymmetricity_test.cc.o.d"
+  "/root/repo/tests/metrics/degree_distribution_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/degree_distribution_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/degree_distribution_test.cc.o.d"
+  "/root/repo/tests/metrics/degree_range_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/degree_range_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/degree_range_test.cc.o.d"
+  "/root/repo/tests/metrics/distribution_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/distribution_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/distribution_test.cc.o.d"
+  "/root/repo/tests/metrics/ecs_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/ecs_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/ecs_test.cc.o.d"
+  "/root/repo/tests/metrics/hub_coverage_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/hub_coverage_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/hub_coverage_test.cc.o.d"
+  "/root/repo/tests/metrics/locality_types_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/locality_types_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/locality_types_test.cc.o.d"
+  "/root/repo/tests/metrics/miss_rate_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/miss_rate_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/miss_rate_test.cc.o.d"
+  "/root/repo/tests/metrics/reuse_distance_test.cc" "tests/CMakeFiles/metrics_tests.dir/metrics/reuse_distance_test.cc.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/reuse_distance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gral_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/gral_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gral_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gral_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmv/CMakeFiles/gral_spmv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gral_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gral_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tests.dir/metrics/aid_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/aid_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/asymmetricity_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/asymmetricity_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/degree_distribution_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/degree_distribution_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/degree_range_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/degree_range_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/distribution_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/distribution_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/ecs_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/ecs_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/hub_coverage_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/hub_coverage_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/locality_types_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/locality_types_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/miss_rate_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/miss_rate_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/reuse_distance_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/reuse_distance_test.cc.o.d"
+  "metrics_tests"
+  "metrics_tests.pdb"
+  "metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

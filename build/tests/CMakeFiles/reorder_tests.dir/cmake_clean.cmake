@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_tests.dir/reorder/baselines_test.cc.o"
+  "CMakeFiles/reorder_tests.dir/reorder/baselines_test.cc.o.d"
+  "CMakeFiles/reorder_tests.dir/reorder/gorder_test.cc.o"
+  "CMakeFiles/reorder_tests.dir/reorder/gorder_test.cc.o.d"
+  "CMakeFiles/reorder_tests.dir/reorder/rabbit_order_test.cc.o"
+  "CMakeFiles/reorder_tests.dir/reorder/rabbit_order_test.cc.o.d"
+  "CMakeFiles/reorder_tests.dir/reorder/rcm_dbg_test.cc.o"
+  "CMakeFiles/reorder_tests.dir/reorder/rcm_dbg_test.cc.o.d"
+  "CMakeFiles/reorder_tests.dir/reorder/registry_test.cc.o"
+  "CMakeFiles/reorder_tests.dir/reorder/registry_test.cc.o.d"
+  "CMakeFiles/reorder_tests.dir/reorder/slashburn_test.cc.o"
+  "CMakeFiles/reorder_tests.dir/reorder/slashburn_test.cc.o.d"
+  "CMakeFiles/reorder_tests.dir/reorder/unit_heap_test.cc.o"
+  "CMakeFiles/reorder_tests.dir/reorder/unit_heap_test.cc.o.d"
+  "reorder_tests"
+  "reorder_tests.pdb"
+  "reorder_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

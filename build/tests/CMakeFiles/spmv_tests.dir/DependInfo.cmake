@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spmv/ihtl_test.cc" "tests/CMakeFiles/spmv_tests.dir/spmv/ihtl_test.cc.o" "gcc" "tests/CMakeFiles/spmv_tests.dir/spmv/ihtl_test.cc.o.d"
+  "/root/repo/tests/spmv/parallel_test.cc" "tests/CMakeFiles/spmv_tests.dir/spmv/parallel_test.cc.o" "gcc" "tests/CMakeFiles/spmv_tests.dir/spmv/parallel_test.cc.o.d"
+  "/root/repo/tests/spmv/spmv_test.cc" "tests/CMakeFiles/spmv_tests.dir/spmv/spmv_test.cc.o" "gcc" "tests/CMakeFiles/spmv_tests.dir/spmv/spmv_test.cc.o.d"
+  "/root/repo/tests/spmv/thread_pool_test.cc" "tests/CMakeFiles/spmv_tests.dir/spmv/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/spmv_tests.dir/spmv/thread_pool_test.cc.o.d"
+  "/root/repo/tests/spmv/trace_gen_test.cc" "tests/CMakeFiles/spmv_tests.dir/spmv/trace_gen_test.cc.o" "gcc" "tests/CMakeFiles/spmv_tests.dir/spmv/trace_gen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gral_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/gral_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gral_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gral_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmv/CMakeFiles/gral_spmv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gral_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gral_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

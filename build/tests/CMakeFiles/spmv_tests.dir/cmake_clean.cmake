@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_tests.dir/spmv/ihtl_test.cc.o"
+  "CMakeFiles/spmv_tests.dir/spmv/ihtl_test.cc.o.d"
+  "CMakeFiles/spmv_tests.dir/spmv/parallel_test.cc.o"
+  "CMakeFiles/spmv_tests.dir/spmv/parallel_test.cc.o.d"
+  "CMakeFiles/spmv_tests.dir/spmv/spmv_test.cc.o"
+  "CMakeFiles/spmv_tests.dir/spmv/spmv_test.cc.o.d"
+  "CMakeFiles/spmv_tests.dir/spmv/thread_pool_test.cc.o"
+  "CMakeFiles/spmv_tests.dir/spmv/thread_pool_test.cc.o.d"
+  "CMakeFiles/spmv_tests.dir/spmv/trace_gen_test.cc.o"
+  "CMakeFiles/spmv_tests.dir/spmv/trace_gen_test.cc.o.d"
+  "spmv_tests"
+  "spmv_tests.pdb"
+  "spmv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/cachesim_tests[1]_include.cmake")
+include("/root/repo/build/tests/spmv_tests[1]_include.cmake")
+include("/root/repo/build/tests/reorder_tests[1]_include.cmake")
+include("/root/repo/build/tests/metrics_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

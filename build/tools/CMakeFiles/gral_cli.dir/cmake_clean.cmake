@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gral_cli.dir/gral_cli.cc.o"
+  "CMakeFiles/gral_cli.dir/gral_cli.cc.o.d"
+  "gral"
+  "gral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gral_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
