@@ -33,12 +33,8 @@ missRateAfter(const Graph &base, Reorderer &ra,
               const SimulationOptions &sim)
 {
     Graph graph = applyPermutation(base, ra.reorder(base));
-    auto traces = generatePullTrace(graph, {});
-    auto in_deg = degrees(graph, Direction::In);
-    auto out_deg = degrees(graph, Direction::Out);
     return 100.0 *
-           simulateMissProfile(traces, in_deg, out_deg, sim)
-               .dataMissRate();
+           bench::pullMissProfile(graph, sim, {}).dataMissRate();
 }
 
 } // namespace

@@ -50,23 +50,24 @@ main()
         TraceOptions trace_options;
         trace_options.numThreads = bench::simThreads();
 
-        auto pull_traces = generatePullTrace(graph, trace_options);
-        auto pull =
-            simulateMissProfile(pull_traces, in_deg, in_deg, sim);
+        auto pull = simulateMissProfile(
+            makePullProducers(graph, trace_options), in_deg, in_deg,
+            sim);
         EcsOptions ecs_options;
         ecs_options.cache = sim.cache;
         ecs_options.scanEvery = 1 << 18;
-        auto pull_ecs = effectiveCacheSize(
-            pull_traces, trace_options.map, ecs_options);
+        auto pull_ecs =
+            bench::pullEcs(graph, trace_options, ecs_options);
 
         IhtlConfig config;
         config.cacheBytes = sim.cache.sizeBytes;
         IhtlGraph ihtl(graph, config);
-        auto ihtl_traces = ihtl.generateTrace(trace_options);
-        auto flipped =
-            simulateMissProfile(ihtl_traces, in_deg, in_deg, sim);
+        auto flipped = simulateMissProfile(
+            ihtl.makeTraceProducers(trace_options), in_deg, in_deg,
+            sim);
         auto ihtl_ecs = effectiveCacheSize(
-            ihtl_traces, trace_options.map, ecs_options);
+            ihtl.makeTraceProducers(trace_options),
+            trace_options.map, ecs_options);
 
         hub_misses_drop =
             hub_misses_drop && flipped.missesAboveThreshold[0] <

@@ -35,13 +35,15 @@ main()
     Graph graph = makeDataset("twtr-s", bench::scale());
     TraceOptions trace_options;
     trace_options.numThreads = bench::simThreads();
-    auto traces = generatePullTrace(graph, trace_options);
     auto reuse = degrees(graph, Direction::Out);
 
-    // Part 1: policy sweep on the same trace.
+    // Part 1: policy sweep. Producers are deterministic, so
+    // regenerating them per policy replays the identical access
+    // stream without ever holding it in memory.
     TextTable policy_table({"Policy", "L3 misses(M)",
                             "Data miss rate(%)"});
     std::map<std::string, double> by_policy;
+    MissProfileResult last;
     for (ReplacementPolicy policy :
          {ReplacementPolicy::LRU, ReplacementPolicy::SRRIP,
           ReplacementPolicy::BRRIP, ReplacementPolicy::DRRIP}) {
@@ -49,15 +51,19 @@ main()
         sim.cache = bench::benchCache();
         sim.cache.policy = policy;
         sim.simulateTlb = false;
-        auto result = simulateMissProfile(traces, reuse, sim);
+        auto result = simulateMissProfile(
+            makePullProducers(graph, trace_options), reuse, reuse,
+            sim);
         by_policy[toString(policy)] =
             static_cast<double>(result.cache.misses);
         policy_table.addRow(
             {toString(policy),
              formatDouble(result.cache.misses / 1e6, 3),
              formatDouble(100.0 * result.dataMissRate(), 1)});
+        last = result;
     }
     policy_table.print(std::cout);
+    bench::reportTraceMemory(last);
     std::cout << "\n";
     bench::shapeCheck(
         "DRRIP tracks the better of SRRIP/BRRIP (within 10%)",
@@ -66,7 +72,9 @@ main()
 
     // Part 2: L3-only vs L1+L2+L3 filtering.
     Cache l3_only(bench::benchCache());
-    ReplayResult flat = replaySimple(traces, 1024, l3_only);
+    InterleavingScheduler flat_scheduler(
+        makePullProducers(graph, trace_options), 1024);
+    ReplayResult flat = replayStreamSimple(flat_scheduler, l3_only);
 
     CacheConfig l1;
     l1.sizeBytes = 8 * 1024;
@@ -77,8 +85,9 @@ main()
     l2.associativity = 8;
     l2.policy = ReplacementPolicy::LRU;
     CacheHierarchy hierarchy({l1, l2, bench::benchCache()});
-    TraceInterleaver interleaver(traces, 1024);
-    interleaver.forEach([&](const MemoryAccess &access) {
+    InterleavingScheduler deep_scheduler(
+        makePullProducers(graph, trace_options), 1024);
+    deep_scheduler.forEach([&](const MemoryAccess &access) {
         hierarchy.access(access.addr, access.size, access.isWrite);
     });
 

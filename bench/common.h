@@ -31,6 +31,10 @@
 #include "analysis/report.h"
 #include "cachesim/cache.h"
 #include "cachesim/tlb.h"
+#include "graph/degree.h"
+#include "metrics/ecs.h"
+#include "metrics/miss_rate.h"
+#include "spmv/trace_gen.h"
 
 namespace gral::bench
 {
@@ -105,6 +109,63 @@ inline std::vector<std::string>
 datasets()
 {
     return defaultBenchDatasets();
+}
+
+/**
+ * Streamed pull-SpMV miss profile of @p graph: producers go straight
+ * into the cache model, so trace memory stays O(threads x chunk).
+ * Owner degrees are in-degrees (Figure-1 binning), accessed degrees
+ * out-degrees (Table-III thresholds) — the pull-traversal convention
+ * every bench shares.
+ */
+inline MissProfileResult
+pullMissProfile(const Graph &graph, const SimulationOptions &sim,
+                const TraceOptions &trace_options)
+{
+    std::vector<EdgeId> in_deg = degrees(graph, Direction::In);
+    std::vector<EdgeId> out_deg = degrees(graph, Direction::Out);
+    return simulateMissProfile(makePullProducers(graph, trace_options),
+                               in_deg, out_deg, sim);
+}
+
+/** Streamed read-sum miss profile over @p direction (Table VI: CSC
+ *  when In, CSR when Out); degree views follow the walked side. */
+inline MissProfileResult
+readSumMissProfile(const Graph &graph, Direction direction,
+                   const SimulationOptions &sim,
+                   const TraceOptions &trace_options)
+{
+    Direction opposite =
+        direction == Direction::In ? Direction::Out : Direction::In;
+    std::vector<EdgeId> owner_deg = degrees(graph, direction);
+    std::vector<EdgeId> accessed_deg = degrees(graph, opposite);
+    return simulateMissProfile(
+        makeReadSumProducers(graph, direction, trace_options),
+        owner_deg, accessed_deg, sim);
+}
+
+/** Streamed effective-cache-size measurement of a pull traversal. */
+inline EcsResult
+pullEcs(const Graph &graph, const TraceOptions &trace_options,
+        const EcsOptions &ecs_options)
+{
+    return effectiveCacheSize(makePullProducers(graph, trace_options),
+                              trace_options.map, ecs_options);
+}
+
+/** Print the streamed-replay memory footprint of a profile next to
+ *  what the old materialize-then-replay pipeline would have held. */
+inline void
+reportTraceMemory(const MissProfileResult &profile)
+{
+    std::uint64_t materialized =
+        profile.totalAccesses * sizeof(MemoryAccess);
+    std::cout << "[memory] trace accesses "
+              << formatCount(profile.totalAccesses)
+              << ", peak resident "
+              << formatBytes(profile.peakResidentBytes())
+              << " (materialized would be "
+              << formatBytes(materialized) << ")\n";
 }
 
 /** Print the standard bench banner. */

@@ -9,6 +9,7 @@
 
 #include "analysis/datasets.h"
 #include "cachesim/cache.h"
+#include "cachesim/interleave.h"
 #include "graph/degree.h"
 #include "graph/generators.h"
 #include "metrics/aid.h"
@@ -90,6 +91,28 @@ BM_TraceGeneration(benchmark::State &state)
         static_cast<std::int64_t>(graph.numEdges()));
 }
 BENCHMARK(BM_TraceGeneration);
+
+void
+BM_StreamedReplay(benchmark::State &state)
+{
+    const Graph &graph = benchGraph();
+    TraceOptions options;
+    std::uint64_t peak_bytes = 0;
+    for (auto _ : state) {
+        Cache cache(paperL3Config());
+        InterleavingScheduler scheduler(
+            makePullProducers(graph, options), 1024);
+        ReplayResult result = replayStreamSimple(scheduler, cache);
+        peak_bytes = result.peakResidentBytes();
+        benchmark::DoNotOptimize(&result);
+    }
+    state.counters["peak_trace_bytes"] =
+        static_cast<double>(peak_bytes);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(graph.numEdges()));
+}
+BENCHMARK(BM_StreamedReplay);
 
 void
 BM_AidDistribution(benchmark::State &state)

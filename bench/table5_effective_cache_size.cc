@@ -42,9 +42,8 @@ main()
         std::vector<std::string> row = {id};
         for (const std::string &ra : ras) {
             Graph graph = reorderedGraph(base, ra);
-            auto traces = generatePullTrace(graph, trace_options);
-            EcsResult result = effectiveCacheSize(
-                traces, trace_options.map, options);
+            EcsResult result =
+                bench::pullEcs(graph, trace_options, options);
             ecs[id][ra] = result.avgEcsPercent;
             row.push_back(formatDouble(result.avgEcsPercent, 1));
         }

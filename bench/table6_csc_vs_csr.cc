@@ -71,18 +71,10 @@ main()
         // CSC read: processed vertices sum in-neighbours, so the
         // owner degree is the in-degree and the accessed (reused)
         // degree is the out-degree; CSR read is the mirror image.
-        auto in_deg = degrees(graph, Direction::In);
-        auto out_deg = degrees(graph, Direction::Out);
-
-        auto csc_traces =
-            generateReadSumTrace(graph, Direction::In, trace_options);
-        auto csc =
-            simulateMissProfile(csc_traces, in_deg, out_deg, sim);
-
-        auto csr_traces = generateReadSumTrace(graph, Direction::Out,
-                                               trace_options);
-        auto csr =
-            simulateMissProfile(csr_traces, out_deg, in_deg, sim);
+        auto csc = bench::readSumMissProfile(graph, Direction::In,
+                                             sim, trace_options);
+        auto csr = bench::readSumMissProfile(graph, Direction::Out,
+                                             sim, trace_options);
 
         misses[id]["CSC"] = static_cast<double>(csc.cache.misses);
         misses[id]["CSR"] = static_cast<double>(csr.cache.misses);

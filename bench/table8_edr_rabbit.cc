@@ -55,10 +55,10 @@ main()
         Graph g_edr = applyPermutation(base, p_edr);
 
         auto measure = [&](const Graph &graph) {
-            std::vector<ThreadTrace> traces =
-                generatePullTrace(graph, options.trace);
             auto reuse = degrees(graph, Direction::Out);
-            return simulateMissProfile(traces, reuse, options.sim);
+            return simulateMissProfile(
+                makePullProducers(graph, options.trace), reuse,
+                options.sim);
         };
         auto full_profile = measure(g_full);
         auto edr_profile = measure(g_edr);

@@ -34,36 +34,43 @@ main()
     std::cout << "graph: |V|=" << graph.numVertices()
               << " |E|=" << graph.numEdges() << "\n\n";
 
-    // Instrument the pull SpMV once (8 simulated threads).
+    // The instrumented pull SpMV is a set of resumable producers (8
+    // simulated threads): each "what if" below regenerates the
+    // identical access stream and pipes it straight into the cache
+    // model, so no trace is ever materialized.
     TraceOptions trace_options;
-    auto traces = generatePullTrace(graph, trace_options);
     auto reuse = degrees(graph, Direction::Out);
-    std::cout << "trace: " << traceAccessCount(traces)
-              << " memory accesses across " << traces.size()
-              << " threads\n\n";
 
     // Sweep cache capacity at a fixed DRRIP policy.
     TextTable capacity_table(
         {"L3 size", "miss rate %", "data miss rate %", "ECS %"});
+    MissProfileResult last_profile;
     for (std::uint64_t kb : {32, 64, 128, 256, 512}) {
         SimulationOptions sim;
         sim.cache.sizeBytes = kb * 1024;
         sim.cache.associativity = 8;
         sim.simulateTlb = false;
-        auto profile = simulateMissProfile(traces, reuse, sim);
+        auto profile = simulateMissProfile(
+            makePullProducers(graph, trace_options), reuse, sim);
 
         EcsOptions ecs_options;
         ecs_options.cache = sim.cache;
         ecs_options.scanEvery = 1 << 18;
-        auto ecs =
-            effectiveCacheSize(traces, trace_options.map, ecs_options);
+        auto ecs = effectiveCacheSize(
+            makePullProducers(graph, trace_options),
+            trace_options.map, ecs_options);
 
         capacity_table.addRow(
             {std::to_string(kb) + " KB",
              formatDouble(100.0 * profile.cache.missRate(), 1),
              formatDouble(100.0 * profile.dataMissRate(), 1),
              formatDouble(ecs.avgEcsPercent, 1)});
+        last_profile = profile;
     }
+    std::cout << "trace: " << last_profile.totalAccesses
+              << " memory accesses per replay, peak resident "
+              << formatBytes(last_profile.peakResidentBytes())
+              << "\n\n";
     capacity_table.print(std::cout);
     std::cout << "\n";
 
@@ -77,7 +84,8 @@ main()
         sim.cache.associativity = 8;
         sim.cache.policy = policy;
         sim.simulateTlb = false;
-        auto profile = simulateMissProfile(traces, reuse, sim);
+        auto profile = simulateMissProfile(
+            makePullProducers(graph, trace_options), reuse, sim);
         policy_table.addRow(
             {toString(policy),
              formatDouble(100.0 * profile.cache.missRate(), 1)});
@@ -86,12 +94,18 @@ main()
     std::cout << "\n";
 
     // Reuse-distance view of the random accesses: the
-    // policy-independent locality profile.
+    // policy-independent locality profile. The analyzer wants each
+    // thread's accesses in program order (not interleaved), so drain
+    // the producers one at a time through a chunk buffer.
     ReuseDistanceAnalyzer analyzer(64);
-    for (const ThreadTrace &trace : traces)
-        for (const MemoryAccess &access : trace)
-            if (access.region == AccessRegion::DataOld)
-                analyzer.access(access.addr);
+    for (auto &producer : makePullProducers(graph, trace_options)) {
+        MemoryAccess buffer[1024];
+        std::size_t filled;
+        while ((filled = producer->fill(buffer)) > 0)
+            for (std::size_t i = 0; i < filled; ++i)
+                if (buffer[i].region == AccessRegion::DataOld)
+                    analyzer.access(buffer[i].addr);
+    }
     std::cout << "vertex-data reuse distances (fully-assoc LRU "
                  "oracle):\n";
     TextTable reuse_table({"capacity (lines)", "hit rate %"});

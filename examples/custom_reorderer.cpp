@@ -90,13 +90,13 @@ evaluate(TextTable &table, const Graph &base, Reorderer &ra)
     Permutation p = ra.reorder(base);
     Graph graph = applyPermutation(base, p);
 
-    auto traces = generatePullTrace(graph, {});
     auto reuse = degrees(graph, Direction::Out);
     SimulationOptions sim;
     sim.cache.sizeBytes = 128 * 1024;
     sim.cache.associativity = 8;
     sim.simulateTlb = false;
-    auto profile = simulateMissProfile(traces, reuse, sim);
+    auto profile =
+        simulateMissProfile(makePullProducers(graph, {}), reuse, sim);
 
     table.addRow(
         {ra.name(),

@@ -34,13 +34,16 @@ namespace
 double
 missRate(const Graph &graph)
 {
+    // Streamed simulation: the instrumented traversal feeds the cache
+    // model directly; the access trace is never held in memory.
     TraceOptions trace_options;
-    auto traces = generatePullTrace(graph, trace_options);
     auto reuse = degrees(graph, Direction::Out);
     SimulationOptions sim;
     sim.cache.sizeBytes = 128 * 1024; // scaled-down shared L3
     sim.cache.associativity = 8;
-    return simulateMissProfile(traces, reuse, sim).dataMissRate();
+    return simulateMissProfile(makePullProducers(graph, trace_options),
+                               reuse, sim)
+        .dataMissRate();
 }
 
 } // namespace

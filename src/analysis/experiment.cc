@@ -59,8 +59,6 @@ runRaExperiment(const Graph &base, const std::string &ra_name,
     }
 
     if (options.runSimulation) {
-        std::vector<ThreadTrace> traces =
-            generatePullTrace(graph, options.trace);
         // Figure-1 binning: in-degree of the processed vertex.
         // Table-III thresholds: out-degree of the accessed vertex
         // (its reuse count in a pull traversal).
@@ -68,8 +66,11 @@ runRaExperiment(const Graph &base, const std::string &ra_name,
             degrees(graph, Direction::In);
         std::vector<EdgeId> accessed_degrees =
             degrees(graph, Direction::Out);
+        // Stream straight from the instrumented traversal into the
+        // cache model — the trace is never materialized.
         result.profile = simulateMissProfile(
-            traces, owner_degrees, accessed_degrees, options.sim);
+            makePullProducers(graph, options.trace), owner_degrees,
+            accessed_degrees, options.sim);
     }
     return result;
 }

@@ -1,0 +1,68 @@
+#include "cachesim/access_stream.h"
+
+#include <algorithm>
+
+namespace gral
+{
+
+std::size_t
+VectorProducer::fill(std::span<MemoryAccess> out)
+{
+    std::size_t n =
+        std::min(out.size(), trace_.size() - cursor_);
+    std::copy_n(trace_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                n, out.begin());
+    cursor_ += n;
+    return n;
+}
+
+ProducerSet
+producersFromTraces(std::span<const ThreadTrace> traces)
+{
+    ProducerSet producers;
+    producers.reserve(traces.size());
+    for (const ThreadTrace &trace : traces)
+        producers.push_back(std::make_unique<VectorProducer>(trace));
+    return producers;
+}
+
+ThreadTrace
+drainProducer(AccessProducer &producer)
+{
+    ThreadTrace trace;
+    trace.reserve(producer.sizeHint());
+    MemoryAccess buffer[1024];
+    for (;;) {
+        std::size_t n = producer.fill(buffer);
+        if (n == 0)
+            break;
+        trace.insert(trace.end(), buffer, buffer + n);
+    }
+    return trace;
+}
+
+std::size_t
+producerSizeHint(const ProducerSet &producers)
+{
+    std::size_t total = 0;
+    for (const std::unique_ptr<AccessProducer> &producer : producers)
+        total += producer->sizeHint();
+    return total;
+}
+
+InterleavingScheduler::InterleavingScheduler(ProducerSet producers,
+                                             std::size_t chunk_size)
+    : producers_(std::move(producers)), chunkSize_(chunk_size)
+{
+    if (chunk_size == 0)
+        throw std::invalid_argument(
+            "InterleavingScheduler: zero chunk");
+}
+
+void
+InterleavingScheduler::drainTo(AccessSink &sink)
+{
+    forEach([&](const MemoryAccess &access) { sink.consume(access); });
+}
+
+} // namespace gral

@@ -27,6 +27,16 @@ TraceInterleaver::materialize() const
 }
 
 ReplayResult
+replayStreamSimple(InterleavingScheduler &scheduler, Cache &cache,
+                   Tlb *tlb)
+{
+    return replayStream(
+        scheduler, cache, tlb,
+        [](const MemoryAccess &, const AccessOutcome &) {}, 0,
+        [](const Cache &) {});
+}
+
+ReplayResult
 replaySimple(std::span<const ThreadTrace> traces, std::size_t chunk_size,
              Cache &cache, Tlb *tlb)
 {

@@ -1,6 +1,6 @@
 /**
  * @file
- * Round-robin interleaving of per-thread traces and trace replay.
+ * Trace replay through the cache model, streaming or materialized.
  *
  * The paper performs parallel simulation in two phases (Section V-B):
  * "(1) logging memory accesses during graph processing by each of the
@@ -8,20 +8,24 @@
  * threads where for each interval a thread simulates all logged
  * accesses by parallel threads in a round robin way."
  *
- * TraceInterleaver implements phase 2: it merges per-thread logs by
- * visiting a fixed-size chunk of each live thread in turn, which
- * approximates the temporal overlap of parallel execution on the
- * shared L3.
+ * Phase 2 is implemented by InterleavingScheduler (access_stream.h),
+ * which pulls fixed-size chunks from resumable per-thread producers.
+ * This header provides the replay sinks that drive the cache/TLB
+ * models from that stream, plus TraceInterleaver, a thin adapter that
+ * replays *materialized* per-thread logs with identical semantics
+ * (tests and small-trace debugging).
  */
 
 #ifndef GRAL_CACHESIM_INTERLEAVE_H
 #define GRAL_CACHESIM_INTERLEAVE_H
 
-#include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "cachesim/access_stream.h"
 #include "cachesim/cache.h"
 #include "cachesim/tlb.h"
 #include "cachesim/trace.h"
@@ -31,7 +35,8 @@ namespace gral
 
 /**
  * Merges per-thread traces round-robin in chunks of @p chunk_size
- * accesses.
+ * accesses. Adapter over InterleavingScheduler for materialized
+ * traces; reusable (each visit builds fresh vector producers).
  */
 class TraceInterleaver
 {
@@ -51,19 +56,9 @@ class TraceInterleaver
     void
     forEach(Visitor &&visit) const
     {
-        std::vector<std::size_t> cursor(traces_.size(), 0);
-        std::size_t remaining = total_;
-        while (remaining > 0) {
-            for (std::size_t t = 0; t < traces_.size(); ++t) {
-                const ThreadTrace &trace = traces_[t];
-                std::size_t end =
-                    std::min(cursor[t] + chunkSize_, trace.size());
-                for (std::size_t i = cursor[t]; i < end; ++i)
-                    visit(trace[i]);
-                remaining -= end - cursor[t];
-                cursor[t] = end;
-            }
-        }
+        InterleavingScheduler scheduler(producersFromTraces(traces_),
+                                        chunkSize_);
+        scheduler.forEach(std::forward<Visitor>(visit));
     }
 
     /** Materialize the interleaved order (tests / small traces). */
@@ -88,13 +83,136 @@ struct ReplayResult
     CacheStats cache;
     TlbStats tlb;
     std::uint64_t accessCount = 0;
+    /** Peak MemoryAccess records resident at once during the replay:
+     *  just the scheduler's chunk buffer on the streaming path, the
+     *  whole materialized log plus that buffer on the vector path —
+     *  the memory the streaming pipeline exists to avoid. */
+    std::uint64_t peakResidentAccesses = 0;
+
+    /** peakResidentAccesses in bytes. */
+    std::uint64_t
+    peakResidentBytes() const
+    {
+        return peakResidentAccesses * sizeof(MemoryAccess);
+    }
 };
 
 /**
- * Replay interleaved traces through a cache (and optional TLB).
+ * Replay sink: drives the (usually L3) cache model and optional TLB
+ * from the merged stream, counting accesses. Subclasses observe
+ * per-access outcomes through onOutcome().
+ */
+class CacheReplaySink : public AccessSink
+{
+  public:
+    explicit CacheReplaySink(Cache &cache, Tlb *tlb = nullptr)
+        : cache_(cache), tlb_(tlb)
+    {
+    }
+
+    void
+    consume(const MemoryAccess &access) final
+    {
+        AccessOutcome outcome;
+        outcome.cacheHit =
+            cache_.accessRange(access.addr, access.size,
+                               access.isWrite);
+        if (tlb_)
+            outcome.tlbHit = tlb_->access(access.addr);
+        ++accessCount_;
+        onOutcome(access, outcome);
+    }
+
+    /** Accesses replayed so far. */
+    std::uint64_t accessCount() const { return accessCount_; }
+
+    /** The driven cache model. */
+    const Cache &cache() const { return cache_; }
+
+  protected:
+    /** Hook invoked after every access with its hit/miss outcome. */
+    virtual void
+    onOutcome(const MemoryAccess &access, const AccessOutcome &outcome)
+    {
+        (void)access;
+        (void)outcome;
+    }
+
+  private:
+    Cache &cache_;
+    Tlb *tlb_;
+    std::uint64_t accessCount_ = 0;
+};
+
+/**
+ * Sink decorator implementing the paper's periodic cache-content scan
+ * (Section VI-F, the ECS measurement): forwards every access to the
+ * wrapped sink and invokes @p on_scan with the cache after every
+ * @p scan_every accesses.
+ */
+class PeriodicScanSink final : public AccessSink
+{
+  public:
+    PeriodicScanSink(AccessSink &inner, const Cache &cache,
+                     std::uint64_t scan_every,
+                     std::function<void(const Cache &)> on_scan)
+        : inner_(inner), cache_(cache), scanEvery_(scan_every),
+          untilScan_(scan_every), onScan_(std::move(on_scan))
+    {
+    }
+
+    void
+    consume(const MemoryAccess &access) override
+    {
+        inner_.consume(access);
+        if (scanEvery_ > 0 && --untilScan_ == 0) {
+            onScan_(cache_);
+            untilScan_ = scanEvery_;
+        }
+    }
+
+  private:
+    AccessSink &inner_;
+    const Cache &cache_;
+    std::uint64_t scanEvery_;
+    std::uint64_t untilScan_;
+    std::function<void(const Cache &)> onScan_;
+};
+
+namespace detail
+{
+
+/** CacheReplaySink forwarding outcomes to a caller-supplied hook. */
+template <typename OnAccess>
+class HookedReplaySink final : public CacheReplaySink
+{
+  public:
+    HookedReplaySink(Cache &cache, Tlb *tlb, OnAccess &hook)
+        : CacheReplaySink(cache, tlb), hook_(hook)
+    {
+    }
+
+  protected:
+    void
+    onOutcome(const MemoryAccess &access,
+              const AccessOutcome &outcome) override
+    {
+        hook_(access, outcome);
+    }
+
+  private:
+    OnAccess &hook_;
+};
+
+} // namespace detail
+
+/**
+ * Replay a streamed interleaving through a cache (and optional TLB).
  *
- * @param traces     per-thread access logs.
- * @param chunk_size round-robin chunk (paper-style interleaving).
+ * The streaming analogue of replay(): resident trace memory is the
+ * scheduler's chunk buffer, O(numProducers + chunkSize), not O(E).
+ *
+ * @param scheduler  interleaving over live producers (single-use).
  * @param cache      the (usually L3) model; stats accumulate into it.
  * @param tlb        optional TLB model.
  * @param on_access  callable (const MemoryAccess &, AccessOutcome);
@@ -106,35 +224,58 @@ struct ReplayResult
  */
 template <typename OnAccess, typename OnScan>
 ReplayResult
-replay(std::span<const ThreadTrace> traces, std::size_t chunk_size,
-       Cache &cache, Tlb *tlb, OnAccess &&on_access,
-       std::uint64_t scan_every, OnScan &&on_scan)
+replayStream(InterleavingScheduler &scheduler, Cache &cache, Tlb *tlb,
+             OnAccess &&on_access, std::uint64_t scan_every,
+             OnScan &&on_scan)
 {
-    TraceInterleaver interleaver(traces, chunk_size);
+    detail::HookedReplaySink<OnAccess> sink(cache, tlb, on_access);
+    if (scan_every > 0) {
+        PeriodicScanSink scanner(
+            sink, cache, scan_every,
+            [&](const Cache &snapshot) { on_scan(snapshot); });
+        scheduler.drainTo(scanner);
+    } else {
+        scheduler.drainTo(sink);
+    }
+
     ReplayResult result;
-    std::uint64_t until_scan = scan_every;
-
-    interleaver.forEach([&](const MemoryAccess &access) {
-        AccessOutcome outcome;
-        outcome.cacheHit =
-            cache.accessRange(access.addr, access.size, access.isWrite);
-        if (tlb)
-            outcome.tlbHit = tlb->access(access.addr);
-        on_access(access, outcome);
-        ++result.accessCount;
-        if (scan_every > 0 && --until_scan == 0) {
-            on_scan(static_cast<const Cache &>(cache));
-            until_scan = scan_every;
-        }
-    });
-
+    result.accessCount = sink.accessCount();
+    result.peakResidentAccesses = scheduler.peakResidentAccesses();
     result.cache = cache.stats();
     if (tlb)
         result.tlb = tlb->stats();
     return result;
 }
 
-/** Replay without hooks. */
+/**
+ * Replay interleaved *materialized* traces through a cache (and
+ * optional TLB). Adapter over replayStream(); peakResidentAccesses
+ * additionally counts the materialized log itself.
+ *
+ * @param traces     per-thread access logs.
+ * @param chunk_size round-robin chunk (paper-style interleaving).
+ */
+template <typename OnAccess, typename OnScan>
+ReplayResult
+replay(std::span<const ThreadTrace> traces, std::size_t chunk_size,
+       Cache &cache, Tlb *tlb, OnAccess &&on_access,
+       std::uint64_t scan_every, OnScan &&on_scan)
+{
+    InterleavingScheduler scheduler(producersFromTraces(traces),
+                                    chunk_size);
+    ReplayResult result = replayStream(
+        scheduler, cache, tlb, std::forward<OnAccess>(on_access),
+        scan_every, std::forward<OnScan>(on_scan));
+    for (const ThreadTrace &trace : traces)
+        result.peakResidentAccesses += trace.size();
+    return result;
+}
+
+/** Streamed replay without hooks (single-use scheduler). */
+ReplayResult replayStreamSimple(InterleavingScheduler &scheduler,
+                                Cache &cache, Tlb *tlb = nullptr);
+
+/** Materialized replay without hooks. */
 ReplayResult replaySimple(std::span<const ThreadTrace> traces,
                           std::size_t chunk_size, Cache &cache,
                           Tlb *tlb = nullptr);

@@ -6,8 +6,8 @@ namespace gral
 {
 
 EcsResult
-effectiveCacheSize(std::span<const ThreadTrace> traces,
-                   const AddressMap &map, const EcsOptions &options)
+effectiveCacheSize(ProducerSet producers, const AddressMap &map,
+                   const EcsOptions &options)
 {
     Cache cache(options.cache);
     const double total_lines = static_cast<double>(
@@ -17,10 +17,13 @@ effectiveCacheSize(std::span<const ThreadTrace> traces,
     double ecs_sum = 0.0;
     double topo_sum = 0.0;
 
-    replay(
-        traces, options.chunkSize, cache, nullptr,
-        [](const MemoryAccess &, const AccessOutcome &) {},
-        options.scanEvery, [&](const Cache &snapshot) {
+    // The scan sink decorates the plain replay sink: every scanEvery
+    // accesses it walks the cache contents and classifies each valid
+    // line by the region of its address.
+    CacheReplaySink replay_sink(cache);
+    PeriodicScanSink scan_sink(
+        replay_sink, cache, options.scanEvery,
+        [&](const Cache &snapshot) {
             std::uint64_t data_lines = 0;
             std::uint64_t topology_lines = 0;
             snapshot.forEachValidLine([&](std::uint64_t line_addr) {
@@ -44,6 +47,10 @@ effectiveCacheSize(std::span<const ThreadTrace> traces,
             ++result.scans;
         });
 
+    InterleavingScheduler scheduler(std::move(producers),
+                                    options.chunkSize);
+    scheduler.drainTo(scan_sink);
+
     if (result.scans > 0) {
         result.avgEcsPercent =
             ecs_sum / static_cast<double>(result.scans);
@@ -51,6 +58,21 @@ effectiveCacheSize(std::span<const ThreadTrace> traces,
             topo_sum / static_cast<double>(result.scans);
     }
     result.cache = cache.stats();
+    result.totalAccesses = replay_sink.accessCount();
+    result.peakResidentAccesses = scheduler.peakResidentAccesses();
+    return result;
+}
+
+EcsResult
+effectiveCacheSize(std::span<const ThreadTrace> traces,
+                   const AddressMap &map, const EcsOptions &options)
+{
+    EcsResult result =
+        effectiveCacheSize(producersFromTraces(traces), map, options);
+    std::size_t materialized = 0;
+    for (const ThreadTrace &trace : traces)
+        materialized += trace.size();
+    result.peakResidentAccesses += materialized;
     return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include <span>
 
+#include "cachesim/access_stream.h"
 #include "cachesim/cache.h"
 #include "cachesim/trace.h"
 #include "spmv/trace_gen.h"
@@ -45,6 +46,18 @@ struct EcsResult
     std::uint64_t scans = 0;
     /** Aggregate cache counters for the run. */
     CacheStats cache;
+    /** Accesses replayed. */
+    std::uint64_t totalAccesses = 0;
+    /** Peak MemoryAccess records resident during the replay (see
+     *  MissProfileResult::peakResidentAccesses). */
+    std::uint64_t peakResidentAccesses = 0;
+
+    /** peakResidentAccesses in bytes. */
+    std::uint64_t
+    peakResidentBytes() const
+    {
+        return peakResidentAccesses * sizeof(MemoryAccess);
+    }
 };
 
 /**
@@ -56,6 +69,15 @@ struct EcsResult
  * @param options measurement knobs.
  */
 EcsResult effectiveCacheSize(std::span<const ThreadTrace> traces,
+                             const AddressMap &map,
+                             const EcsOptions &options = {});
+
+/**
+ * Streaming core: replay straight from @p producers (built as a
+ * CacheReplaySink wrapped in a PeriodicScanSink) without
+ * materializing the trace. The span overload delegates here.
+ */
+EcsResult effectiveCacheSize(ProducerSet producers,
                              const AddressMap &map,
                              const EcsOptions &options = {});
 

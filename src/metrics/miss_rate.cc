@@ -6,7 +6,7 @@ namespace gral
 {
 
 MissProfileResult
-simulateMissProfile(std::span<const ThreadTrace> traces,
+simulateMissProfile(ProducerSet producers,
                     std::span<const EdgeId> owner_degrees,
                     std::span<const EdgeId> accessed_degrees,
                     const SimulationOptions &options)
@@ -19,8 +19,10 @@ simulateMissProfile(std::span<const ThreadTrace> traces,
     result.missesAboveThreshold.assign(options.missThresholds.size(),
                                        0);
 
-    replay(
-        traces, options.chunkSize, cache, tlb_ptr,
+    InterleavingScheduler scheduler(std::move(producers),
+                                    options.chunkSize);
+    ReplayResult replayed = replayStream(
+        scheduler, cache, tlb_ptr,
         [&](const MemoryAccess &access, const AccessOutcome &outcome) {
             if (access.dataVertex == kInvalidVertex)
                 return; // topology access: not a vertex-data sample
@@ -39,8 +41,37 @@ simulateMissProfile(std::span<const ThreadTrace> traces,
         },
         0, [](const Cache &) {});
 
-    result.cache = cache.stats();
-    result.tlb = tlb.stats();
+    result.cache = replayed.cache;
+    result.tlb = replayed.tlb;
+    result.totalAccesses = replayed.accessCount;
+    result.peakResidentAccesses = replayed.peakResidentAccesses;
+    return result;
+}
+
+MissProfileResult
+simulateMissProfile(ProducerSet producers,
+                    std::span<const EdgeId> degrees,
+                    const SimulationOptions &options)
+{
+    return simulateMissProfile(std::move(producers), degrees, degrees,
+                               options);
+}
+
+MissProfileResult
+simulateMissProfile(std::span<const ThreadTrace> traces,
+                    std::span<const EdgeId> owner_degrees,
+                    std::span<const EdgeId> accessed_degrees,
+                    const SimulationOptions &options)
+{
+    MissProfileResult result = simulateMissProfile(
+        producersFromTraces(traces), owner_degrees, accessed_degrees,
+        options);
+    // The caller holds the whole materialized log alongside the
+    // scheduler's chunk buffer.
+    std::size_t materialized = 0;
+    for (const ThreadTrace &trace : traces)
+        materialized += trace.size();
+    result.peakResidentAccesses += materialized;
     return result;
 }
 

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "cachesim/access_stream.h"
 #include "cachesim/cache.h"
 #include "cachesim/tlb.h"
 #include "cachesim/trace.h"
@@ -61,6 +62,19 @@ struct MissProfileResult
      *  paper's Table III: "misses for accessing data of vertices with
      *  degree > Min. Degree"). */
     std::vector<std::uint64_t> missesAboveThreshold;
+    /** Accesses replayed (all regions). */
+    std::uint64_t totalAccesses = 0;
+    /** Peak MemoryAccess records resident during the replay: the
+     *  chunk buffer on the streaming path, the whole materialized log
+     *  plus that buffer on the vector path. */
+    std::uint64_t peakResidentAccesses = 0;
+
+    /** peakResidentAccesses in bytes. */
+    std::uint64_t
+    peakResidentBytes() const
+    {
+        return peakResidentAccesses * sizeof(MemoryAccess);
+    }
 
     /** Overall miss rate of vertex-data accesses. */
     double
@@ -102,6 +116,23 @@ MissProfileResult simulateMissProfile(
 MissProfileResult simulateMissProfile(
     std::span<const ThreadTrace> traces,
     std::span<const EdgeId> degrees,
+    const SimulationOptions &options = {});
+
+/**
+ * Streaming core: pull accesses straight from per-thread @p producers
+ * through the round-robin scheduler into the cache model, never
+ * materializing the trace. Peak resident trace memory is
+ * O(options.chunkSize) instead of O(total accesses). The span
+ * overloads above delegate here through adapter producers.
+ */
+MissProfileResult simulateMissProfile(
+    ProducerSet producers, std::span<const EdgeId> owner_degrees,
+    std::span<const EdgeId> accessed_degrees,
+    const SimulationOptions &options = {});
+
+/** Streaming convenience overload: one degree view. */
+MissProfileResult simulateMissProfile(
+    ProducerSet producers, std::span<const EdgeId> degrees,
     const SimulationOptions &options = {});
 
 } // namespace gral

@@ -102,72 +102,211 @@ IhtlGraph::spmv(std::span<const double> src,
     }
 }
 
-std::vector<ThreadTrace>
-IhtlGraph::generateTrace(const TraceOptions &options) const
+namespace
+{
+
+/**
+ * Resumable instrumented iHTL traversal of one thread's vertex range:
+ * its share of the push pass over the flipped block (sequential own
+ * reads, near-resident hub-accumulator writes), then its share of the
+ * pull pass over the sparse block. Hub accumulators live where the
+ * relabeled vertex data would be: the first numHubs() slots of the
+ * data array, i.e. a compact cache-resident range.
+ */
+class IhtlTraceProducer final : public AccessProducer
+{
+  public:
+    IhtlTraceProducer(std::span<const VertexId> hubs,
+                      std::span<const VertexId> hub_index,
+                      const Adjacency &flipped, const Adjacency &sparse,
+                      VertexId begin, VertexId end,
+                      const TraceOptions &options)
+        : hubs_(hubs), hubIndex_(hub_index), flipped_(flipped),
+          sparse_(sparse), options_(options), begin_(begin), end_(end),
+          v_(begin)
+    {
+    }
+
+    std::size_t
+    fill(std::span<MemoryAccess> out) override
+    {
+        std::size_t n = 0;
+        while (n < out.size() && next(out[n]))
+            ++n;
+        return n;
+    }
+
+    std::size_t
+    sizeHint() const override
+    {
+        std::size_t per_edge = 1 + (options_.traceEdges ? 1 : 0);
+        EdgeId flipped_edges = flipped_.offsets()[end_] -
+                               flipped_.offsets()[begin_];
+        EdgeId sparse_edges =
+            sparse_.offsets()[end_] - sparse_.offsets()[begin_];
+        std::size_t non_hubs = 0;
+        for (VertexId v = begin_; v < end_; ++v)
+            non_hubs += hubIndex_[v] == kInvalidVertex ? 1 : 0;
+        return static_cast<std::size_t>(flipped_edges + sparse_edges) *
+                   per_edge +
+               static_cast<std::size_t>(end_ - begin_) + // own loads
+               non_hubs *
+                   (1 + (options_.traceOffsets ? 1 : 0)); // pull part
+    }
+
+  private:
+    enum class Stage : std::uint8_t
+    {
+        PushVertex, ///< entering v in the push pass: own-data load
+        PushEdge,   ///< next flipped edge: edges-array load
+        PushWrite,  ///< hub-accumulator write of that edge
+        PullVertex, ///< entering v in the pull pass: offsets load
+        PullEdge,   ///< next sparse edge: edges-array load
+        PullLoad,   ///< random dataOld load of that edge
+        PullStore,  ///< sequential result store
+    };
+
+    bool
+    next(MemoryAccess &out)
+    {
+        for (;;) {
+            switch (stage_) {
+              case Stage::PushVertex:
+                if (v_ >= end_) {
+                    v_ = begin_;
+                    stage_ = Stage::PullVertex;
+                    break;
+                }
+                neighbours_ = flipped_.neighbours(v_);
+                nbrIndex_ = 0;
+                edge_ = flipped_.beginEdge(v_);
+                stage_ = Stage::PushEdge;
+                out = {options_.map.dataOldAddr(v_), v_, v_,
+                       kVertexDataBytes, false, AccessRegion::DataOld};
+                return true;
+              case Stage::PushEdge:
+                if (nbrIndex_ >= neighbours_.size()) {
+                    ++v_;
+                    stage_ = Stage::PushVertex;
+                    break;
+                }
+                stage_ = Stage::PushWrite;
+                if (options_.traceEdges) {
+                    out = {options_.map.edgesAddr(edge_),
+                           kInvalidVertex, v_, kEdgeBytes, false,
+                           AccessRegion::EdgesArr};
+                    return true;
+                }
+                break;
+              case Stage::PushWrite: {
+                VertexId slot = neighbours_[nbrIndex_++];
+                ++edge_;
+                stage_ = Stage::PushEdge;
+                out = {options_.map.dataNewAddr(slot), hubs_[slot],
+                       v_, kVertexDataBytes, true,
+                       AccessRegion::DataNew};
+                return true;
+              }
+              case Stage::PullVertex:
+                if (v_ >= end_)
+                    return false;
+                if (hubIndex_[v_] != kInvalidVertex) {
+                    ++v_;
+                    break;
+                }
+                neighbours_ = sparse_.neighbours(v_);
+                nbrIndex_ = 0;
+                edge_ = sparse_.beginEdge(v_);
+                stage_ = Stage::PullEdge;
+                if (options_.traceOffsets) {
+                    out = {options_.map.offsetsAddr(v_),
+                           kInvalidVertex, v_, kOffsetBytes, false,
+                           AccessRegion::Offsets};
+                    return true;
+                }
+                break;
+              case Stage::PullEdge:
+                if (nbrIndex_ >= neighbours_.size()) {
+                    stage_ = Stage::PullStore;
+                    break;
+                }
+                stage_ = Stage::PullLoad;
+                if (options_.traceEdges) {
+                    // Sparse-block edges live after the flipped block
+                    // in the synthetic edges array.
+                    out = {options_.map.edgesAddr(flipped_.numEdges() +
+                                                  edge_),
+                           kInvalidVertex, v_, kEdgeBytes, false,
+                           AccessRegion::EdgesArr};
+                    return true;
+                }
+                break;
+              case Stage::PullLoad: {
+                VertexId u = neighbours_[nbrIndex_++];
+                ++edge_;
+                stage_ = Stage::PullEdge;
+                out = {options_.map.dataOldAddr(u), u, v_,
+                       kVertexDataBytes, false, AccessRegion::DataOld};
+                return true;
+              }
+              case Stage::PullStore:
+                out = {options_.map.dataNewAddr(
+                           static_cast<VertexId>(hubs_.size()) + v_),
+                       v_, v_, kVertexDataBytes, true,
+                       AccessRegion::DataNew};
+                ++v_;
+                stage_ = Stage::PullVertex;
+                return true;
+            }
+        }
+    }
+
+    std::span<const VertexId> hubs_;
+    std::span<const VertexId> hubIndex_;
+    const Adjacency &flipped_;
+    const Adjacency &sparse_;
+    TraceOptions options_;
+    VertexId begin_;
+    VertexId end_;
+    VertexId v_;
+    std::span<const VertexId> neighbours_;
+    std::size_t nbrIndex_ = 0;
+    EdgeId edge_ = 0;
+    Stage stage_ = Stage::PushVertex;
+};
+
+} // namespace
+
+ProducerSet
+IhtlGraph::makeTraceProducers(const TraceOptions &options) const
 {
     const VertexId n = graph_.numVertices();
     // One simulated thread per contiguous vertex range; each thread
     // performs its share of the push pass then of the pull pass.
     VertexId num_threads = std::max(1u, options.numThreads);
-    std::vector<ThreadTrace> traces(num_threads);
 
-    // Hub accumulators live where the relabeled vertex data would
-    // be: the first numHubs() slots of the data array, i.e. a compact
-    // cache-resident range.
+    ProducerSet producers;
+    producers.reserve(num_threads);
     for (VertexId t = 0; t < num_threads; ++t) {
-        ThreadTrace &trace = traces[t];
         VertexId begin = static_cast<VertexId>(
             static_cast<std::uint64_t>(n) * t / num_threads);
         VertexId end = static_cast<VertexId>(
             static_cast<std::uint64_t>(n) * (t + 1) / num_threads);
-
-        // Push phase: sequential read of own data, near-resident
-        // writes to hub accumulators.
-        for (VertexId v = begin; v < end; ++v) {
-            trace.push_back({options.map.dataOldAddr(v), v, v,
-                             kVertexDataBytes, false,
-                             AccessRegion::DataOld});
-            EdgeId e = flipped_.beginEdge(v);
-            for (VertexId slot : flipped_.neighbours(v)) {
-                if (options.traceEdges) {
-                    trace.push_back({options.map.edgesAddr(e),
-                                     kInvalidVertex, v, kEdgeBytes,
-                                     false, AccessRegion::EdgesArr});
-                }
-                trace.push_back({options.map.dataNewAddr(slot),
-                                 hubs_[slot], v, kVertexDataBytes,
-                                 true, AccessRegion::DataNew});
-                ++e;
-            }
-        }
-        // Pull phase over the sparse block.
-        for (VertexId v = begin; v < end; ++v) {
-            if (hubIndex_[v] != kInvalidVertex)
-                continue;
-            if (options.traceOffsets) {
-                trace.push_back({options.map.offsetsAddr(v),
-                                 kInvalidVertex, v, kOffsetBytes,
-                                 false, AccessRegion::Offsets});
-            }
-            EdgeId e = sparse_.beginEdge(v);
-            for (VertexId u : sparse_.neighbours(v)) {
-                if (options.traceEdges) {
-                    trace.push_back({options.map.edgesAddr(
-                                         flipped_.numEdges() + e),
-                                     kInvalidVertex, v, kEdgeBytes,
-                                     false, AccessRegion::EdgesArr});
-                }
-                trace.push_back({options.map.dataOldAddr(u), u, v,
-                                 kVertexDataBytes, false,
-                                 AccessRegion::DataOld});
-                ++e;
-            }
-            trace.push_back({options.map.dataNewAddr(
-                                 hubs_.size() + v),
-                             v, v, kVertexDataBytes, true,
-                             AccessRegion::DataNew});
-        }
+        producers.push_back(std::make_unique<IhtlTraceProducer>(
+            hubs_, hubIndex_, flipped_, sparse_, begin, end,
+            options));
     }
+    return producers;
+}
+
+std::vector<ThreadTrace>
+IhtlGraph::generateTrace(const TraceOptions &options) const
+{
+    ProducerSet producers = makeTraceProducers(options);
+    std::vector<ThreadTrace> traces;
+    traces.reserve(producers.size());
+    for (const std::unique_ptr<AccessProducer> &producer : producers)
+        traces.push_back(drainProducer(*producer));
     return traces;
 }
 

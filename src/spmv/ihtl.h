@@ -73,10 +73,18 @@ class IhtlGraph
               std::span<double> dst) const;
 
     /**
-     * Instrumented trace of the iHTL traversal, comparable to
-     * generatePullTrace() of the unsplit graph: the flipped-block
+     * Streaming instrumented iHTL traversal, comparable to
+     * makePullProducers() of the unsplit graph: the flipped-block
      * writes go to a compact hub-accumulator region that fits in
-     * cache.
+     * cache. One resumable producer per simulated thread; this
+     * IhtlGraph must outlive them.
+     */
+    ProducerSet makeTraceProducers(
+        const TraceOptions &options = {}) const;
+
+    /**
+     * Materialized instrumented trace: makeTraceProducers() drained
+     * to vectors (tests / small traces).
      */
     std::vector<ThreadTrace> generateTrace(
         const TraceOptions &options = {}) const;

@@ -22,110 +22,222 @@ AddressMap::regionOf(std::uint64_t addr) const
 namespace
 {
 
-/** Reserve a thread trace sized for its partition's edges. */
-void
-reserveFor(ThreadTrace &trace, const Graph &graph, Direction direction,
-           VertexRange range, bool offsets, bool edges)
+/**
+ * Resumable instrumented traversal of one thread's vertex range.
+ *
+ * A small state machine replaces the materialize-everything loop: the
+ * cursor is (current vertex, neighbour index, stage), so the producer
+ * holds O(1) state regardless of how many accesses the range yields.
+ * Kind::ReadSum covers the pull SpMV and both Table-VI read-sum
+ * traversals (they differ only in the adjacency walked); Kind::Push
+ * is the push SpMV with its random read-modify-writes.
+ */
+class SpmvTraceProducer final : public AccessProducer
 {
-    EdgeId edge_count = edgesInRange(graph, direction, range);
-    std::size_t per_edge = 1 + (edges ? 1 : 0);
-    std::size_t per_vertex = 1 + (offsets ? 1 : 0);
-    trace.reserve(static_cast<std::size_t>(edge_count) * per_edge +
-                  static_cast<std::size_t>(range.size()) * per_vertex);
-}
+  public:
+    enum class Kind : std::uint8_t
+    {
+        ReadSum, ///< offsets, [edges, dataOld(u)]*, store dataNew(v)
+        Push,    ///< offsets, dataOld(v), [edges, store dataNew(u)]*
+    };
 
-} // namespace
+    SpmvTraceProducer(const Adjacency &adj, Kind kind,
+                      VertexRange range, EdgeId range_edges,
+                      const TraceOptions &options)
+        : adj_(adj), options_(options), range_(range),
+          rangeEdges_(range_edges), kind_(kind), v_(range.begin)
+    {
+    }
 
-std::vector<ThreadTrace>
-generateReadSumTrace(const Graph &graph, Direction direction,
-                     const TraceOptions &options)
+    std::size_t
+    fill(std::span<MemoryAccess> out) override
+    {
+        std::size_t n = 0;
+        while (n < out.size() && next(out[n]))
+            ++n;
+        return n;
+    }
+
+    std::size_t
+    sizeHint() const override
+    {
+        std::size_t per_edge = 1 + (options_.traceEdges ? 1 : 0);
+        std::size_t per_vertex = 1 + (options_.traceOffsets ? 1 : 0);
+        return static_cast<std::size_t>(rangeEdges_) * per_edge +
+               static_cast<std::size_t>(range_.size()) * per_vertex;
+    }
+
+  private:
+    enum class Stage : std::uint8_t
+    {
+        VertexBegin, ///< entering v: offsets load
+        OwnData,     ///< push only: sequential dataOld[v] load
+        EdgeTopo,    ///< next edge: edges-array load
+        EdgeData,    ///< the random vertex-data access of that edge
+        Store,       ///< read-sum only: sequential dataNew[v] store
+    };
+
+    /** Emit the next access into @p out; false when exhausted. */
+    bool
+    next(MemoryAccess &out)
+    {
+        for (;;) {
+            switch (stage_) {
+              case Stage::VertexBegin:
+                if (v_ >= range_.end)
+                    return false;
+                neighbours_ = adj_.neighbours(v_);
+                nbrIndex_ = 0;
+                edge_ = adj_.beginEdge(v_);
+                stage_ = kind_ == Kind::Push ? Stage::OwnData
+                                             : Stage::EdgeTopo;
+                if (options_.traceOffsets) {
+                    out = {options_.map.offsetsAddr(v_),
+                           kInvalidVertex, v_, kOffsetBytes, false,
+                           AccessRegion::Offsets};
+                    return true;
+                }
+                break;
+              case Stage::OwnData:
+                // Sequential load of the source's own (old) data.
+                stage_ = Stage::EdgeTopo;
+                out = {options_.map.dataOldAddr(v_), v_, v_,
+                       kVertexDataBytes, false, AccessRegion::DataOld};
+                return true;
+              case Stage::EdgeTopo:
+                if (nbrIndex_ >= neighbours_.size()) {
+                    if (kind_ == Kind::Push) {
+                        ++v_;
+                        stage_ = Stage::VertexBegin;
+                    } else {
+                        stage_ = Stage::Store;
+                    }
+                    break;
+                }
+                stage_ = Stage::EdgeData;
+                if (options_.traceEdges) {
+                    out = {options_.map.edgesAddr(edge_),
+                           kInvalidVertex, v_, kEdgeBytes, false,
+                           AccessRegion::EdgesArr};
+                    return true;
+                }
+                break;
+              case Stage::EdgeData: {
+                VertexId u = neighbours_[nbrIndex_++];
+                ++edge_;
+                stage_ = Stage::EdgeTopo;
+                if (kind_ == Kind::Push) {
+                    // Random read-modify-write of the destination's
+                    // data; one store access models the cache
+                    // behaviour of the atomic update
+                    // (write-allocate).
+                    out = {options_.map.dataNewAddr(u), u, v_,
+                           kVertexDataBytes, true,
+                           AccessRegion::DataNew};
+                } else {
+                    // The random access RAs target: load neighbour
+                    // data.
+                    out = {options_.map.dataOldAddr(u), u, v_,
+                           kVertexDataBytes, false,
+                           AccessRegion::DataOld};
+                }
+                return true;
+              }
+              case Stage::Store:
+                // Sequential result store.
+                out = {options_.map.dataNewAddr(v_), v_, v_,
+                       kVertexDataBytes, true, AccessRegion::DataNew};
+                ++v_;
+                stage_ = Stage::VertexBegin;
+                return true;
+            }
+        }
+    }
+
+    const Adjacency &adj_;
+    TraceOptions options_;
+    VertexRange range_;
+    EdgeId rangeEdges_;
+    Kind kind_;
+    VertexId v_;
+    std::span<const VertexId> neighbours_;
+    std::size_t nbrIndex_ = 0;
+    EdgeId edge_ = 0;
+    Stage stage_ = Stage::VertexBegin;
+};
+
+/** One producer per edge-balanced partition of @p direction. */
+ProducerSet
+makeProducers(const Graph &graph, Direction direction,
+              SpmvTraceProducer::Kind kind,
+              const TraceOptions &options)
 {
     const Adjacency &adj =
         direction == Direction::In ? graph.in() : graph.out();
     std::vector<VertexRange> parts =
         edgeBalancedPartitions(graph, direction, options.numThreads);
 
-    std::vector<ThreadTrace> traces(parts.size());
-    for (std::size_t t = 0; t < parts.size(); ++t) {
-        ThreadTrace &trace = traces[t];
-        VertexRange range = parts[t];
-        reserveFor(trace, graph, direction, range, options.traceOffsets,
-                   options.traceEdges);
-        for (VertexId v = range.begin; v < range.end; ++v) {
-            if (options.traceOffsets) {
-                trace.push_back({options.map.offsetsAddr(v),
-                                 kInvalidVertex, v, kOffsetBytes,
-                                 false, AccessRegion::Offsets});
-            }
-            EdgeId e = adj.beginEdge(v);
-            for (VertexId u : adj.neighbours(v)) {
-                if (options.traceEdges) {
-                    trace.push_back({options.map.edgesAddr(e),
-                                     kInvalidVertex, v, kEdgeBytes,
-                                     false, AccessRegion::EdgesArr});
-                }
-                // The random access RAs target: load neighbour data.
-                trace.push_back({options.map.dataOldAddr(u), u, v,
-                                 kVertexDataBytes, false,
-                                 AccessRegion::DataOld});
-                ++e;
-            }
-            // Sequential result store.
-            trace.push_back({options.map.dataNewAddr(v), v, v,
-                             kVertexDataBytes, true,
-                             AccessRegion::DataNew});
-        }
+    ProducerSet producers;
+    producers.reserve(parts.size());
+    for (VertexRange range : parts) {
+        producers.push_back(std::make_unique<SpmvTraceProducer>(
+            adj, kind, range, edgesInRange(graph, direction, range),
+            options));
     }
+    return producers;
+}
+
+/** Drain every producer into its own materialized per-thread log. */
+std::vector<ThreadTrace>
+drainAll(ProducerSet producers)
+{
+    std::vector<ThreadTrace> traces;
+    traces.reserve(producers.size());
+    for (const std::unique_ptr<AccessProducer> &producer : producers)
+        traces.push_back(drainProducer(*producer));
     return traces;
+}
+
+} // namespace
+
+ProducerSet
+makePullProducers(const Graph &graph, const TraceOptions &options)
+{
+    return makeReadSumProducers(graph, Direction::In, options);
+}
+
+ProducerSet
+makePushProducers(const Graph &graph, const TraceOptions &options)
+{
+    return makeProducers(graph, Direction::Out,
+                         SpmvTraceProducer::Kind::Push, options);
+}
+
+ProducerSet
+makeReadSumProducers(const Graph &graph, Direction direction,
+                     const TraceOptions &options)
+{
+    return makeProducers(graph, direction,
+                         SpmvTraceProducer::Kind::ReadSum, options);
 }
 
 std::vector<ThreadTrace>
 generatePullTrace(const Graph &graph, const TraceOptions &options)
 {
-    return generateReadSumTrace(graph, Direction::In, options);
+    return drainAll(makePullProducers(graph, options));
 }
 
 std::vector<ThreadTrace>
 generatePushTrace(const Graph &graph, const TraceOptions &options)
 {
-    std::vector<VertexRange> parts =
-        edgeBalancedPartitions(graph, Direction::Out,
-                               options.numThreads);
+    return drainAll(makePushProducers(graph, options));
+}
 
-    std::vector<ThreadTrace> traces(parts.size());
-    for (std::size_t t = 0; t < parts.size(); ++t) {
-        ThreadTrace &trace = traces[t];
-        VertexRange range = parts[t];
-        reserveFor(trace, graph, Direction::Out, range,
-                   options.traceOffsets, options.traceEdges);
-        for (VertexId v = range.begin; v < range.end; ++v) {
-            if (options.traceOffsets) {
-                trace.push_back({options.map.offsetsAddr(v),
-                                 kInvalidVertex, v, kOffsetBytes,
-                                 false, AccessRegion::Offsets});
-            }
-            // Sequential load of the source's own (old) data.
-            trace.push_back({options.map.dataOldAddr(v), v, v,
-                             kVertexDataBytes, false,
-                             AccessRegion::DataOld});
-            EdgeId e = graph.out().beginEdge(v);
-            for (VertexId u : graph.outNeighbours(v)) {
-                if (options.traceEdges) {
-                    trace.push_back({options.map.edgesAddr(e),
-                                     kInvalidVertex, v, kEdgeBytes,
-                                     false, AccessRegion::EdgesArr});
-                }
-                // Random read-modify-write of the destination's data;
-                // one store access models the cache behaviour of the
-                // atomic update (write-allocate).
-                trace.push_back({options.map.dataNewAddr(u), u, v,
-                                 kVertexDataBytes, true,
-                                 AccessRegion::DataNew});
-                ++e;
-            }
-        }
-    }
-    return traces;
+std::vector<ThreadTrace>
+generateReadSumTrace(const Graph &graph, Direction direction,
+                     const TraceOptions &options)
+{
+    return drainAll(makeReadSumProducers(graph, direction, options));
 }
 
 std::size_t

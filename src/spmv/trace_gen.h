@@ -3,9 +3,13 @@
  * Source-level instrumentation of SpMV: memory-access trace generation.
  *
  * The paper instruments Algorithm 1 "at source code level to call the
- * simulator for every load/store" (Section V-B). Here the instrumented
- * traversal emits per-thread MemoryAccess logs over a synthetic address
- * space; TraceInterleaver + Cache then replay them.
+ * simulator for every load/store" (Section V-B). Here each simulated
+ * thread is a resumable AccessProducer that emits MemoryAccess
+ * records over a synthetic address space on demand; the
+ * InterleavingScheduler + Cache replay them with O(chunk) resident
+ * memory. Materialized std::vector<ThreadTrace> generators remain as
+ * thin drains of the same producers (bit-identical output) for tests
+ * and small-trace debugging.
  *
  * Address-space model (element sizes per paper Section II-A):
  *  - offsets array: 8-byte elements, sequential accesses,
@@ -18,6 +22,7 @@
 
 #include <vector>
 
+#include "cachesim/access_stream.h"
 #include "cachesim/trace.h"
 #include "graph/degree.h"
 #include "graph/graph.h"
@@ -71,7 +76,8 @@ struct AddressMap
 /** Trace-generation knobs. */
 struct TraceOptions
 {
-    /** Simulated parallel threads (per-thread logs; paper phase 1). */
+    /** Simulated parallel threads (per-thread producers; paper
+     *  phase 1). */
     unsigned numThreads = 8;
     /** Emit offsets-array accesses (on by default; they are part of
      *  the real kernel's footprint). */
@@ -83,34 +89,49 @@ struct TraceOptions
 };
 
 /**
- * Instrumented *pull* SpMV (Algorithm 1): per destination vertex v,
- * sequential offsets/edges loads, a random load of dataOld[u] for
- * every in-neighbour u (tagged with u for degree binning), and a
- * sequential store to dataNew[v].
- *
- * Threads own edge-balanced contiguous destination ranges.
+ * Streaming *pull* SpMV instrumentation (Algorithm 1): one resumable
+ * producer per simulated thread. Per destination vertex v, sequential
+ * offsets/edges loads, a random load of dataOld[u] for every
+ * in-neighbour u (tagged with u for degree binning), and a sequential
+ * store to dataNew[v]. Threads own edge-balanced contiguous
+ * destination ranges. @p graph must outlive the producers.
  */
+ProducerSet makePullProducers(const Graph &graph,
+                              const TraceOptions &options = {});
+
+/**
+ * Streaming *push* SpMV instrumentation: per source vertex v, a
+ * sequential load of dataOld[v] and a random read-modify-write of
+ * dataNew[u] for every out-neighbour u (tagged with u). @p graph must
+ * outlive the producers.
+ */
+ProducerSet makePushProducers(const Graph &graph,
+                              const TraceOptions &options = {});
+
+/**
+ * Streaming *read-sum* instrumentation for Table VI: identical read
+ * operation over CSC (In) or CSR (Out) plus the sequential result
+ * store, isolating the effect of the format. @p graph must outlive
+ * the producers.
+ */
+ProducerSet makeReadSumProducers(const Graph &graph,
+                                 Direction direction,
+                                 const TraceOptions &options = {});
+
+/** Materialized pull trace: makePullProducers() drained to vectors. */
 std::vector<ThreadTrace> generatePullTrace(
     const Graph &graph, const TraceOptions &options = {});
 
-/**
- * Instrumented *push* SpMV: per source vertex v, a sequential load of
- * dataOld[v] and a random read-modify-write of dataNew[u] for every
- * out-neighbour u (tagged with u).
- */
+/** Materialized push trace: makePushProducers() drained to vectors. */
 std::vector<ThreadTrace> generatePushTrace(
     const Graph &graph, const TraceOptions &options = {});
 
-/**
- * Instrumented *read-sum* traversal for Table VI: identical read
- * operation over CSC (In) or CSR (Out) plus the sequential result
- * store, isolating the effect of the format.
- */
+/** Materialized read-sum trace: makeReadSumProducers() drained. */
 std::vector<ThreadTrace> generateReadSumTrace(
     const Graph &graph, Direction direction,
     const TraceOptions &options = {});
 
-/** Total accesses across all threads of a trace. */
+/** Total accesses across all threads of a materialized trace. */
 std::size_t traceAccessCount(const std::vector<ThreadTrace> &traces);
 
 } // namespace gral

@@ -17,8 +17,10 @@
 #include "graph/generators.h"
 #include "graph/rng.h"
 #include "metrics/aid.h"
+#include "metrics/ecs.h"
 #include "metrics/miss_rate.h"
 #include "metrics/reuse_distance.h"
+#include "spmv/ihtl.h"
 #include "spmv/spmv.h"
 #include "spmv/trace_gen.h"
 
@@ -159,6 +161,104 @@ TEST(CrossValidation, PipelineFullyDeterministic)
         EXPECT_EQ(a.profile.dataMisses, b.profile.dataMisses) << ra;
         EXPECT_EQ(a.profile.tlb.misses, b.profile.tlb.misses) << ra;
     }
+}
+
+TEST(CrossValidation, StreamedReplayIdenticalToMaterialized)
+{
+    // The tentpole invariant of the streaming pipeline: feeding
+    // producers straight into the cache model must be bit-identical
+    // to materializing the trace first — same interleaved order, so
+    // the same hits, misses, TLB behaviour, and per-degree rows.
+    for (const char *id : {"twtr-s", "ukdls-s"}) {
+        Graph graph = makeDataset(id, 0.05);
+        auto in_deg = degrees(graph, Direction::In);
+        auto out_deg = degrees(graph, Direction::Out);
+        SimulationOptions sim;
+        sim.cache.sizeBytes = 64 * 1024;
+        sim.cache.associativity = 8;
+        sim.chunkSize = 256;
+        sim.missThresholds = {0, 8, 64};
+
+        TraceOptions trace_options;
+        auto traces = generatePullTrace(graph, trace_options);
+        auto materialized =
+            simulateMissProfile(traces, in_deg, out_deg, sim);
+        auto streamed = simulateMissProfile(
+            makePullProducers(graph, trace_options), in_deg, out_deg,
+            sim);
+
+        EXPECT_EQ(streamed.cache.hits, materialized.cache.hits) << id;
+        EXPECT_EQ(streamed.cache.misses, materialized.cache.misses)
+            << id;
+        EXPECT_EQ(streamed.cache.evictions,
+                  materialized.cache.evictions)
+            << id;
+        EXPECT_EQ(streamed.tlb.hits, materialized.tlb.hits) << id;
+        EXPECT_EQ(streamed.tlb.misses, materialized.tlb.misses) << id;
+        EXPECT_EQ(streamed.dataMisses, materialized.dataMisses) << id;
+        EXPECT_EQ(streamed.dataAccesses, materialized.dataAccesses)
+            << id;
+        EXPECT_EQ(streamed.missesAboveThreshold,
+                  materialized.missesAboveThreshold)
+            << id;
+
+        // Figure-1 rows must agree bin by bin.
+        auto streamed_rows = streamed.perDegree.rows();
+        auto materialized_rows = materialized.perDegree.rows();
+        ASSERT_EQ(streamed_rows.size(), materialized_rows.size())
+            << id;
+        for (std::size_t r = 0; r < streamed_rows.size(); ++r) {
+            EXPECT_EQ(streamed_rows[r].count,
+                      materialized_rows[r].count)
+                << id;
+            EXPECT_DOUBLE_EQ(streamed_rows[r].sum,
+                             materialized_rows[r].sum)
+                << id;
+        }
+
+        // ECS sees the same interleaved stream too.
+        EcsOptions ecs_options;
+        ecs_options.cache = sim.cache;
+        ecs_options.scanEvery = 4096;
+        auto ecs_materialized = effectiveCacheSize(
+            traces, trace_options.map, ecs_options);
+        auto ecs_streamed = effectiveCacheSize(
+            makePullProducers(graph, trace_options),
+            trace_options.map, ecs_options);
+        EXPECT_EQ(ecs_streamed.scans, ecs_materialized.scans) << id;
+        EXPECT_DOUBLE_EQ(ecs_streamed.avgEcsPercent,
+                         ecs_materialized.avgEcsPercent)
+            << id;
+
+        // And the bound the refactor exists for: streamed replay
+        // never holds more than one chunk of trace.
+        EXPECT_LE(streamed.peakResidentAccesses, sim.chunkSize) << id;
+        EXPECT_GE(materialized.peakResidentAccesses,
+                  materialized.totalAccesses)
+            << id;
+    }
+}
+
+TEST(CrossValidation, IhtlProducersMatchMaterializedTrace)
+{
+    Graph graph = makeDataset("twtr-s", 0.05);
+    IhtlGraph ihtl(graph, {});
+    TraceOptions trace_options;
+    auto in_deg = degrees(graph, Direction::In);
+    SimulationOptions sim;
+    sim.cache.sizeBytes = 64 * 1024;
+    sim.cache.associativity = 8;
+    sim.simulateTlb = false;
+
+    auto traces = ihtl.generateTrace(trace_options);
+    auto materialized =
+        simulateMissProfile(traces, in_deg, in_deg, sim);
+    auto streamed = simulateMissProfile(
+        ihtl.makeTraceProducers(trace_options), in_deg, in_deg, sim);
+    EXPECT_EQ(streamed.cache.hits, materialized.cache.hits);
+    EXPECT_EQ(streamed.cache.misses, materialized.cache.misses);
+    EXPECT_EQ(streamed.dataMisses, materialized.dataMisses);
+    EXPECT_EQ(streamed.dataAccesses, materialized.dataAccesses);
 }
 
 TEST(CrossValidation, SpmvLinearity)

@@ -88,5 +88,27 @@ TEST(Ecs, CacheStatsAccumulated)
     EXPECT_GT(result.cache.accesses(), 0u);
 }
 
+TEST(Ecs, StreamingOverloadMatchesVectorOverload)
+{
+    Graph graph = generateErdosRenyi(1500, 20000, 7);
+    TraceOptions trace_options;
+    auto traces = generatePullTrace(graph, trace_options);
+    auto from_vectors =
+        effectiveCacheSize(traces, trace_options.map, smallEcs());
+    auto from_stream = effectiveCacheSize(
+        makePullProducers(graph, trace_options), trace_options.map,
+        smallEcs());
+    EXPECT_EQ(from_stream.scans, from_vectors.scans);
+    EXPECT_DOUBLE_EQ(from_stream.avgEcsPercent,
+                     from_vectors.avgEcsPercent);
+    EXPECT_DOUBLE_EQ(from_stream.avgTopologyPercent,
+                     from_vectors.avgTopologyPercent);
+    EXPECT_EQ(from_stream.cache.hits, from_vectors.cache.hits);
+    EXPECT_EQ(from_stream.cache.misses, from_vectors.cache.misses);
+    EXPECT_EQ(from_stream.totalAccesses, from_vectors.totalAccesses);
+    EXPECT_LE(from_stream.peakResidentAccesses,
+              smallEcs().chunkSize);
+}
+
 } // namespace
 } // namespace gral

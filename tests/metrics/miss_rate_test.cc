@@ -107,6 +107,51 @@ TEST(MissProfile, PerDegreeMeansAreRates)
     }
 }
 
+TEST(MissProfile, StreamingOverloadMatchesVectorOverload)
+{
+    SocialNetworkParams params;
+    params.numVertices = 2000;
+    params.edgesPerVertex = 6;
+    Graph graph = generateSocialNetwork(params);
+    auto in_deg = degrees(graph, Direction::In);
+    auto out_deg = degrees(graph, Direction::Out);
+    SimulationOptions options = smallSim();
+    options.missThresholds = {0, 10, 100};
+
+    auto traces = generatePullTrace(graph, {});
+    auto from_vectors =
+        simulateMissProfile(traces, in_deg, out_deg, options);
+    auto from_stream = simulateMissProfile(
+        makePullProducers(graph, {}), in_deg, out_deg, options);
+
+    EXPECT_EQ(from_stream.cache.hits, from_vectors.cache.hits);
+    EXPECT_EQ(from_stream.cache.misses, from_vectors.cache.misses);
+    EXPECT_EQ(from_stream.tlb.hits, from_vectors.tlb.hits);
+    EXPECT_EQ(from_stream.tlb.misses, from_vectors.tlb.misses);
+    EXPECT_EQ(from_stream.dataMisses, from_vectors.dataMisses);
+    EXPECT_EQ(from_stream.dataAccesses, from_vectors.dataAccesses);
+    EXPECT_EQ(from_stream.missesAboveThreshold,
+              from_vectors.missesAboveThreshold);
+    EXPECT_EQ(from_stream.totalAccesses, from_vectors.totalAccesses);
+}
+
+TEST(MissProfile, StreamingPeakMemoryBoundedByChunk)
+{
+    Graph graph = generateErdosRenyi(2000, 30000, 5);
+    auto reuse = degrees(graph, Direction::Out);
+    SimulationOptions options = smallSim();
+    auto result = simulateMissProfile(makePullProducers(graph, {}),
+                                      reuse, options);
+    EXPECT_GT(result.totalAccesses, 10u * options.chunkSize);
+    EXPECT_LE(result.peakResidentAccesses, options.chunkSize);
+    // The vector path's peak includes the materialized log.
+    auto traces = generatePullTrace(graph, {});
+    auto vector_result =
+        simulateMissProfile(traces, reuse, options);
+    EXPECT_GE(vector_result.peakResidentAccesses,
+              vector_result.totalAccesses);
+}
+
 TEST(MissProfile, TlbCanBeDisabled)
 {
     Graph graph = makeGrid(10, 10);

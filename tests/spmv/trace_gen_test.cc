@@ -158,6 +158,83 @@ TEST(ReadSumTrace, DirectionSelectsAdjacency)
     EXPECT_EQ(first_load(out_traces), 1u);
 }
 
+/** Drain a producer through a buffer of @p step records per poll —
+ *  resumability must not depend on where the stream is cut. */
+ThreadTrace
+drainStepwise(AccessProducer &producer, std::size_t step)
+{
+    ThreadTrace out;
+    std::vector<MemoryAccess> buffer(step);
+    std::size_t filled;
+    while ((filled = producer.fill(buffer)) > 0)
+        out.insert(out.end(), buffer.begin(), buffer.begin() + filled);
+    return out;
+}
+
+bool
+sameAccesses(const ThreadTrace &a, const ThreadTrace &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].addr != b[i].addr || a[i].isWrite != b[i].isWrite ||
+            a[i].dataVertex != b[i].dataVertex ||
+            a[i].ownerVertex != b[i].ownerVertex ||
+            a[i].region != b[i].region || a[i].size != b[i].size)
+            return false;
+    }
+    return true;
+}
+
+TEST(Producers, ResumableAtAnyCutPoint)
+{
+    Graph graph = generateErdosRenyi(120, 700, 11);
+    TraceOptions options;
+    options.numThreads = 3;
+    auto reference = generatePullTrace(graph, options);
+    for (std::size_t step : {1u, 2u, 7u, 64u}) {
+        auto producers = makePullProducers(graph, options);
+        ASSERT_EQ(producers.size(), reference.size());
+        for (std::size_t t = 0; t < producers.size(); ++t)
+            EXPECT_TRUE(sameAccesses(
+                drainStepwise(*producers[t], step), reference[t]))
+                << "thread " << t << " step " << step;
+    }
+}
+
+TEST(Producers, PushAndReadSumMatchMaterialized)
+{
+    Graph graph = generateErdosRenyi(80, 500, 4);
+    TraceOptions options;
+    options.numThreads = 2;
+
+    auto push_ref = generatePushTrace(graph, options);
+    auto push_producers = makePushProducers(graph, options);
+    for (std::size_t t = 0; t < push_producers.size(); ++t)
+        EXPECT_TRUE(sameAccesses(drainStepwise(*push_producers[t], 5),
+                                 push_ref[t]));
+
+    auto csr_ref =
+        generateReadSumTrace(graph, Direction::Out, options);
+    auto csr_producers =
+        makeReadSumProducers(graph, Direction::Out, options);
+    for (std::size_t t = 0; t < csr_producers.size(); ++t)
+        EXPECT_TRUE(sameAccesses(drainStepwise(*csr_producers[t], 5),
+                                 csr_ref[t]));
+}
+
+TEST(Producers, SizeHintIsExact)
+{
+    Graph graph = generateErdosRenyi(100, 600, 9);
+    TraceOptions options;
+    options.numThreads = 4;
+    auto producers = makePullProducers(graph, options);
+    auto traces = generatePullTrace(graph, options);
+    EXPECT_EQ(producerSizeHint(producers), traceAccessCount(traces));
+    for (std::size_t t = 0; t < producers.size(); ++t)
+        EXPECT_EQ(producers[t]->sizeHint(), traces[t].size());
+}
+
 TEST(Trace, SequentialAddressesAreMonotone)
 {
     Graph graph = makePath(50);

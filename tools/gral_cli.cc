@@ -216,17 +216,21 @@ cmdSimulate(int argc, char **argv)
     sim.tlb.entries = 64;
     sim.tlb.associativity = 4;
 
+    // Each measurement streams a fresh set of producers through the
+    // cache model; the trace is never materialized.
     TraceOptions trace_options;
-    auto traces = generatePullTrace(graph, trace_options);
     auto in_deg = degrees(graph, Direction::In);
     auto out_deg = degrees(graph, Direction::Out);
-    auto profile = simulateMissProfile(traces, in_deg, out_deg, sim);
+    auto profile =
+        simulateMissProfile(makePullProducers(graph, trace_options),
+                            in_deg, out_deg, sim);
 
     EcsOptions ecs_options;
     ecs_options.cache = sim.cache;
     ecs_options.scanEvery = 1 << 18;
     auto ecs =
-        effectiveCacheSize(traces, trace_options.map, ecs_options);
+        effectiveCacheSize(makePullProducers(graph, trace_options),
+                           trace_options.map, ecs_options);
 
     TextTable table({"Simulated metric", "Value"});
     table.addRow({"cache", std::to_string(cache_kb) + " KB DRRIP"});
@@ -241,6 +245,10 @@ cmdSimulate(int argc, char **argv)
     table.addRow({"DTLB misses", formatCount(profile.tlb.misses)});
     table.addRow({"effective cache size %",
                   formatDouble(ecs.avgEcsPercent, 1)});
+    table.addRow({"trace accesses",
+                  formatCount(profile.totalAccesses)});
+    table.addRow({"peak trace memory",
+                  formatBytes(profile.peakResidentBytes())});
     table.print(std::cout);
     return 0;
 }
