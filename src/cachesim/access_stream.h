@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cachesim/trace.h"
+#include "common/check.h"
 
 namespace gral
 {
@@ -196,6 +197,9 @@ class InterleavingScheduler
                         exhausted = true;
                         break;
                     }
+                    GRAL_DCHECK(n <= chunkSize_ - got)
+                        << "producer overfilled its span: wrote " << n
+                        << " records into " << (chunkSize_ - got);
                     got += n;
                 }
                 if (got > peakResident_)

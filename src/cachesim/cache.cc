@@ -4,8 +4,24 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/validate.h"
+
 namespace gral
 {
+
+namespace
+{
+
+/** Validate before the member initializers run: rrpvMax_ shifts by
+ *  rrpvBits, which must already be known to be in range. */
+const CacheConfig &
+validated(const CacheConfig &config)
+{
+    validateCacheConfig(config);
+    return config;
+}
+
+} // namespace
 
 const char *
 toString(ReplacementPolicy policy)
@@ -57,22 +73,13 @@ paperL1Config()
 }
 
 Cache::Cache(const CacheConfig &config)
-    : config_(config), numSets_(config.numSets()),
+    : config_(validated(config)), numSets_(config.numSets()),
       lineShift_(static_cast<std::uint32_t>(
           std::countr_zero(static_cast<std::uint64_t>(
               config.lineBytes)))),
       rrpvMax_(static_cast<std::uint8_t>((1u << config.rrpvBits) - 1)),
       psel_(0), pselMax_(1023)
 {
-    if (config.lineBytes == 0 || !std::has_single_bit(
-                                     static_cast<std::uint64_t>(
-                                         config.lineBytes)))
-        throw std::invalid_argument("Cache: line size not a power of 2");
-    if (config.associativity == 0)
-        throw std::invalid_argument("Cache: zero associativity");
-    if (numSets_ == 0 || !std::has_single_bit(numSets_))
-        throw std::invalid_argument(
-            "Cache: set count must be a nonzero power of 2");
     lines_.assign(numSets_ * config.associativity, Line{});
     psel_ = pselMax_ / 2;
 }

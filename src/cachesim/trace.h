@@ -49,6 +49,9 @@ struct MemoryAccess
     bool isWrite = false;
     /** Logical array classification (drives the ECS scanner). */
     AccessRegion region = AccessRegion::Other;
+
+    friend bool operator==(const MemoryAccess &,
+                           const MemoryAccess &) = default;
 };
 
 /** Per-thread access log produced by the instrumented traversal. */

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Invariant-check macros: the repo's replacement for raw assert().
+ *
+ * Two tiers (DESIGN.md "Correctness layer"):
+ *
+ *  - GRAL_CHECK(cond)  — always on, in every build type. For
+ *    structural invariants whose violation would corrupt results
+ *    silently (bijectivity, CSR bounds, task accounting).
+ *  - GRAL_DCHECK(cond) — per-operation checks on hot paths. Compiled
+ *    in when NDEBUG is unset or GRAL_ENABLE_DCHECKS is defined (the
+ *    build system defines it for RelWithDebInfo, the default dev
+ *    build); a typed-but-unexecuted statement otherwise.
+ *
+ * Both stream a source location and an optional message:
+ *
+ *     GRAL_CHECK(key < n) << "edge endpoint " << key << " >= " << n;
+ *
+ * A failing check throws gral::CheckError. Invariant violations are
+ * programming errors, but throwing (rather than aborting) keeps them
+ * unit-testable and lets the CLI turn them into clean diagnostics; in
+ * contexts where the exception cannot propagate (worker threads,
+ * destructors) it escalates to std::terminate, which is the abort the
+ * violation deserves anyway.
+ */
+
+#ifndef GRAL_COMMON_CHECK_H
+#define GRAL_COMMON_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gral
+{
+
+/** Thrown by a failing GRAL_CHECK / GRAL_DCHECK. */
+class CheckError : public std::logic_error
+{
+  public:
+    explicit CheckError(const std::string &message)
+        : std::logic_error(message)
+    {
+    }
+};
+
+namespace internal
+{
+
+/**
+ * Accumulates the streamed message of a failing check and throws
+ * CheckError when the temporary dies at the end of the check's full
+ * expression. Only ever constructed on the failure path.
+ */
+class CheckFailer
+{
+  public:
+    CheckFailer(const char *file, int line, const char *expression)
+    {
+        stream_ << file << ":" << line
+                << ": check failed: " << expression;
+    }
+
+    CheckFailer(const CheckFailer &) = delete;
+    CheckFailer &operator=(const CheckFailer &) = delete;
+
+    template <typename T>
+    CheckFailer &
+    operator<<(const T &value)
+    {
+        if (!messageStarted_) {
+            stream_ << ": ";
+            messageStarted_ = true;
+        }
+        stream_ << value;
+        return *this;
+    }
+
+    // Throwing destructor by design: the object only exists when the
+    // check already failed, so it never runs during another unwind.
+    ~CheckFailer() noexcept(false) // NOLINT(bugprone-exception-escape)
+    {
+        throw CheckError(stream_.str());
+    }
+
+  private:
+    std::ostringstream stream_;
+    bool messageStarted_ = false;
+};
+
+/** Lowers a streamed CheckFailer chain to void so it can sit in the
+ *  false branch of the GRAL_CHECK ternary. */
+struct CheckVoidify
+{
+    void operator&(const CheckFailer &) const {}
+};
+
+} // namespace internal
+} // namespace gral
+
+/** Always-on invariant check; throws gral::CheckError on failure.
+ *  Streams: GRAL_CHECK(x) << "context " << value; */
+#define GRAL_CHECK(condition)                                           \
+    (condition)                                                         \
+        ? (void)0                                                       \
+        : ::gral::internal::CheckVoidify{} &                            \
+              ::gral::internal::CheckFailer(__FILE__, __LINE__,         \
+                                            #condition)
+
+#if !defined(NDEBUG) || defined(GRAL_ENABLE_DCHECKS)
+#define GRAL_DCHECK_IS_ON 1
+/** Hot-path check, active in this build (see file comment). */
+#define GRAL_DCHECK(condition) GRAL_CHECK(condition)
+#else
+#define GRAL_DCHECK_IS_ON 0
+/** Hot-path check, compiled out: the condition and any streamed
+ *  message are type-checked but never evaluated. */
+#define GRAL_DCHECK(condition)                                          \
+    while (false)                                                       \
+    GRAL_CHECK(condition)
+#endif
+
+#endif // GRAL_COMMON_CHECK_H

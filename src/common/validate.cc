@@ -1,0 +1,176 @@
+#include "common/validate.h"
+
+#include <bit>
+#include <sstream>
+#include <vector>
+
+namespace gral
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &what, const std::string &detail)
+{
+    throw ValidationError(what + ": " + detail);
+}
+
+std::string
+str(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+} // namespace
+
+void
+validateCsr(std::span<const EdgeId> offsets,
+            std::span<const VertexId> edges, const std::string &what)
+{
+    if (offsets.empty())
+        fail(what, "offsets array is empty (need |V|+1 entries)");
+    if (offsets.front() != 0)
+        fail(what, "offsets[0] is " + str(offsets.front()) +
+                       ", expected 0");
+    for (std::size_t v = 1; v < offsets.size(); ++v) {
+        if (offsets[v] < offsets[v - 1])
+            fail(what, "offsets not monotone at vertex " + str(v - 1) +
+                           ": " + str(offsets[v - 1]) + " -> " +
+                           str(offsets[v]));
+    }
+    if (offsets.back() != edges.size())
+        fail(what, "offsets[|V|] is " + str(offsets.back()) +
+                       " but the edges array has " + str(edges.size()) +
+                       " entries");
+
+    auto num_vertices = static_cast<VertexId>(offsets.size() - 1);
+    for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+        VertexId previous = 0;
+        for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+            VertexId neighbour = edges[e];
+            if (neighbour >= num_vertices)
+                fail(what, "edge " + str(e) + " of vertex " + str(v) +
+                               " points to vertex " + str(neighbour) +
+                               " >= |V| = " + str(num_vertices));
+            if (e > offsets[v] && neighbour < previous)
+                fail(what, "neighbour list of vertex " + str(v) +
+                               " not sorted ascending at edge " +
+                               str(e));
+            previous = neighbour;
+        }
+    }
+}
+
+void
+validateCsr(const Adjacency &adjacency, const std::string &what)
+{
+    validateCsr(adjacency.offsets(), adjacency.edges(), what);
+}
+
+void
+validateGraph(const Graph &graph, const std::string &what)
+{
+    validateCsr(graph.out(), what + " (out-adjacency)");
+    validateCsr(graph.in(), what + " (in-adjacency)");
+    if (graph.out().numEdges() != graph.in().numEdges())
+        fail(what, "CSR stores " + str(graph.out().numEdges()) +
+                       " edges but CSC stores " +
+                       str(graph.in().numEdges()));
+}
+
+void
+validatePermutation(const Permutation &permutation,
+                    VertexId expected_size, const std::string &what)
+{
+    if (permutation.size() != expected_size)
+        fail(what, "relabeling array covers " +
+                       str(permutation.size()) + " vertices, expected " +
+                       str(expected_size));
+    if (permutation.isValid())
+        return;
+
+    // Rejected: say *why* — first out-of-range entry or first new ID
+    // assigned twice, whichever the scan meets first.
+    std::vector<VertexId> first_user(permutation.size(),
+                                     kInvalidVertex);
+    for (VertexId old_id = 0; old_id < permutation.size(); ++old_id) {
+        VertexId new_id = permutation.newId(old_id);
+        if (new_id >= permutation.size())
+            fail(what, "not a bijection: newId(" + str(old_id) +
+                           ") = " + str(new_id) + " is outside [0, " +
+                           str(permutation.size()) + ")");
+        if (first_user[new_id] != kInvalidVertex)
+            fail(what, "not a bijection: new ID " + str(new_id) +
+                           " assigned to both vertex " +
+                           str(first_user[new_id]) + " and vertex " +
+                           str(old_id));
+        first_user[new_id] = old_id;
+    }
+    fail(what, "Permutation::isValid() rejected the relabeling array");
+}
+
+void
+validateCacheConfig(const CacheConfig &config)
+{
+    const std::string what = "cache config";
+    if (config.lineBytes == 0 ||
+        !std::has_single_bit(
+            static_cast<std::uint64_t>(config.lineBytes)))
+        fail(what, "line size " + str(config.lineBytes) +
+                       " is not a power of 2");
+    if (config.associativity == 0)
+        fail(what, "zero ways");
+    std::uint64_t sets = config.numSets();
+    if (sets == 0 || !std::has_single_bit(sets))
+        fail(what, "geometry " + str(config.sizeBytes) + " B / " +
+                       str(config.associativity) + "-way / " +
+                       str(config.lineBytes) +
+                       " B lines implies set count " + str(sets) +
+                       ", which is not a nonzero power of 2");
+    if (config.rrpvBits < 1 || config.rrpvBits > 8)
+        fail(what, "RRPV width " + str(config.rrpvBits) +
+                       " outside [1, 8]");
+    bool rrip = config.policy == ReplacementPolicy::SRRIP ||
+                config.policy == ReplacementPolicy::BRRIP ||
+                config.policy == ReplacementPolicy::DRRIP;
+    if (rrip && config.brripEpsilon == 0)
+        fail(what, "BRRIP epsilon must be nonzero");
+    if (config.policy == ReplacementPolicy::DRRIP &&
+        config.duelingLeaderSets == 0)
+        fail(what, "DRRIP needs at least one leader set per team");
+}
+
+void
+OrderCheckSink::consume(const MemoryAccess &access)
+{
+    if (position_ >= expected_.size())
+        fail("access stream",
+             "surplus access at position " + str(position_) +
+                 ": reference order has only " + str(expected_.size()) +
+                 " accesses");
+    const MemoryAccess &want = expected_[position_];
+    if (!(access == want)) {
+        std::ostringstream message;
+        message << "interleaving diverges from the reference order at "
+                << "position " << position_ << ": got addr 0x"
+                << std::hex << access.addr << ", want addr 0x"
+                << want.addr << std::dec << " (owner vertex "
+                << access.ownerVertex << " vs " << want.ownerVertex
+                << ")";
+        fail("access stream", message.str());
+    }
+    ++position_;
+    inner_.consume(access);
+}
+
+void
+OrderCheckSink::finish() const
+{
+    if (position_ != expected_.size())
+        fail("access stream",
+             "stream ended after " + str(position_) + " of " +
+                 str(expected_.size()) + " expected accesses");
+}
+
+} // namespace gral

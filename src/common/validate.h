@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Structural validators for untrusted or freshly-computed data.
+ *
+ * Complements check.h (DESIGN.md "Correctness layer"): the macros
+ * guard invariants of code we wrote, these functions validate *data*
+ * — permutation files, binary graphs, reorderer output, cache
+ * geometry — and throw ValidationError with an actionable message
+ * instead of letting a malformed structure corrupt results
+ * downstream. Faldu et al. ("A Closer Look at Lightweight Graph
+ * Reordering") document how subtly-wrong reorderings still run while
+ * silently skewing locality conclusions; these checks make that class
+ * of bug loud.
+ *
+ * All validators are O(|V| + |E|) single passes — cheap next to the
+ * construction of whatever they validate.
+ */
+
+#ifndef GRAL_COMMON_VALIDATE_H
+#define GRAL_COMMON_VALIDATE_H
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "cachesim/access_stream.h"
+#include "cachesim/cache.h"
+#include "cachesim/trace.h"
+#include "graph/csr.h"
+#include "graph/graph.h"
+#include "graph/permutation.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/**
+ * Thrown when a structural validator rejects its input. Derives from
+ * std::invalid_argument so call sites that predate the correctness
+ * layer (and tests written against them) keep working.
+ */
+class ValidationError : public std::invalid_argument
+{
+  public:
+    explicit ValidationError(const std::string &message)
+        : std::invalid_argument(message)
+    {
+    }
+};
+
+/**
+ * Validate raw CSR/CSC arrays: offsets present, zero-based, monotone
+ * non-decreasing, consistent with the edge count; every column index
+ * in [0, |V|); every neighbour list sorted ascending (the AID metric
+ * requires sorted lists).
+ *
+ * @param what  label used in error messages ("out-adjacency", ...).
+ * @throws ValidationError describing the first violation found.
+ */
+void validateCsr(std::span<const EdgeId> offsets,
+                 std::span<const VertexId> edges,
+                 const std::string &what = "adjacency");
+
+/** Validate an assembled Adjacency (same checks). */
+void validateCsr(const Adjacency &adjacency,
+                 const std::string &what = "adjacency");
+
+/** Validate both directions of a Graph plus their mutual edge-count
+ *  consistency. */
+void validateGraph(const Graph &graph,
+                   const std::string &what = "graph");
+
+/**
+ * Validate that @p permutation is a bijection onto
+ * [0, @p expected_size) — delegates to Permutation::isValid() — and
+ * that it covers exactly @p expected_size vertices.
+ *
+ * @param what  label used in error messages (the RA name, the file
+ *              the permutation was read from, ...).
+ */
+void validatePermutation(const Permutation &permutation,
+                         VertexId expected_size,
+                         const std::string &what = "permutation");
+
+/**
+ * Validate cache geometry the way the Cache constructor needs it:
+ * power-of-two line size and set count, nonzero ways, RRPV width in
+ * [1, 8], nonzero BRRIP epsilon when a RRIP policy is selected.
+ */
+void validateCacheConfig(const CacheConfig &config);
+
+/**
+ * Sink decorator asserting the scheduler's deterministic
+ * interleaving: forwards every access to the wrapped sink after
+ * checking it matches the next record of @p expected (the reference
+ * order, e.g. a materialized TraceInterleaver run). Throws
+ * ValidationError on the first out-of-order, mutated, or surplus
+ * access; call finish() after the drain to catch truncation.
+ */
+class OrderCheckSink final : public AccessSink
+{
+  public:
+    OrderCheckSink(AccessSink &inner,
+                   std::span<const MemoryAccess> expected)
+        : inner_(inner), expected_(expected)
+    {
+    }
+
+    void consume(const MemoryAccess &access) override;
+
+    /** @throws ValidationError unless exactly expected.size()
+     *  accesses were consumed. */
+    void finish() const;
+
+    /** Accesses verified so far. */
+    std::size_t position() const { return position_; }
+
+  private:
+    AccessSink &inner_;
+    std::span<const MemoryAccess> expected_;
+    std::size_t position_ = 0;
+};
+
+} // namespace gral
+
+#endif // GRAL_COMMON_VALIDATE_H

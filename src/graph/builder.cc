@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace gral
 {
 
@@ -42,6 +44,10 @@ GraphBuilder::finalize(const BuildOptions &options,
         for (Edge &e : edges) {
             e.src = remap[e.src];
             e.dst = remap[e.dst];
+            GRAL_DCHECK(e.src != kInvalidVertex &&
+                        e.dst != kInvalidVertex)
+                << "zero-degree compaction dropped an endpoint of a "
+                   "surviving edge";
         }
         if (old_to_new)
             *old_to_new = std::move(remap);

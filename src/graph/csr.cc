@@ -1,8 +1,9 @@
 #include "graph/csr.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace gral
 {
@@ -61,7 +62,9 @@ buildAdjacency(VertexId num_vertices, std::span<const Edge> edges,
                                 0);
     for (const Edge &e : edges) {
         VertexId key = by_source ? e.src : e.dst;
-        assert(key < num_vertices);
+        GRAL_CHECK(key < num_vertices)
+            << "edge (" << e.src << ", " << e.dst
+            << ") endpoint outside [0, " << num_vertices << ")";
         ++offsets[key + 1];
     }
     for (std::size_t i = 1; i < offsets.size(); ++i)
@@ -77,6 +80,7 @@ buildAdjacency(VertexId num_vertices, std::span<const Edge> edges,
 
     Adjacency result(std::move(offsets), std::move(adj));
     result.sortNeighbours();
+    GRAL_DCHECK(result.neighboursSorted());
     return result;
 }
 

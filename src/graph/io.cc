@@ -132,6 +132,16 @@ readBinary(std::istream &in)
     auto offsets = readVector<EdgeId>(in, num_vertices + 1);
     auto edges = readVector<VertexId>(in, num_edges);
 
+    // A .grf file is untrusted input: reject out-of-range column
+    // indices here, before they index vertex arrays downstream (the
+    // Adjacency constructor only checks the offsets array).
+    for (VertexId column : edges) {
+        if (column >= num_vertices)
+            throw std::runtime_error(
+                "readBinary: edge endpoint " + std::to_string(column) +
+                " >= vertex count " + std::to_string(num_vertices));
+    }
+
     Adjacency out(std::move(offsets), std::move(edges));
     // Rebuild the CSC from the CSR.
     std::vector<Edge> list;
@@ -151,6 +161,53 @@ readBinaryFile(const std::string &path)
     if (!in)
         throw std::runtime_error("cannot open " + path);
     return readBinary(in);
+}
+
+Permutation
+readPermutationText(std::istream &in)
+{
+    std::vector<VertexId> new_ids;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream fields(line);
+        std::uint64_t new_id = 0;
+        if (!(fields >> new_id))
+            throw std::runtime_error(
+                "readPermutationText: bad line: " + line);
+        if (new_id >= kInvalidVertex)
+            throw std::runtime_error(
+                "readPermutationText: new ID exceeds 32 bits: " + line);
+        new_ids.push_back(static_cast<VertexId>(new_id));
+    }
+    return Permutation(std::move(new_ids));
+}
+
+Permutation
+readPermutationTextFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    return readPermutationText(in);
+}
+
+void
+writePermutationText(const Permutation &permutation, std::ostream &out)
+{
+    for (VertexId old_id = 0; old_id < permutation.size(); ++old_id)
+        out << permutation.newId(old_id) << '\n';
+}
+
+void
+writePermutationTextFile(const Permutation &permutation,
+                         const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open " + path);
+    writePermutationText(permutation, out);
 }
 
 } // namespace gral

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/permutation.h"
 #include "graph/types.h"
 
 namespace gral
@@ -43,6 +44,25 @@ Graph readBinary(std::istream &in);
 
 /** Load the binary format from a file. @throws std::runtime_error. */
 Graph readBinaryFile(const std::string &path);
+
+/**
+ * Parse a relabeling array from text: one new ID per line, indexed by
+ * old ID; '#' or '%' comment lines ignored. The result is NOT checked
+ * for bijectivity — callers reading untrusted files must
+ * validatePermutation() it (the CLI does).
+ */
+Permutation readPermutationText(std::istream &in);
+
+/** Parse a relabeling array from a file. @throws std::runtime_error. */
+Permutation readPermutationTextFile(const std::string &path);
+
+/** Write one new ID per line, indexed by old ID. */
+void writePermutationText(const Permutation &permutation,
+                          std::ostream &out);
+
+/** Write a relabeling array to a file. @throws std::runtime_error. */
+void writePermutationTextFile(const Permutation &permutation,
+                              const std::string &path);
 
 } // namespace gral
 

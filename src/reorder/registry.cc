@@ -1,7 +1,10 @@
 #include "reorder/registry.h"
 
 #include <stdexcept>
+#include <utility>
 
+#include "common/check.h"
+#include "common/validate.h"
 #include "reorder/baselines.h"
 #include "reorder/dbg.h"
 #include "reorder/gorder.h"
@@ -12,8 +15,27 @@
 namespace gral
 {
 
+ValidatingReorderer::ValidatingReorderer(ReordererPtr inner)
+    : inner_(std::move(inner))
+{
+    GRAL_CHECK(inner_ != nullptr);
+}
+
+Permutation
+ValidatingReorderer::reorder(const Graph &graph)
+{
+    Permutation permutation = inner_->reorder(graph);
+    stats_ = inner_->stats();
+    validatePermutation(permutation, graph.numVertices(),
+                        inner_->name());
+    return permutation;
+}
+
+namespace
+{
+
 ReordererPtr
-makeReorderer(const std::string &name)
+makeRawReorderer(const std::string &name)
 {
     if (name == "Bl" || name == "Identity")
         return std::make_unique<IdentityOrder>();
@@ -41,6 +63,14 @@ makeReorderer(const std::string &name)
     if (name == "DBG")
         return std::make_unique<DbgOrder>();
     throw std::invalid_argument("makeReorderer: unknown RA: " + name);
+}
+
+} // namespace
+
+ReordererPtr
+makeReorderer(const std::string &name)
+{
+    return std::make_unique<ValidatingReorderer>(makeRawReorderer(name));
 }
 
 std::vector<std::string>

@@ -19,7 +19,34 @@ namespace gral
 {
 
 /**
- * Create a reorderer by name (case-sensitive).
+ * Decorator enforcing the Reorderer contract: after the wrapped
+ * algorithm runs, the emitted relabeling array is checked to be a
+ * bijection onto [0, |V|) (validatePermutation, which delegates to
+ * Permutation::isValid). Every reorderer the registry hands out is
+ * wrapped — a subtly-broken RA fails loudly instead of silently
+ * skewing locality results. Validation is one O(|V|) pass, noise next
+ * to any reorder() cost.
+ */
+class ValidatingReorderer final : public Reorderer
+{
+  public:
+    /** @pre inner != nullptr. */
+    explicit ValidatingReorderer(ReordererPtr inner);
+
+    std::string name() const override { return inner_->name(); }
+
+    /** @throws ValidationError when the inner RA emits a relabeling
+     *  array that is not a bijection onto [0, graph.numVertices()). */
+    Permutation reorder(const Graph &graph) override;
+
+  private:
+    ReordererPtr inner_;
+};
+
+/**
+ * Create a reorderer by name (case-sensitive). The result is wrapped
+ * in a ValidatingReorderer, so its output is always
+ * bijectivity-checked.
  *
  * Known names: "Bl" / "Identity", "Random", "DegreeSort", "HubSort",
  * "HubCluster", "RCM", "DBG", "SB" / "SlashBurn", "SB++" / "SlashBurn++",

@@ -1,6 +1,6 @@
 #include "reorder/unit_heap.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace gral
 {
@@ -19,7 +19,9 @@ UnitHeap::UnitHeap(VertexId n, std::span<const VertexId> priority_order)
     : key_(n, 0), prev_(n, kInvalidVertex), next_(n, kInvalidVertex),
       bucketHead_(1, kInvalidVertex), inHeap_(n, 1), size_(n)
 {
-    assert(priority_order.size() == n);
+    GRAL_CHECK(priority_order.size() == n)
+        << "priority order covers " << priority_order.size()
+        << " vertices, heap holds " << n;
     for (std::size_t i = priority_order.size(); i-- > 0;)
         pushFront(priority_order[i], 0);
 }
@@ -58,7 +60,7 @@ UnitHeap::unlink(VertexId v)
 void
 UnitHeap::increment(VertexId v)
 {
-    assert(inHeap_[v]);
+    GRAL_DCHECK(inHeap_[v]) << "vertex " << v << " not in heap";
     unlink(v);
     pushFront(v, key_[v] + 1);
 }
@@ -66,7 +68,7 @@ UnitHeap::increment(VertexId v)
 void
 UnitHeap::decrement(VertexId v)
 {
-    assert(inHeap_[v]);
+    GRAL_DCHECK(inHeap_[v]) << "vertex " << v << " not in heap";
     if (key_[v] == 0)
         return;
     unlink(v);
@@ -76,11 +78,11 @@ UnitHeap::decrement(VertexId v)
 VertexId
 UnitHeap::extractMax()
 {
-    assert(!empty());
+    GRAL_CHECK(!empty()) << "extractMax on empty heap";
     while (topKey_ > 0 && bucketHead_[topKey_] == kInvalidVertex)
         --topKey_;
     VertexId v = bucketHead_[topKey_];
-    assert(v != kInvalidVertex);
+    GRAL_DCHECK(v != kInvalidVertex);
     unlink(v);
     inHeap_[v] = 0;
     --size_;
@@ -90,7 +92,7 @@ UnitHeap::extractMax()
 void
 UnitHeap::remove(VertexId v)
 {
-    assert(inHeap_[v]);
+    GRAL_DCHECK(inHeap_[v]) << "vertex " << v << " not in heap";
     unlink(v);
     inHeap_[v] = 0;
     --size_;

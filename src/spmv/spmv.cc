@@ -1,7 +1,8 @@
 #include "spmv/spmv.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace gral
 {
@@ -22,8 +23,12 @@ void
 spmvPull(const Graph &graph, std::span<const double> src,
          std::span<double> dst)
 {
-    assert(src.size() == graph.numVertices());
-    assert(dst.size() == graph.numVertices());
+    GRAL_CHECK(src.size() == graph.numVertices())
+        << "source vector has " << src.size() << " entries for |V| = "
+        << graph.numVertices();
+    GRAL_CHECK(dst.size() == graph.numVertices())
+        << "destination vector has " << dst.size()
+        << " entries for |V| = " << graph.numVertices();
     spmvPullRange(graph, src, dst, 0, graph.numVertices());
 }
 
@@ -31,8 +36,12 @@ void
 spmvPush(const Graph &graph, std::span<const double> src,
          std::span<double> dst)
 {
-    assert(src.size() == graph.numVertices());
-    assert(dst.size() == graph.numVertices());
+    GRAL_CHECK(src.size() == graph.numVertices())
+        << "source vector has " << src.size() << " entries for |V| = "
+        << graph.numVertices();
+    GRAL_CHECK(dst.size() == graph.numVertices())
+        << "destination vector has " << dst.size()
+        << " entries for |V| = " << graph.numVertices();
     std::fill(dst.begin(), dst.end(), 0.0);
     for (VertexId v = 0; v < graph.numVertices(); ++v) {
         double value = src[v];

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/check.h"
+
 namespace gral
 {
 
@@ -94,6 +96,7 @@ WorkStealingPool::run(std::size_t num_tasks,
     }
 
     std::atomic<std::size_t> remaining{num_tasks};
+    std::atomic<std::size_t> executed{0};
     std::atomic<std::uint64_t> total_steals{0};
     std::vector<double> idle_fraction(numThreads_, 0.0);
 
@@ -125,9 +128,13 @@ WorkStealingPool::run(std::size_t num_tasks,
                 }
             }
             if (got) {
+                GRAL_DCHECK(index < num_tasks)
+                    << "queue produced task index " << index
+                    << " of a batch of " << num_tasks;
                 auto work_start = Clock::now();
                 task(index);
                 busy += secondsSince(work_start);
+                executed.fetch_add(1, std::memory_order_relaxed);
                 remaining.fetch_sub(1, std::memory_order_release);
             } else {
                 std::this_thread::yield();
@@ -145,6 +152,19 @@ WorkStealingPool::run(std::size_t num_tasks,
         threads.emplace_back(worker, t);
     for (std::thread &t : threads)
         t.join();
+
+    // Task accounting: every dealt index ran exactly once and no
+    // queue still holds work. A miscount here means lost or
+    // double-executed partitions, which silently corrupts results.
+    GRAL_CHECK(executed.load() == num_tasks)
+        << "executed " << executed.load() << " of " << num_tasks
+        << " tasks";
+    GRAL_CHECK(remaining.load() == 0)
+        << remaining.load() << " tasks still pending after join";
+    for (WorkQueue &queue : queues)
+        GRAL_CHECK(queue.size() == 0)
+            << "a worker queue still holds " << queue.size()
+            << " tasks after join";
 
     PoolStats stats;
     stats.wallMs = secondsSince(batch_start) * 1e3;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the GRAL_CHECK / GRAL_DCHECK invariant macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Check, PassingCheckIsSilent)
+{
+    EXPECT_NO_THROW(GRAL_CHECK(1 + 1 == 2));
+    EXPECT_NO_THROW(GRAL_CHECK(true) << "never evaluated");
+}
+
+TEST(Check, FailingCheckThrowsCheckError)
+{
+    EXPECT_THROW(GRAL_CHECK(1 + 1 == 3), CheckError);
+}
+
+TEST(Check, MessageCarriesLocationExpressionAndStream)
+{
+    try {
+        int got = 7;
+        GRAL_CHECK(got == 8) << "got " << got << " widgets";
+        FAIL() << "check did not fire";
+    } catch (const CheckError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+        EXPECT_NE(what.find("got == 8"), std::string::npos) << what;
+        EXPECT_NE(what.find("got 7 widgets"), std::string::npos) << what;
+    }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce)
+{
+    int evaluations = 0;
+    GRAL_CHECK(++evaluations > 0);
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, StreamedArgumentsNotEvaluatedOnSuccess)
+{
+    int calls = 0;
+    auto expensive = [&calls]() {
+        ++calls;
+        return std::string("detail");
+    };
+    GRAL_CHECK(true) << expensive();
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(Check, WorksAsSoleStatementOfUnbracedIf)
+{
+    // The macro must behave as a single statement: no dangling-else
+    // surprises and no statement leaking out of the branch.
+    bool reached_else = false;
+    if (false)
+        GRAL_CHECK(false) << "must not fire";
+    else
+        reached_else = true;
+    EXPECT_TRUE(reached_else);
+}
+
+TEST(Check, CheckErrorIsLogicError)
+{
+    EXPECT_THROW(GRAL_CHECK(false), std::logic_error);
+}
+
+#if GRAL_DCHECK_IS_ON
+TEST(Dcheck, ActiveInThisBuild)
+{
+    EXPECT_THROW(GRAL_DCHECK(false), CheckError);
+    EXPECT_NO_THROW(GRAL_DCHECK(true) << "fine");
+}
+#else
+TEST(Dcheck, CompiledOutInThisBuild)
+{
+    int evaluations = 0;
+    GRAL_DCHECK(++evaluations > 0) << "never runs";
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_NO_THROW(GRAL_DCHECK(false));
+}
+#endif
+
+} // namespace
+} // namespace gral

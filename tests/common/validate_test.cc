@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the structural validators (common/validate.h): corrupted
+ * CSR arrays, non-bijective permutations, broken cache geometry, and
+ * misordered access streams must each be rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cachesim/access_stream.h"
+#include "common/validate.h"
+#include "graph/generators.h"
+
+namespace gral
+{
+namespace
+{
+
+std::string
+messageOf(const std::function<void()> &action)
+{
+    try {
+        action();
+    } catch (const ValidationError &error) {
+        return error.what();
+    }
+    return {};
+}
+
+// ---------------------------------------------------------------- CSR
+
+TEST(ValidateCsr, AcceptsWellFormedAdjacency)
+{
+    Graph graph = generateErdosRenyi(120, 900, 3);
+    EXPECT_NO_THROW(validateCsr(graph.out()));
+    EXPECT_NO_THROW(validateCsr(graph.in()));
+    EXPECT_NO_THROW(validateGraph(graph));
+}
+
+TEST(ValidateCsr, AcceptsEmptyAdjacency)
+{
+    std::vector<EdgeId> offsets{0};
+    std::vector<VertexId> edges;
+    EXPECT_NO_THROW(validateCsr(offsets, edges));
+}
+
+TEST(ValidateCsr, RejectsEmptyOffsetsArray)
+{
+    std::vector<EdgeId> offsets;
+    std::vector<VertexId> edges;
+    EXPECT_THROW(validateCsr(offsets, edges), ValidationError);
+}
+
+TEST(ValidateCsr, RejectsNonZeroBase)
+{
+    std::vector<EdgeId> offsets{1, 2};
+    std::vector<VertexId> edges{0, 0};
+    EXPECT_THROW(validateCsr(offsets, edges), ValidationError);
+}
+
+TEST(ValidateCsr, RejectsNonMonotoneOffsets)
+{
+    std::vector<EdgeId> offsets{0, 3, 2, 4};
+    std::vector<VertexId> edges{1, 2, 0, 1};
+    std::string what = messageOf(
+        [&] { validateCsr(offsets, edges, "fixture"); });
+    EXPECT_NE(what.find("not monotone"), std::string::npos) << what;
+    EXPECT_NE(what.find("fixture"), std::string::npos) << what;
+}
+
+TEST(ValidateCsr, RejectsOffsetsEdgeCountMismatch)
+{
+    std::vector<EdgeId> offsets{0, 1, 3};
+    std::vector<VertexId> edges{1};
+    EXPECT_THROW(validateCsr(offsets, edges), ValidationError);
+}
+
+TEST(ValidateCsr, RejectsOutOfRangeColumnIndex)
+{
+    std::vector<EdgeId> offsets{0, 2, 2};
+    std::vector<VertexId> edges{1, 9}; // |V| == 2, so 9 is garbage
+    std::string what = messageOf([&] { validateCsr(offsets, edges); });
+    EXPECT_NE(what.find(">= |V|"), std::string::npos) << what;
+}
+
+TEST(ValidateCsr, RejectsUnsortedNeighbourList)
+{
+    std::vector<EdgeId> offsets{0, 3, 3, 3};
+    std::vector<VertexId> edges{2, 0, 1};
+    std::string what = messageOf([&] { validateCsr(offsets, edges); });
+    EXPECT_NE(what.find("not sorted"), std::string::npos) << what;
+}
+
+// -------------------------------------------------------- permutation
+
+TEST(ValidatePermutation, AcceptsIdentityAndShuffle)
+{
+    EXPECT_NO_THROW(validatePermutation(Permutation::identity(64), 64));
+    EXPECT_NO_THROW(
+        validatePermutation(randomPermutation(64, 99), 64));
+}
+
+TEST(ValidatePermutation, RejectsSizeMismatch)
+{
+    EXPECT_THROW(validatePermutation(Permutation::identity(10), 11),
+                 ValidationError);
+}
+
+TEST(ValidatePermutation, RejectsDuplicateNewIds)
+{
+    Permutation p(std::vector<VertexId>{0, 1, 1, 3});
+    std::string what = messageOf(
+        [&] { validatePermutation(p, 4, "my-ra"); });
+    EXPECT_NE(what.find("not a bijection"), std::string::npos) << what;
+    EXPECT_NE(what.find("my-ra"), std::string::npos) << what;
+}
+
+TEST(ValidatePermutation, RejectsOutOfRangeNewId)
+{
+    Permutation p(std::vector<VertexId>{0, 7, 2, 3});
+    std::string what = messageOf([&] { validatePermutation(p, 4); });
+    EXPECT_NE(what.find("outside [0, 4)"), std::string::npos) << what;
+}
+
+// ------------------------------------------------------- cache config
+
+TEST(ValidateCacheConfig, AcceptsThePaperConfigs)
+{
+    EXPECT_NO_THROW(validateCacheConfig(paperL3Config()));
+    EXPECT_NO_THROW(validateCacheConfig(paperL2Config()));
+    EXPECT_NO_THROW(validateCacheConfig(paperL1Config()));
+}
+
+TEST(ValidateCacheConfig, RejectsNonPowerOfTwoLine)
+{
+    CacheConfig config;
+    config.lineBytes = 48;
+    EXPECT_THROW(validateCacheConfig(config), ValidationError);
+}
+
+TEST(ValidateCacheConfig, RejectsZeroWays)
+{
+    CacheConfig config;
+    config.associativity = 0;
+    EXPECT_THROW(validateCacheConfig(config), ValidationError);
+}
+
+TEST(ValidateCacheConfig, RejectsNonPowerOfTwoSetCount)
+{
+    CacheConfig config;
+    config.sizeBytes = 3 * 1024; // 3 KB / 1-way / 64 B = 48 sets
+    config.associativity = 1;
+    EXPECT_THROW(validateCacheConfig(config), ValidationError);
+}
+
+TEST(ValidateCacheConfig, RejectsRrpvWidthOutOfRange)
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 1024;
+    config.associativity = 4;
+    config.rrpvBits = 0;
+    EXPECT_THROW(validateCacheConfig(config), ValidationError);
+    config.rrpvBits = 9;
+    EXPECT_THROW(validateCacheConfig(config), ValidationError);
+}
+
+TEST(ValidateCacheConfig, RejectsZeroBrripEpsilonUnderRrip)
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 1024;
+    config.associativity = 4;
+    config.brripEpsilon = 0;
+    EXPECT_THROW(validateCacheConfig(config), ValidationError);
+    // ...but LRU never draws from the epsilon counter.
+    config.policy = ReplacementPolicy::LRU;
+    EXPECT_NO_THROW(validateCacheConfig(config));
+}
+
+// ------------------------------------------------------- order check
+
+MemoryAccess
+accessAt(std::uint64_t addr, VertexId owner = kInvalidVertex)
+{
+    MemoryAccess access;
+    access.addr = addr;
+    access.ownerVertex = owner;
+    return access;
+}
+
+TEST(OrderCheckSink, AcceptsTheReferenceOrder)
+{
+    std::vector<MemoryAccess> reference{accessAt(0), accessAt(64),
+                                        accessAt(128)};
+    std::vector<MemoryAccess> collected;
+    VectorSink inner(collected);
+    OrderCheckSink checker(inner, reference);
+    for (const MemoryAccess &access : reference)
+        checker.consume(access);
+    EXPECT_NO_THROW(checker.finish());
+    EXPECT_EQ(collected.size(), reference.size());
+}
+
+TEST(OrderCheckSink, RejectsMisorderedStream)
+{
+    std::vector<MemoryAccess> reference{accessAt(0), accessAt(64)};
+    std::vector<MemoryAccess> collected;
+    VectorSink inner(collected);
+    OrderCheckSink checker(inner, reference);
+    checker.consume(reference[0]);
+    EXPECT_THROW(checker.consume(accessAt(999)), ValidationError);
+    // The bad access must not have leaked downstream.
+    EXPECT_EQ(collected.size(), 1u);
+}
+
+TEST(OrderCheckSink, RejectsSurplusAccesses)
+{
+    std::vector<MemoryAccess> reference{accessAt(0)};
+    std::vector<MemoryAccess> collected;
+    VectorSink inner(collected);
+    OrderCheckSink checker(inner, reference);
+    checker.consume(reference[0]);
+    EXPECT_THROW(checker.consume(accessAt(0)), ValidationError);
+}
+
+TEST(OrderCheckSink, RejectsTruncatedStream)
+{
+    std::vector<MemoryAccess> reference{accessAt(0), accessAt(64)};
+    std::vector<MemoryAccess> collected;
+    VectorSink inner(collected);
+    OrderCheckSink checker(inner, reference);
+    checker.consume(reference[0]);
+    EXPECT_THROW(checker.finish(), ValidationError);
+}
+
+/** End-to-end wiring: the streaming scheduler's interleaving must
+ *  reproduce the reference order bit-for-bit when replayed through an
+ *  OrderCheckSink. */
+TEST(OrderCheckSink, SchedulerInterleavingMatchesReference)
+{
+    std::vector<ThreadTrace> traces(3);
+    for (std::size_t t = 0; t < traces.size(); ++t)
+        for (std::size_t i = 0; i < 10 + t * 3; ++i)
+            traces[t].push_back(
+                accessAt(t * 10000 + i * 64,
+                         static_cast<VertexId>(i)));
+
+    // Reference order: one scheduler materializes the interleaving...
+    std::vector<MemoryAccess> reference;
+    {
+        InterleavingScheduler scheduler(producersFromTraces(traces), 4);
+        VectorSink sink(reference);
+        scheduler.drainTo(sink);
+    }
+
+    // ...a second identical run must replay it exactly.
+    std::vector<MemoryAccess> replayed;
+    VectorSink inner(replayed);
+    OrderCheckSink checker(inner, reference);
+    InterleavingScheduler scheduler(producersFromTraces(traces), 4);
+    EXPECT_NO_THROW(scheduler.drainTo(checker));
+    EXPECT_NO_THROW(checker.finish());
+    EXPECT_EQ(replayed.size(), reference.size());
+}
+
+} // namespace
+} // namespace gral

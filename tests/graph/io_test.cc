@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -108,6 +109,77 @@ TEST(BinaryIo, FileRoundTrip)
 TEST(BinaryIo, MissingFileThrows)
 {
     EXPECT_THROW((void)readBinaryFile("/nonexistent/graph.bin"),
+                 std::runtime_error);
+}
+
+TEST(BinaryIo, OutOfRangeEdgeEndpointRejected)
+{
+    Graph graph = makePath(10);
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinary(graph, buffer);
+    // The stream ends with the edge array; smash the final column
+    // index to a value far beyond the vertex count.
+    std::string bytes = buffer.str();
+    VertexId garbage = 1000000;
+    std::memcpy(bytes.data() + bytes.size() - sizeof(VertexId),
+                &garbage, sizeof(VertexId));
+    std::istringstream corrupted(bytes);
+    EXPECT_THROW((void)readBinary(corrupted), std::runtime_error);
+}
+
+TEST(PermutationIo, RoundTrip)
+{
+    Permutation p = randomPermutation(40, 7);
+    std::stringstream buffer;
+    writePermutationText(p, buffer);
+    Permutation back = readPermutationText(buffer);
+    ASSERT_EQ(back.size(), p.size());
+    for (VertexId v = 0; v < p.size(); ++v)
+        EXPECT_EQ(back.newId(v), p.newId(v));
+}
+
+TEST(PermutationIo, SkipsCommentsAndBlankLines)
+{
+    std::istringstream in("# header\n2\n\n% other comment\n0\n1\n");
+    Permutation p = readPermutationText(in);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.newId(0), 2u);
+    EXPECT_EQ(p.newId(1), 0u);
+    EXPECT_EQ(p.newId(2), 1u);
+}
+
+TEST(PermutationIo, RejectsGarbageLine)
+{
+    std::istringstream in("0\nbanana\n2\n");
+    EXPECT_THROW((void)readPermutationText(in), std::runtime_error);
+}
+
+TEST(PermutationIo, RejectsHugeId)
+{
+    std::istringstream in("0\n4294967295\n");
+    EXPECT_THROW((void)readPermutationText(in), std::runtime_error);
+}
+
+TEST(PermutationIo, NotBijectivityCheckedByDesign)
+{
+    // Parsing accepts a non-bijective array; callers run
+    // validatePermutation() on untrusted input (the CLI does).
+    std::istringstream in("0\n0\n0\n");
+    Permutation p = readPermutationText(in);
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_FALSE(p.isValid());
+}
+
+TEST(PermutationIo, FileRoundTripAndMissingFile)
+{
+    Permutation p = randomPermutation(16, 3);
+    std::string path = testing::TempDir() + "/gral_perm_test.txt";
+    writePermutationTextFile(p, path);
+    Permutation back = readPermutationTextFile(path);
+    ASSERT_EQ(back.size(), p.size());
+    EXPECT_TRUE(back.isValid());
+    EXPECT_THROW((void)readPermutationTextFile("/nonexistent/p.txt"),
                  std::runtime_error);
 }
 

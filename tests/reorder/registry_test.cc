@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "common/check.h"
+#include "common/validate.h"
 #include "graph/generators.h"
 #include "reorder/registry.h"
 
@@ -37,6 +42,50 @@ TEST(Registry, UnknownNameThrows)
 {
     EXPECT_THROW((void)makeReorderer("NotAnAlgorithm"),
                  std::invalid_argument);
+}
+
+/** A deliberately broken RA: maps every vertex to new ID 0, so its
+ *  output is never a bijection on graphs with more than one vertex. */
+class BrokenReorderer final : public Reorderer
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "Broken";
+    }
+
+    Permutation
+    reorder(const Graph &graph) override
+    {
+        return Permutation(
+            std::vector<VertexId>(graph.numVertices(), 0));
+    }
+};
+
+/** The registry wrapper must reject a non-bijective inner result.
+ *  This test fails if the validation layer is stubbed out — the
+ *  broken permutation would then escape unnoticed. */
+TEST(Registry, ValidatingWrapperRejectsBrokenReorderer)
+{
+    ValidatingReorderer ra(std::make_unique<BrokenReorderer>());
+    EXPECT_EQ(ra.name(), "Broken");
+    Graph graph = makePath(8);
+    EXPECT_THROW((void)ra.reorder(graph), ValidationError);
+}
+
+TEST(Registry, ValidatingWrapperPassesThroughGoodResults)
+{
+    ValidatingReorderer ra(makeReorderer("Identity"));
+    Graph graph = makePath(8);
+    Permutation p = ra.reorder(graph);
+    EXPECT_TRUE(p.isValid());
+    EXPECT_EQ(p.size(), graph.numVertices());
+}
+
+TEST(Registry, ValidatingWrapperRejectsNullInner)
+{
+    EXPECT_THROW(ValidatingReorderer{nullptr}, CheckError);
 }
 
 /** Every registered RA must emit a valid permutation on every graph

@@ -6,7 +6,8 @@
  *   generate  <type> <vertices> <out.grf>        synthesize a graph
  *   convert   <in> <out>                         text <-> binary
  *   info      <graph>                            basic statistics
- *   reorder   <graph> <RA> <out.grf>             apply an RA
+ *   reorder   <graph> <RA|perm.txt> <out.grf>    apply an RA or a
+ *                                                permutation file
  *   metrics   <graph>                            locality metrics
  *   simulate  <graph> [cacheKB]                  SpMV cache simulation
  *
@@ -20,6 +21,8 @@
 #include <string>
 
 #include "analysis/report.h"
+#include "common/check.h"
+#include "common/validate.h"
 #include "graph/builder.h"
 #include "graph/degree.h"
 #include "graph/generators.h"
@@ -47,12 +50,19 @@ isBinaryPath(const std::string &path)
 Graph
 load(const std::string &path)
 {
-    if (isBinaryPath(path))
-        return readBinaryFile(path);
-    auto edges = readEdgeListTextFile(path);
-    GraphBuilder builder;
-    builder.addEdges(edges);
-    return builder.finalize();
+    Graph graph;
+    if (isBinaryPath(path)) {
+        graph = readBinaryFile(path);
+    } else {
+        auto edges = readEdgeListTextFile(path);
+        GraphBuilder builder;
+        builder.addEdges(edges);
+        graph = builder.finalize();
+    }
+    // Files are untrusted: reject structural corruption here, with
+    // the file name attached, instead of misbehaving downstream.
+    validateGraph(graph, path);
+    return graph;
 }
 
 void
@@ -152,20 +162,33 @@ int
 cmdReorder(int argc, char **argv)
 {
     if (argc < 3) {
-        std::cerr << "usage: gral reorder <graph> <RA> <out>\nRAs:";
+        std::cerr << "usage: gral reorder <graph> <RA|perm.txt> "
+                     "<out>\nRAs:";
         for (const std::string &name : reordererNames())
             std::cerr << " " << name;
-        std::cerr << "\n";
+        std::cerr << "\npermutation file: one new ID per line, "
+                     "indexed by old ID\n";
         return 2;
     }
     Graph graph = load(argv[0]);
-    ReordererPtr ra = makeReorderer(argv[1]);
-    Permutation p = ra->reorder(graph);
+    std::string source = argv[1];
+    Permutation p;
+    std::string label;
+    if (std::ifstream probe(source); probe.good()) {
+        // Untrusted relabeling array from a file: must be a bijection
+        // onto [0, |V|), or applyPermutation scribbles out of range.
+        p = readPermutationTextFile(source);
+        validatePermutation(p, graph.numVertices(), source);
+        label = "permutation file " + source;
+    } else {
+        ReordererPtr ra = makeReorderer(source);
+        p = ra->reorder(graph);
+        label = ra->name() + " (preprocessing " +
+                formatDouble(ra->stats().preprocessSeconds, 2) + " s)";
+    }
     Graph reordered = applyPermutation(graph, p);
     save(reordered, argv[2]);
-    std::cout << ra->name() << " preprocessing "
-              << formatDouble(ra->stats().preprocessSeconds, 2)
-              << " s; wrote " << argv[2] << "\n";
+    std::cout << label << "; wrote " << argv[2] << "\n";
     return 0;
 }
 
@@ -279,6 +302,13 @@ main(int argc, char **argv)
             return cmdMetrics(argc - 2, argv + 2);
         if (command == "simulate")
             return cmdSimulate(argc - 2, argv + 2);
+    } catch (const ValidationError &error) {
+        std::cerr << "invalid input: " << error.what() << "\n";
+        return 1;
+    } catch (const CheckError &error) {
+        std::cerr << "internal invariant violated: " << error.what()
+                  << "\n";
+        return 1;
     } catch (const std::exception &error) {
         std::cerr << "error: " << error.what() << "\n";
         return 1;

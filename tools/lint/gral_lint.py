@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass for gral (see DESIGN.md "Correctness layer").
+
+Rules enforced over the C++ tree:
+
+  raw-assert      no raw assert() / <cassert> in src/ — invariants use
+                  GRAL_CHECK / GRAL_DCHECK (common/check.h) so they
+                  carry a message and fire in RelWithDebInfo builds.
+  vertex-id-type  loop counters compared against numVertices() must be
+                  VertexId, not a raw integer type (types.h aliases).
+  include-guard   every header under src/ uses either #pragma once or
+                  an include guard named GRAL_<PATH>_H matching its
+                  path (src/graph/csr.h -> GRAL_GRAPH_CSR_H).
+  std-endl        no std::endl in src/, tools/, bench/, or examples/ —
+                  it flushes; hot loops want '\n'.
+
+Comments and string literals are stripped before the text rules run,
+so prose ("replacement for raw assert()") never trips them.
+
+Usage:
+  python3 tools/lint/gral_lint.py [--root DIR]   lint the repo (exit 1
+                                                 on findings)
+  python3 tools/lint/gral_lint.py --self-test    run the built-in rule
+                                                 fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+# Directories for each rule, relative to the repo root.
+SRC_ONLY = ("src",)
+NO_ENDL_DIRS = ("src", "tools", "bench", "examples")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line
+    structure so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_lines(code: str):
+    for lineno, line in enumerate(code.split("\n"), start=1):
+        yield lineno, line
+
+
+RAW_ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+CASSERT_RE = re.compile(r'#\s*include\s*[<"]cassert[>"]')
+STATIC_ASSERT_RE = re.compile(r"static_assert\s*\(")
+
+VERTEX_LOOP_RE = re.compile(
+    r"for\s*\(\s*(?:std::)?(?:uint(?:32|64)_t|unsigned(?:\s+int)?|int|"
+    r"size_t|std::size_t)\s+(\w+)[^;]*;\s*\1\s*<\s*[\w.\->]*"
+    r"numVertices\(\)"
+)
+
+ENDL_RE = re.compile(r"std\s*::\s*endl")
+
+GUARD_IFNDEF_RE = re.compile(r"#\s*ifndef\s+(\w+)")
+PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once")
+
+
+def expected_guard(relpath: pathlib.PurePath) -> str:
+    parts = list(relpath.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return f"GRAL_{stem.upper()}_H"
+
+
+def check_raw_assert(relpath, code, findings):
+    for lineno, line in iter_lines(code):
+        stripped = STATIC_ASSERT_RE.sub("", line)
+        if RAW_ASSERT_RE.search(stripped):
+            findings.append(
+                (relpath, lineno, "raw-assert",
+                 "use GRAL_CHECK/GRAL_DCHECK (common/check.h) instead "
+                 "of raw assert()"))
+        if CASSERT_RE.search(line):
+            findings.append(
+                (relpath, lineno, "raw-assert",
+                 "<cassert> is banned in src/; include common/check.h"))
+
+
+def check_vertex_id_type(relpath, code, findings):
+    for lineno, line in iter_lines(code):
+        if VERTEX_LOOP_RE.search(line):
+            findings.append(
+                (relpath, lineno, "vertex-id-type",
+                 "loop over numVertices() must use VertexId "
+                 "(graph/types.h), not a raw integer type"))
+
+
+def check_std_endl(relpath, code, findings):
+    for lineno, line in iter_lines(code):
+        if ENDL_RE.search(line):
+            findings.append(
+                (relpath, lineno, "std-endl",
+                 "std::endl flushes the stream; use '\\n'"))
+
+
+def check_include_guard(relpath, code, findings):
+    if PRAGMA_ONCE_RE.search(code):
+        return
+    match = GUARD_IFNDEF_RE.search(code)
+    want = expected_guard(relpath)
+    if not match:
+        findings.append(
+            (relpath, 1, "include-guard",
+             f"header has neither #pragma once nor an include guard "
+             f"(expected {want})"))
+        return
+    got = match.group(1)
+    lineno = code[: match.start()].count("\n") + 1
+    if got != want:
+        findings.append(
+            (relpath, lineno, "include-guard",
+             f"guard {got} does not match path-derived name {want}"))
+        return
+    if not re.search(r"#\s*define\s+" + re.escape(want) + r"\b", code):
+        findings.append(
+            (relpath, lineno, "include-guard",
+             f"#ifndef {want} is not followed by #define {want}"))
+
+
+def lint_tree(root: pathlib.Path):
+    findings = []
+    for top in sorted(set(SRC_ONLY + NO_ENDL_DIRS)):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                continue
+            relpath = path.relative_to(root)
+            code = strip_comments_and_strings(
+                path.read_text(encoding="utf-8", errors="replace"))
+            if top in SRC_ONLY:
+                check_raw_assert(relpath, code, findings)
+                check_vertex_id_type(relpath, code, findings)
+                if path.suffix in {".h", ".hpp"}:
+                    check_include_guard(relpath, code, findings)
+            check_std_endl(relpath, code, findings)
+    return findings
+
+
+SELF_TEST_CASES = [
+    # (rule, file name, snippet, should_fire)
+    ("raw-assert", "src/x.cc", "void f() { assert(a == b); }", True),
+    ("raw-assert", "src/x.cc", "#include <cassert>\n", True),
+    ("raw-assert", "src/x.cc", "static_assert(sizeof(int) == 4);",
+     False),
+    ("raw-assert", "src/x.cc", "// replacement for raw assert()\n",
+     False),
+    ("raw-assert", "src/x.cc", "GRAL_CHECK(a == b) << \"assert(\";",
+     False),
+    ("vertex-id-type", "src/x.cc",
+     "for (std::uint32_t v = 0; v < g.numVertices(); ++v) {}", True),
+    ("vertex-id-type", "src/x.cc",
+     "for (VertexId v = 0; v < g.numVertices(); ++v) {}", False),
+    ("vertex-id-type", "src/x.cc",
+     "for (std::size_t i = 0; i < parts.size(); ++i) {}", False),
+    ("std-endl", "src/x.cc", "out << v << std::endl;", True),
+    ("std-endl", "src/x.cc", "out << v << '\\n';", False),
+    ("include-guard", "src/graph/csr.h",
+     "#ifndef GRAL_GRAPH_CSR_H\n#define GRAL_GRAPH_CSR_H\n#endif",
+     False),
+    ("include-guard", "src/graph/csr.h",
+     "#ifndef WRONG_NAME_H\n#define WRONG_NAME_H\n#endif", True),
+    ("include-guard", "src/graph/csr.h", "#pragma once\n", False),
+    ("include-guard", "src/graph/csr.h", "int x;\n", True),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, name, snippet, should_fire in SELF_TEST_CASES:
+        relpath = pathlib.PurePath(name)
+        code = strip_comments_and_strings(snippet)
+        findings = []
+        if rule == "raw-assert":
+            check_raw_assert(relpath, code, findings)
+        elif rule == "vertex-id-type":
+            check_vertex_id_type(relpath, code, findings)
+        elif rule == "std-endl":
+            check_std_endl(relpath, code, findings)
+        elif rule == "include-guard":
+            check_include_guard(relpath, code, findings)
+        fired = any(f[2] == rule for f in findings)
+        if fired != should_fire:
+            failures += 1
+            print(f"self-test FAIL [{rule}] on {snippet!r}: "
+                  f"fired={fired}, expected {should_fire}")
+    if failures:
+        print(f"{failures} self-test case(s) failed")
+        return 1
+    print(f"self-test OK ({len(SELF_TEST_CASES)} cases)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above "
+                             "this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in rule fixtures")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(
+        args.root
+        or pathlib.Path(__file__).resolve().parent.parent.parent)
+    findings = lint_tree(root)
+    for relpath, lineno, rule, message in findings:
+        print(f"{relpath}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"gral_lint: {len(findings)} finding(s)")
+        return 1
+    print("gral_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
