@@ -40,8 +40,9 @@ missRateAfter(const Graph &base, Reorderer &ra,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Ablation: cache-aware RA parameters",
         "paper Section VIII-C (future-work suggestions)",

@@ -21,8 +21,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Ablation: iHTL vs pull SpMV",
         "paper Section VIII-A (iHTL flipped blocks)",

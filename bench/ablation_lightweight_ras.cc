@@ -16,8 +16,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Ablation: lightweight vs heavyweight RAs",
         "paper Section IX-B related work (Faldu'19, Balaji'18 "

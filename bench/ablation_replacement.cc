@@ -23,8 +23,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Ablation: replacement policy & hierarchy depth",
         "paper Section V-B design choices",

@@ -34,10 +34,44 @@
 #include "graph/degree.h"
 #include "metrics/ecs.h"
 #include "metrics/miss_rate.h"
+#include "obs/export.h"
 #include "spmv/trace_gen.h"
 
 namespace gral::bench
 {
+
+/**
+ * RAII telemetry flags for bench binaries: strips
+ * --metrics-out=/--trace-out=/--log-level= from the command line at
+ * construction (applying the log level immediately) and writes the
+ * requested JSON files when the bench returns from main. Unknown
+ * arguments are left alone.
+ */
+class ObsGuard
+{
+  public:
+    ObsGuard(int argc, char **argv)
+    {
+        std::vector<std::string> args(argv + 1, argv + argc);
+        options_ = extractObsFlags(args);
+    }
+
+    ObsGuard(const ObsGuard &) = delete;
+    ObsGuard &operator=(const ObsGuard &) = delete;
+
+    ~ObsGuard()
+    {
+        try {
+            writeObsFiles(options_);
+        } catch (const std::exception &error) {
+            std::cerr << "telemetry export failed: " << error.what()
+                      << "\n";
+        }
+    }
+
+  private:
+    ObsOptions options_;
+};
 
 /** Dataset scale factor (GRAL_SCALE env var, default 1.0). */
 inline double

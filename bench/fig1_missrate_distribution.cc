@@ -17,8 +17,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Figure 1: Cache miss rate degree distribution",
         "paper Figure 1 ([Simulation] miss rate % per degree bin)",

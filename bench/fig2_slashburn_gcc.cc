@@ -46,8 +46,9 @@ histogramRow(const SlashBurnIteration &record)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Figure 2: GCC degree distribution across SB iterations",
         "paper Figure 2 ([Real execution] GCC after SB iterations)",

@@ -18,8 +18,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Figure 3: AID degree distribution (Initial vs RabbitOrder)",
         "paper Figure 3 ([Calculation] N2N AID per in-degree bin)",

@@ -17,8 +17,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Figure 4: Asymmetricity degree distribution",
         "paper Figure 4 ([Calculation] % in-neighbours not "

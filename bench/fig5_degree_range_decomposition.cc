@@ -61,8 +61,9 @@ hubSourceShare(const DegreeRangeDecomposition &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Figure 5: Degree range decomposition",
         "paper Figure 5 ([Calculation] edge binning by endpoint "

@@ -16,8 +16,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Figure 6: Edge coverage of top-H hubs",
         "paper Figure 6 ([Calculation] % edges covered vs number of "

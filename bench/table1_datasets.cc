@@ -13,8 +13,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Table I: Datasets", "paper Table I (dataset inventory)",
         "2 social networks + 7 web graphs; average degrees match the "

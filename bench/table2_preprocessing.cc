@@ -14,8 +14,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Table II: Preprocessing overheads",
         "paper Table II (preprocessing time s / memory footprint GB)",

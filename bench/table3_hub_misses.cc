@@ -20,8 +20,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Table III: Hub-data misses",
         "paper Table III (misses to data of vertices with degree > M)",

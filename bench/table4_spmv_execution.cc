@@ -16,8 +16,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Table IV: SpMV execution results",
         "paper Table IV (time ms / idle % / L3 misses / DTLB misses)",
@@ -26,8 +27,8 @@ main()
 
     const std::vector<std::string> ras = {"Bl", "SB", "GO", "RO"};
     TextTable table({"Dataset", "RA", "Time(ms)", "Idle(%)",
-                     "L3 Misses(M)", "DataMissRate(%)",
-                     "DTLB Misses(K)"});
+                     "MaxIdle(%)", "Steals", "L3 Misses(M)",
+                     "DataMissRate(%)", "DTLB Misses(K)"});
 
     // dataset -> ra -> data misses, for the shape checks.
     std::map<std::string, std::map<std::string, double>> misses;
@@ -38,11 +39,14 @@ main()
         for (const std::string &ra : ras) {
             RaExperimentResult result =
                 runRaExperiment(base, ra, options);
+            recordExperimentMetrics(result);
             misses[id][ra] =
                 static_cast<double>(result.profile.dataMisses);
             table.addRow(
                 {id, ra, formatDouble(result.traversalMs, 1),
                  formatDouble(result.idlePercent, 1),
+                 formatDouble(result.traversal.maxIdlePercent(), 1),
+                 formatCount(result.traversal.steals),
                  formatDouble(result.profile.cache.misses / 1e6, 2),
                  formatDouble(100.0 * result.profile.dataMissRate(),
                               1),
@@ -50,6 +54,29 @@ main()
         }
     }
     table.print(std::cout);
+    std::cout << "\n";
+
+    // Table IV decomposition: the paper's "Idle" column is an
+    // average; show where the per-thread spread comes from (steals
+    // balance uneven partitions, stragglers raise the max).
+    TextTable idle_table(
+        {"Dataset", "RA", "Thread", "Idle(%)", "Steals", "Tasks"});
+    const std::string breakdown_id = bench::datasets().front();
+    {
+        Graph base = makeDataset(breakdown_id, bench::scale());
+        const std::string &ra = ras.front();
+        RaExperimentResult result = runRaExperiment(base, ra, options);
+        const ParallelResult &detail = result.traversal;
+        for (std::size_t t = 0;
+             t < detail.idlePercentPerThread.size(); ++t) {
+            idle_table.addRow(
+                {breakdown_id, ra, std::to_string(t),
+                 formatDouble(detail.idlePercentPerThread[t], 1),
+                 formatCount(detail.stealsPerThread[t]),
+                 formatCount(detail.tasksPerThread[t])});
+        }
+    }
+    idle_table.print(std::cout);
     std::cout << "\n";
 
     int go_wins_sn = 0;

@@ -16,8 +16,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Table V: Average effective cache size (%)",
         "paper Table V ([Simulation] average effective cache size)",

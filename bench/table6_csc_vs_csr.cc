@@ -44,8 +44,9 @@ timeReadSum(const Graph &graph, Direction direction)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Table VI: CSC vs CSR read traversals",
         "paper Table VI (L3 misses / traversal time per format)",

@@ -13,8 +13,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Table VII: SlashBurn vs SlashBurn++",
         "paper Table VII (preprocessing s / traversal ms / L3 misses)",

@@ -15,8 +15,9 @@
 using namespace gral;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsGuard obs_guard(argc, argv);
     bench::banner(
         "Section VIII-B2: EDR-restricted Rabbit-Order",
         "paper Section VIII-B2 (preprocessing reduction, traversal "

@@ -20,7 +20,7 @@
 #include "metrics/miss_rate.h"
 #include "reorder/order_util.h"
 #include "reorder/registry.h"
-#include "reorder/timer.h"
+#include "obs/timer.h"
 #include "spmv/trace_gen.h"
 
 using namespace gral;

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "graph/degree.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "reorder/registry.h"
 
 namespace gral
@@ -21,44 +24,101 @@ reorderedGraph(const Graph &base, const std::string &ra_name,
 
 double
 timePullSpmv(const Graph &graph, const ParallelOptions &options,
-             unsigned repeats, double *idle_percent)
+             unsigned repeats, double *idle_percent,
+             ParallelResult *detail)
 {
+    GRAL_SPAN("experiment/time_pull_spmv");
     std::vector<double> src(graph.numVertices(), 1.0);
     std::vector<double> dst(graph.numVertices(), 0.0);
 
     spmvPullParallel(graph, src, dst, options); // warm-up
 
     double best_ms = 0.0;
-    double best_idle = 0.0;
+    ParallelResult best;
     for (unsigned r = 0; r < std::max(1u, repeats); ++r) {
         ParallelResult result =
             spmvPullParallel(graph, src, dst, options);
         if (r == 0 || result.wallMs < best_ms) {
             best_ms = result.wallMs;
-            best_idle = result.idlePercent;
+            best = std::move(result);
         }
     }
     if (idle_percent)
-        *idle_percent = best_idle;
+        *idle_percent = best.idlePercent;
+    if (detail)
+        *detail = std::move(best);
     return best_ms;
+}
+
+void
+recordExperimentMetrics(const RaExperimentResult &result)
+{
+    MetricsRegistry &registry = MetricsRegistry::global();
+    const std::string prefix = "experiment/" + result.ra + "/";
+
+    registry.gauge(prefix + "preprocess_seconds")
+        .set(result.reorderStats.preprocessSeconds);
+    registry.gauge(prefix + "traversal_ms").set(result.traversalMs);
+    registry.gauge(prefix + "idle_percent").set(result.idlePercent);
+    registry.gauge(prefix + "steals")
+        .set(static_cast<double>(result.traversal.steals));
+
+    Histogram &idle_hist =
+        registry.histogram(prefix + "thread_idle_percent");
+    for (double p : result.traversal.idlePercentPerThread)
+        idle_hist.record(static_cast<std::uint64_t>(std::max(0.0, p)));
+    Histogram &steal_hist =
+        registry.histogram(prefix + "thread_steals");
+    for (std::uint64_t s : result.traversal.stealsPerThread)
+        steal_hist.record(s);
+    Histogram &task_hist = registry.histogram(prefix + "thread_tasks");
+    for (std::uint64_t t : result.traversal.tasksPerThread)
+        task_hist.record(t);
+
+    registry.gauge(prefix + "l3_miss_rate")
+        .set(result.profile.cache.missRate());
+    registry.gauge(prefix + "data_miss_rate")
+        .set(result.profile.dataMissRate());
+    for (std::size_t c = 0; c < kNumSetClasses; ++c) {
+        registry
+            .gauge(prefix + "l3_" +
+                   toString(static_cast<SetClass>(c)) + "_miss_rate")
+            .set(result.profile.classStats[c].missRate());
+    }
+
+    Series &psel = registry.series(prefix + "psel");
+    for (const PselSample &sample : result.profile.pselSamples)
+        psel.record(static_cast<double>(sample.access),
+                    static_cast<double>(sample.psel));
+
+    GRAL_LOG(info) << "experiment cell recorded"
+                   << logField("ra", result.ra)
+                   << logField("traversal_ms", result.traversalMs)
+                   << logField("idle_percent", result.idlePercent)
+                   << logField("l3_miss_rate",
+                               result.profile.cache.missRate())
+                   << logField("psel_samples",
+                               result.profile.pselSamples.size());
 }
 
 RaExperimentResult
 runRaExperiment(const Graph &base, const std::string &ra_name,
                 const ExperimentOptions &options)
 {
+    GRAL_SPAN("experiment/run_ra");
     RaExperimentResult result;
     result.ra = ra_name;
 
     Graph graph = reorderedGraph(base, ra_name, &result.reorderStats);
 
     if (options.runTiming) {
-        result.traversalMs =
-            timePullSpmv(graph, options.parallel,
-                         options.timingRepeats, &result.idlePercent);
+        result.traversalMs = timePullSpmv(
+            graph, options.parallel, options.timingRepeats,
+            &result.idlePercent, &result.traversal);
     }
 
     if (options.runSimulation) {
+        GRAL_SPAN("experiment/simulate");
         // Figure-1 binning: in-degree of the processed vertex.
         // Table-III thresholds: out-degree of the accessed vertex
         // (its reuse count in a pull traversal).

@@ -52,6 +52,9 @@ struct RaExperimentResult
     double traversalMs = 0.0;
     /** Average per-thread idle percentage. */
     double idlePercent = 0.0;
+    /** Full per-thread detail of the best timed traversal (idle
+     *  breakdown, steals, tasks — Table IV decomposed). */
+    ParallelResult traversal;
     /** Simulated L3/DTLB counters and per-degree miss profile. */
     MissProfileResult profile;
 };
@@ -66,10 +69,22 @@ Graph reorderedGraph(const Graph &base, const std::string &ra_name,
 /**
  * Time the parallel pull SpMV on @p graph: one warm-up run plus
  * @p repeats timed runs; returns the minimum wall time (ms) and
- * stores the matching idle percentage in @p idle_percent.
+ * stores the matching idle percentage in @p idle_percent. When
+ * @p detail is non-null, the full ParallelResult of the best run is
+ * copied there.
  */
 double timePullSpmv(const Graph &graph, const ParallelOptions &options,
-                    unsigned repeats, double *idle_percent);
+                    unsigned repeats, double *idle_percent,
+                    ParallelResult *detail = nullptr);
+
+/**
+ * Publish one RA cell's measurements into the global MetricsRegistry
+ * under "experiment/<RA>/...": preprocessing/traversal gauges, a
+ * per-thread idle-percent histogram and steal histogram, per-set-class
+ * L3 miss-rate gauges, and the sampled DRRIP PSEL trajectory as a
+ * series. Drives the --metrics-out JSON report of `gral experiment`.
+ */
+void recordExperimentMetrics(const RaExperimentResult &result);
 
 /**
  * Full pipeline for one RA on one dataset.

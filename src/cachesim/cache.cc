@@ -24,6 +24,20 @@ validated(const CacheConfig &config)
 } // namespace
 
 const char *
+toString(SetClass set_class)
+{
+    switch (set_class) {
+      case SetClass::SrripLeader:
+        return "srrip_leader";
+      case SetClass::BrripLeader:
+        return "brrip_leader";
+      case SetClass::Follower:
+        return "follower";
+    }
+    return "?";
+}
+
+const char *
 toString(ReplacementPolicy policy)
 {
     switch (policy) {
@@ -96,21 +110,35 @@ Cache::tagOf(std::uint64_t addr) const
     return addr >> lineShift_ >> std::countr_zero(numSets_);
 }
 
-ReplacementPolicy
-Cache::setPolicy(std::uint64_t set) const
+SetClass
+Cache::setClassOf(std::uint64_t set) const
 {
     if (config_.policy != ReplacementPolicy::DRRIP)
-        return config_.policy;
+        return SetClass::Follower;
     // Set dueling: spread leader sets evenly; even slots lead for
     // SRRIP, odd slots for BRRIP; everyone else follows PSEL.
     std::uint64_t region = numSets_ / (config_.duelingLeaderSets * 2);
     if (region == 0)
         region = 1;
     if (set % region == 0) {
-        std::uint64_t slot = set / region;
-        if (slot % 2 == 0)
-            return ReplacementPolicy::SRRIP;
+        return (set / region) % 2 == 0 ? SetClass::SrripLeader
+                                       : SetClass::BrripLeader;
+    }
+    return SetClass::Follower;
+}
+
+ReplacementPolicy
+Cache::setPolicy(std::uint64_t set) const
+{
+    if (config_.policy != ReplacementPolicy::DRRIP)
+        return config_.policy;
+    switch (setClassOf(set)) {
+      case SetClass::SrripLeader:
+        return ReplacementPolicy::SRRIP;
+      case SetClass::BrripLeader:
         return ReplacementPolicy::BRRIP;
+      case SetClass::Follower:
+        break;
     }
     // PSEL counts SRRIP-leader misses upward: high PSEL means SRRIP
     // is losing, so followers use BRRIP.
@@ -167,16 +195,50 @@ Cache::chooseVictim(std::uint64_t set, ReplacementPolicy policy)
     }
 }
 
+void
+Cache::samplePsel()
+{
+    if (pselSamples_.size() >= pselSampleCap_) {
+        // Keep every other sample and double the interval: bounded
+        // memory, whole-trace coverage (same decimation as
+        // obs Series).
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < pselSamples_.size(); i += 2)
+            pselSamples_[out++] = pselSamples_[i];
+        pselSamples_.resize(out);
+        pselSampleEvery_ *= 2;
+    }
+    pselSamples_.push_back({accessClock_, psel_});
+}
+
+void
+Cache::enablePselSampling(std::uint64_t every, std::size_t max_samples)
+{
+    pselSampleEvery_ = every;
+    pselSampleCap_ = max_samples < 2 ? 2 : max_samples;
+    pselSamples_.clear();
+    if (every != 0)
+        pselSamples_.reserve(pselSampleCap_);
+}
+
 bool
 Cache::access(std::uint64_t addr, bool is_write)
 {
     ++accessClock_;
     std::uint64_t set = setIndex(addr);
     std::uint64_t tag = tagOf(addr);
+    SetClass set_class = setClassOf(set);
+    CacheStats &class_stats =
+        classStats_[static_cast<std::size_t>(set_class)];
     ReplacementPolicy policy = setPolicy(set);
+
+    if (pselSampleEvery_ != 0 &&
+        accessClock_ % pselSampleEvery_ == 0)
+        samplePsel();
 
     if (Line *line = findLine(set, tag)) {
         ++stats_.hits;
+        ++class_stats.hits;
         line->lruStamp = accessClock_;
         line->rrpv = 0; // RRIP hit-priority: promote to near
         line->dirty = line->dirty || is_write;
@@ -184,29 +246,25 @@ Cache::access(std::uint64_t addr, bool is_write)
     }
 
     ++stats_.misses;
+    ++class_stats.misses;
 
     // Update the DRRIP duel on leader-set misses.
-    if (config_.policy == ReplacementPolicy::DRRIP) {
-        std::uint64_t region =
-            numSets_ / (config_.duelingLeaderSets * 2);
-        if (region == 0)
-            region = 1;
-        if (set % region == 0) {
-            if ((set / region) % 2 == 0) { // SRRIP leader missed
-                if (psel_ < pselMax_)
-                    ++psel_;
-            } else { // BRRIP leader missed
-                if (psel_ > 0)
-                    --psel_;
-            }
-        }
+    if (set_class == SetClass::SrripLeader) {
+        if (psel_ < pselMax_)
+            ++psel_;
+    } else if (set_class == SetClass::BrripLeader) {
+        if (psel_ > 0)
+            --psel_;
     }
 
     Line &victim = chooseVictim(set, policy);
     if (victim.valid) {
         ++stats_.evictions;
-        if (victim.dirty)
+        ++class_stats.evictions;
+        if (victim.dirty) {
             ++stats_.writebacks;
+            ++class_stats.writebacks;
+        }
     }
     victim.valid = true;
     victim.tag = tag;
@@ -269,6 +327,9 @@ void
 Cache::resetStats()
 {
     stats_ = CacheStats{};
+    for (CacheStats &class_stats : classStats_)
+        class_stats = CacheStats{};
+    pselSamples_.clear();
 }
 
 std::uint64_t

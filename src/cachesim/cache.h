@@ -70,6 +70,31 @@ CacheConfig paperL2Config();
 /** The paper machine's L1D: 32 KB per core, LRU. */
 CacheConfig paperL1Config();
 
+/** One sampled reading of the DRRIP policy-select counter. Plotted
+ *  over the access index, the samples show the set-dueling
+ *  convergence trajectory (PSEL above midpoint = SRRIP losing). */
+struct PselSample
+{
+    /** Access clock at sampling time. */
+    std::uint64_t access = 0;
+    /** PSEL value at that access. */
+    std::uint32_t psel = 0;
+};
+
+/** Set-dueling role of a cache set under DRRIP. */
+enum class SetClass : std::uint8_t
+{
+    SrripLeader = 0, ///< always SRRIP, misses push PSEL up
+    BrripLeader = 1, ///< always BRRIP, misses push PSEL down
+    Follower = 2,    ///< follows the PSEL majority vote
+};
+
+/** Number of SetClass values. */
+inline constexpr std::size_t kNumSetClasses = 3;
+
+/** Human-readable set-class name. */
+const char *toString(SetClass set_class);
+
 /** Hit/miss counters of a cache. */
 struct CacheStats
 {
@@ -149,6 +174,34 @@ class Cache
     /** Value of the DRRIP policy-select counter (for tests). */
     std::uint32_t pselValue() const { return psel_; }
 
+    /** Largest representable PSEL value. */
+    std::uint32_t pselMax() const { return pselMax_; }
+
+    /**
+     * Record a PselSample every @p every accesses (0 disables), at
+     * most @p max_samples of them: when full, the retained set is
+     * halved and the interval doubled, so long runs stay bounded while
+     * covering the whole trace. Enables the exported DRRIP dueling
+     * trajectory (see MissProfileResult::pselSamples).
+     */
+    void enablePselSampling(std::uint64_t every,
+                            std::size_t max_samples = 2048);
+
+    /** Samples collected so far (empty unless sampling enabled). */
+    const std::vector<PselSample> &
+    pselSamples() const
+    {
+        return pselSamples_;
+    }
+
+    /** Counters of accesses landing in @p set_class sets. Under
+     *  non-DRRIP policies everything counts as Follower. */
+    const CacheStats &
+    classStats(SetClass set_class) const
+    {
+        return classStats_[static_cast<std::size_t>(set_class)];
+    }
+
   private:
     struct Line
     {
@@ -162,8 +215,14 @@ class Cache
     std::uint64_t setIndex(std::uint64_t addr) const;
     std::uint64_t tagOf(std::uint64_t addr) const;
 
+    /** Set-dueling role of @p set. */
+    SetClass setClassOf(std::uint64_t set) const;
+
     /** Which policy governs @p set under DRRIP dueling. */
     ReplacementPolicy setPolicy(std::uint64_t set) const;
+
+    /** Push one PSEL sample, decimating on overflow. */
+    void samplePsel();
 
     Line *findLine(std::uint64_t set, std::uint64_t tag);
     const Line *findLine(std::uint64_t set, std::uint64_t tag) const;
@@ -179,6 +238,10 @@ class Cache
     std::uint32_t psel_;          // DRRIP policy selector
     std::uint32_t pselMax_;
     std::uint64_t brripCounter_ = 0;
+    CacheStats classStats_[kNumSetClasses];
+    std::vector<PselSample> pselSamples_;
+    std::uint64_t pselSampleEvery_ = 0; // 0 = sampling disabled
+    std::size_t pselSampleCap_ = 0;
 };
 
 } // namespace gral

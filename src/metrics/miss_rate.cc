@@ -12,6 +12,9 @@ simulateMissProfile(ProducerSet producers,
                     const SimulationOptions &options)
 {
     Cache cache(options.cache);
+    if (options.pselSampleEvery != 0 &&
+        options.cache.policy == ReplacementPolicy::DRRIP)
+        cache.enablePselSampling(options.pselSampleEvery);
     Tlb tlb(options.tlb);
     Tlb *tlb_ptr = options.simulateTlb ? &tlb : nullptr;
 
@@ -42,6 +45,10 @@ simulateMissProfile(ProducerSet producers,
         0, [](const Cache &) {});
 
     result.cache = replayed.cache;
+    result.pselSamples = cache.pselSamples();
+    for (std::size_t c = 0; c < kNumSetClasses; ++c)
+        result.classStats[c] =
+            cache.classStats(static_cast<SetClass>(c));
     result.tlb = replayed.tlb;
     result.totalAccesses = replayed.accessCount;
     result.peakResidentAccesses = replayed.peakResidentAccesses;

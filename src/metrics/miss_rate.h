@@ -39,6 +39,10 @@ struct SimulationOptions
     /** Degree thresholds for Table-III-style "misses to data of
      *  vertices with degree > M" counters. */
     std::vector<EdgeId> missThresholds;
+    /** Sample the DRRIP PSEL counter every this many accesses
+     *  (0 disables). Bounded via Cache::enablePselSampling, so long
+     *  replays decimate rather than grow. */
+    std::uint64_t pselSampleEvery = 4096;
 };
 
 /** Output of simulateMissProfile. */
@@ -64,6 +68,11 @@ struct MissProfileResult
     std::vector<std::uint64_t> missesAboveThreshold;
     /** Accesses replayed (all regions). */
     std::uint64_t totalAccesses = 0;
+    /** Sampled DRRIP PSEL trajectory (empty when sampling disabled or
+     *  the policy is not DRRIP). */
+    std::vector<PselSample> pselSamples;
+    /** Per-set-dueling-class counters, indexed by SetClass. */
+    CacheStats classStats[kNumSetClasses];
     /** Peak MemoryAccess records resident during the replay: the
      *  chunk buffer on the streaming path, the whole materialized log
      *  plus that buffer on the vector path. */

@@ -1,0 +1,438 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gral
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        if (!hasElements_.empty())
+            throw std::logic_error(
+                "JsonWriter: more than one top-level value");
+        hasElements_.push_back(true); // marks "document started"
+        return;
+    }
+    if (stack_.back() == Frame::Object && !afterKey_)
+        throw std::logic_error("JsonWriter: object value without key");
+    if (stack_.back() == Frame::Array) {
+        if (hasElements_.back())
+            out_ << ",";
+        hasElements_.back() = true;
+    }
+    afterKey_ = false;
+}
+
+void
+JsonWriter::push(Frame frame)
+{
+    beforeValue();
+    out_ << (frame == Frame::Object ? "{" : "[");
+    stack_.push_back(frame);
+    hasElements_.push_back(false);
+}
+
+void
+JsonWriter::pop(Frame frame)
+{
+    if (stack_.empty() || stack_.back() != frame || afterKey_)
+        throw std::logic_error("JsonWriter: mismatched end call");
+    out_ << (frame == Frame::Object ? "}" : "]");
+    stack_.pop_back();
+    hasElements_.pop_back();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    push(Frame::Object);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    pop(Frame::Object);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    push(Frame::Array);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    pop(Frame::Array);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty() || stack_.back() != Frame::Object || afterKey_)
+        throw std::logic_error("JsonWriter: key outside object");
+    if (hasElements_.back())
+        out_ << ",";
+    hasElements_.back() = true;
+    out_ << "\"" << jsonEscape(name) << "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    out_ << "\"" << jsonEscape(text) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    beforeValue();
+    // JSON has no NaN/Inf; exports map them to null rather than
+    // producing an unparseable token.
+    if (!std::isfinite(number)) {
+        out_ << "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    out_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    out_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    out_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out_ << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueNull()
+{
+    beforeValue();
+    out_ << "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    if (!stack_.empty())
+        throw std::logic_error("JsonWriter: unclosed container");
+    return out_.str();
+}
+
+namespace
+{
+
+/** Recursive-descent JSON checker over a raw byte view. */
+class Validator
+{
+  public:
+    explicit Validator(std::string_view text) : text_(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        bool ok = value() && (skipWs(), pos_ == text_.size());
+        if (!ok && error) {
+            *error = message_.empty() ? "trailing data" : message_;
+            *error += " at byte " + std::to_string(pos_);
+        }
+        return ok;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (message_.empty())
+            message_ = what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        while (pos_ < text_.size()) {
+            unsigned char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("unescaped control character");
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+            }
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("expected digit");
+        if (text_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("expected fraction digit");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("expected exponent digit");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        if (++depth_ > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size()) {
+            --depth_;
+            return fail("unexpected end of input");
+        }
+        bool ok = false;
+        switch (text_[pos_]) {
+          case '{':
+            ok = object();
+            break;
+          case '[':
+            ok = array();
+            break;
+          case '"':
+            ok = string();
+            break;
+          case 't':
+            ok = literal("true");
+            break;
+          case 'f':
+            ok = literal("false");
+            break;
+          case 'n':
+            ok = literal("null");
+            break;
+          default:
+            ok = number();
+            break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    static constexpr int kMaxDepth = 256;
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string message_;
+};
+
+} // namespace
+
+bool
+jsonValidate(std::string_view text, std::string *error)
+{
+    return Validator(text).run(error);
+}
+
+} // namespace gral

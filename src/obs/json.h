@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON emission and validation for telemetry export.
+ *
+ * The observability layer serializes metrics snapshots and trace
+ * events as JSON (DESIGN.md "Observability layer"). This is a
+ * deliberately small streaming writer — no DOM, no parsing into
+ * values — plus a structural validator used by tests and the CLI to
+ * guarantee every exported file is loadable by standard tooling
+ * (python -m json.tool, Perfetto's trace importer).
+ */
+
+#ifndef GRAL_OBS_JSON_H
+#define GRAL_OBS_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gral
+{
+
+/** Escape @p text for inclusion inside a JSON string literal (no
+ *  surrounding quotes added). */
+std::string jsonEscape(std::string_view text);
+
+/**
+ * Streaming JSON writer with nesting bookkeeping.
+ *
+ * Call sequence errors (a value with no pending key inside an object,
+ * mismatched end calls) throw std::logic_error, so a malformed export
+ * fails loudly in tests instead of producing an unloadable file.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(bool flag);
+    JsonWriter &valueNull();
+
+    /** Rendered document. @pre every container has been closed. */
+    std::string str() const;
+
+  private:
+    enum class Frame : std::uint8_t
+    {
+        Object,
+        Array
+    };
+
+    void beforeValue();
+    void push(Frame frame);
+    void pop(Frame frame);
+
+    std::ostringstream out_;
+    std::vector<Frame> stack_;
+    std::vector<bool> hasElements_;
+    bool afterKey_ = false;
+};
+
+/**
+ * Structural JSON validator (RFC 8259 grammar, no semantic limits).
+ * @return true when @p text is exactly one valid JSON value; on
+ *         failure @p error (when non-null) receives a diagnostic with
+ *         the byte offset.
+ */
+bool jsonValidate(std::string_view text, std::string *error = nullptr);
+
+} // namespace gral
+
+#endif // GRAL_OBS_JSON_H

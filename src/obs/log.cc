@@ -1,0 +1,159 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace gral
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point
+processStart()
+{
+    static const Clock::time_point start = Clock::now();
+    return start;
+}
+
+std::atomic<int> &
+levelCell()
+{
+    static std::atomic<int> level = [] {
+        LogLevel initial = LogLevel::warn;
+        if (const char *env = std::getenv("GRAL_LOG_LEVEL")) {
+            bool ok = false;
+            LogLevel parsed = parseLogLevel(env, &ok);
+            if (ok)
+                initial = parsed;
+        }
+        return static_cast<int>(initial);
+    }();
+    return level;
+}
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Test override; stderr (clog) when null. Guarded by sinkMutex. */
+std::ostream *&
+sinkOverride()
+{
+    static std::ostream *sink = nullptr;
+    return sink;
+}
+
+} // namespace
+
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::trace:
+        return "TRACE";
+      case LogLevel::debug:
+        return "DEBUG";
+      case LogLevel::info:
+        return "INFO";
+      case LogLevel::warn:
+        return "WARN";
+      case LogLevel::error:
+        return "ERROR";
+      case LogLevel::off:
+        return "OFF";
+    }
+    return "?";
+}
+
+LogLevel
+parseLogLevel(std::string_view name, bool *ok)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (ok)
+        *ok = true;
+    if (lower == "trace")
+        return LogLevel::trace;
+    if (lower == "debug")
+        return LogLevel::debug;
+    if (lower == "info")
+        return LogLevel::info;
+    if (lower == "warn" || lower == "warning")
+        return LogLevel::warn;
+    if (lower == "error")
+        return LogLevel::error;
+    if (lower == "off" || lower == "none")
+        return LogLevel::off;
+    if (ok)
+        *ok = false;
+    return logLevel();
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelCell().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelCell().store(static_cast<int>(level),
+                      std::memory_order_relaxed);
+}
+
+bool
+logLevelEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >=
+           levelCell().load(std::memory_order_relaxed);
+}
+
+void
+setLogStream(std::ostream *stream)
+{
+    std::lock_guard lock(sinkMutex());
+    sinkOverride() = stream;
+}
+
+LogMessage::LogMessage(LogLevel level, const char *file, int line)
+    : level_(level)
+{
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - processStart())
+            .count();
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "[%s] +%.3fs ",
+                  toString(level), elapsed);
+    stream_ << prefix << file << ":" << line << ": ";
+}
+
+LogMessage::~LogMessage()
+{
+    stream_ << "\n";
+    std::lock_guard lock(sinkMutex());
+    // std::clog shares stderr with std::cerr but is buffered; the
+    // explicit flush keeps lines prompt without per-char syscalls.
+    std::ostream &out =
+        sinkOverride() != nullptr ? *sinkOverride() : std::clog;
+    out << stream_.str();
+    if (level_ >= LogLevel::warn || sinkOverride() == nullptr)
+        out.flush();
+}
+
+} // namespace gral

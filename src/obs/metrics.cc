@@ -1,0 +1,259 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "obs/json.h"
+
+namespace gral
+{
+
+std::size_t
+Counter::shardIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+}
+
+std::size_t
+Histogram::bucketOf(std::uint64_t value)
+{
+    // bit_width(0) == 0 maps the value 0 to its own bucket; bucket i
+    // then covers [2^(i-1), 2^i - 1].
+    return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t
+Histogram::bucketLowerBound(std::size_t index)
+{
+    return index == 0 ? 0 : std::uint64_t{1} << (index - 1);
+}
+
+std::uint64_t
+Histogram::bucketUpperBound(std::size_t index)
+{
+    if (index == 0)
+        return 0;
+    if (index >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << index) - 1;
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    buckets_[bucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double
+Histogram::mean() const
+{
+    std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+Series::Series(std::size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity)
+{
+    samples_.reserve(capacity_);
+}
+
+void
+Series::record(double x, double y)
+{
+    std::lock_guard lock(mutex_);
+    if (offered_++ % stride_ != 0)
+        return;
+    if (samples_.size() == capacity_) {
+        // Halve the retained set (keep even indices, preserving the
+        // oldest sample) and double the stride: total memory stays
+        // O(capacity) while the series still spans the whole run.
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < samples_.size(); i += 2)
+            samples_[out++] = samples_[i];
+        samples_.resize(out);
+        stride_ *= 2;
+    }
+    samples_.push_back({x, y});
+}
+
+std::vector<Series::Sample>
+Series::samples() const
+{
+    std::lock_guard lock(mutex_);
+    return samples_;
+}
+
+std::uint64_t
+Series::keepStride() const
+{
+    std::lock_guard lock(mutex_);
+    return stride_;
+}
+
+std::uint64_t
+Series::offered() const
+{
+    std::lock_guard lock(mutex_);
+    return offered_;
+}
+
+void
+Series::reset()
+{
+    std::lock_guard lock(mutex_);
+    samples_.clear();
+    stride_ = 1;
+    offered_ = 0;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+Series &
+MetricsRegistry::series(const std::string &name, std::size_t capacity)
+{
+    std::lock_guard lock(mutex_);
+    auto &slot = series_[name];
+    if (!slot)
+        slot = std::make_unique<Series>(capacity);
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        snap.counters[name] = counter->value();
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges[name] = gauge->value();
+    for (const auto &[name, histogram] : histograms_) {
+        MetricsSnapshot::HistogramData data;
+        data.count = histogram->count();
+        data.sum = histogram->sum();
+        for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+            std::uint64_t n = histogram->bucketCount(b);
+            if (n != 0)
+                data.buckets.emplace_back(
+                    Histogram::bucketUpperBound(b), n);
+        }
+        snap.histograms[name] = std::move(data);
+    }
+    for (const auto &[name, series] : series_)
+        snap.series[name] = series->samples();
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+    for (auto &[name, series] : series_)
+        series->reset();
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+
+    json.key("counters").beginObject();
+    for (const auto &[name, value] : counters)
+        json.key(name).value(value);
+    json.endObject();
+
+    json.key("gauges").beginObject();
+    for (const auto &[name, value] : gauges)
+        json.key(name).value(value);
+    json.endObject();
+
+    json.key("histograms").beginObject();
+    for (const auto &[name, data] : histograms) {
+        json.key(name).beginObject();
+        json.key("count").value(data.count);
+        json.key("sum").value(data.sum);
+        json.key("buckets").beginArray();
+        for (const auto &[upper, count] : data.buckets) {
+            json.beginObject();
+            json.key("le").value(upper);
+            json.key("count").value(count);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+
+    json.key("series").beginObject();
+    for (const auto &[name, samples] : series) {
+        json.key(name).beginArray();
+        for (const Series::Sample &sample : samples) {
+            json.beginArray();
+            json.value(sample.x).value(sample.y);
+            json.endArray();
+        }
+        json.endArray();
+    }
+    json.endObject();
+
+    json.endObject();
+    return json.str();
+}
+
+} // namespace gral

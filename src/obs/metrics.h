@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, histograms, series.
+ *
+ * The paper's results are all *measurements* — preprocessing cost
+ * (Table II), per-thread idle (Table IV), simulated misses and DRRIP
+ * dueling behaviour — so the registry is the one place every layer
+ * reports into and every export reads from (DESIGN.md "Observability
+ * layer"):
+ *
+ *  - Counter:   monotonically increasing event count. Increments go to
+ *    a per-thread shard with a relaxed atomic add (no locks, no
+ *    cross-thread cache-line ping-pong); aggregation sums the shards,
+ *    so totals observed after the writing threads joined are exact.
+ *  - Gauge:     last-written double (atomic store/load).
+ *  - Histogram: log2-bucketed value distribution (bucket i>0 covers
+ *    [2^(i-1), 2^i - 1], bucket 0 is the value 0), lock-free adds.
+ *  - Series:    bounded sampled (x, y) trajectory. When the buffer
+ *    fills it drops every other retained sample and doubles its keep
+ *    stride, so arbitrarily long runs stay within capacity while the
+ *    whole time range stays covered (the DRRIP PSEL trajectory uses
+ *    this).
+ *
+ * Handles returned by the registry are stable for the registry's
+ * lifetime; call sites look a metric up once and keep the reference.
+ */
+
+#ifndef GRAL_OBS_METRICS_H
+#define GRAL_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gral
+{
+
+/** Monotonic event counter with per-thread sharding. */
+class Counter
+{
+  public:
+    /** Add @p delta (relaxed; never observed torn). */
+    void
+    add(std::uint64_t delta = 1)
+    {
+        shards_[shardIndex()].cell.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    /** Sum over shards: exact once writers have joined. */
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t sum = 0;
+        for (const Shard &shard : shards_)
+            sum += shard.cell.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    /** Zero every shard. */
+    void
+    reset()
+    {
+        for (Shard &shard : shards_)
+            shard.cell.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    /** Cache-line sized so two shards never false-share. */
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> cell{0};
+    };
+
+    /** Stable per-thread shard slot (threads are striped round-robin
+     *  over the shards on first use). */
+    static std::size_t shardIndex();
+
+    std::array<Shard, kShards> shards_{};
+};
+
+/** Last-value gauge. */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Log2-bucketed histogram of unsigned values. */
+class Histogram
+{
+  public:
+    /** 0 plus one bucket per power of two up to 2^63. */
+    static constexpr std::size_t kNumBuckets = 65;
+
+    /** Record one observation (lock-free). */
+    void record(std::uint64_t value);
+
+    /** Bucket index @p value falls into. */
+    static std::size_t bucketOf(std::uint64_t value);
+
+    /** Smallest value of bucket @p index. */
+    static std::uint64_t bucketLowerBound(std::size_t index);
+
+    /** Largest value of bucket @p index. */
+    static std::uint64_t bucketUpperBound(std::size_t index);
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Observations in bucket @p index. */
+    std::uint64_t
+    bucketCount(std::size_t index) const
+    {
+        return buckets_[index].load(std::memory_order_relaxed);
+    }
+
+    /** count() == 0 ? 0 : sum()/count(). */
+    double mean() const;
+
+    void reset();
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/** Bounded sampled (x, y) trajectory with stride decimation. */
+class Series
+{
+  public:
+    struct Sample
+    {
+        double x = 0.0;
+        double y = 0.0;
+    };
+
+    explicit Series(std::size_t capacity = 1024);
+
+    /**
+     * Offer one point. Only every keepStride()-th offer is retained;
+     * on overflow the retained set is halved and the stride doubled.
+     */
+    void record(double x, double y);
+
+    /** Retained samples, in record order. */
+    std::vector<Sample> samples() const;
+
+    /** Current decimation stride (1 until first overflow). */
+    std::uint64_t keepStride() const;
+
+    /** Points offered (retained or not). */
+    std::uint64_t offered() const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Sample> samples_;
+    std::size_t capacity_;
+    std::uint64_t stride_ = 1;
+    std::uint64_t offered_ = 0;
+};
+
+/** Aggregated registry state at one point in time. */
+struct MetricsSnapshot
+{
+    struct HistogramData
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        /** (bucket upper bound, count) for non-empty buckets only. */
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+    };
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+    std::map<std::string, std::vector<Series::Sample>> series;
+
+    /** Serialize as one JSON object (schema in DESIGN.md). */
+    std::string toJson() const;
+};
+
+/**
+ * Name -> metric map. Lookup is mutex-guarded (do it once per site);
+ * the returned references stay valid for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry every layer reports into. */
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+    Series &series(const std::string &name,
+                   std::size_t capacity = 1024);
+
+    /** Aggregate every registered metric. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero all values; registrations (and handles) survive. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+} // namespace gral
+
+#endif // GRAL_OBS_METRICS_H

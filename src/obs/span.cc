@@ -1,0 +1,138 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace gral
+{
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+TraceRecorder::TraceRecorder() : start_(Clock::now()) {}
+
+TraceRecorder::ThreadBuffer &
+TraceRecorder::localBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> local =
+        [this]() -> std::shared_ptr<ThreadBuffer> {
+        auto buffer = std::make_shared<ThreadBuffer>();
+        std::lock_guard lock(mutex_);
+        buffer->tid = nextTid_++;
+        buffer->events.reserve(std::min<std::size_t>(capacity_, 1024));
+        buffers_.push_back(buffer);
+        return buffer;
+    }();
+    return *local;
+}
+
+void
+TraceRecorder::record(const char *name, char phase)
+{
+    Clock::time_point origin;
+    {
+        std::lock_guard lock(mutex_);
+        origin = start_;
+    }
+    double ts = std::chrono::duration<double, std::micro>(
+                    Clock::now() - origin)
+                    .count();
+
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard lock(buffer.mutex);
+    if (buffer.events.size() >= capacity_) {
+        ++buffer.dropped;
+        return;
+    }
+    buffer.events.push_back({name, ts, buffer.tid, phase});
+}
+
+std::vector<SpanEvent>
+TraceRecorder::events() const
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(mutex_);
+        buffers = buffers_;
+    }
+    std::vector<SpanEvent> all;
+    for (const auto &buffer : buffers) {
+        std::lock_guard lock(buffer->mutex);
+        all.insert(all.end(), buffer->events.begin(),
+                   buffer->events.end());
+    }
+    return all;
+}
+
+std::uint64_t
+TraceRecorder::droppedEvents() const
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(mutex_);
+        buffers = buffers_;
+    }
+    std::uint64_t dropped = 0;
+    for (const auto &buffer : buffers) {
+        std::lock_guard lock(buffer->mutex);
+        dropped += buffer->dropped;
+    }
+    return dropped;
+}
+
+void
+TraceRecorder::clear()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(mutex_);
+        buffers = buffers_;
+        start_ = Clock::now();
+    }
+    for (const auto &buffer : buffers) {
+        std::lock_guard lock(buffer->mutex);
+        buffer->events.clear();
+        buffer->dropped = 0;
+    }
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &out) const
+{
+    std::vector<SpanEvent> all = events();
+    // Chrome's JSON importer does not require global ordering, but
+    // sorting by timestamp makes the file diffable and keeps each
+    // thread's B/E nesting obvious to human readers.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const SpanEvent &a, const SpanEvent &b) {
+                         return a.tsMicros < b.tsMicros;
+                     });
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("traceEvents").beginArray();
+    for (const SpanEvent &event : all) {
+        json.beginObject();
+        json.key("name").value(event.name);
+        json.key("cat").value("gral");
+        json.key("ph").value(std::string_view(&event.phase, 1));
+        json.key("ts").value(event.tsMicros);
+        json.key("pid").value(std::uint64_t{1});
+        json.key("tid").value(
+            static_cast<std::uint64_t>(event.tid));
+        json.endObject();
+    }
+    json.endArray();
+    json.key("displayTimeUnit").value("ms");
+    json.key("droppedEvents").value(droppedEvents());
+    json.endObject();
+    out << json.str();
+}
+
+} // namespace gral

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Scoped wall-clock timer — the span layer's timing base.
+ *
+ * Ported from src/reorder/timer.h with the doc/behaviour mismatch
+ * fixed: the destructor *accumulates* elapsed seconds into the sink
+ * (`+=`), as the original comment always claimed, instead of
+ * overwriting it. Callers that want overwrite semantics zero the sink
+ * before the scope (every reorderer does, via `stats_ = {}`).
+ */
+
+#ifndef GRAL_OBS_TIMER_H
+#define GRAL_OBS_TIMER_H
+
+#include <chrono>
+
+namespace gral
+{
+
+/** Accumulates elapsed seconds into a double on destruction. */
+class ScopedTimer
+{
+  public:
+    /** Start timing; adds the elapsed seconds to @p sink when the
+     *  scope ends. */
+    explicit ScopedTimer(double &sink)
+        : sink_(sink), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer() { sink_ += elapsedSeconds(); }
+
+    /** Seconds since construction (the scope is still running). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    double &sink_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace gral
+
+#endif // GRAL_OBS_TIMER_H

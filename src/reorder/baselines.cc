@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/timer.h"
 #include "reorder/order_util.h"
-#include "reorder/timer.h"
 
 namespace gral
 {

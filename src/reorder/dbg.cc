@@ -2,8 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
+#include "obs/timer.h"
 #include "reorder/order_util.h"
-#include "reorder/timer.h"
 
 namespace gral
 {
@@ -12,6 +13,7 @@ Permutation
 DbgOrder::reorder(const Graph &graph)
 {
     stats_ = {};
+    GRAL_SPAN("reorder/dbg");
     ScopedTimer timer(stats_.preprocessSeconds);
 
     const VertexId n = graph.numVertices();

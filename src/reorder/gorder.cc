@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timer.h"
 #include "reorder/order_util.h"
-#include "reorder/timer.h"
 #include "reorder/unit_heap.h"
 
 namespace gral
@@ -53,11 +55,18 @@ Permutation
 GOrder::reorder(const Graph &graph)
 {
     stats_ = {};
+    GRAL_SPAN("reorder/gorder");
     ScopedTimer timer(stats_.preprocessSeconds);
 
     const VertexId n = graph.numVertices();
     if (n == 0)
         return Permutation::identity(0);
+
+    // Window slide operations (paper Section IV-C: each extracted
+    // vertex enters the priority window and one leaves); counted
+    // locally and published once — the hot loop never touches the
+    // registry.
+    std::uint64_t window_ops = 0;
 
     EdgeId expand_cap = config_.maxExpandOutDegree;
     if (expand_cap == 0) {
@@ -95,12 +104,17 @@ GOrder::reorder(const Graph &graph)
         if (ordering.size() > window) {
             VertexId leaving = ordering[ordering.size() - 1 - window];
             updateWindow<false>(graph, heap, leaving, expand_cap);
+            ++window_ops;
         }
         VertexId v = heap.extractMax();
         ordering.push_back(v);
         updateWindow<true>(graph, heap, v, expand_cap);
+        ++window_ops;
     }
 
+    MetricsRegistry::global()
+        .counter("reorder.gorder.window_ops")
+        .add(window_ops);
     return orderingToPermutation(ordering);
 }
 

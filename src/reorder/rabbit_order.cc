@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timer.h"
 #include "reorder/order_util.h"
-#include "reorder/timer.h"
 
 namespace gral
 {
@@ -68,11 +71,14 @@ RabbitOrder::reorder(const Graph &graph)
 {
     stats_ = {};
     numCommunities_ = 0;
+    GRAL_SPAN("reorder/rabbit");
     ScopedTimer timer(stats_.preprocessSeconds);
 
     const VertexId n = graph.numVertices();
     if (n == 0)
         return Permutation::identity(0);
+
+    std::uint64_t merges = 0;
 
     Adjacency undirected = undirectedAdjacency(graph);
 
@@ -154,6 +160,7 @@ RabbitOrder::reorder(const Graph &graph)
             continue; // no positive gain: v joins the top-level set
 
         // Merge community v into community best.
+        ++merges;
         parent[v] = best;
         strength[best] += strength[v];
         community_size[best] += community_size[v];
@@ -200,6 +207,13 @@ RabbitOrder::reorder(const Graph &graph)
         if (!participates[v])
             new_ids[v] = counter++;
 
+    MetricsRegistry &registry = MetricsRegistry::global();
+    registry.counter("reorder.rabbit.merges").add(merges);
+    registry.gauge("reorder.rabbit.communities")
+        .set(static_cast<double>(numCommunities_));
+    GRAL_LOG(debug) << "rabbit-order merge pass done"
+                    << logField("merges", merges)
+                    << logField("communities", numCommunities_);
     return Permutation(std::move(new_ids));
 }
 

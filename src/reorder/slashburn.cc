@@ -4,8 +4,11 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timer.h"
 #include "reorder/order_util.h"
-#include "reorder/timer.h"
 
 namespace gral
 {
@@ -45,7 +48,14 @@ SlashBurn::reorder(const Graph &graph)
 {
     stats_ = {};
     iterations_.clear();
+    GRAL_SPAN("reorder/slashburn");
     ScopedTimer timer(stats_.preprocessSeconds);
+
+    MetricsRegistry &registry = MetricsRegistry::global();
+    Counter &round_counter =
+        registry.counter("reorder.slashburn.rounds");
+    Series &gcc_series =
+        registry.series("reorder.slashburn.gcc_vertices");
 
     const VertexId n = graph.numVertices();
     Adjacency undirected = undirectedAdjacency(graph);
@@ -74,6 +84,7 @@ SlashBurn::reorder(const Graph &graph)
             stats_.iterations >= config_.maxIterations)
             break;
 
+        GRAL_SPAN("slashburn/round");
         activeDegrees(undirected, active, degree);
 
         if (config_.earlyStop) {
@@ -83,8 +94,14 @@ SlashBurn::reorder(const Graph &graph)
                     max_degree = std::max(max_degree, degree[v]);
             // SB++: the GCC has lost its power-law hubs; stop before
             // further iterations shred LDV neighbourhoods.
-            if (static_cast<double>(max_degree) < sqrt_n)
+            if (static_cast<double>(max_degree) < sqrt_n) {
+                GRAL_LOG(debug)
+                    << "slashburn early stop"
+                    << logField("round", stats_.iterations)
+                    << logField("max_degree", max_degree)
+                    << logField("sqrt_n", sqrt_n);
                 break;
+            }
         }
 
         // Slash: remove the k highest-degree vertices of the GCC and
@@ -179,6 +196,7 @@ SlashBurn::reorder(const Graph &graph)
         }
 
         ++stats_.iterations;
+        round_counter.add();
 
         SlashBurnIteration record;
         record.iteration = stats_.iterations;
@@ -194,6 +212,12 @@ SlashBurn::reorder(const Graph &graph)
             for (VertexId v : spokes[gcc_index].vertices)
                 ++record.gccDegreeHistogram[degree[v]];
         }
+        gcc_series.record(static_cast<double>(record.iteration),
+                          static_cast<double>(record.gccVertices));
+        GRAL_LOG(trace) << "slashburn round done"
+                        << logField("round", record.iteration)
+                        << logField("gcc_vertices",
+                                    record.gccVertices);
         iterations_.push_back(std::move(record));
     }
 

@@ -1,7 +1,9 @@
 #include "spmv/parallel.h"
 
+#include <algorithm>
 #include <mutex>
 
+#include "obs/span.h"
 #include "spmv/spmv.h"
 
 namespace gral
@@ -9,6 +11,17 @@ namespace gral
 
 namespace
 {
+
+/** Copy the per-thread breakdown of one PoolStats batch. */
+void
+fillPerThread(ParallelResult &result, const PoolStats &stats)
+{
+    result.idlePercentPerThread.resize(stats.idleFraction.size());
+    for (std::size_t t = 0; t < stats.idleFraction.size(); ++t)
+        result.idlePercentPerThread[t] = 100.0 * stats.idleFraction[t];
+    result.stealsPerThread = stats.stealsPerThread;
+    result.tasksPerThread = stats.tasksPerThread;
+}
 
 ParallelResult
 runPartitioned(const Graph &graph, Direction direction,
@@ -36,15 +49,26 @@ runPartitioned(const Graph &graph, Direction direction,
     result.wallMs = stats.wallMs;
     result.idlePercent = stats.avgIdlePercent();
     result.steals = stats.steals;
+    fillPerThread(result, stats);
     return result;
 }
 
 } // namespace
 
+double
+ParallelResult::maxIdlePercent() const
+{
+    double worst = 0.0;
+    for (double p : idlePercentPerThread)
+        worst = std::max(worst, p);
+    return worst;
+}
+
 ParallelResult
 spmvPullParallel(const Graph &graph, std::span<const double> src,
                  std::span<double> dst, const ParallelOptions &options)
 {
+    GRAL_SPAN("spmv/pull");
     return runPartitioned(graph, Direction::In, src, dst, options);
 }
 
@@ -53,6 +77,7 @@ readSumParallel(const Graph &graph, Direction direction,
                 std::span<const double> src, std::span<double> dst,
                 const ParallelOptions &options)
 {
+    GRAL_SPAN("spmv/read_sum");
     return runPartitioned(graph, direction, src, dst, options);
 }
 
@@ -60,6 +85,7 @@ ParallelResult
 spmvPushParallel(const Graph &graph, std::span<const double> src,
                  std::span<double> dst, const ParallelOptions &options)
 {
+    GRAL_SPAN("spmv/push");
     const VertexId n = graph.numVertices();
     VertexId num_parts = options.numThreads * options.partitionsPerThread;
     std::vector<VertexRange> parts =
@@ -115,6 +141,22 @@ spmvPushParallel(const Graph &graph, std::span<const double> src,
     result.idlePercent =
         (scatter.avgIdlePercent() + merge.avgIdlePercent()) / 2.0;
     result.steals = scatter.steals + merge.steals;
+
+    // Per-thread breakdown over both phases: idle averaged, counts
+    // summed elementwise.
+    std::size_t workers = scatter.idleFraction.size();
+    result.idlePercentPerThread.assign(workers, 0.0);
+    result.stealsPerThread.assign(workers, 0);
+    result.tasksPerThread.assign(workers, 0);
+    for (std::size_t t = 0; t < workers; ++t) {
+        result.idlePercentPerThread[t] =
+            100.0 * (scatter.idleFraction[t] + merge.idleFraction[t]) /
+            2.0;
+        result.stealsPerThread[t] =
+            scatter.stealsPerThread[t] + merge.stealsPerThread[t];
+        result.tasksPerThread[t] =
+            scatter.tasksPerThread[t] + merge.tasksPerThread[t];
+    }
     return result;
 }
 

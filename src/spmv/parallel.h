@@ -38,6 +38,16 @@ struct ParallelResult
     double idlePercent = 0.0;
     /** Successful steals during the run. */
     std::uint64_t steals = 0;
+    /** Per-thread idle percentage (Table IV decomposed; push runs
+     *  average the scatter and merge phases elementwise). */
+    std::vector<double> idlePercentPerThread;
+    /** Per-thread successful steals (push runs sum both phases). */
+    std::vector<std::uint64_t> stealsPerThread;
+    /** Per-thread tasks executed (push runs sum both phases). */
+    std::vector<std::uint64_t> tasksPerThread;
+
+    /** Largest per-thread idle percentage (the straggler). */
+    double maxIdlePercent() const;
 };
 
 /**

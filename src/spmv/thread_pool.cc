@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace gral
 {
@@ -74,6 +76,15 @@ PoolStats::avgIdlePercent() const
     return 100.0 * sum / static_cast<double>(idleFraction.size());
 }
 
+double
+PoolStats::maxIdlePercent() const
+{
+    double worst = 0.0;
+    for (double f : idleFraction)
+        worst = std::max(worst, f);
+    return 100.0 * worst;
+}
+
 WorkStealingPool::WorkStealingPool(unsigned num_threads)
     : numThreads_(num_threads)
 {
@@ -99,12 +110,24 @@ WorkStealingPool::run(std::size_t num_tasks,
     std::atomic<std::size_t> executed{0};
     std::atomic<std::uint64_t> total_steals{0};
     std::vector<double> idle_fraction(numThreads_, 0.0);
+    std::vector<std::uint64_t> steals_per_thread(numThreads_, 0);
+    std::vector<std::uint64_t> tasks_per_thread(numThreads_, 0);
+
+    // Registry handles resolved once per batch; the worker hot loop
+    // records into pre-fetched references only.
+    MetricsRegistry &registry = MetricsRegistry::global();
+    Counter &steal_counter = registry.counter("spmv.pool.steals");
+    Counter &task_counter = registry.counter("spmv.pool.tasks");
+    Histogram &task_micros =
+        registry.histogram("spmv.pool.task_micros");
 
     auto batch_start = Clock::now();
     auto worker = [&](unsigned self) {
+        GRAL_SPAN("spmv/worker");
         auto start = Clock::now();
         double busy = 0.0;
         std::uint64_t steals = 0;
+        std::uint64_t executed_here = 0;
         while (remaining.load(std::memory_order_acquire) > 0) {
             std::size_t index = 0;
             bool got = queues[self].popFront(index);
@@ -133,7 +156,11 @@ WorkStealingPool::run(std::size_t num_tasks,
                     << " of a batch of " << num_tasks;
                 auto work_start = Clock::now();
                 task(index);
-                busy += secondsSince(work_start);
+                double task_seconds = secondsSince(work_start);
+                busy += task_seconds;
+                task_micros.record(
+                    static_cast<std::uint64_t>(task_seconds * 1e6));
+                ++executed_here;
                 executed.fetch_add(1, std::memory_order_relaxed);
                 remaining.fetch_sub(1, std::memory_order_release);
             } else {
@@ -143,6 +170,8 @@ WorkStealingPool::run(std::size_t num_tasks,
         double total = secondsSince(start);
         idle_fraction[self] =
             total > 0.0 ? std::max(0.0, (total - busy) / total) : 0.0;
+        steals_per_thread[self] = steals;
+        tasks_per_thread[self] = executed_here;
         total_steals.fetch_add(steals, std::memory_order_relaxed);
     };
 
@@ -166,10 +195,15 @@ WorkStealingPool::run(std::size_t num_tasks,
             << "a worker queue still holds " << queue.size()
             << " tasks after join";
 
+    steal_counter.add(total_steals.load());
+    task_counter.add(executed.load());
+
     PoolStats stats;
     stats.wallMs = secondsSince(batch_start) * 1e3;
     stats.idleFraction = std::move(idle_fraction);
     stats.steals = total_steals.load();
+    stats.stealsPerThread = std::move(steals_per_thread);
+    stats.tasksPerThread = std::move(tasks_per_thread);
     return stats;
 }
 

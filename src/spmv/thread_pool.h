@@ -29,9 +29,16 @@ struct PoolStats
     std::vector<double> idleFraction;
     /** Number of successful steals across all workers. */
     std::uint64_t steals = 0;
+    /** Successful steals per worker (sums to steals). */
+    std::vector<std::uint64_t> stealsPerThread;
+    /** Tasks executed per worker (sums to the batch size). */
+    std::vector<std::uint64_t> tasksPerThread;
 
     /** Average idle percentage across workers (paper Table IV). */
     double avgIdlePercent() const;
+
+    /** Largest per-worker idle percentage (the straggler). */
+    double maxIdlePercent() const;
 };
 
 /**

@@ -7,6 +7,8 @@
 
 #include "analysis/datasets.h"
 #include "analysis/experiment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace gral
 {
@@ -68,6 +70,57 @@ TEST(Experiment, TimingOnlyMode)
     RaExperimentResult result = runRaExperiment(base, "Bl", options);
     EXPECT_GT(result.traversalMs, 0.0);
     EXPECT_EQ(result.profile.dataAccesses, 0u);
+}
+
+TEST(Experiment, CollectsTraversalDetailAndPselSamples)
+{
+    Graph base = makeDataset("sk-s", 0.02);
+    ExperimentOptions options = tinyOptions();
+    options.sim.pselSampleEvery = 256;
+    RaExperimentResult result =
+        runRaExperiment(base, "Bl", options);
+
+    // Per-thread breakdown of the best timed run.
+    ASSERT_EQ(result.traversal.idlePercentPerThread.size(), 2u);
+    ASSERT_EQ(result.traversal.stealsPerThread.size(), 2u);
+    ASSERT_EQ(result.traversal.tasksPerThread.size(), 2u);
+    EXPECT_GE(result.traversal.maxIdlePercent(),
+              result.idlePercent - 1e-9);
+
+    // DRRIP dueling trajectory was sampled.
+    EXPECT_FALSE(result.profile.pselSamples.empty());
+    std::uint64_t class_accesses = 0;
+    for (const CacheStats &stats : result.profile.classStats)
+        class_accesses += stats.accesses();
+    EXPECT_EQ(class_accesses, result.profile.cache.accesses());
+}
+
+TEST(Experiment, RecordedMetricsExportAsValidJson)
+{
+    Graph base = makeDataset("twtr-s", 0.02);
+    ExperimentOptions options = tinyOptions();
+    options.sim.pselSampleEvery = 256;
+    RaExperimentResult result =
+        runRaExperiment(base, "DegreeSort", options);
+    recordExperimentMetrics(result);
+
+    MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+    EXPECT_TRUE(snapshot.gauges.contains(
+        "experiment/DegreeSort/traversal_ms"));
+    EXPECT_TRUE(snapshot.gauges.contains(
+        "experiment/DegreeSort/l3_miss_rate"));
+    EXPECT_TRUE(snapshot.histograms.contains(
+        "experiment/DegreeSort/thread_idle_percent"));
+    EXPECT_TRUE(snapshot.series.contains(
+        "experiment/DegreeSort/psel"));
+    EXPECT_FALSE(
+        snapshot.series.at("experiment/DegreeSort/psel").empty());
+
+    std::string json = snapshot.toJson();
+    std::string error;
+    EXPECT_TRUE(jsonValidate(json, &error)) << error;
+    EXPECT_NE(json.find("experiment/DegreeSort/psel"),
+              std::string::npos);
 }
 
 TEST(Experiment, RandomOrderHurtsSimulatedLocality)

@@ -282,6 +282,131 @@ TEST(Cache, PolicyNames)
     EXPECT_STREQ(toString(ReplacementPolicy::DRRIP), "DRRIP");
 }
 
+TEST(Cache, SetClassNames)
+{
+    EXPECT_STREQ(toString(SetClass::SrripLeader), "srrip_leader");
+    EXPECT_STREQ(toString(SetClass::BrripLeader), "brrip_leader");
+    EXPECT_STREQ(toString(SetClass::Follower), "follower");
+}
+
+TEST(Cache, ClassStatsPartitionTheTotals)
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 64 * 2; // 64 sets, 2 ways
+    config.associativity = 2;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::DRRIP;
+    config.duelingLeaderSets = 8;
+    Cache cache(config);
+
+    for (std::uint64_t i = 0; i < 5000; ++i)
+        cache.access((i * 97) % 4096 * 64, i % 3 == 0);
+
+    std::uint64_t class_hits = 0;
+    std::uint64_t class_misses = 0;
+    std::uint64_t class_evictions = 0;
+    std::uint64_t class_writebacks = 0;
+    for (std::size_t c = 0; c < kNumSetClasses; ++c) {
+        const CacheStats &stats =
+            cache.classStats(static_cast<SetClass>(c));
+        class_hits += stats.hits;
+        class_misses += stats.misses;
+        class_evictions += stats.evictions;
+        class_writebacks += stats.writebacks;
+    }
+    EXPECT_EQ(class_hits, cache.stats().hits);
+    EXPECT_EQ(class_misses, cache.stats().misses);
+    EXPECT_EQ(class_evictions, cache.stats().evictions);
+    EXPECT_EQ(class_writebacks, cache.stats().writebacks);
+    // With 8 leader sets per team out of 64, all three classes see
+    // traffic under a uniform sweep.
+    for (std::size_t c = 0; c < kNumSetClasses; ++c)
+        EXPECT_GT(cache.classStats(static_cast<SetClass>(c))
+                      .accesses(),
+                  0u);
+}
+
+TEST(Cache, NonDrripCountsEverythingAsFollower)
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 64 * 2;
+    config.associativity = 2;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::LRU;
+    Cache cache(config);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        cache.access(i * 64, false);
+    EXPECT_EQ(cache.classStats(SetClass::Follower).accesses(), 1000u);
+    EXPECT_EQ(cache.classStats(SetClass::SrripLeader).accesses(), 0u);
+    EXPECT_EQ(cache.classStats(SetClass::BrripLeader).accesses(), 0u);
+}
+
+TEST(Cache, PselSamplingRecordsTrajectory)
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 64 * 2;
+    config.associativity = 2;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::DRRIP;
+    config.duelingLeaderSets = 8;
+    Cache cache(config);
+    cache.enablePselSampling(10);
+
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        cache.access((i * 97) % 4096 * 64, false);
+
+    const std::vector<PselSample> &samples = cache.pselSamples();
+    ASSERT_FALSE(samples.empty());
+    EXPECT_EQ(samples.size(), 100u); // every 10th of 1000 accesses
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_LT(samples[i - 1].access, samples[i].access);
+    for (const PselSample &sample : samples)
+        EXPECT_LE(sample.psel, cache.pselMax());
+}
+
+TEST(Cache, PselSamplingDecimatesWhenFull)
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 64 * 2;
+    config.associativity = 2;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::DRRIP;
+    config.duelingLeaderSets = 8;
+    Cache cache(config);
+    cache.enablePselSampling(1, /*max_samples=*/16);
+
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        cache.access((i * 97) % 4096 * 64, false);
+
+    const std::vector<PselSample> &samples = cache.pselSamples();
+    EXPECT_LE(samples.size(), 16u);
+    EXPECT_GE(samples.size(), 2u);
+    // Decimation keeps early samples: coverage spans the run instead
+    // of a sliding window of the tail.
+    EXPECT_LT(samples.front().access, 100u);
+    EXPECT_GT(samples.back().access, 5000u);
+}
+
+TEST(Cache, ResetStatsClearsClassStatsAndSamples)
+{
+    CacheConfig config;
+    config.sizeBytes = 64 * 64 * 2;
+    config.associativity = 2;
+    config.lineBytes = 64;
+    config.policy = ReplacementPolicy::DRRIP;
+    Cache cache(config);
+    cache.enablePselSampling(1);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        cache.access(i * 64, false);
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+    EXPECT_TRUE(cache.pselSamples().empty());
+    for (std::size_t c = 0; c < kNumSetClasses; ++c)
+        EXPECT_EQ(cache.classStats(static_cast<SetClass>(c))
+                      .accesses(),
+                  0u);
+}
+
 /** Property: miss count equals distinct lines when capacity is not
  *  exceeded, for every policy. */
 class CachePolicyProperty

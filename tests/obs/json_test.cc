@@ -1,0 +1,110 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace gral
+{
+namespace
+{
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, EmitsNestedDocument)
+{
+    JsonWriter writer;
+    writer.beginObject()
+        .key("name")
+        .value("gral")
+        .key("count")
+        .value(std::uint64_t{42})
+        .key("items")
+        .beginArray()
+        .value(1.5)
+        .value(true)
+        .valueNull()
+        .endArray()
+        .endObject();
+    std::string text = writer.str();
+    EXPECT_EQ(text,
+              "{\"name\":\"gral\",\"count\":42,"
+              "\"items\":[1.5,true,null]}");
+    EXPECT_TRUE(jsonValidate(text));
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter writer;
+    writer.beginArray()
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(std::numeric_limits<double>::infinity())
+        .endArray();
+    EXPECT_EQ(writer.str(), "[null,null]");
+}
+
+TEST(JsonWriter, MisuseThrows)
+{
+    {
+        JsonWriter writer;
+        writer.beginObject();
+        // Value without a key inside an object.
+        EXPECT_THROW(writer.value(1.0), std::logic_error);
+    }
+    {
+        JsonWriter writer;
+        writer.beginArray();
+        EXPECT_THROW(writer.endObject(), std::logic_error);
+    }
+    {
+        JsonWriter writer;
+        writer.beginObject();
+        // Unclosed container at render time.
+        EXPECT_THROW(writer.str(), std::logic_error);
+    }
+}
+
+TEST(JsonValidate, AcceptsValidDocuments)
+{
+    EXPECT_TRUE(jsonValidate("{}"));
+    EXPECT_TRUE(jsonValidate("[]"));
+    EXPECT_TRUE(jsonValidate("  {\"a\": [1, -2.5e3, \"x\", null, "
+                             "true, false]}  "));
+    EXPECT_TRUE(jsonValidate("\"lone string\""));
+    EXPECT_TRUE(jsonValidate("-0.5"));
+}
+
+TEST(JsonValidate, RejectsInvalidDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(jsonValidate("", &error));
+    EXPECT_FALSE(jsonValidate("{", &error));
+    EXPECT_FALSE(jsonValidate("{\"a\":}", &error));
+    EXPECT_FALSE(jsonValidate("[1,]", &error));
+    EXPECT_FALSE(jsonValidate("{} trailing", &error));
+    EXPECT_FALSE(jsonValidate("{'a': 1}", &error));
+    EXPECT_FALSE(jsonValidate("nul", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonValidate, RejectsExcessiveNesting)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_FALSE(jsonValidate(deep));
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,113 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gral
+{
+namespace
+{
+
+/** Capture log output and restore the previous threshold/stream. */
+class LogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_ = logLevel();
+        setLogStream(&captured_);
+    }
+
+    void
+    TearDown() override
+    {
+        setLogStream(nullptr);
+        setLogLevel(saved_);
+    }
+
+    std::string text() const { return captured_.str(); }
+
+    std::ostringstream captured_;
+    LogLevel saved_ = LogLevel::warn;
+};
+
+TEST_F(LogTest, ParsesLevelNamesCaseInsensitively)
+{
+    bool ok = false;
+    EXPECT_EQ(parseLogLevel("trace", &ok), LogLevel::trace);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("DEBUG", &ok), LogLevel::debug);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("Info", &ok), LogLevel::info);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("warning", &ok), LogLevel::warn);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("none", &ok), LogLevel::off);
+    EXPECT_TRUE(ok);
+    parseLogLevel("bogus", &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST_F(LogTest, ThresholdFiltersLowerLevels)
+{
+    setLogLevel(LogLevel::warn);
+    EXPECT_FALSE(logLevelEnabled(LogLevel::debug));
+    EXPECT_FALSE(logLevelEnabled(LogLevel::info));
+    EXPECT_TRUE(logLevelEnabled(LogLevel::warn));
+    EXPECT_TRUE(logLevelEnabled(LogLevel::error));
+
+    GRAL_LOG(info) << "should not appear";
+    EXPECT_EQ(text(), "");
+    GRAL_LOG(warn) << "should appear";
+    EXPECT_NE(text().find("should appear"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything)
+{
+    setLogLevel(LogLevel::off);
+    GRAL_LOG(error) << "nope";
+    EXPECT_EQ(text(), "");
+}
+
+TEST_F(LogTest, DisabledOperandsAreNotEvaluated)
+{
+    setLogLevel(LogLevel::error);
+    int evaluations = 0;
+    auto touch = [&evaluations] {
+        ++evaluations;
+        return "x";
+    };
+    GRAL_LOG(debug) << touch();
+    EXPECT_EQ(evaluations, 0);
+    GRAL_LOG(error) << touch();
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, FormatsLevelLocationAndFields)
+{
+    setLogLevel(LogLevel::info);
+    GRAL_LOG(info) << "reordered" << logField("ra", "SB")
+                   << logField("rounds", 7);
+    std::string line = text();
+    EXPECT_NE(line.find("[INFO]"), std::string::npos);
+    EXPECT_NE(line.find("log_test.cc:"), std::string::npos);
+    EXPECT_NE(line.find("reordered"), std::string::npos);
+    EXPECT_NE(line.find("ra=SB"), std::string::npos);
+    EXPECT_NE(line.find("rounds=7"), std::string::npos);
+    EXPECT_EQ(line.back(), '\n');
+}
+
+TEST_F(LogTest, LevelNamesRoundTrip)
+{
+    EXPECT_STREQ(toString(LogLevel::trace), "TRACE");
+    EXPECT_STREQ(toString(LogLevel::debug), "DEBUG");
+    EXPECT_STREQ(toString(LogLevel::info), "INFO");
+    EXPECT_STREQ(toString(LogLevel::warn), "WARN");
+    EXPECT_STREQ(toString(LogLevel::error), "ERROR");
+    EXPECT_STREQ(toString(LogLevel::off), "OFF");
+}
+
+} // namespace
+} // namespace gral

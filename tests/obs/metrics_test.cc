@@ -1,0 +1,214 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace gral
+{
+namespace
+{
+
+TEST(Counter, CountsExactlyAcrossThreads)
+{
+    Counter counter;
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 100000;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                counter.add();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Sharded relaxed adds must still be exact after the join.
+    EXPECT_EQ(counter.value(), kThreads * kPerThread);
+
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, AddsArbitraryDeltas)
+{
+    Counter counter;
+    counter.add(7);
+    counter.add(35);
+    EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastValue)
+{
+    Gauge gauge;
+    EXPECT_EQ(gauge.value(), 0.0);
+    gauge.set(3.25);
+    EXPECT_EQ(gauge.value(), 3.25);
+    gauge.set(-1.0);
+    EXPECT_EQ(gauge.value(), -1.0);
+    gauge.reset();
+    EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, BucketBoundariesAreLog2)
+{
+    // Bucket 0 holds the value 0; bucket i>0 covers
+    // [2^(i-1), 2^i - 1].
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+    EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64u);
+
+    for (std::size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+        std::uint64_t low = Histogram::bucketLowerBound(i);
+        EXPECT_EQ(Histogram::bucketOf(low), i) << "bucket " << i;
+        std::uint64_t high = Histogram::bucketUpperBound(i);
+        EXPECT_EQ(Histogram::bucketOf(high), i) << "bucket " << i;
+    }
+    EXPECT_EQ(Histogram::bucketLowerBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+}
+
+TEST(Histogram, RecordsCountSumAndBuckets)
+{
+    Histogram hist;
+    hist.record(0);
+    hist.record(1);
+    hist.record(5);
+    hist.record(5);
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_EQ(hist.sum(), 11u);
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(3), 2u); // 5 is in [4, 7]
+    EXPECT_DOUBLE_EQ(hist.mean(), 11.0 / 4.0);
+    hist.reset();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.sum(), 0u);
+}
+
+TEST(Histogram, ConcurrentRecordsAreExactInTotal)
+{
+    Histogram hist;
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kPerThread = 50000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                hist.record(i & 0xff);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(hist.count(), kThreads * kPerThread);
+}
+
+TEST(Series, KeepsEverythingUntilCapacity)
+{
+    Series series(8);
+    for (int i = 0; i < 8; ++i)
+        series.record(i, 2 * i);
+    auto samples = series.samples();
+    ASSERT_EQ(samples.size(), 8u);
+    EXPECT_EQ(series.keepStride(), 1u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(samples[i].x, i);
+        EXPECT_EQ(samples[i].y, 2 * i);
+    }
+}
+
+TEST(Series, DecimatesOnOverflowAndCoversWholeRange)
+{
+    Series series(8);
+    for (int i = 0; i < 1000; ++i)
+        series.record(i, i);
+    auto samples = series.samples();
+    EXPECT_LE(samples.size(), 8u);
+    EXPECT_GE(samples.size(), 2u);
+    EXPECT_GT(series.keepStride(), 1u);
+    EXPECT_EQ(series.offered(), 1000u);
+    // Strictly increasing x and coverage of the early range: the
+    // decimation keeps old points instead of sliding a window.
+    EXPECT_EQ(samples.front().x, 0.0);
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_LT(samples[i - 1].x, samples[i].x);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndSnapshotSees)
+{
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("test.count");
+    EXPECT_EQ(&counter, &registry.counter("test.count"));
+    counter.add(3);
+    registry.gauge("test.gauge").set(1.5);
+    registry.histogram("test.hist").record(4);
+    registry.series("test.series").record(1.0, 2.0);
+
+    MetricsSnapshot snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.counters.at("test.count"), 3u);
+    EXPECT_EQ(snapshot.gauges.at("test.gauge"), 1.5);
+    EXPECT_EQ(snapshot.histograms.at("test.hist").count, 1u);
+    ASSERT_EQ(snapshot.series.at("test.series").size(), 1u);
+    EXPECT_EQ(snapshot.series.at("test.series")[0].y, 2.0);
+
+    registry.reset();
+    EXPECT_EQ(counter.value(), 0u); // handle survives the reset
+    MetricsSnapshot after = registry.snapshot();
+    EXPECT_EQ(after.counters.at("test.count"), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentLookupsAndWritesAreSafe)
+{
+    MetricsRegistry registry;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry, t] {
+            Counter &mine =
+                registry.counter("shared." + std::to_string(t % 2));
+            for (int i = 0; i < 10000; ++i)
+                mine.add();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    MetricsSnapshot snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.counters.at("shared.0") +
+                  snapshot.counters.at("shared.1"),
+              kThreads * 10000u);
+}
+
+TEST(MetricsSnapshot, ToJsonIsValidAndComplete)
+{
+    MetricsRegistry registry;
+    registry.counter("c\"quoted\"").add(1);
+    registry.gauge("g").set(0.5);
+    registry.histogram("h").record(100);
+    registry.series("s").record(1.0, 2.0);
+
+    std::string json = registry.snapshot().toJson();
+    std::string error;
+    EXPECT_TRUE(jsonValidate(json, &error)) << error << "\n" << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"series\""), std::string::npos);
+    EXPECT_NE(json.find("c\\\"quoted\\\""), std::string::npos);
+}
+
+} // namespace
+} // namespace gral

@@ -1,0 +1,145 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace gral
+{
+namespace
+{
+
+/** Fresh global recorder state for every test. */
+class SpanTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { TraceRecorder::global().clear(); }
+    void TearDown() override { TraceRecorder::global().clear(); }
+};
+
+TEST_F(SpanTest, ScopedSpanEmitsBalancedBeginEnd)
+{
+    {
+        GRAL_SPAN("test/outer");
+        {
+            GRAL_SPAN("test/inner");
+        }
+    }
+    std::vector<SpanEvent> events = TraceRecorder::global().events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_STREQ(events[0].name, "test/outer");
+    EXPECT_EQ(events[0].phase, 'B');
+    EXPECT_STREQ(events[1].name, "test/inner");
+    EXPECT_EQ(events[1].phase, 'B');
+    EXPECT_STREQ(events[2].name, "test/inner");
+    EXPECT_EQ(events[2].phase, 'E');
+    EXPECT_STREQ(events[3].name, "test/outer");
+    EXPECT_EQ(events[3].phase, 'E');
+    // Same thread, non-decreasing timestamps.
+    for (const SpanEvent &event : events)
+        EXPECT_EQ(event.tid, events[0].tid);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].tsMicros, events[i - 1].tsMicros);
+}
+
+TEST_F(SpanTest, SpanFeedsDurationHistogram)
+{
+    Histogram &hist =
+        MetricsRegistry::global().histogram("span/test/hist_feed");
+    std::uint64_t before = hist.count();
+    {
+        GRAL_SPAN("test/hist_feed");
+    }
+    EXPECT_EQ(hist.count(), before + 1);
+}
+
+TEST_F(SpanTest, BalancedUnderConcurrency)
+{
+    constexpr unsigned kThreads = 8;
+    constexpr int kSpansPerThread = 500;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                GRAL_SPAN("test/worker");
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    std::vector<SpanEvent> events = TraceRecorder::global().events();
+    EXPECT_EQ(TraceRecorder::global().droppedEvents(), 0u);
+    // Per thread: every B is eventually matched by an E and depth
+    // never goes negative.
+    std::map<std::uint32_t, int> depth;
+    for (const SpanEvent &event : events) {
+        depth[event.tid] += event.phase == 'B' ? 1 : -1;
+        EXPECT_GE(depth[event.tid], 0);
+    }
+    for (const auto &[tid, d] : depth)
+        EXPECT_EQ(d, 0) << "thread " << tid;
+    EXPECT_EQ(events.size(), 2u * kThreads * kSpansPerThread);
+}
+
+TEST_F(SpanTest, DropsWhenBufferFullInsteadOfGrowing)
+{
+    TraceRecorder &recorder = TraceRecorder::global();
+    std::size_t capacity = recorder.capacityPerThread();
+    for (std::size_t i = 0; i < capacity + 100; ++i)
+        recorder.record("test/flood", 'B');
+    EXPECT_EQ(recorder.events().size(), capacity);
+    EXPECT_EQ(recorder.droppedEvents(), 100u);
+    recorder.clear();
+    EXPECT_EQ(recorder.events().size(), 0u);
+    EXPECT_EQ(recorder.droppedEvents(), 0u);
+}
+
+TEST_F(SpanTest, ChromeTraceExportIsValidJson)
+{
+    {
+        GRAL_SPAN("test/export");
+        GRAL_SPAN("test/export_sibling");
+    }
+    std::ostringstream out;
+    TraceRecorder::global().writeChromeTrace(out);
+    std::string text = out.str();
+
+    std::string error;
+    EXPECT_TRUE(jsonValidate(text, &error)) << error << "\n" << text;
+    // Chrome trace-event envelope.
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(text.find("\"test/export\""), std::string::npos);
+    EXPECT_NE(text.find("\"pid\""), std::string::npos);
+    EXPECT_NE(text.find("\"tid\""), std::string::npos);
+}
+
+TEST_F(SpanTest, ExportWhileRecordingIsSafe)
+{
+    std::atomic<bool> stop{false};
+    std::thread writer([&stop] {
+        while (!stop.load()) {
+            GRAL_SPAN("test/live");
+        }
+    });
+    for (int i = 0; i < 50; ++i) {
+        std::ostringstream out;
+        TraceRecorder::global().writeChromeTrace(out);
+        std::string error;
+        ASSERT_TRUE(jsonValidate(out.str(), &error)) << error;
+    }
+    stop.store(true);
+    writer.join();
+}
+
+} // namespace
+} // namespace gral

@@ -97,6 +97,30 @@ TEST(PoolStats, AvgIdleOfEmptyIsZero)
 {
     PoolStats stats;
     EXPECT_DOUBLE_EQ(stats.avgIdlePercent(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.maxIdlePercent(), 0.0);
+}
+
+TEST(WorkStealingPool, PerThreadBreakdownSumsToTotals)
+{
+    WorkStealingPool pool(4);
+    const std::size_t n = 500;
+    PoolStats stats = pool.run(n, [](std::size_t i) {
+        volatile double x = 0.0;
+        for (std::size_t k = 0; k < 100 * (i % 5 + 1); ++k)
+            x = x + 1.0;
+    });
+
+    ASSERT_EQ(stats.stealsPerThread.size(), 4u);
+    ASSERT_EQ(stats.tasksPerThread.size(), 4u);
+    std::uint64_t steal_sum = 0;
+    std::uint64_t task_sum = 0;
+    for (unsigned t = 0; t < 4; ++t) {
+        steal_sum += stats.stealsPerThread[t];
+        task_sum += stats.tasksPerThread[t];
+    }
+    EXPECT_EQ(steal_sum, stats.steals);
+    EXPECT_EQ(task_sum, n);
+    EXPECT_GE(stats.maxIdlePercent(), stats.avgIdlePercent());
 }
 
 } // namespace

@@ -10,6 +10,12 @@
  *                                                permutation file
  *   metrics   <graph>                            locality metrics
  *   simulate  <graph> [cacheKB]                  SpMV cache simulation
+ *   experiment <graph> [RAs] [cacheKB]           full per-RA pipeline
+ *
+ * Global flags (any subcommand, stripped before dispatch):
+ *   --metrics-out=FILE.json   write a MetricsRegistry snapshot
+ *   --trace-out=FILE.json     write collected spans as Chrome trace
+ *   --log-level=LEVEL         trace|debug|info|warn|error|off
  *
  * Graph files ending in .grf are the binary format; anything else is
  * parsed as a text edge list ("src dst" per line).
@@ -19,7 +25,9 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "analysis/experiment.h"
 #include "analysis/report.h"
 #include "common/check.h"
 #include "common/validate.h"
@@ -32,6 +40,8 @@
 #include "metrics/ecs.h"
 #include "metrics/hub_coverage.h"
 #include "metrics/miss_rate.h"
+#include "obs/export.h"
+#include "obs/log.h"
 #include "reorder/registry.h"
 #include "spmv/trace_gen.h"
 
@@ -276,32 +286,120 @@ cmdSimulate(int argc, char **argv)
     return 0;
 }
 
+int
+cmdExperiment(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::cerr << "usage: gral experiment <graph> [RA,RA,...] "
+                     "[cacheKB]\nRAs:";
+        for (const std::string &name : reordererNames())
+            std::cerr << " " << name;
+        std::cerr << "\n";
+        return 2;
+    }
+    Graph graph = load(argv[0]);
+    std::string ra_list = argc >= 2 ? argv[1] : "Bl,SB,GO,RO";
+    std::uint64_t cache_kb =
+        argc >= 3 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                  : 128;
+
+    std::vector<std::string> ras;
+    for (std::size_t start = 0; start <= ra_list.size();) {
+        std::size_t comma = ra_list.find(',', start);
+        if (comma == std::string::npos)
+            comma = ra_list.size();
+        if (comma > start)
+            ras.push_back(ra_list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    if (ras.empty()) {
+        std::cerr << "no RAs given\n";
+        return 2;
+    }
+
+    // Same scaled-down L3 as `simulate`, so synthetic graphs exercise
+    // the DRRIP duel; PSEL is sampled densely because these runs are
+    // short.
+    ExperimentOptions options;
+    options.sim.cache.sizeBytes = cache_kb * 1024;
+    options.sim.cache.associativity = 8;
+    options.sim.tlb = stlb4kConfig();
+    options.sim.tlb.entries = 64;
+    options.sim.tlb.associativity = 4;
+    options.sim.pselSampleEvery = 1024;
+    options.timingRepeats = 2;
+
+    TextTable table({"RA", "Preproc s", "Time ms", "Idle %",
+                     "Max idle %", "Steals", "L3 miss %",
+                     "PSEL samples"});
+    for (const std::string &ra : ras) {
+        GRAL_LOG(info) << "running experiment cell"
+                       << logField("ra", ra);
+        RaExperimentResult result = runRaExperiment(graph, ra, options);
+        recordExperimentMetrics(result);
+        table.addRow(
+            {result.ra,
+             formatDouble(result.reorderStats.preprocessSeconds, 3),
+             formatDouble(result.traversalMs, 2),
+             formatDouble(result.idlePercent, 1),
+             formatDouble(result.traversal.maxIdlePercent(), 1),
+             formatCount(result.traversal.steals),
+             formatDouble(100.0 * result.profile.cache.missRate(), 2),
+             formatCount(result.profile.pselSamples.size())});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr
-            << "gral — graph reordering & locality analysis toolkit\n"
-               "usage: gral <generate|convert|info|reorder|metrics|"
-               "simulate> ...\n";
+    std::vector<std::string> args(argv + 1, argv + argc);
+    ObsOptions obs;
+    try {
+        obs = extractObsFlags(args);
+    } catch (const std::invalid_argument &error) {
+        std::cerr << "error: " << error.what() << "\n";
         return 2;
     }
-    std::string command = argv[1];
+
+    if (args.empty()) {
+        std::cerr
+            << "gral — graph reordering & locality analysis toolkit\n"
+               "usage: gral [--metrics-out=F] [--trace-out=F] "
+               "[--log-level=L]\n"
+               "            <generate|convert|info|reorder|metrics|"
+               "simulate|experiment> ...\n";
+        return 2;
+    }
+    std::string command = args[0];
+    std::vector<char *> rest;
+    rest.reserve(args.size() - 1);
+    for (std::size_t i = 1; i < args.size(); ++i)
+        rest.push_back(args[i].data());
+    int rest_argc = static_cast<int>(rest.size());
+    char **rest_argv = rest.data();
+
+    int code = -1;
     try {
         if (command == "generate")
-            return cmdGenerate(argc - 2, argv + 2);
-        if (command == "convert")
-            return cmdConvert(argc - 2, argv + 2);
-        if (command == "info")
-            return cmdInfo(argc - 2, argv + 2);
-        if (command == "reorder")
-            return cmdReorder(argc - 2, argv + 2);
-        if (command == "metrics")
-            return cmdMetrics(argc - 2, argv + 2);
-        if (command == "simulate")
-            return cmdSimulate(argc - 2, argv + 2);
+            code = cmdGenerate(rest_argc, rest_argv);
+        else if (command == "convert")
+            code = cmdConvert(rest_argc, rest_argv);
+        else if (command == "info")
+            code = cmdInfo(rest_argc, rest_argv);
+        else if (command == "reorder")
+            code = cmdReorder(rest_argc, rest_argv);
+        else if (command == "metrics")
+            code = cmdMetrics(rest_argc, rest_argv);
+        else if (command == "simulate")
+            code = cmdSimulate(rest_argc, rest_argv);
+        else if (command == "experiment")
+            code = cmdExperiment(rest_argc, rest_argv);
+        if (code == 0)
+            writeObsFiles(obs);
     } catch (const ValidationError &error) {
         std::cerr << "invalid input: " << error.what() << "\n";
         return 1;
@@ -313,6 +411,9 @@ main(int argc, char **argv)
         std::cerr << "error: " << error.what() << "\n";
         return 1;
     }
-    std::cerr << "unknown command: " << command << "\n";
-    return 2;
+    if (code < 0) {
+        std::cerr << "unknown command: " << command << "\n";
+        return 2;
+    }
+    return code;
 }

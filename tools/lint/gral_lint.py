@@ -13,6 +13,12 @@ Rules enforced over the C++ tree:
                   path (src/graph/csr.h -> GRAL_GRAPH_CSR_H).
   std-endl        no std::endl in src/, tools/, bench/, or examples/ —
                   it flushes; hot loops want '\n'.
+  raw-cerr        no raw std::cerr in src/ — library code reports
+                  through GRAL_LOG (obs/log.h), which carries a level,
+                  a timestamp, and structured fields, and is the one
+                  sink tests can capture. (The logger itself writes to
+                  std::clog.) Tools and benches may keep std::cerr for
+                  usage errors.
 
 Comments and string literals are stripped before the text rules run,
 so prose ("replacement for raw assert()") never trips them.
@@ -88,6 +94,7 @@ VERTEX_LOOP_RE = re.compile(
 )
 
 ENDL_RE = re.compile(r"std\s*::\s*endl")
+CERR_RE = re.compile(r"std\s*::\s*cerr")
 
 GUARD_IFNDEF_RE = re.compile(r"#\s*ifndef\s+(\w+)")
 PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once")
@@ -134,6 +141,15 @@ def check_std_endl(relpath, code, findings):
                  "std::endl flushes the stream; use '\\n'"))
 
 
+def check_raw_cerr(relpath, code, findings):
+    for lineno, line in iter_lines(code):
+        if CERR_RE.search(line):
+            findings.append(
+                (relpath, lineno, "raw-cerr",
+                 "library code logs via GRAL_LOG (obs/log.h), not raw "
+                 "std::cerr"))
+
+
 def check_include_guard(relpath, code, findings):
     if PRAGMA_ONCE_RE.search(code):
         return
@@ -173,6 +189,7 @@ def lint_tree(root: pathlib.Path):
             if top in SRC_ONLY:
                 check_raw_assert(relpath, code, findings)
                 check_vertex_id_type(relpath, code, findings)
+                check_raw_cerr(relpath, code, findings)
                 if path.suffix in {".h", ".hpp"}:
                     check_include_guard(relpath, code, findings)
             check_std_endl(relpath, code, findings)
@@ -197,6 +214,12 @@ SELF_TEST_CASES = [
      "for (std::size_t i = 0; i < parts.size(); ++i) {}", False),
     ("std-endl", "src/x.cc", "out << v << std::endl;", True),
     ("std-endl", "src/x.cc", "out << v << '\\n';", False),
+    ("raw-cerr", "src/x.cc", "std::cerr << \"oops\\n\";", True),
+    ("raw-cerr", "src/x.cc", "std :: cerr << x;", True),
+    ("raw-cerr", "src/x.cc", "// std::cerr in a comment\n", False),
+    ("raw-cerr", "src/x.cc", "std::clog << line;", False),
+    ("raw-cerr", "src/x.cc",
+     "GRAL_LOG(warn) << \"use std::cerr? no\";", False),
     ("include-guard", "src/graph/csr.h",
      "#ifndef GRAL_GRAPH_CSR_H\n#define GRAL_GRAPH_CSR_H\n#endif",
      False),
@@ -219,6 +242,8 @@ def self_test() -> int:
             check_vertex_id_type(relpath, code, findings)
         elif rule == "std-endl":
             check_std_endl(relpath, code, findings)
+        elif rule == "raw-cerr":
+            check_raw_cerr(relpath, code, findings)
         elif rule == "include-guard":
             check_include_guard(relpath, code, findings)
         fired = any(f[2] == rule for f in findings)
