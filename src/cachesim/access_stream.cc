@@ -22,6 +22,8 @@ producersFromTraces(std::span<const ThreadTrace> traces)
     ProducerSet producers;
     producers.reserve(traces.size());
     for (const ThreadTrace &trace : traces)
+        // One-time producer setup, not a replay path.
+        // gral-analyzer: off(hot-path-alloc)
         producers.push_back(std::make_unique<VectorProducer>(trace));
     return producers;
 }

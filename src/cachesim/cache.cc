@@ -4,7 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
-#include "common/validate.h"
+#include "cachesim/validate.h"
 
 namespace gral
 {

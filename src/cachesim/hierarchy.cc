@@ -11,6 +11,8 @@ CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels)
         throw std::invalid_argument("CacheHierarchy: no levels");
     caches_.reserve(levels.size());
     for (const CacheConfig &config : levels)
+        // Constructor-time level setup, not the access path.
+        // gral-analyzer: off(hot-path-alloc)
         caches_.push_back(std::make_unique<Cache>(config));
 }
 

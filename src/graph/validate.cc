@@ -1,7 +1,5 @@
-#include "common/validate.h"
+#include "graph/validate.h"
 
-#include <bit>
-#include <sstream>
 #include <vector>
 
 namespace gral
@@ -108,69 +106,6 @@ validatePermutation(const Permutation &permutation,
         first_user[new_id] = old_id;
     }
     fail(what, "Permutation::isValid() rejected the relabeling array");
-}
-
-void
-validateCacheConfig(const CacheConfig &config)
-{
-    const std::string what = "cache config";
-    if (config.lineBytes == 0 ||
-        !std::has_single_bit(
-            static_cast<std::uint64_t>(config.lineBytes)))
-        fail(what, "line size " + str(config.lineBytes) +
-                       " is not a power of 2");
-    if (config.associativity == 0)
-        fail(what, "zero ways");
-    std::uint64_t sets = config.numSets();
-    if (sets == 0 || !std::has_single_bit(sets))
-        fail(what, "geometry " + str(config.sizeBytes) + " B / " +
-                       str(config.associativity) + "-way / " +
-                       str(config.lineBytes) +
-                       " B lines implies set count " + str(sets) +
-                       ", which is not a nonzero power of 2");
-    if (config.rrpvBits < 1 || config.rrpvBits > 8)
-        fail(what, "RRPV width " + str(config.rrpvBits) +
-                       " outside [1, 8]");
-    bool rrip = config.policy == ReplacementPolicy::SRRIP ||
-                config.policy == ReplacementPolicy::BRRIP ||
-                config.policy == ReplacementPolicy::DRRIP;
-    if (rrip && config.brripEpsilon == 0)
-        fail(what, "BRRIP epsilon must be nonzero");
-    if (config.policy == ReplacementPolicy::DRRIP &&
-        config.duelingLeaderSets == 0)
-        fail(what, "DRRIP needs at least one leader set per team");
-}
-
-void
-OrderCheckSink::consume(const MemoryAccess &access)
-{
-    if (position_ >= expected_.size())
-        fail("access stream",
-             "surplus access at position " + str(position_) +
-                 ": reference order has only " + str(expected_.size()) +
-                 " accesses");
-    const MemoryAccess &want = expected_[position_];
-    if (!(access == want)) {
-        std::ostringstream message;
-        message << "interleaving diverges from the reference order at "
-                << "position " << position_ << ": got addr 0x"
-                << std::hex << access.addr << ", want addr 0x"
-                << want.addr << std::dec << " (owner vertex "
-                << access.ownerVertex << " vs " << want.ownerVertex
-                << ")";
-        fail("access stream", message.str());
-    }
-    ++position_;
-    inner_.consume(access);
-}
-
-void
-OrderCheckSink::finish() const
-{
-    if (position_ != expected_.size())
-        fail("access stream",
-             "stream ended after " + str(position_) + " of " +
-                 str(expected_.size()) + " expected accesses");
 }
 
 } // namespace gral

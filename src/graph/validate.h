@@ -1,32 +1,34 @@
 /**
  * @file
- * Structural validators for untrusted or freshly-computed data.
+ * Structural validators for untrusted or freshly-computed graph data.
  *
- * Complements check.h (DESIGN.md "Correctness layer"): the macros
- * guard invariants of code we wrote, these functions validate *data*
- * — permutation files, binary graphs, reorderer output, cache
- * geometry — and throw ValidationError with an actionable message
- * instead of letting a malformed structure corrupt results
- * downstream. Faldu et al. ("A Closer Look at Lightweight Graph
- * Reordering") document how subtly-wrong reorderings still run while
- * silently skewing locality conclusions; these checks make that class
- * of bug loud.
+ * Complements common/check.h (DESIGN.md "Correctness layer"): the
+ * macros guard invariants of code we wrote, these functions validate
+ * *data* — permutation files, binary graphs, reorderer output — and
+ * throw ValidationError with an actionable message instead of letting
+ * a malformed structure corrupt results downstream. Faldu et al. ("A
+ * Closer Look at Lightweight Graph Reordering") document how
+ * subtly-wrong reorderings still run while silently skewing locality
+ * conclusions; these checks make that class of bug loud.
+ *
+ * Cache-geometry and access-stream validators live in
+ * cachesim/validate.h — this header is deliberately graph-only so the
+ * layering DAG (common -> graph -> ..., DESIGN.md "Static analysis
+ * layer") stays acyclic; it moved here from common/validate.h, which
+ * reached *up* into graph and cachesim.
  *
  * All validators are O(|V| + |E|) single passes — cheap next to the
  * construction of whatever they validate.
  */
 
-#ifndef GRAL_COMMON_VALIDATE_H
-#define GRAL_COMMON_VALIDATE_H
+#ifndef GRAL_GRAPH_VALIDATE_H
+#define GRAL_GRAPH_VALIDATE_H
 
 #include <cstddef>
 #include <span>
 #include <stdexcept>
 #include <string>
 
-#include "cachesim/access_stream.h"
-#include "cachesim/cache.h"
-#include "cachesim/trace.h"
 #include "graph/csr.h"
 #include "graph/graph.h"
 #include "graph/permutation.h"
@@ -83,45 +85,6 @@ void validatePermutation(const Permutation &permutation,
                          VertexId expected_size,
                          const std::string &what = "permutation");
 
-/**
- * Validate cache geometry the way the Cache constructor needs it:
- * power-of-two line size and set count, nonzero ways, RRPV width in
- * [1, 8], nonzero BRRIP epsilon when a RRIP policy is selected.
- */
-void validateCacheConfig(const CacheConfig &config);
-
-/**
- * Sink decorator asserting the scheduler's deterministic
- * interleaving: forwards every access to the wrapped sink after
- * checking it matches the next record of @p expected (the reference
- * order, e.g. a materialized TraceInterleaver run). Throws
- * ValidationError on the first out-of-order, mutated, or surplus
- * access; call finish() after the drain to catch truncation.
- */
-class OrderCheckSink final : public AccessSink
-{
-  public:
-    OrderCheckSink(AccessSink &inner,
-                   std::span<const MemoryAccess> expected)
-        : inner_(inner), expected_(expected)
-    {
-    }
-
-    void consume(const MemoryAccess &access) override;
-
-    /** @throws ValidationError unless exactly expected.size()
-     *  accesses were consumed. */
-    void finish() const;
-
-    /** Accesses verified so far. */
-    std::size_t position() const { return position_; }
-
-  private:
-    AccessSink &inner_;
-    std::span<const MemoryAccess> expected_;
-    std::size_t position_ = 0;
-};
-
 } // namespace gral
 
-#endif // GRAL_COMMON_VALIDATE_H
+#endif // GRAL_GRAPH_VALIDATE_H

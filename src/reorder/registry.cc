@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
-#include "common/validate.h"
+#include "graph/validate.h"
 #include "reorder/baselines.h"
 #include "reorder/dbg.h"
 #include "reorder/gorder.h"

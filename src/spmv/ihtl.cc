@@ -292,6 +292,8 @@ IhtlGraph::makeTraceProducers(const TraceOptions &options) const
             static_cast<std::uint64_t>(n) * t / num_threads);
         VertexId end = static_cast<VertexId>(
             static_cast<std::uint64_t>(n) * (t + 1) / num_threads);
+        // One producer per thread at trace setup, not per access.
+        // gral-analyzer: off(hot-path-alloc)
         producers.push_back(std::make_unique<IhtlTraceProducer>(
             hubs_, hubIndex_, flipped_, sparse_, begin, end,
             options));

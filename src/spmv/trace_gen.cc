@@ -180,6 +180,8 @@ makeProducers(const Graph &graph, Direction direction,
     ProducerSet producers;
     producers.reserve(parts.size());
     for (VertexRange range : parts) {
+        // One producer per partition at trace setup, not per access.
+        // gral-analyzer: off(hot-path-alloc)
         producers.push_back(std::make_unique<SpmvTraceProducer>(
             adj, kind, range, edgesInRange(graph, direction, range),
             options));

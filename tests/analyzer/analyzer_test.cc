@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Driver-level behaviour: baseline parsing/consumption, the
+ * write-baseline round trip, deterministic ordering, and parallel
+ * scanning producing identical results to a single-threaded run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/baseline.h"
+
+namespace gral::analyzer
+{
+namespace
+{
+
+SourceTree
+treeWithOneFinding()
+{
+    return {{"src/graph/g.cc", "int f() {\n    assert(1);\n"
+                               "    return 0;\n}\n"}};
+}
+
+TEST(Baseline, ParseSkipsCommentsAndBlanks)
+{
+    Baseline baseline = Baseline::parse(
+        "# comment\n\nsrc/a.cc|raw-assert|assert(1);\n");
+    EXPECT_EQ(baseline.size(), 1u);
+}
+
+TEST(Baseline, MatchConsumesEntries)
+{
+    Baseline baseline =
+        Baseline::parse("src/a.cc|raw-assert|assert(1);\n");
+    const std::string key = "src/a.cc|raw-assert|assert(1);";
+    EXPECT_TRUE(baseline.match(key));
+    EXPECT_FALSE(baseline.match(key)) << "entry must be consumed";
+}
+
+TEST(Baseline, KeyNormalizesWhitespace)
+{
+    Finding finding{"src/a.cc", 3, 5, "raw-assert", "msg"};
+    EXPECT_EQ(Baseline::key(finding, "    assert( 1 );   "),
+              "src/a.cc|raw-assert|assert( 1 );");
+}
+
+TEST(Baseline, RenderParseRoundTrip)
+{
+    std::vector<std::string> keys = {
+        "src/a.cc|raw-assert|assert(1);",
+        "src/b.cc|std-endl|out << std::endl;"};
+    Baseline parsed = Baseline::parse(Baseline::render(keys));
+    EXPECT_EQ(parsed.size(), 2u);
+    for (const std::string &key : keys)
+        EXPECT_TRUE(parsed.match(key)) << key;
+}
+
+TEST(Analyzer, FindingWithoutBaselineIsNew)
+{
+    AnalysisResult result =
+        analyzeTree(treeWithOneFinding(), Baseline{}, 1);
+    ASSERT_EQ(result.results.size(), 1u);
+    EXPECT_FALSE(result.results[0].baselined);
+    EXPECT_EQ(result.newFindings().size(), 1u);
+}
+
+TEST(Analyzer, BaselinedFindingDoesNotCountAsNew)
+{
+    Baseline baseline =
+        Baseline::parse("src/graph/g.cc|raw-assert|assert(1);\n");
+    AnalysisResult result =
+        analyzeTree(treeWithOneFinding(), std::move(baseline), 1);
+    ASSERT_EQ(result.results.size(), 1u);
+    EXPECT_TRUE(result.results[0].baselined);
+    EXPECT_TRUE(result.newFindings().empty());
+}
+
+TEST(Analyzer, BaselineIsLineNumberIndependent)
+{
+    // Same offending line, pushed three lines down: still matches.
+    SourceTree tree = {{"src/graph/g.cc",
+                        "int a;\nint b;\nint c;\nint f() {\n"
+                        "    assert(1);\n    return 0;\n}\n"}};
+    Baseline baseline =
+        Baseline::parse("src/graph/g.cc|raw-assert|assert(1);\n");
+    AnalysisResult result =
+        analyzeTree(tree, std::move(baseline), 1);
+    EXPECT_TRUE(result.newFindings().empty());
+}
+
+TEST(Analyzer, ResultsSortedByPathLineRule)
+{
+    SourceTree tree = {
+        {"src/graph/z.cc", "assert(1);\n"},
+        {"src/graph/a.cc",
+         "std::cerr << 1;\nassert(2);\n"},
+    };
+    AnalysisResult result = analyzeTree(tree, Baseline{}, 1);
+    ASSERT_GE(result.results.size(), 3u);
+    std::vector<std::pair<std::string, int>> order;
+    for (const SarifResult &r : result.results)
+        order.emplace_back(r.finding.path, r.finding.line);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+    EXPECT_EQ(result.results.front().finding.path,
+              "src/graph/a.cc");
+}
+
+TEST(Analyzer, ParallelRunMatchesSerialRun)
+{
+    // A tree wide enough that the pool actually fans out.
+    SourceTree tree;
+    for (int i = 0; i < 24; ++i) {
+        std::string path =
+            "src/graph/f" + std::to_string(i) + ".cc";
+        std::string body = i % 3 == 0 ? "assert(1);\n"
+                                      : "int x" + std::to_string(i) +
+                                            ";\n";
+        tree.push_back({path, body});
+    }
+    std::sort(tree.begin(), tree.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.path < b.path;
+              });
+    AnalysisResult serial = analyzeTree(tree, Baseline{}, 1);
+    AnalysisResult wide = analyzeTree(tree, Baseline{}, 8);
+    ASSERT_EQ(serial.results.size(), wide.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        EXPECT_EQ(serial.results[i].finding.path,
+                  wide.results[i].finding.path);
+        EXPECT_EQ(serial.results[i].finding.line,
+                  wide.results[i].finding.line);
+        EXPECT_EQ(serial.results[i].finding.rule,
+                  wide.results[i].finding.rule);
+    }
+    EXPECT_EQ(serial.filesScanned, 24u);
+}
+
+TEST(Analyzer, CleanTreeProducesNoFindings)
+{
+    SourceTree tree = {
+        {"src/graph/clean.h",
+         "#pragma once\n#include \"common/util.h\"\n"
+         "inline int f() { return 0; }\n"},
+        {"src/common/util.h", "#pragma once\nint util();\n"},
+    };
+    AnalysisResult result = analyzeTree(tree, Baseline{}, 1);
+    EXPECT_TRUE(result.results.empty());
+    EXPECT_EQ(result.filesScanned, 2u);
+}
+
+} // namespace
+} // namespace gral::analyzer

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Equivalence check: gral_analyzer vs the deprecated Python lint.
+
+Runs both linters over the shared fixture tree
+(tests/analyzer/fixtures) and asserts they report the *identical* set
+of (path, line, rule) findings for the five rules both implement:
+raw-assert, vertex-id-type, include-guard, std-endl, raw-cerr.
+Analyzer-only rules (layering, include-cycle, hot-path-*, raw-new,
+check-side-effect) are filtered out before comparing.
+
+Usage (wired as the repo_analyze_lint_equivalence ctest):
+    equivalence_test.py <gral_analyzer> <gral_lint.py> <fixtures dir>
+"""
+
+import re
+import subprocess
+import sys
+
+SHARED_RULES = {
+    "raw-assert",
+    "vertex-id-type",
+    "include-guard",
+    "std-endl",
+    "raw-cerr",
+}
+
+# gral_analyzer: "path:line:col: [rule] message"
+# gral_lint.py:  "path:line: [rule] message"
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+)(?::(?P<col>\d+))?: "
+    r"\[(?P<rule>[\w-]+)\]"
+)
+
+
+def parse_findings(output: str) -> set:
+    findings = set()
+    for line in output.splitlines():
+        match = FINDING_RE.match(line)
+        if not match:
+            continue
+        if match.group("rule") not in SHARED_RULES:
+            continue
+        findings.add(
+            (match.group("path"), int(match.group("line")),
+             match.group("rule")))
+    return findings
+
+
+def run(cmd) -> str:
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # Both linters exit 1 when they find anything; only >1 is a crash.
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(
+            f"command failed ({proc.returncode}): {' '.join(cmd)}\n"
+            f"{proc.stdout}{proc.stderr}")
+        sys.exit(2)
+    return proc.stdout
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        sys.stderr.write(
+            "usage: equivalence_test.py <gral_analyzer> "
+            "<gral_lint.py> <fixtures dir>\n")
+        return 2
+    analyzer, lint_py, fixtures = sys.argv[1:4]
+
+    analyzer_out = run(
+        [analyzer, "--root", fixtures, "--no-baseline"])
+    lint_out = run(
+        [sys.executable, lint_py, "--root", fixtures])
+
+    analyzer_findings = parse_findings(analyzer_out)
+    lint_findings = parse_findings(lint_out)
+
+    if not lint_findings:
+        sys.stderr.write(
+            "suspicious: the Python lint found nothing in the "
+            "fixtures — the fixture tree is supposed to contain "
+            "violations\n")
+        return 1
+
+    if analyzer_findings == lint_findings:
+        print(f"equivalence OK: {len(lint_findings)} shared "
+              f"finding(s) agree")
+        return 0
+
+    for finding in sorted(analyzer_findings - lint_findings):
+        sys.stderr.write(f"only gral_analyzer: {finding}\n")
+    for finding in sorted(lint_findings - analyzer_findings):
+        sys.stderr.write(f"only gral_lint.py: {finding}\n")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

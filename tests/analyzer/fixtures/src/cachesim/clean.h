@@ -1,0 +1,8 @@
+// Fixture: a fully clean header — neither linter may report it.
+#pragma once
+
+inline int
+cached(int x)
+{
+    return x + 1;
+}

@@ -1,0 +1,29 @@
+// Fixture: raw-assert in its firing and non-firing forms.
+
+void
+plain()
+{
+    assert(a == b); // fires: raw assert
+}
+
+#include <cassert> // fires: banned header
+
+static_assert(sizeof(int) == 4); // clean: compile-time assert
+
+// replacement for raw assert() -- clean: only a comment
+
+void
+strings()
+{
+    GRAL_CHECK(a == b) << "assert("; // clean: inside a string
+    const char *s = R"(assert(ok))"; // clean: inside a raw string
+    const char *t = R"delim(assert(ok))delim"; // clean too
+}
+
+void
+desync()
+{
+    // The quote inside this raw string must not desync the lexer:
+    auto tricky = R"(")";
+    assert(real); // fires: genuine assert after the raw string
+}

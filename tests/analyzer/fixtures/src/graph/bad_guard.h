@@ -1,0 +1,12 @@
+// Fixture: guard name does not match the path-derived
+// GRAL_GRAPH_BAD_GUARD_H, and std::endl is banned everywhere.
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+inline void
+report(std::ostream &out)
+{
+    out << "done" << std::endl; // fires: std-endl
+}
+
+#endif // WRONG_GUARD_NAME_H

@@ -1,0 +1,17 @@
+// Fixture: vertex-id-type in firing and non-firing forms.
+
+void
+loops(const Graph &g, const std::vector<Range> &parts)
+{
+    for (uint32_t v = 0; v < g.numVertices(); ++v) // fires
+        touch(v);
+
+    for (std::size_t v = 0; v < g.numVertices(); ++v) // fires
+        touch(v);
+
+    for (VertexId v = 0; v < g.numVertices(); ++v) // clean
+        touch(v);
+
+    for (size_t i = 0; i < parts.size(); ++i) // clean: not vertices
+        touch(i);
+}

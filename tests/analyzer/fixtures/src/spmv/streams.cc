@@ -1,0 +1,10 @@
+// Fixture: raw-cerr fires on real code, not on literals.
+
+void
+report(int failures)
+{
+    std::cerr << "failures: " << failures << "\n"; // fires
+    std::clog << "note\n";                         // clean
+    const char *doc = R"x(std::cerr << "oops")x";  // clean: literal
+    log(doc);
+}

@@ -1,0 +1,11 @@
+// Fixture: tools/ is in scope for std-endl only — the assert and
+// std::cerr below must NOT be reported by either linter.
+
+int
+main()
+{
+    assert(argc > 0);               // clean here: src/-only rule
+    std::cerr << "starting\n";      // clean here: src/-only rule
+    std::cout << "done" << std::endl; // fires: std-endl
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Lexer edge cases (tools/analyzer/lexer.h): raw strings with custom
+ * delimiters, escaped quotes, line continuations, block comments
+ * spanning lines, and `gral-analyzer: off` suppression directives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analyzer/lexer.h"
+
+namespace gral::analyzer
+{
+namespace
+{
+
+/** stripped text with lines rejoined (convenience for asserts). */
+std::string
+strippedOf(const std::string &text)
+{
+    return lexCpp(text).stripped;
+}
+
+TEST(Lexer, PreservesShapeAndPlainCode)
+{
+    const std::string text = "int x = 1;\nint y = 2;\n";
+    LexedFile lexed = lexCpp(text);
+    EXPECT_EQ(lexed.stripped, text);
+    ASSERT_EQ(lexed.lines.size(), 3u); // two lines + empty tail
+    EXPECT_EQ(lexed.lines[0], "int x = 1;");
+}
+
+TEST(Lexer, BlanksLineComments)
+{
+    EXPECT_EQ(strippedOf("int a; // assert(x)\nint b;"),
+              "int a;             \nint b;");
+}
+
+TEST(Lexer, BlockCommentSpansLinesKeepingLineStructure)
+{
+    LexedFile lexed = lexCpp("a /* one\n two\n three */ b\nc");
+    ASSERT_EQ(lexed.lines.size(), 4u);
+    EXPECT_EQ(lexed.lines[0], "a       ");
+    EXPECT_EQ(lexed.lines[1], "    ");
+    EXPECT_EQ(lexed.lines[2], "          b");
+    EXPECT_EQ(lexed.lines[3], "c");
+}
+
+TEST(Lexer, StringContentsBlankedButDelimitersKept)
+{
+    // Quote positions survive so the include extractor can find the
+    // target bytes in the original line.
+    EXPECT_EQ(strippedOf("f(\"assert(\");"), "f(\"       \");");
+}
+
+TEST(Lexer, EscapedQuoteDoesNotEndString)
+{
+    // The \" inside must not close the literal; the trailing code is
+    // intact.
+    EXPECT_EQ(strippedOf("s = \"a\\\"b\"; g();"),
+              "s = \"    \"; g();");
+}
+
+TEST(Lexer, CharLiteralWithEscape)
+{
+    EXPECT_EQ(strippedOf("c = '\\''; g();"), "c = '  '; g();");
+}
+
+TEST(Lexer, RawStringConsumedAsUnit)
+{
+    // The '"' inside the raw string must not desync the lexer:
+    // assert(y) after it is code.
+    LexedFile lexed = lexCpp("auto s = R\"(\")\"; assert(y);");
+    EXPECT_NE(lexed.stripped.find("assert(y);"), std::string::npos)
+        << lexed.stripped;
+}
+
+TEST(Lexer, RawStringCustomDelimiter)
+{
+    // )" appears inside but only )delim" terminates.
+    LexedFile lexed =
+        lexCpp("auto s = R\"delim(inner)\" )delim\"; code();");
+    EXPECT_NE(lexed.stripped.find("code();"), std::string::npos)
+        << lexed.stripped;
+    EXPECT_EQ(lexed.stripped.find("inner"), std::string::npos);
+}
+
+TEST(Lexer, RawStringEncodingPrefixes)
+{
+    LexedFile lexed = lexCpp("auto s = u8R\"(std::endl)\"; f();");
+    EXPECT_EQ(lexed.stripped.find("endl"), std::string::npos);
+    EXPECT_NE(lexed.stripped.find("f();"), std::string::npos);
+}
+
+TEST(Lexer, IdentifierEndingInRIsNotARawString)
+{
+    // `myR"..."` is an identifier followed by an ordinary string.
+    LexedFile lexed = lexCpp("auto x = myR\"s\"; g();");
+    EXPECT_NE(lexed.stripped.find("myR"), std::string::npos);
+    EXPECT_NE(lexed.stripped.find("g();"), std::string::npos);
+}
+
+TEST(Lexer, RawStringSpanningLinesKeepsLineCount)
+{
+    LexedFile lexed = lexCpp("a = R\"(one\ntwo\nthree)\";\nb;");
+    ASSERT_EQ(lexed.lines.size(), 4u);
+    EXPECT_EQ(lexed.lines[3], "b;");
+}
+
+TEST(Lexer, LineContinuationExtendsLineComment)
+{
+    // The backslash-newline keeps the second physical line inside
+    // the comment, so `assert(x);` there is not code.
+    LexedFile lexed = lexCpp("// hidden \\\nassert(x);\nreal();");
+    EXPECT_EQ(lexed.stripped.find("assert"), std::string::npos)
+        << lexed.stripped;
+    EXPECT_NE(lexed.stripped.find("real();"), std::string::npos);
+}
+
+TEST(Lexer, LineContinuationInsideString)
+{
+    LexedFile lexed = lexCpp("s = \"a\\\nb\"; g();");
+    EXPECT_NE(lexed.stripped.find("g();"), std::string::npos);
+    ASSERT_EQ(lexed.lines.size(), 2u);
+}
+
+// ------------------------------------------------------- suppressions
+
+TEST(Lexer, TrailingSuppressionCoversItsOwnLine)
+{
+    LexedFile lexed =
+        lexCpp("bad();\ncode(); // gral-analyzer: off(raw-cerr)\n");
+    EXPECT_TRUE(lexed.isSuppressed(2, "raw-cerr"));
+    EXPECT_FALSE(lexed.isSuppressed(1, "raw-cerr"));
+    EXPECT_FALSE(lexed.isSuppressed(2, "std-endl"));
+}
+
+TEST(Lexer, StandaloneSuppressionCoversNextLine)
+{
+    LexedFile lexed =
+        lexCpp("// gral-analyzer: off(hot-path-alloc)\nalloc();\n");
+    EXPECT_FALSE(lexed.isSuppressed(1, "hot-path-alloc"));
+    EXPECT_TRUE(lexed.isSuppressed(2, "hot-path-alloc"));
+}
+
+TEST(Lexer, SuppressionWithMultipleRules)
+{
+    LexedFile lexed = lexCpp(
+        "x(); // gral-analyzer: off(raw-cerr, std-endl)\n");
+    EXPECT_TRUE(lexed.isSuppressed(1, "raw-cerr"));
+    EXPECT_TRUE(lexed.isSuppressed(1, "std-endl"));
+    EXPECT_FALSE(lexed.isSuppressed(1, "raw-assert"));
+}
+
+TEST(Lexer, BareOffSuppressesEveryRule)
+{
+    LexedFile lexed = lexCpp("x(); // gral-analyzer: off\n");
+    EXPECT_TRUE(lexed.isSuppressed(1, "raw-cerr"));
+    EXPECT_TRUE(lexed.isSuppressed(1, "layering"));
+}
+
+TEST(Lexer, BlockCommentSuppression)
+{
+    LexedFile lexed =
+        lexCpp("/* gral-analyzer: off(raw-new) */\nnew_thing();\n");
+    EXPECT_TRUE(lexed.isSuppressed(2, "raw-new"));
+}
+
+} // namespace
+} // namespace gral::analyzer

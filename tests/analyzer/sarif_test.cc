@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SARIF 2.1.0 export: the golden document must be valid JSON (checked
+ * with the repo's own gral::jsonValidate) and carry the structural
+ * elements CI viewers rely on — schema URL, rule catalogue, result
+ * locations, fingerprints, and baselineState.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyzer/rules.h"
+#include "analyzer/sarif.h"
+#include "obs/json.h"
+
+namespace gral::analyzer
+{
+namespace
+{
+
+std::vector<SarifResult>
+sampleResults()
+{
+    SarifResult fresh;
+    fresh.finding = {"src/graph/evil.h", 2, 1, "layering",
+                     "src/graph may not include analysis"};
+    fresh.baselined = false;
+    fresh.fingerprint =
+        "src/graph/evil.h|layering|#include \"analysis/report.h\"";
+
+    SarifResult known;
+    known.finding = {"src/spmv/s.cc", 10, 5, "hot-path-alloc",
+                     "allocation inside a simulator/SpMV loop"};
+    known.baselined = true;
+    known.fingerprint = "src/spmv/s.cc|hot-path-alloc|x";
+    return {fresh, known};
+}
+
+TEST(Sarif, DocumentIsValidJson)
+{
+    std::string doc = writeSarif(sampleResults());
+    std::string error;
+    EXPECT_TRUE(gral::jsonValidate(doc, &error)) << error;
+}
+
+TEST(Sarif, EmptyRunIsValidJson)
+{
+    std::string doc = writeSarif({});
+    std::string error;
+    EXPECT_TRUE(gral::jsonValidate(doc, &error)) << error;
+    EXPECT_NE(doc.find("\"results\""), std::string::npos);
+}
+
+TEST(Sarif, CarriesSchemaAndVersion)
+{
+    std::string doc = writeSarif(sampleResults());
+    EXPECT_NE(doc.find("sarif-2.1.0.json"), std::string::npos);
+    EXPECT_NE(doc.find("\"version\":\"2.1.0\""), std::string::npos)
+        << doc.substr(0, 200);
+}
+
+TEST(Sarif, DriverListsTheFullRuleCatalogue)
+{
+    std::string doc = writeSarif(sampleResults());
+    EXPECT_NE(doc.find("\"driver\""), std::string::npos);
+    for (const RuleInfo &rule : ruleCatalogue())
+        EXPECT_NE(doc.find("\"" + std::string(rule.id) + "\""),
+                  std::string::npos)
+            << rule.id;
+}
+
+TEST(Sarif, ResultCarriesLocationAndRule)
+{
+    std::string doc = writeSarif(sampleResults());
+    EXPECT_NE(doc.find("\"ruleId\":\"layering\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("src/graph/evil.h"), std::string::npos);
+    EXPECT_NE(doc.find("\"startLine\":2"), std::string::npos);
+    EXPECT_NE(doc.find("\"startColumn\":1"), std::string::npos);
+}
+
+TEST(Sarif, BaselineStateDistinguishesNewFromKnown)
+{
+    std::string doc = writeSarif(sampleResults());
+    EXPECT_NE(doc.find("\"baselineState\":\"new\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"baselineState\":\"unchanged\""),
+              std::string::npos);
+}
+
+TEST(Sarif, FingerprintIsStableAcrossLineMoves)
+{
+    std::vector<SarifResult> a = sampleResults();
+    std::vector<SarifResult> b = sampleResults();
+    b[0].finding.line = 99; // same content, different line
+    std::string docA = writeSarif(a);
+    std::string docB = writeSarif(b);
+
+    auto fingerprintOf = [](const std::string &doc) {
+        std::size_t key = doc.find("gralFindingKey/v1");
+        EXPECT_NE(key, std::string::npos);
+        std::size_t colon = doc.find(':', key);
+        std::size_t open = doc.find('"', colon);
+        std::size_t close = doc.find('"', open + 1);
+        return doc.substr(open + 1, close - open - 1);
+    };
+    EXPECT_EQ(fingerprintOf(docA), fingerprintOf(docB));
+}
+
+TEST(Sarif, EscapesPathologicalMessageText)
+{
+    SarifResult nasty;
+    nasty.finding = {"src/graph/g.cc", 1, 1, "raw-cerr",
+                     "quote \" backslash \\ newline \n tab \t"};
+    nasty.fingerprint = "k";
+    std::string doc = writeSarif({nasty});
+    std::string error;
+    EXPECT_TRUE(gral::jsonValidate(doc, &error)) << error;
+}
+
+} // namespace
+} // namespace gral::analyzer

@@ -1,130 +1,22 @@
 /**
  * @file
- * Tests for the structural validators (common/validate.h): corrupted
- * CSR arrays, non-bijective permutations, broken cache geometry, and
- * misordered access streams must each be rejected.
+ * Tests for the cachesim-side validators (cachesim/validate.h):
+ * broken cache geometry and misordered access streams must each be
+ * rejected.
  */
 
 #include <gtest/gtest.h>
 
-#include <functional>
-#include <string>
+#include <cstdint>
 #include <vector>
 
 #include "cachesim/access_stream.h"
-#include "common/validate.h"
-#include "graph/generators.h"
+#include "cachesim/validate.h"
 
 namespace gral
 {
 namespace
 {
-
-std::string
-messageOf(const std::function<void()> &action)
-{
-    try {
-        action();
-    } catch (const ValidationError &error) {
-        return error.what();
-    }
-    return {};
-}
-
-// ---------------------------------------------------------------- CSR
-
-TEST(ValidateCsr, AcceptsWellFormedAdjacency)
-{
-    Graph graph = generateErdosRenyi(120, 900, 3);
-    EXPECT_NO_THROW(validateCsr(graph.out()));
-    EXPECT_NO_THROW(validateCsr(graph.in()));
-    EXPECT_NO_THROW(validateGraph(graph));
-}
-
-TEST(ValidateCsr, AcceptsEmptyAdjacency)
-{
-    std::vector<EdgeId> offsets{0};
-    std::vector<VertexId> edges;
-    EXPECT_NO_THROW(validateCsr(offsets, edges));
-}
-
-TEST(ValidateCsr, RejectsEmptyOffsetsArray)
-{
-    std::vector<EdgeId> offsets;
-    std::vector<VertexId> edges;
-    EXPECT_THROW(validateCsr(offsets, edges), ValidationError);
-}
-
-TEST(ValidateCsr, RejectsNonZeroBase)
-{
-    std::vector<EdgeId> offsets{1, 2};
-    std::vector<VertexId> edges{0, 0};
-    EXPECT_THROW(validateCsr(offsets, edges), ValidationError);
-}
-
-TEST(ValidateCsr, RejectsNonMonotoneOffsets)
-{
-    std::vector<EdgeId> offsets{0, 3, 2, 4};
-    std::vector<VertexId> edges{1, 2, 0, 1};
-    std::string what = messageOf(
-        [&] { validateCsr(offsets, edges, "fixture"); });
-    EXPECT_NE(what.find("not monotone"), std::string::npos) << what;
-    EXPECT_NE(what.find("fixture"), std::string::npos) << what;
-}
-
-TEST(ValidateCsr, RejectsOffsetsEdgeCountMismatch)
-{
-    std::vector<EdgeId> offsets{0, 1, 3};
-    std::vector<VertexId> edges{1};
-    EXPECT_THROW(validateCsr(offsets, edges), ValidationError);
-}
-
-TEST(ValidateCsr, RejectsOutOfRangeColumnIndex)
-{
-    std::vector<EdgeId> offsets{0, 2, 2};
-    std::vector<VertexId> edges{1, 9}; // |V| == 2, so 9 is garbage
-    std::string what = messageOf([&] { validateCsr(offsets, edges); });
-    EXPECT_NE(what.find(">= |V|"), std::string::npos) << what;
-}
-
-TEST(ValidateCsr, RejectsUnsortedNeighbourList)
-{
-    std::vector<EdgeId> offsets{0, 3, 3, 3};
-    std::vector<VertexId> edges{2, 0, 1};
-    std::string what = messageOf([&] { validateCsr(offsets, edges); });
-    EXPECT_NE(what.find("not sorted"), std::string::npos) << what;
-}
-
-// -------------------------------------------------------- permutation
-
-TEST(ValidatePermutation, AcceptsIdentityAndShuffle)
-{
-    EXPECT_NO_THROW(validatePermutation(Permutation::identity(64), 64));
-    EXPECT_NO_THROW(
-        validatePermutation(randomPermutation(64, 99), 64));
-}
-
-TEST(ValidatePermutation, RejectsSizeMismatch)
-{
-    EXPECT_THROW(validatePermutation(Permutation::identity(10), 11),
-                 ValidationError);
-}
-
-TEST(ValidatePermutation, RejectsDuplicateNewIds)
-{
-    Permutation p(std::vector<VertexId>{0, 1, 1, 3});
-    std::string what = messageOf(
-        [&] { validatePermutation(p, 4, "my-ra"); });
-    EXPECT_NE(what.find("not a bijection"), std::string::npos) << what;
-    EXPECT_NE(what.find("my-ra"), std::string::npos) << what;
-}
-
-TEST(ValidatePermutation, RejectsOutOfRangeNewId)
-{
-    Permutation p(std::vector<VertexId>{0, 7, 2, 3});
-    std::string what = messageOf([&] { validatePermutation(p, 4); });
-    EXPECT_NE(what.find("outside [0, 4)"), std::string::npos) << what;
-}
 
 // ------------------------------------------------------- cache config
 

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/check.h"
-#include "common/validate.h"
+#include "graph/validate.h"
 #include "graph/generators.h"
 #include "reorder/registry.h"
 

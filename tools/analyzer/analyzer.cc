@@ -1,0 +1,221 @@
+#include "analyzer/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "analyzer/include_graph.h"
+#include "spmv/thread_pool.h"
+
+namespace gral::analyzer
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+bool
+analyzableSuffix(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+           ext == ".cpp";
+}
+
+/** Original text split into lines (for include extraction). */
+std::vector<std::string>
+splitLines(std::string_view text)
+{
+    std::vector<std::string> lines(1);
+    for (char c : text) {
+        if (c == '\n')
+            lines.emplace_back();
+        else
+            lines.back() += c;
+    }
+    return lines;
+}
+
+/** Line of the nth (1-based) stripped line, "" when out of range. */
+std::string_view
+strippedLine(const LexedFile &lexed, int line)
+{
+    if (line < 1 ||
+        static_cast<std::size_t>(line) > lexed.lines.size())
+        return {};
+    return lexed.lines[static_cast<std::size_t>(line) - 1];
+}
+
+} // namespace
+
+std::vector<const Finding *>
+AnalysisResult::newFindings() const
+{
+    std::vector<const Finding *> fresh;
+    for (const SarifResult &result : results)
+        if (!result.baselined)
+            fresh.push_back(&result.finding);
+    return fresh;
+}
+
+SourceTree
+loadTree(const std::string &root)
+{
+    SourceTree tree;
+    for (const char *top : {"src", "tools", "bench", "examples"}) {
+        fs::path base = fs::path(root) / top;
+        if (!fs::is_directory(base))
+            continue;
+        for (const fs::directory_entry &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file() ||
+                !analyzableSuffix(entry.path()))
+                continue;
+            std::ifstream in(entry.path(), std::ios::binary);
+            std::ostringstream content;
+            content << in.rdbuf();
+            tree.push_back(
+                {fs::relative(entry.path(), root).generic_string(),
+                 content.str()});
+        }
+    }
+    std::sort(tree.begin(), tree.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.path < b.path;
+              });
+    return tree;
+}
+
+AnalysisResult
+analyzeTree(const SourceTree &tree, Baseline baseline, unsigned jobs)
+{
+    AnalysisResult analysis;
+    analysis.filesScanned = tree.size();
+
+    // Phase 1: lex + per-file rules, parallel over files. Each slot
+    // is owned by exactly one task, so no locking is needed.
+    std::vector<LexedFile> lexed(tree.size());
+    std::vector<std::vector<Finding>> perFile(tree.size());
+    std::vector<std::vector<IncludeDirective>> includes(tree.size());
+
+    auto scanOne = [&](std::size_t index) {
+        const SourceFile &file = tree[index];
+        lexed[index] = lexCpp(file.content);
+        includes[index] = extractIncludes(
+            lexed[index].lines, splitLines(file.content));
+        runFileRules(file.path, lexed[index], perFile[index]);
+    };
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min<unsigned>(
+        jobs, std::max<std::size_t>(tree.size(), 1));
+    if (jobs > 1 && tree.size() > 1) {
+        WorkStealingPool pool(jobs);
+        pool.run(tree.size(), scanOne);
+    } else {
+        for (std::size_t i = 0; i < tree.size(); ++i)
+            scanOne(i);
+    }
+
+    std::vector<Finding> findings;
+    for (std::vector<Finding> &chunk : perFile)
+        findings.insert(findings.end(), chunk.begin(), chunk.end());
+
+    // Phase 2: include-graph rules (layering + cycles).
+    std::vector<std::string> paths;
+    paths.reserve(tree.size());
+    for (const SourceFile &file : tree)
+        paths.push_back(file.path);
+    IncludeGraph graph(paths, includes);
+
+    auto lexedOf = [&](const std::string &path) -> const LexedFile * {
+        auto it = std::lower_bound(
+            paths.begin(), paths.end(), path);
+        if (it == paths.end() || *it != path)
+            return nullptr;
+        return &lexed[static_cast<std::size_t>(it - paths.begin())];
+    };
+
+    for (const IncludeEdge &edge : graph.edges()) {
+        const std::string fromModule = moduleOf(edge.from);
+        const std::string toModule = moduleOf(edge.to);
+        if (!edge.from.starts_with("src/"))
+            continue; // layering restricts src/ only
+        const LexedFile *fromLexed = lexedOf(edge.from);
+        auto flag = [&](const std::string &message) {
+            if (fromLexed &&
+                fromLexed->isSuppressed(edge.line, "layering"))
+                return;
+            findings.push_back(
+                {edge.from, edge.line, 1, "layering", message});
+        };
+        if (toModule == "bench" || toModule == "tools" ||
+            toModule == "tests") {
+            flag("src/ must not include " + toModule + "/ (" +
+                 edge.to + ")");
+            continue;
+        }
+        const std::set<std::string> *allowed =
+            allowedIncludes(fromModule);
+        if (allowed == nullptr) {
+            flag("module '" + fromModule +
+                 "' is not in the layering DAG; add it to "
+                 "tools/analyzer/include_graph.cc and DESIGN.md");
+            continue;
+        }
+        if (allowed->count(toModule) == 0)
+            flag("module '" + fromModule + "' may not include '" +
+                 toModule + "' (" + edge.to +
+                 "); allowed layers are listed in DESIGN.md "
+                 "\"Static analysis layer\"");
+    }
+
+    for (const std::vector<std::string> &cycle : graph.findCycles()) {
+        // Anchor the finding at the edge that closes the cycle.
+        const std::string &from = cycle[cycle.size() - 2];
+        const std::string &to = cycle.back();
+        int line = 1;
+        for (const IncludeEdge &edge : graph.edges())
+            if (edge.from == from && edge.to == to) {
+                line = edge.line;
+                break;
+            }
+        const LexedFile *fromLexed = lexedOf(from);
+        if (fromLexed &&
+            fromLexed->isSuppressed(line, "include-cycle"))
+            continue;
+        std::string chain;
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+            if (i != 0)
+                chain += " -> ";
+            chain += cycle[i];
+        }
+        findings.push_back({from, line, 1, "include-cycle",
+                            "include cycle: " + chain});
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.path, a.line, a.rule, a.column) <
+                         std::tie(b.path, b.line, b.rule, b.column);
+              });
+
+    // Phase 3: baseline disposition.
+    for (Finding &finding : findings) {
+        const LexedFile *fileLexed = lexedOf(finding.path);
+        std::string key = Baseline::key(
+            finding, fileLexed
+                         ? strippedLine(*fileLexed, finding.line)
+                         : std::string_view());
+        bool known = baseline.match(key);
+        analysis.results.push_back(
+            {std::move(finding), known, std::move(key)});
+    }
+    return analysis;
+}
+
+} // namespace gral::analyzer

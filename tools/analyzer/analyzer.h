@@ -1,0 +1,65 @@
+/**
+ * @file
+ * gral-analyzer driver: scans a source tree, runs every rule, and
+ * applies suppressions + the baseline.
+ *
+ * The driver is tree-agnostic so tests can analyze in-memory file
+ * sets: loadTree() materializes the on-disk repo (src/, tools/,
+ * bench/, examples/ — the same scope as the historical Python lint),
+ * analyzeTree() does the work. Per-file lexing and rules are
+ * parallelized over the repo's own work-stealing pool
+ * (src/spmv/thread_pool.h); the include-graph rules run once on the
+ * merged result.
+ */
+
+#ifndef GRAL_ANALYZER_ANALYZER_H
+#define GRAL_ANALYZER_ANALYZER_H
+
+#include <string>
+#include <vector>
+
+#include "analyzer/baseline.h"
+#include "analyzer/rules.h"
+#include "analyzer/sarif.h"
+
+namespace gral::analyzer
+{
+
+/** One file of the analyzed tree. */
+struct SourceFile
+{
+    std::string path; // repo-relative, '/'-separated
+    std::string content;
+};
+
+using SourceTree = std::vector<SourceFile>;
+
+/** Outcome of one analysis run. */
+struct AnalysisResult
+{
+    /** Every finding after suppression, sorted by (path, line,
+     *  rule); `baselined` marks the acknowledged ones. */
+    std::vector<SarifResult> results;
+    std::size_t filesScanned = 0;
+
+    /** Findings not covered by the baseline. */
+    std::vector<const Finding *> newFindings() const;
+};
+
+/**
+ * Load the analyzable files (.h/.hpp/.cc/.cpp under src, tools,
+ * bench, examples) beneath @p root, sorted by path.
+ */
+SourceTree loadTree(const std::string &root);
+
+/**
+ * Analyze @p tree with @p jobs worker threads (0 = hardware
+ * concurrency). @p baseline is consumed (entries matched at most
+ * once each).
+ */
+AnalysisResult analyzeTree(const SourceTree &tree, Baseline baseline,
+                           unsigned jobs = 0);
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_ANALYZER_H

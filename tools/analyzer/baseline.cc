@@ -1,0 +1,93 @@
+#include "analyzer/baseline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gral::analyzer
+{
+
+namespace
+{
+
+/** Collapse runs of whitespace to single spaces and trim. */
+std::string
+normalize(std::string_view text)
+{
+    std::string out;
+    bool pendingSpace = false;
+    for (char c : text) {
+        if (c == ' ' || c == '\t') {
+            pendingSpace = !out.empty();
+        } else {
+            if (pendingSpace)
+                out += ' ';
+            pendingSpace = false;
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Baseline
+Baseline::parse(std::string_view text)
+{
+    Baseline baseline;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        std::string_view line = text.substr(
+            start, end == std::string_view::npos ? std::string_view::npos
+                                                 : end - start);
+        if (!line.empty() && line.back() == '\r')
+            line.remove_prefix(0), line = line.substr(0, line.size() - 1);
+        if (!line.empty() && line.front() != '#') {
+            std::string key(line);
+            auto it = std::find_if(
+                baseline.entries_.begin(), baseline.entries_.end(),
+                [&](const auto &e) { return e.first == key; });
+            if (it == baseline.entries_.end())
+                baseline.entries_.emplace_back(std::move(key), 1);
+            else
+                ++it->second;
+        }
+        if (end == std::string_view::npos)
+            break;
+        start = end + 1;
+    }
+    return baseline;
+}
+
+std::string
+Baseline::key(const Finding &finding, std::string_view stripped_line)
+{
+    return finding.path + "|" + finding.rule + "|" +
+           normalize(stripped_line);
+}
+
+bool
+Baseline::match(const std::string &key)
+{
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const auto &e) { return e.first == key; });
+    if (it == entries_.end() || it->second == 0)
+        return false;
+    --it->second;
+    return true;
+}
+
+std::string
+Baseline::render(const std::vector<std::string> &keys)
+{
+    std::ostringstream out;
+    out << "# gral-analyzer baseline — acknowledged findings that do\n"
+           "# not fail repo_analyze. One entry per finding:\n"
+           "#   <path>|<rule>|<normalized source line>\n"
+           "# Regenerate with: gral_analyzer --write-baseline\n";
+    for (const std::string &key : keys)
+        out << key << '\n';
+    return out.str();
+}
+
+} // namespace gral::analyzer

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Finding baseline for gral-analyzer.
+ *
+ * The baseline (tools/analyzer/baseline.txt) is a checked-in list of
+ * findings that are acknowledged but not yet fixed. A finding that
+ * matches a baseline entry is reported with baselineState "unchanged"
+ * in SARIF and does not fail the run; everything else is "new" and
+ * exits nonzero. Entries are line-number independent so unrelated
+ * edits don't churn the file:
+ *
+ *   <path>|<rule>|<whitespace-normalized stripped source line>
+ *
+ * `#`-prefixed lines and blank lines are comments. Regenerate with
+ * `gral_analyzer --write-baseline`.
+ */
+
+#ifndef GRAL_ANALYZER_BASELINE_H
+#define GRAL_ANALYZER_BASELINE_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyzer/rules.h"
+
+namespace gral::analyzer
+{
+
+/** A parsed baseline. */
+class Baseline
+{
+  public:
+    Baseline() = default;
+
+    /** Parse baseline text (see file comment for the format). */
+    static Baseline parse(std::string_view text);
+
+    /** Entry key for @p finding given the stripped source line the
+     *  finding points at. */
+    static std::string key(const Finding &finding,
+                           std::string_view stripped_line);
+
+    /** True when the key is baselined (consumes one occurrence, so N
+     *  identical findings need N entries). */
+    bool match(const std::string &key);
+
+    /** Render findings as baseline text. */
+    static std::string
+    render(const std::vector<std::string> &keys);
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    // key -> unconsumed occurrence count
+    std::vector<std::pair<std::string, int>> entries_;
+};
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_BASELINE_H

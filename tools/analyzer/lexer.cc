@@ -1,0 +1,271 @@
+#include "analyzer/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace gral::analyzer
+{
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * If a raw string literal starts at @p i (at its encoding prefix or at
+ * the 'R'), return the number of bytes up to and including the opening
+ * '"'; otherwise 0. @p i must not be preceded by an identifier char
+ * (the caller checks), so `FooR"` is never treated as a raw string.
+ */
+std::size_t
+rawStringIntro(std::string_view text, std::size_t i)
+{
+    std::size_t j = i;
+    // Optional encoding prefix: u8, u, U, or L.
+    if (j < text.size() && (text[j] == 'u' || text[j] == 'U' ||
+                            text[j] == 'L')) {
+        ++j;
+        if (j < text.size() && text[j - 1] == 'u' && text[j] == '8')
+            ++j;
+    }
+    if (j >= text.size() || text[j] != 'R')
+        return 0;
+    ++j;
+    if (j >= text.size() || text[j] != '"')
+        return 0;
+    return j + 1 - i;
+}
+
+struct CommentSpan
+{
+    std::size_t begin = 0;
+    std::size_t end = 0; // one past the last comment byte
+    int startLine = 1;
+    bool codeBefore = false; // non-blank code earlier on startLine
+};
+
+/** Split a directive argument list on commas/whitespace. */
+std::vector<std::string>
+splitRuleList(std::string_view args)
+{
+    std::vector<std::string> rules;
+    std::string current;
+    for (char c : args) {
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty()) {
+                rules.push_back(current);
+                current.clear();
+            }
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        rules.push_back(current);
+    return rules;
+}
+
+/** Parse `gral-analyzer: off` / `gral-analyzer: off(a, b)` directives
+ *  out of one comment's text and record them in @p out. */
+void
+parseDirectives(std::string_view comment, const CommentSpan &span,
+                LexedFile &out)
+{
+    static constexpr std::string_view kMarker = "gral-analyzer:";
+    std::size_t pos = comment.find(kMarker);
+    while (pos != std::string_view::npos) {
+        std::size_t p = pos + kMarker.size();
+        while (p < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[p])))
+            ++p;
+        if (comment.substr(p, 3) == "off") {
+            p += 3;
+            std::vector<std::string> rules;
+            if (p < comment.size() && comment[p] == '(') {
+                std::size_t close = comment.find(')', p);
+                if (close != std::string_view::npos) {
+                    rules = splitRuleList(
+                        comment.substr(p + 1, close - p - 1));
+                    p = close + 1;
+                }
+            }
+            if (rules.empty())
+                rules.push_back("*");
+            int target =
+                span.codeBefore ? span.startLine : span.startLine + 1;
+            auto &slot = out.suppressions[target];
+            slot.insert(slot.end(), rules.begin(), rules.end());
+        }
+        pos = comment.find(kMarker, p);
+    }
+}
+
+} // namespace
+
+bool
+LexedFile::isSuppressed(int line, std::string_view rule) const
+{
+    auto it = suppressions.find(line);
+    if (it == suppressions.end())
+        return false;
+    for (const std::string &entry : it->second)
+        if (entry == "*" || entry == rule)
+            return true;
+    return false;
+}
+
+LexedFile
+lexCpp(std::string_view text)
+{
+    LexedFile out;
+    out.stripped.assign(text.begin(), text.end());
+    std::string &code = out.stripped;
+
+    const std::size_t n = text.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool lineHasCode = false;
+    std::vector<CommentSpan> comments;
+
+    auto blank = [&](std::size_t pos) {
+        if (code[pos] != '\n') {
+            code[pos] = ' ';
+        } else {
+            ++line;
+            lineHasCode = false;
+        }
+    };
+    auto advancePlain = [&](std::size_t pos) {
+        if (text[pos] == '\n') {
+            ++line;
+            lineHasCode = false;
+        } else if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
+            lineHasCode = true;
+        }
+    };
+
+    while (i < n) {
+        char c = text[i];
+        char next = i + 1 < n ? text[i + 1] : '\0';
+
+        if (c == '/' && next == '/') {
+            CommentSpan span{i, i, line, lineHasCode};
+            // A backslash-newline continues a // comment onto the
+            // next physical line.
+            while (i < n) {
+                if (text[i] == '\n') {
+                    std::size_t back = i;
+                    while (back > span.begin &&
+                           (text[back - 1] == '\r'))
+                        --back;
+                    if (back > span.begin && text[back - 1] == '\\') {
+                        blank(i); // counts the newline
+                        ++i;
+                        continue;
+                    }
+                    break;
+                }
+                blank(i);
+                ++i;
+            }
+            span.end = i;
+            parseDirectives(text.substr(span.begin,
+                                        span.end - span.begin),
+                            span, out);
+            comments.push_back(span);
+            continue; // leave the '\n' for the plain path
+        }
+
+        if (c == '/' && next == '*') {
+            CommentSpan span{i, i, line, lineHasCode};
+            blank(i);
+            blank(i + 1);
+            i += 2;
+            while (i < n && !(text[i] == '*' && i + 1 < n &&
+                              text[i + 1] == '/')) {
+                blank(i);
+                ++i;
+            }
+            if (i < n) { // consume the closing */
+                blank(i);
+                blank(i + 1);
+                i += 2;
+            }
+            span.end = i;
+            parseDirectives(text.substr(span.begin,
+                                        span.end - span.begin),
+                            span, out);
+            comments.push_back(span);
+            continue;
+        }
+
+        // Raw string literal (with optional encoding prefix). Only
+        // when the previous byte is not an identifier char, so an
+        // identifier ending in R never starts one.
+        if ((c == 'R' || c == 'u' || c == 'U' || c == 'L') &&
+            (i == 0 || !isIdentChar(text[i - 1]))) {
+            std::size_t intro = rawStringIntro(text, i);
+            if (intro != 0) {
+                lineHasCode = true;
+                // Keep the prefix/R readable as code? No: blank the
+                // whole literal including its delimiters, like every
+                // other literal.
+                std::size_t d = i + intro; // delimiter start
+                std::size_t dEnd = d;
+                while (dEnd < n && text[dEnd] != '(' &&
+                       text[dEnd] != '\n')
+                    ++dEnd;
+                std::string terminator =
+                    ")" + std::string(text.substr(d, dEnd - d)) + "\"";
+                std::size_t close = text.find(terminator, dEnd);
+                std::size_t stop = close == std::string_view::npos
+                                       ? n
+                                       : close + terminator.size();
+                while (i < stop) {
+                    blank(i);
+                    ++i;
+                }
+                continue;
+            }
+        }
+
+        // Ordinary string/char literal: contents are blanked but the
+        // delimiters stay visible, so `#include "x"` keeps its quote
+        // positions for the include extractor (include_graph.h).
+        if (c == '"' || c == '\'') {
+            lineHasCode = true;
+            char quote = c;
+            ++i; // keep the opening delimiter
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\' && i + 1 < n) {
+                    blank(i);
+                    ++i; // skip the escaped byte (may be a newline)
+                }
+                blank(i);
+                ++i;
+            }
+            if (i < n)
+                ++i; // keep the closing delimiter
+            continue;
+        }
+
+        advancePlain(i);
+        ++i;
+    }
+
+    // Split into lines for the per-line rules.
+    out.lines.emplace_back();
+    for (char ch : code) {
+        if (ch == '\n')
+            out.lines.emplace_back();
+        else
+            out.lines.back() += ch;
+    }
+    return out;
+}
+
+} // namespace gral::analyzer

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Comment/string/raw-string-aware C++ lexer for gral-analyzer.
+ *
+ * Every rule in the analyzer (tools/analyzer/rules.h) runs over a
+ * *stripped* view of a translation unit: comments, string literals,
+ * and character literals are blanked to spaces so prose like
+ * "replacement for raw assert()" can never trip a text rule, while
+ * line *and column* numbers stay exact because the stripped text is
+ * byte-for-byte the same shape as the input (newlines preserved,
+ * stripped bytes become ' ').
+ *
+ * Unlike the regex lexer in tools/lint/gral_lint.py historically, this
+ * lexer understands:
+ *   - raw string literals, including custom delimiters:
+ *     R"(...)", R"delim(...)delim", and encoding prefixes u8R/uR/LR/UR
+ *   - escaped quotes and backslash-newline line continuations inside
+ *     ordinary literals and // comments
+ *   - block comments spanning lines
+ *
+ * It also extracts `// gral-analyzer: off(rule, ...)` suppression
+ * directives (see DESIGN.md "Static analysis layer"): a directive in
+ * a trailing comment suppresses the named rules on its own line; a
+ * directive on a line of its own suppresses them on the next line.
+ */
+
+#ifndef GRAL_ANALYZER_LEXER_H
+#define GRAL_ANALYZER_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gral::analyzer
+{
+
+/** Result of lexing one file. */
+struct LexedFile
+{
+    /** Input with comment/literal bytes blanked to ' '; same length
+     *  and line structure as the original text. */
+    std::string stripped;
+
+    /** stripped split on '\n' (no terminators); 0-indexed, so line N
+     *  of the file is lines[N - 1]. */
+    std::vector<std::string> lines;
+
+    /** 1-based line -> rules suppressed there ("*" = every rule). */
+    std::unordered_map<int, std::vector<std::string>> suppressions;
+
+    /** True when @p rule is suppressed on 1-based @p line. */
+    bool isSuppressed(int line, std::string_view rule) const;
+};
+
+/** Lex @p text (the full contents of one C++ file). */
+LexedFile lexCpp(std::string_view text);
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_LEXER_H

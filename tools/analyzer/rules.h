@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Rule catalogue and per-file rule engine of gral-analyzer.
+ *
+ * Rules fall into four families (DESIGN.md "Static analysis layer"):
+ *
+ *   layering        module-DAG violations (include_graph.h) and
+ *   include-cycle   cycles in the repo-local include graph;
+ *
+ *   raw-assert      the five conventions historically enforced by
+ *   vertex-id-type  tools/lint/gral_lint.py, ported onto the real
+ *   include-guard   lexer (lexer.h) so raw strings, continuations and
+ *   std-endl        block comments cannot desync them;
+ *   raw-cerr
+ *
+ *   hot-path-metrics  MetricsRegistry name lookups, GRAL_SPAN, and
+ *   hot-path-span     allocation-y constructs (new / make_unique /
+ *   hot-path-alloc    make_shared) lexically inside loop bodies in
+ *                     src/cachesim and src/spmv — the simulator and
+ *                     SpMV hot paths;
+ *
+ *   check-side-effect GRAL_CHECK/GRAL_DCHECK conditions containing
+ *                     ++/--/assignment (dchecks compile out in
+ *                     Release, so side effects change behaviour);
+ *   raw-new           raw new/delete expressions in src/ (owning
+ *                     containers and smart pointers only).
+ *
+ * Per-file rules run on a LexedFile; graph rules run once over the
+ * whole tree in analyzer.cc. Findings carry 1-based line/column.
+ */
+
+#ifndef GRAL_ANALYZER_RULES_H
+#define GRAL_ANALYZER_RULES_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyzer/lexer.h"
+
+namespace gral::analyzer
+{
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string path; // repo-relative
+    int line = 1;
+    int column = 1;
+    std::string rule;
+    std::string message;
+};
+
+/** Static metadata of one rule (drives --list-rules and SARIF). */
+struct RuleInfo
+{
+    std::string_view id;
+    std::string_view description;
+};
+
+/** Every rule the analyzer knows, sorted by id. */
+const std::vector<RuleInfo> &ruleCatalogue();
+
+/**
+ * Run every per-file rule applicable to @p path over @p lexed and
+ * append findings. Scoping mirrors the module layout:
+ *   - src/ subtree: all convention + API-misuse rules
+ *   - src/cachesim, src/spmv: additionally the hot-path rules
+ *   - tools/, bench/, examples/: std-endl only
+ * Suppressions (`// gral-analyzer: off(rule)`) are applied here.
+ */
+void runFileRules(const std::string &path, const LexedFile &lexed,
+                  std::vector<Finding> &findings);
+
+/** Lines (1-based, parallel to @p lines starting at index 0) that are
+ *  lexically inside a for/while/do loop body. Exposed for tests. */
+std::vector<bool>
+loopBodyLines(const std::vector<std::string> &lines);
+
+/** Path-derived include guard name (src/graph/csr.h ->
+ *  GRAL_GRAPH_CSR_H), identical to gral_lint.py's expected_guard. */
+std::string expectedGuard(std::string_view path);
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_RULES_H

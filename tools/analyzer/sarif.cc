@@ -1,0 +1,119 @@
+#include "analyzer/sarif.h"
+
+#include <cstdint>
+#include <map>
+
+#include "obs/json.h"
+
+namespace gral::analyzer
+{
+
+namespace
+{
+
+/** FNV-1a over the baseline key: stable across line-number churn. */
+std::string
+fingerprintHash(std::string_view text)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    char buffer[17];
+    static const char *digits = "0123456789abcdef";
+    for (int i = 15; i >= 0; --i) {
+        buffer[i] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    buffer[16] = '\0';
+    return buffer;
+}
+
+} // namespace
+
+std::string
+writeSarif(const std::vector<SarifResult> &results)
+{
+    const std::vector<RuleInfo> &rules = ruleCatalogue();
+    std::map<std::string_view, std::size_t> ruleIndex;
+    for (std::size_t i = 0; i < rules.size(); ++i)
+        ruleIndex[rules[i].id] = i;
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("$schema").value(
+        "https://json.schemastore.org/sarif-2.1.0.json");
+    json.key("version").value("2.1.0");
+    json.key("runs").beginArray();
+    json.beginObject();
+
+    json.key("tool").beginObject();
+    json.key("driver").beginObject();
+    json.key("name").value("gral-analyzer");
+    json.key("version").value("1.0.0");
+    json.key("informationUri")
+        .value("https://example.invalid/gral/tools/analyzer");
+    json.key("rules").beginArray();
+    for (const RuleInfo &rule : rules) {
+        json.beginObject();
+        json.key("id").value(rule.id);
+        json.key("shortDescription").beginObject();
+        json.key("text").value(rule.description);
+        json.endObject();
+        json.key("defaultConfiguration").beginObject();
+        json.key("level").value("error");
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray(); // rules
+    json.endObject(); // driver
+    json.endObject(); // tool
+
+    json.key("columnKind").value("utf16CodeUnits");
+
+    json.key("results").beginArray();
+    for (const SarifResult &result : results) {
+        const Finding &finding = result.finding;
+        json.beginObject();
+        json.key("ruleId").value(finding.rule);
+        auto it = ruleIndex.find(finding.rule);
+        if (it != ruleIndex.end())
+            json.key("ruleIndex").value(
+                static_cast<std::uint64_t>(it->second));
+        json.key("level").value(result.baselined ? "note" : "error");
+        json.key("message").beginObject();
+        json.key("text").value(finding.message);
+        json.endObject();
+        json.key("locations").beginArray();
+        json.beginObject();
+        json.key("physicalLocation").beginObject();
+        json.key("artifactLocation").beginObject();
+        json.key("uri").value(finding.path);
+        json.endObject();
+        json.key("region").beginObject();
+        json.key("startLine").value(
+            static_cast<std::int64_t>(finding.line));
+        json.key("startColumn").value(
+            static_cast<std::int64_t>(finding.column));
+        json.endObject();
+        json.endObject(); // physicalLocation
+        json.endObject();
+        json.endArray(); // locations
+        json.key("partialFingerprints").beginObject();
+        json.key("gralFindingKey/v1")
+            .value(fingerprintHash(result.fingerprint));
+        json.endObject();
+        json.key("baselineState")
+            .value(result.baselined ? "unchanged" : "new");
+        json.endObject();
+    }
+    json.endArray(); // results
+
+    json.endObject(); // run
+    json.endArray();  // runs
+    json.endObject();
+    return json.str();
+}
+
+} // namespace gral::analyzer

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SARIF 2.1.0 export for gral-analyzer findings.
+ *
+ * Emits one run with the full rule catalogue under
+ * tool.driver.rules, one result per finding (ruleIndex into the
+ * catalogue, physicalLocation with 1-based startLine/startColumn,
+ * baselineState "new"/"unchanged"), and a stable content-based
+ * partialFingerprints entry so CI viewers can track findings across
+ * line churn. Built on the streaming JsonWriter from src/obs/json.h;
+ * tests validate the output with jsonValidate.
+ */
+
+#ifndef GRAL_ANALYZER_SARIF_H
+#define GRAL_ANALYZER_SARIF_H
+
+#include <string>
+#include <vector>
+
+#include "analyzer/rules.h"
+
+namespace gral::analyzer
+{
+
+/** A finding plus its baseline disposition. */
+struct SarifResult
+{
+    Finding finding;
+    bool baselined = false;
+    /** Stable fingerprint input (the baseline key). */
+    std::string fingerprint;
+};
+
+/** Render a complete SARIF 2.1.0 document. */
+std::string writeSarif(const std::vector<SarifResult> &results);
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_SARIF_H

@@ -30,7 +30,7 @@
 #include "analysis/experiment.h"
 #include "analysis/report.h"
 #include "common/check.h"
-#include "common/validate.h"
+#include "graph/validate.h"
 #include "graph/builder.h"
 #include "graph/degree.h"
 #include "graph/generators.h"

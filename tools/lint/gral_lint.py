@@ -1,6 +1,13 @@
 #!/usr/bin/env python3
 """Repo-specific lint pass for gral (see DESIGN.md "Correctness layer").
 
+DEPRECATED: superseded by the C++ analyzer in tools/analyzer
+(`gral_analyzer`, ctest `repo_analyze`), which enforces these five
+rules plus layering, include-cycle, hot-path, and API-misuse rules on
+a real lexer with SARIF output. This script stays for one release as
+a shim; only its --self-test (and the analyzer equivalence test in
+tests/analyzer/) still run in CI.
+
 Rules enforced over the C++ tree:
 
   raw-assert      no raw assert() / <cassert> in src/ — invariants use
@@ -44,9 +51,18 @@ SRC_ONLY = ("src",)
 NO_ENDL_DIRS = ("src", "tools", "bench", "examples")
 
 
+# Raw string literal intro: optional encoding prefix, R, opening
+# quote. The delimiter (up to 16 chars, no whitespace/parens) follows.
+RAW_INTRO_RE = re.compile(r'(?:u8|u|U|L)?R"')
+RAW_DELIM_RE = re.compile(r'[^\s()\\"]{0,16}\(')
+
+
 def strip_comments_and_strings(text: str) -> str:
     """Blank out comments, string and char literals, preserving line
-    structure so reported line numbers stay exact."""
+    structure so reported line numbers stay exact. C++ raw strings
+    (R"(...)" and R"delim(...)delim") are consumed as a unit — a ')'
+    or '"' inside one must not desync the lexer (historically it did,
+    hiding or fabricating findings on every later line)."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -62,6 +78,18 @@ def strip_comments_and_strings(text: str) -> str:
                     out.append("\n")
                 i += 1
             i = min(i + 2, n)
+        elif (c in 'uULR'
+              and (intro := RAW_INTRO_RE.match(text, i))
+              and (i == 0 or not (text[i - 1].isalnum()
+                                  or text[i - 1] == "_"))
+              and (delim := RAW_DELIM_RE.match(text, intro.end()))):
+            terminator = ")" + delim.group()[:-1] + '"'
+            close = text.find(terminator, delim.end())
+            stop = n if close == -1 else close + len(terminator)
+            for j in range(i, stop):
+                if text[j] == "\n":
+                    out.append("\n")
+            i = stop
         elif c in "\"'":
             quote = c
             i += 1
@@ -206,6 +234,19 @@ SELF_TEST_CASES = [
      False),
     ("raw-assert", "src/x.cc", "GRAL_CHECK(a == b) << \"assert(\";",
      False),
+    # Raw strings are consumed as a unit; their contents never lint.
+    ("raw-assert", "src/x.cc",
+     'const char *s = R"(assert(ok))";\n', False),
+    ("raw-assert", "src/x.cc",
+     'const char *s = R"delim(assert(ok))delim";\n', False),
+    # A quote inside a raw string must not desync later lines: the
+    # assert after the literal is real and must still fire.
+    ("raw-assert", "src/x.cc",
+     'auto s = R"(")";\nassert(broken);\n', True),
+    ("std-endl", "src/x.cc",
+     'auto s = R"(std::endl)";\nout << value;\n', False),
+    ("raw-cerr", "src/x.cc",
+     'auto s = R"x(std::cerr << "oops")x"; std::cerr << s;\n', True),
     ("vertex-id-type", "src/x.cc",
      "for (std::uint32_t v = 0; v < g.numVertices(); ++v) {}", True),
     ("vertex-id-type", "src/x.cc",
