@@ -14,6 +14,8 @@
  * Environment overrides:
  *  - GRAL_SCALE:    dataset scale factor (default 1.0)
  *  - GRAL_THREADS:  simulated/real thread count (default 8 / 4)
+ *  - GRAL_KERNEL:   workload kernel for experiment-based benches
+ *                   (spmv | pagerank | bfs | cc, default spmv)
  */
 
 #ifndef GRAL_BENCH_COMMON_H
@@ -32,6 +34,7 @@
 #include "cachesim/cache.h"
 #include "cachesim/tlb.h"
 #include "graph/degree.h"
+#include "kernels/kernel.h"
 #include "metrics/ecs.h"
 #include "metrics/miss_rate.h"
 #include "obs/export.h"
@@ -124,6 +127,16 @@ realThreads()
     return std::max(1u, std::min(4u, hw == 0 ? 1u : hw));
 }
 
+/** Workload kernel for experiment-based benches (GRAL_KERNEL env
+ *  var, default "spmv" — the paper's kernel). */
+inline std::string
+benchKernel()
+{
+    if (const char *env = std::getenv("GRAL_KERNEL"))
+        return env;
+    return "spmv";
+}
+
 /** Experiment options every bench shares. */
 inline ExperimentOptions
 benchOptions()
@@ -135,6 +148,7 @@ benchOptions()
     options.sim.tlb = benchTlb();
     options.sim.chunkSize = 1024;
     options.timingRepeats = 3;
+    options.kernel = benchKernel();
     return options;
 }
 
@@ -176,6 +190,47 @@ readSumMissProfile(const Graph &graph, Direction direction,
     return simulateMissProfile(
         makeReadSumProducers(graph, direction, trace_options),
         owner_deg, accessed_deg, sim);
+}
+
+/**
+ * Streamed miss profile of an arbitrary kernel: the kernel-parametric
+ * generalization of pullMissProfile(). Degree views follow the
+ * pull-traversal convention (owner = in, accessed = out); per-phase
+ * hub counters use the paper's sqrt(|V|) threshold with in-degrees
+ * classifying push-phase targets and out-degrees pull-phase reads.
+ */
+inline MissProfileResult
+kernelMissProfile(Kernel &kernel, const Graph &graph,
+                  SimulationOptions sim,
+                  const TraceOptions &trace_options)
+{
+    std::vector<EdgeId> in_deg = degrees(graph, Direction::In);
+    std::vector<EdgeId> out_deg = degrees(graph, Direction::Out);
+    if (sim.hubDegreeThreshold == 0)
+        sim.hubDegreeThreshold =
+            static_cast<EdgeId>(hubThreshold(graph));
+    sim.pushHubDegrees = in_deg;
+    sim.pullHubDegrees = out_deg;
+    return simulateMissProfile(
+        kernel.makeProducers(graph, trace_options), in_deg, out_deg,
+        sim);
+}
+
+/** Nominal work of one traced kernel execution, in edges: what the
+ *  throughput baselines divide by. Sweep kernels touch every edge
+ *  once per iteration; BFS touches the edges its rounds actually
+ *  relaxed or scanned, and CC walks both directions per sweep. */
+inline double
+kernelEdgeWork(const std::string &kernel, const Graph &graph,
+               const KernelRunInfo &info)
+{
+    double edges = static_cast<double>(graph.numEdges());
+    double iters = static_cast<double>(info.iterations);
+    if (kernel == "bfs") // one traversal, whatever the round count
+        return edges;
+    if (kernel == "cc") // each sweep walks in- and out-edges
+        return 2.0 * edges * iters;
+    return edges * iters;
 }
 
 /** Streamed effective-cache-size measurement of a pull traversal. */

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Perf baselines: reorder time per RA and traced-kernel throughput
+ * per kernel on the Table-I stand-ins.
+ *
+ * This bench does not reproduce a paper artefact; it records the
+ * numbers future optimization PRs are measured against (ROADMAP:
+ * "Establish BENCH_*.json perf baselines ... so speedups from here
+ * on are measured, not asserted"). Run with
+ *
+ *   GRAL_SCALE=... build/bench/kernel_baseline \
+ *       --metrics-out=BENCH_kernels.json
+ *
+ * and commit the JSON under bench/baselines/. Two gauge families:
+ *
+ *   bench/reorder/<dataset>/<ra>/preprocess_seconds
+ *   bench/kernel/<dataset>/<kernel>/{time_ms, iterations,
+ *                                    medges_per_s, relabeled}
+ *
+ * Kernel timing is the real (un-traced) run on the Bl identity
+ * ordering — the denominator every RA speedup is quoted over.
+ * Throughput divides the kernel's nominal edge work (see
+ * kernelEdgeWork) by the best-of-N run time.
+ */
+
+#include "bench/common.h"
+#include "obs/metrics.h"
+#include "reorder/registry.h"
+
+using namespace gral;
+
+int
+main(int argc, char **argv)
+{
+    bench::ObsGuard obs_guard(argc, argv);
+    bench::banner(
+        "Kernel perf baselines",
+        "none (perf regression baseline, not a paper artefact)",
+        "reorder cost ranks SB/GO heavy, DegreeSort/HC light; sweep "
+        "kernels outrun BFS per nominal edge");
+
+    MetricsRegistry &registry = MetricsRegistry::global();
+    ExperimentOptions options = bench::benchOptions();
+
+    // --- reorder time per RA (Table II's columns, as a baseline) ---
+    TextTable reorder_table({"Dataset", "RA", "Preproc(s)"});
+    for (const std::string &id : bench::datasets()) {
+        Graph base = makeDataset(id, bench::scale());
+        for (const std::string &ra : reordererNames()) {
+            ReorderStats stats;
+            reorderedGraph(base, ra, &stats);
+            registry
+                .gauge("bench/reorder/" + id + "/" + ra +
+                       "/preprocess_seconds")
+                .set(stats.preprocessSeconds);
+            reorder_table.addRow(
+                {id, ra, formatDouble(stats.preprocessSeconds, 4)});
+        }
+    }
+    reorder_table.print(std::cout);
+    std::cout << "\n";
+
+    // --- traced-kernel throughput on the identity ordering ---------
+    TextTable kernel_table({"Dataset", "Kernel", "Relab", "Iters",
+                            "Time(ms)", "MEdges/s"});
+    bool all_ran = true;
+    for (const std::string &id : bench::datasets()) {
+        Graph base = makeDataset(id, bench::scale());
+        for (const std::string &kernel_name : kernelNames()) {
+            KernelPtr kernel = makeKernel(kernel_name);
+            double ms = timeKernelRun(*kernel, base,
+                                      options.timingRepeats);
+            KernelRunInfo info = kernel->run(base);
+            double medges_per_s =
+                ms <= 0.0 ? 0.0
+                          : bench::kernelEdgeWork(kernel_name, base,
+                                                  info) /
+                                (ms * 1e3);
+            bool relabeled = kernel->shouldRelabel(base);
+            const std::string prefix =
+                "bench/kernel/" + id + "/" + kernel_name + "/";
+            registry.gauge(prefix + "time_ms").set(ms);
+            registry.gauge(prefix + "iterations")
+                .set(static_cast<double>(info.iterations));
+            registry.gauge(prefix + "medges_per_s")
+                .set(medges_per_s);
+            registry.gauge(prefix + "relabeled")
+                .set(relabeled ? 1.0 : 0.0);
+            kernel_table.addRow(
+                {id, kernel_name, relabeled ? "yes" : "no",
+                 std::to_string(info.iterations),
+                 formatDouble(ms, 2),
+                 formatDouble(medges_per_s, 1)});
+            all_ran = all_ran && info.iterations >= 1 && ms > 0.0;
+        }
+    }
+    kernel_table.print(std::cout);
+    std::cout << "\n";
+
+    bench::shapeCheck(
+        "every kernel ran to completion with measurable time",
+        all_ran);
+    return 0;
+}

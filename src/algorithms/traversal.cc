@@ -36,6 +36,11 @@ bfs(const Graph &graph, VertexId source, const BfsOptions &options)
             frontier_edges += graph.outDegree(v);
         bool dense =
             frontier_edges > graph.numEdges() / options.denseThreshold;
+        if (options.mode == BfsMode::PushOnly)
+            dense = false;
+        else if (options.mode == BfsMode::PullOnly)
+            dense = true;
+        result.roundDense.push_back(dense ? 1 : 0);
 
         if (dense) {
             ++result.denseRounds;

@@ -33,6 +33,11 @@ struct BfsResult
     std::vector<std::uint32_t> distance;
     /** BFS parent (kInvalidVertex for source/unreached). */
     std::vector<VertexId> parent;
+    /** Direction taken per executed round: roundDense[d] is nonzero
+     *  when round d+1 (producing depth-(d+1) vertices) ran dense
+     *  (pull). Lets a replay reconstruct the exact access stream of
+     *  the traversal from its final state. */
+    std::vector<std::uint8_t> roundDense;
     /** Vertices reached (including the source). */
     VertexId reached = 0;
     /** Edges relaxed in sparse (push) rounds. */
@@ -43,12 +48,25 @@ struct BfsResult
     unsigned denseRounds = 0;
 };
 
+/** Frontier-processing strategy. */
+enum class BfsMode : std::uint8_t
+{
+    /** Beamer-style push/pull switching on frontier edge count. */
+    DirectionOptimizing,
+    /** Always relax the frontier's out-edges (sparse). */
+    PushOnly,
+    /** Always scan unreached vertices' in-edges (dense). */
+    PullOnly,
+};
+
 /** Direction-optimizing BFS knobs. */
 struct BfsOptions
 {
     /** Switch to the dense (pull) phase when the frontier holds more
      *  than |E| / denseThreshold unexplored edges. */
     EdgeId denseThreshold = 20;
+    /** Frontier-processing strategy. */
+    BfsMode mode = BfsMode::DirectionOptimizing;
 };
 
 /**

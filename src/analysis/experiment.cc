@@ -1,6 +1,7 @@
 #include "analysis/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "graph/degree.h"
 #include "obs/log.h"
@@ -50,11 +51,34 @@ timePullSpmv(const Graph &graph, const ParallelOptions &options,
     return best_ms;
 }
 
+double
+timeKernelRun(Kernel &kernel, const Graph &graph, unsigned repeats)
+{
+    GRAL_SPAN("experiment/time_kernel");
+    using Clock = std::chrono::steady_clock;
+    kernel.run(graph); // warm-up
+
+    double best_ms = 0.0;
+    for (unsigned r = 0; r < std::max(1u, repeats); ++r) {
+        Clock::time_point start = Clock::now();
+        kernel.run(graph);
+        double ms = std::chrono::duration<double, std::milli>(
+                        Clock::now() - start)
+                        .count();
+        if (r == 0 || ms < best_ms)
+            best_ms = ms;
+    }
+    return best_ms;
+}
+
 void
 recordExperimentMetrics(const RaExperimentResult &result)
 {
     MetricsRegistry &registry = MetricsRegistry::global();
-    const std::string prefix = "experiment/" + result.ra + "/";
+    const std::string prefix = "experiment/" +
+                               (result.kernel.empty() ? "spmv"
+                                                      : result.kernel) +
+                               "/" + result.ra + "/";
 
     registry.gauge(prefix + "preprocess_seconds")
         .set(result.reorderStats.preprocessSeconds);
@@ -79,6 +103,26 @@ recordExperimentMetrics(const RaExperimentResult &result)
         .set(result.profile.cache.missRate());
     registry.gauge(prefix + "data_miss_rate")
         .set(result.profile.dataMissRate());
+    registry.gauge(prefix + "relabeled")
+        .set(result.relabeled ? 1.0 : 0.0);
+    registry.gauge(prefix + "kernel_iterations")
+        .set(static_cast<double>(result.kernelRun.iterations));
+
+    // Per-direction counters (paper Section VII: hubs under push vs
+    // pull); zero for kernels that never emit that phase.
+    registry.gauge(prefix + "push_data_miss_rate")
+        .set(result.profile.pushPhase.missRate());
+    registry.gauge(prefix + "pull_data_miss_rate")
+        .set(result.profile.pullPhase.missRate());
+    registry.gauge(prefix + "push_hub_misses")
+        .set(static_cast<double>(result.profile.pushPhase.hubMisses));
+    registry.gauge(prefix + "pull_hub_misses")
+        .set(static_cast<double>(result.profile.pullPhase.hubMisses));
+    registry.gauge(prefix + "push_hub_miss_rate")
+        .set(result.profile.pushPhase.hubMissRate());
+    registry.gauge(prefix + "pull_hub_miss_rate")
+        .set(result.profile.pullPhase.hubMissRate());
+
     for (std::size_t c = 0; c < kNumSetClasses; ++c) {
         registry
             .gauge(prefix + "l3_" +
@@ -93,6 +137,7 @@ recordExperimentMetrics(const RaExperimentResult &result)
 
     GRAL_LOG(info) << "experiment cell recorded"
                    << logField("ra", result.ra)
+                   << logField("kernel", result.kernel)
                    << logField("traversal_ms", result.traversalMs)
                    << logField("idle_percent", result.idlePercent)
                    << logField("l3_miss_rate",
@@ -108,14 +153,34 @@ runRaExperiment(const Graph &base, const std::string &ra_name,
     GRAL_SPAN("experiment/run_ra");
     RaExperimentResult result;
     result.ra = ra_name;
+    result.kernel = options.kernel;
 
-    Graph graph = reorderedGraph(base, ra_name, &result.reorderStats);
+    KernelPtr kernel = makeKernel(options.kernel);
+
+    // The kernel's RelabelingPlan decides whether the RA's
+    // permutation is actually applied; the permutation (and its
+    // preprocessing cost) is computed either way so Table-II-style
+    // numbers stay comparable across kernels.
+    result.relabeled = kernel->shouldRelabel(base);
+    ReordererPtr reorderer = makeReorderer(ra_name);
+    Permutation permutation = reorderer->reorder(base);
+    result.reorderStats = reorderer->stats();
+    Graph relabeled;
+    if (result.relabeled)
+        relabeled = applyPermutation(base, permutation);
+    const Graph &graph = result.relabeled ? relabeled : base;
 
     if (options.runTiming) {
-        result.traversalMs = timePullSpmv(
-            graph, options.parallel, options.timingRepeats,
-            &result.idlePercent, &result.traversal);
+        if (options.kernel == "spmv") {
+            result.traversalMs = timePullSpmv(
+                graph, options.parallel, options.timingRepeats,
+                &result.idlePercent, &result.traversal);
+        } else {
+            result.traversalMs = timeKernelRun(
+                *kernel, graph, options.timingRepeats);
+        }
     }
+    result.kernelRun = kernel->run(graph);
 
     if (options.runSimulation) {
         GRAL_SPAN("experiment/simulate");
@@ -126,11 +191,22 @@ runRaExperiment(const Graph &base, const std::string &ra_name,
             degrees(graph, Direction::In);
         std::vector<EdgeId> accessed_degrees =
             degrees(graph, Direction::Out);
-        // Stream straight from the instrumented traversal into the
+        // Per-phase hub classification: push scatters hit their
+        // target's in-degree reuse, pull gathers their source's
+        // out-degree reuse; threshold sqrt(|V|) unless set.
+        SimulationOptions sim = options.sim;
+        if (sim.hubDegreeThreshold == 0)
+            sim.hubDegreeThreshold =
+                static_cast<EdgeId>(hubThreshold(graph));
+        if (sim.pushHubDegrees.empty())
+            sim.pushHubDegrees = owner_degrees;
+        if (sim.pullHubDegrees.empty())
+            sim.pullHubDegrees = accessed_degrees;
+        // Stream straight from the instrumented kernel into the
         // cache model — the trace is never materialized.
         result.profile = simulateMissProfile(
-            makePullProducers(graph, options.trace), owner_degrees,
-            accessed_degrees, options.sim);
+            kernel->makeProducers(graph, options.trace),
+            owner_degrees, accessed_degrees, sim);
     }
     return result;
 }

@@ -1,12 +1,15 @@
 /**
  * @file
- * End-to-end experiment runner: reorder, rebuild, traverse, simulate.
+ * End-to-end experiment runner: reorder, rebuild, run, simulate.
  *
  * Encapsulates the pipeline every bench shares (paper Section III):
- * apply an RA to a dataset, rebuild CSR/CSC, run the timed parallel
- * pull SpMV (Table IV "Time"/"Idle"), and replay the instrumented
- * trace through the L3/DTLB models (Table IV "L3 Misses"/"DTLB
- * Misses", Figure 1).
+ * apply an RA to a dataset, rebuild CSR/CSC, run the chosen kernel
+ * (SpMV is timed via the parallel engine — Table IV "Time"/"Idle" —
+ * the other kernels via best-of repeated runs), and replay the
+ * kernel's instrumented trace through the L3/DTLB models (Table IV
+ * "L3 Misses"/"DTLB Misses", Figure 1). The kernel axis is generic:
+ * any registered kernel (spmv, pagerank, bfs, cc) can be analyzed
+ * against any registered RA.
  */
 
 #ifndef GRAL_ANALYSIS_EXPERIMENT_H
@@ -15,6 +18,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "kernels/kernel.h"
 #include "metrics/miss_rate.h"
 #include "reorder/reorderer.h"
 #include "spmv/parallel.h"
@@ -26,11 +30,16 @@ namespace gral
 /** Knobs shared by the experiment pipeline. */
 struct ExperimentOptions
 {
-    /** Real-execution traversal settings. */
+    /** Workload to analyze (a makeKernel registry name). */
+    std::string kernel = "spmv";
+    /** Real-execution traversal settings (spmv timing only). */
     ParallelOptions parallel;
     /** Trace generation settings (simulated thread count). */
     TraceOptions trace;
-    /** Cache/TLB simulation settings. */
+    /** Cache/TLB simulation settings. A zero hubDegreeThreshold is
+     *  resolved to the paper's sqrt(|V|) per graph; empty per-phase
+     *  hub degree views are filled with the graph's in-degrees (push)
+     *  and out-degrees (pull). */
     SimulationOptions sim;
     /** Timed traversal repetitions; the best (minimum) is reported,
      *  after one untimed warm-up. */
@@ -41,19 +50,27 @@ struct ExperimentOptions
     bool runSimulation = true;
 };
 
-/** Everything measured for one (dataset, RA) cell. */
+/** Everything measured for one (dataset, kernel, RA) cell. */
 struct RaExperimentResult
 {
     /** RA name as given. */
     std::string ra;
+    /** Kernel name as given. */
+    std::string kernel;
+    /** Whether the RA's permutation was actually applied (false when
+     *  the kernel's RelabelingPlan declined it for this graph). */
+    bool relabeled = true;
     /** Preprocessing cost (paper Table II). */
     ReorderStats reorderStats;
-    /** Best parallel pull-SpMV wall time, milliseconds. */
+    /** Real (untraced) kernel run summary. */
+    KernelRunInfo kernelRun;
+    /** Best kernel wall time, milliseconds (parallel pull SpMV for
+     *  spmv, best-of sequential runs otherwise). */
     double traversalMs = 0.0;
-    /** Average per-thread idle percentage. */
+    /** Average per-thread idle percentage (spmv timing only). */
     double idlePercent = 0.0;
     /** Full per-thread detail of the best timed traversal (idle
-     *  breakdown, steals, tasks — Table IV decomposed). */
+     *  breakdown, steals, tasks — Table IV decomposed; spmv only). */
     ParallelResult traversal;
     /** Simulated L3/DTLB counters and per-degree miss profile. */
     MissProfileResult profile;
@@ -78,19 +95,31 @@ double timePullSpmv(const Graph &graph, const ParallelOptions &options,
                     ParallelResult *detail = nullptr);
 
 /**
- * Publish one RA cell's measurements into the global MetricsRegistry
- * under "experiment/<RA>/...": preprocessing/traversal gauges, a
- * per-thread idle-percent histogram and steal histogram, per-set-class
- * L3 miss-rate gauges, and the sampled DRRIP PSEL trajectory as a
+ * Time @p kernel's real (untraced) run on @p graph: one warm-up plus
+ * @p repeats timed runs; returns the minimum wall time (ms). Used for
+ * every kernel without a dedicated parallel engine.
+ */
+double timeKernelRun(Kernel &kernel, const Graph &graph,
+                     unsigned repeats);
+
+/**
+ * Publish one cell's measurements into the global MetricsRegistry
+ * under "experiment/<kernel>/<RA>/...": preprocessing/traversal
+ * gauges, a per-thread idle-percent histogram and steal histogram,
+ * per-set-class L3 miss-rate gauges, per-phase (push/pull) data and
+ * hub miss-rate gauges, and the sampled DRRIP PSEL trajectory as a
  * series. Drives the --metrics-out JSON report of `gral experiment`.
  */
 void recordExperimentMetrics(const RaExperimentResult &result);
 
 /**
- * Full pipeline for one RA on one dataset.
+ * Full pipeline for one (kernel, RA) cell on one dataset.
  * The miss profile bins vertex-data accesses by the *in*-degree of
  * the processed vertex (Figure 1's x axis); the Table-III threshold
  * counters use the accessed vertex's out-degree (its reuse count).
+ * Per-phase hub counters use in-degrees for push-phase accesses and
+ * out-degrees for pull-phase accesses, threshold sqrt(|V|) unless
+ * overridden in options.sim.
  */
 RaExperimentResult runRaExperiment(const Graph &base,
                                    const std::string &ra_name,

@@ -1,0 +1,26 @@
+#include "cachesim/address_map.h"
+
+namespace gral
+{
+
+AccessRegion
+AddressMap::regionOf(std::uint64_t addr) const
+{
+    // The alt topology regions sit above the data regions, so the
+    // descending-threshold scan starts there.
+    if (addr >= edgesAltBase)
+        return AccessRegion::EdgesArr;
+    if (addr >= offsetsAltBase)
+        return AccessRegion::Offsets;
+    if (addr >= dataNewBase)
+        return AccessRegion::DataNew;
+    if (addr >= dataOldBase)
+        return AccessRegion::DataOld;
+    if (addr >= edgesBase)
+        return AccessRegion::EdgesArr;
+    if (addr >= offsetsBase)
+        return AccessRegion::Offsets;
+    return AccessRegion::Other;
+}
+
+} // namespace gral

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Synthetic address-space layout shared by every instrumented kernel.
+ *
+ * The paper instruments its traversals "at source code level to call
+ * the simulator for every load/store" (Section V-B); the simulator
+ * only sees addresses, so each kernel lays its arrays out in a common
+ * synthetic address space. The layout lives in cachesim — not in any
+ * one kernel — because every trace producer writes it and every
+ * consumer (cache replay, ECS cache-content scans) classifies lines
+ * by it. Element sizes follow paper Section II-A.
+ *
+ * Regions:
+ *  - offsets/edges:         primary CSC (or CSR) topology, streamed
+ *                           sequentially,
+ *  - offsetsAlt/edgesAlt:   the opposite-direction topology for
+ *                           kernels that walk both adjacencies
+ *                           (direction-optimizing BFS, label
+ *                           propagation) — a distinct array in a real
+ *                           execution, so a distinct region here,
+ *  - dataOld/dataNew:       vertex data, the random-access target.
+ */
+
+#ifndef GRAL_CACHESIM_ADDRESS_MAP_H
+#define GRAL_CACHESIM_ADDRESS_MAP_H
+
+#include <cstdint>
+
+#include "cachesim/trace.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** Base addresses of the traversal's arrays in the synthetic address
+ *  space. Regions are spaced far apart so they never alias. */
+struct AddressMap
+{
+    std::uint64_t offsetsBase = 0x10'0000'0000ULL;
+    std::uint64_t edgesBase = 0x20'0000'0000ULL;
+    std::uint64_t dataOldBase = 0x30'0000'0000ULL;
+    std::uint64_t dataNewBase = 0x40'0000'0000ULL;
+    /** Offsets array of the opposite-direction topology (kernels
+     *  walking CSC and CSR in one run). */
+    std::uint64_t offsetsAltBase = 0x50'0000'0000ULL;
+    /** Edges array of the opposite-direction topology. */
+    std::uint64_t edgesAltBase = 0x60'0000'0000ULL;
+
+    /** Address of offsets[v]. */
+    std::uint64_t
+    offsetsAddr(VertexId v) const
+    {
+        return offsetsBase + static_cast<std::uint64_t>(v) * kOffsetBytes;
+    }
+
+    /** Address of edges[e]. */
+    std::uint64_t
+    edgesAddr(EdgeId e) const
+    {
+        return edgesBase + e * kEdgeBytes;
+    }
+
+    /** Address of the old vertex-data element of @p v. */
+    std::uint64_t
+    dataOldAddr(VertexId v) const
+    {
+        return dataOldBase +
+               static_cast<std::uint64_t>(v) * kVertexDataBytes;
+    }
+
+    /** Address of the new vertex-data element of @p v. */
+    std::uint64_t
+    dataNewAddr(VertexId v) const
+    {
+        return dataNewBase +
+               static_cast<std::uint64_t>(v) * kVertexDataBytes;
+    }
+
+    /** Address of offsetsAlt[v] (opposite-direction topology). */
+    std::uint64_t
+    offsetsAltAddr(VertexId v) const
+    {
+        return offsetsAltBase +
+               static_cast<std::uint64_t>(v) * kOffsetBytes;
+    }
+
+    /** Address of edgesAlt[e] (opposite-direction topology). */
+    std::uint64_t
+    edgesAltAddr(EdgeId e) const
+    {
+        return edgesAltBase + e * kEdgeBytes;
+    }
+
+    /** Region classification of an arbitrary address. */
+    AccessRegion regionOf(std::uint64_t addr) const;
+};
+
+/** Trace-generation knobs shared by every kernel's producers. */
+struct TraceOptions
+{
+    /** Simulated parallel threads (per-thread producers; paper
+     *  phase 1). */
+    unsigned numThreads = 8;
+    /** Emit offsets-array accesses (on by default; they are part of
+     *  the real kernel's footprint). */
+    bool traceOffsets = true;
+    /** Emit edges-array accesses. */
+    bool traceEdges = true;
+    /** Synthetic layout. */
+    AddressMap map;
+};
+
+} // namespace gral
+
+#endif // GRAL_CACHESIM_ADDRESS_MAP_H

@@ -29,6 +29,21 @@ enum class AccessRegion : std::uint8_t
     Other,     ///< anything else
 };
 
+/**
+ * Traversal direction an access was issued under. Pull phases gather
+ * over in-edges (CSC), push phases scatter over out-edges (CSR); the
+ * paper's hub analysis (Section VII) contrasts the two, so producers
+ * tag every access and the miss profiler keeps per-phase counters.
+ * None marks accesses with no traversal direction (e.g. synthetic
+ * test records).
+ */
+enum class AccessPhase : std::uint8_t
+{
+    None, ///< no direction attributed
+    Pull, ///< in-edge gather (CSC walk)
+    Push, ///< out-edge scatter (CSR walk)
+};
+
 /** One load or store. */
 struct MemoryAccess
 {
@@ -49,6 +64,9 @@ struct MemoryAccess
     bool isWrite = false;
     /** Logical array classification (drives the ECS scanner). */
     AccessRegion region = AccessRegion::Other;
+    /** Traversal direction the access was issued under (drives the
+     *  per-phase hub miss counters). */
+    AccessPhase phase = AccessPhase::None;
 
     friend bool operator==(const MemoryAccess &,
                            const MemoryAccess &) = default;

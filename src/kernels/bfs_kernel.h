@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Direction-optimizing BFS as a Kernel.
+ *
+ * BFS "selectively traverses edges" (paper Section II-B), so its
+ * access stream depends on runtime state: which rounds ran sparse
+ * (push, CSR) or dense (pull, CSC) and which vertices each round
+ * touched. The kernel runs the real BFS once, then reconstructs the
+ * exact per-round stream from its final state — distances are
+ * assigned exactly once and never change, so the frontier of round r
+ * is precisely the set of vertices with final distance r-1, and the
+ * pull scan's early exit is reproducible from final distances alone.
+ * Push-round accesses walk the primary topology regions and carry
+ * AccessPhase::Push; pull rounds walk the alt topology and carry
+ * AccessPhase::Pull, which is what splits the hub miss counters by
+ * direction (paper Section VII).
+ */
+
+#ifndef GRAL_KERNELS_BFS_KERNEL_H
+#define GRAL_KERNELS_BFS_KERNEL_H
+
+#include "algorithms/traversal.h"
+#include "kernels/kernel.h"
+
+namespace gral
+{
+
+/** Direction-optimizing BFS as an analyzable kernel. */
+class BfsKernel final : public Kernel
+{
+  public:
+    /**
+     * @param source  BFS source; kInvalidVertex (default) picks the
+     *                highest-out-degree vertex (lowest ID on ties).
+     * @param options frontier strategy and dense threshold — PushOnly
+     *                / PullOnly force a single-direction traversal.
+     */
+    explicit BfsKernel(VertexId source = kInvalidVertex,
+                       const BfsOptions &options = {})
+        : options_(options), source_(source)
+    {
+    }
+
+    std::string_view name() const override { return "bfs"; }
+
+    /** Frontier kernel: whether relabeling pays off depends on how
+     *  much of the traversal runs dense, so decide per graph. */
+    RelabelingPlan
+    plan() const override
+    {
+        return {Relabeling::kAutoRelabel};
+    }
+
+    KernelRunInfo run(const Graph &graph) override;
+
+    ProducerSet makeProducers(const Graph &graph,
+                              const TraceOptions &options) override;
+
+    /** Traversal result of the last prepared graph (runs if needed). */
+    const BfsResult &result(const Graph &graph);
+
+  protected:
+    /** Relabel iff the traversal is dominated by dense (SpMV-shaped)
+     *  rounds: denseEdges >= sparseEdges on this graph. */
+    bool resolveAutoRelabel(const Graph &graph) override;
+
+  private:
+    /** Run the traversal and rebuild the depth buckets. */
+    void execute(const Graph &graph);
+
+    /** execute(graph) unless already cached for it. */
+    void prepare(const Graph &graph);
+
+    BfsOptions options_;
+    VertexId source_;
+    VertexId resolvedSource_ = kInvalidVertex;
+    BfsResult bfs_;
+    /** Reached vertices counting-sorted by distance; bucket d is
+     *  byDepth_[depthOffsets_[d] .. depthOffsets_[d + 1]). */
+    std::vector<VertexId> byDepth_;
+    std::vector<std::size_t> depthOffsets_;
+    const Graph *prepared_ = nullptr;
+};
+
+} // namespace gral
+
+#endif // GRAL_KERNELS_BFS_KERNEL_H

@@ -1,0 +1,206 @@
+#include "kernels/pagerank_kernel.h"
+
+#include "graph/partition.h"
+
+namespace gral
+{
+
+namespace
+{
+
+/**
+ * Resumable trace of one thread's share of every PageRank iteration:
+ * the pull read-sum sweep (offsets, [edges, read src(u)]*, store
+ * dst(v)) repeated per iteration with the score buffers ping-ponged —
+ * even iterations read dataOld and write dataNew, odd iterations the
+ * reverse, matching the solver's swap.
+ */
+class PageRankTraceProducer final : public AccessProducer
+{
+  public:
+    PageRankTraceProducer(const Adjacency &adj, unsigned iterations,
+                          VertexRange range, EdgeId range_edges,
+                          const TraceOptions &options)
+        : adj_(adj), options_(options), range_(range),
+          rangeEdges_(range_edges), iterations_(iterations),
+          v_(range.begin)
+    {
+    }
+
+    std::size_t
+    fill(std::span<MemoryAccess> out) override
+    {
+        std::size_t n = 0;
+        while (n < out.size() && next(out[n]))
+            ++n;
+        return n;
+    }
+
+    std::size_t
+    sizeHint() const override
+    {
+        std::size_t per_edge = 1 + (options_.traceEdges ? 1 : 0);
+        std::size_t per_vertex = 2 + (options_.traceOffsets ? 1 : 0);
+        std::size_t per_sweep =
+            static_cast<std::size_t>(rangeEdges_) * per_edge +
+            static_cast<std::size_t>(range_.size()) * per_vertex;
+        return per_sweep * iterations_;
+    }
+
+  private:
+    enum class Stage : std::uint8_t
+    {
+        VertexBegin, ///< entering v: offsets load
+        EdgeTopo,    ///< next edge: edges-array load
+        EdgeData,    ///< random read of the in-neighbour's score
+        Store,       ///< sequential store of v's new score
+    };
+
+    /** Iteration-parity source score address/region. */
+    std::uint64_t
+    srcAddr(VertexId u) const
+    {
+        return iteration_ % 2 == 0 ? options_.map.dataOldAddr(u)
+                                   : options_.map.dataNewAddr(u);
+    }
+
+    AccessRegion
+    srcRegion() const
+    {
+        return iteration_ % 2 == 0 ? AccessRegion::DataOld
+                                   : AccessRegion::DataNew;
+    }
+
+    /** Emit the next access into @p out; false when exhausted. */
+    bool
+    next(MemoryAccess &out)
+    {
+        for (;;) {
+            switch (stage_) {
+              case Stage::VertexBegin:
+                if (v_ >= range_.end) {
+                    if (++iteration_ >= iterations_)
+                        return false;
+                    v_ = range_.begin;
+                    break;
+                }
+                neighbours_ = adj_.neighbours(v_);
+                nbrIndex_ = 0;
+                edge_ = adj_.beginEdge(v_);
+                stage_ = Stage::EdgeTopo;
+                if (options_.traceOffsets) {
+                    out = {options_.map.offsetsAddr(v_),
+                           kInvalidVertex, v_, kOffsetBytes, false,
+                           AccessRegion::Offsets, AccessPhase::Pull};
+                    return true;
+                }
+                break;
+              case Stage::EdgeTopo:
+                if (nbrIndex_ >= neighbours_.size()) {
+                    stage_ = Stage::Store;
+                    break;
+                }
+                stage_ = Stage::EdgeData;
+                if (options_.traceEdges) {
+                    out = {options_.map.edgesAddr(edge_),
+                           kInvalidVertex, v_, kEdgeBytes, false,
+                           AccessRegion::EdgesArr, AccessPhase::Pull};
+                    return true;
+                }
+                break;
+              case Stage::EdgeData: {
+                VertexId u = neighbours_[nbrIndex_++];
+                ++edge_;
+                stage_ = Stage::EdgeTopo;
+                // The random gather RAs target: the in-neighbour's
+                // score from the parity-selected buffer.
+                out = {srcAddr(u), u, v_, kVertexDataBytes, false,
+                       srcRegion(), AccessPhase::Pull};
+                return true;
+              }
+              case Stage::Store: {
+                // Sequential store of the damped sum into the
+                // opposite-parity buffer.
+                bool even = iteration_ % 2 == 0;
+                out = {even ? options_.map.dataNewAddr(v_)
+                            : options_.map.dataOldAddr(v_),
+                       v_, v_, kVertexDataBytes, true,
+                       even ? AccessRegion::DataNew
+                            : AccessRegion::DataOld,
+                       AccessPhase::Pull};
+                ++v_;
+                stage_ = Stage::VertexBegin;
+                return true;
+              }
+            }
+        }
+    }
+
+    const Adjacency &adj_;
+    TraceOptions options_;
+    VertexRange range_;
+    EdgeId rangeEdges_;
+    unsigned iterations_;
+    unsigned iteration_ = 0;
+    VertexId v_;
+    std::span<const VertexId> neighbours_;
+    std::size_t nbrIndex_ = 0;
+    EdgeId edge_ = 0;
+    Stage stage_ = Stage::VertexBegin;
+};
+
+} // namespace
+
+void
+PageRankKernel::prepare(const Graph &graph)
+{
+    if (prepared_ == &graph)
+        return;
+    result_ = pageRank(graph, options_);
+    prepared_ = &graph;
+}
+
+const PageRankResult &
+PageRankKernel::result(const Graph &graph)
+{
+    prepare(graph);
+    return result_;
+}
+
+KernelRunInfo
+PageRankKernel::run(const Graph &graph)
+{
+    // Always execute (run() is the timed real kernel); refresh the
+    // cached state subsequent makeProducers calls reuse.
+    result_ = pageRank(graph, options_);
+    prepared_ = &graph;
+    KernelRunInfo info;
+    info.iterations = result_.iterations;
+    info.checksum = result_.lastDelta;
+    return info;
+}
+
+ProducerSet
+PageRankKernel::makeProducers(const Graph &graph,
+                              const TraceOptions &options)
+{
+    // The real run decides how many sweeps the trace replays.
+    prepare(graph);
+    const unsigned iterations = std::max(1u, result_.iterations);
+
+    std::vector<VertexRange> parts =
+        edgeBalancedPartitions(graph, Direction::In,
+                               options.numThreads);
+    ProducerSet producers;
+    producers.reserve(parts.size());
+    for (VertexRange range : parts) {
+        // One producer per partition at trace setup, not per access.
+        // gral-analyzer: off(hot-path-alloc)
+        producers.push_back(std::make_unique<PageRankTraceProducer>(
+            graph.in(), iterations, range,
+            edgesInRange(graph, Direction::In, range), options));
+    }
+    return producers;
+}
+
+} // namespace gral

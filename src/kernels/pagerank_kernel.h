@@ -1,0 +1,70 @@
+/**
+ * @file
+ * PageRank as a Kernel: iterated pull SpMV with convergence.
+ *
+ * The access stream is the pull sweep repeated once per executed
+ * power iteration with ping-pong score buffers — the real run decides
+ * how many iterations the trace replays, so the stream length follows
+ * the kernel's actual convergence on the analyzed graph.
+ */
+
+#ifndef GRAL_KERNELS_PAGERANK_KERNEL_H
+#define GRAL_KERNELS_PAGERANK_KERNEL_H
+
+#include "algorithms/pagerank.h"
+#include "kernels/kernel.h"
+
+namespace gral
+{
+
+/** Power-iteration PageRank (pull direction) as an analyzable kernel. */
+class PageRankKernel final : public Kernel
+{
+  public:
+    /** Trace length is iterations x |E| random reads, so the kernel's
+     *  default bounds iterations tighter than the solver's default
+     *  while keeping the convergence criterion live. */
+    static PageRankOptions
+    defaultOptions()
+    {
+        PageRankOptions options;
+        options.maxIterations = 20;
+        options.tolerance = 1e-8;
+        return options;
+    }
+
+    explicit PageRankKernel(
+        const PageRankOptions &options = defaultOptions())
+        : options_(options)
+    {
+    }
+
+    std::string_view name() const override { return "pagerank"; }
+
+    /** Full-sweep kernel: relabeling always applies. */
+    RelabelingPlan
+    plan() const override
+    {
+        return {Relabeling::kRelabel};
+    }
+
+    KernelRunInfo run(const Graph &graph) override;
+
+    ProducerSet makeProducers(const Graph &graph,
+                              const TraceOptions &options) override;
+
+    /** Solver result of the last prepared graph (runs it if needed). */
+    const PageRankResult &result(const Graph &graph);
+
+  private:
+    /** Run the solver for @p graph unless already cached for it. */
+    void prepare(const Graph &graph);
+
+    PageRankOptions options_;
+    PageRankResult result_;
+    const Graph *prepared_ = nullptr;
+};
+
+} // namespace gral
+
+#endif // GRAL_KERNELS_PAGERANK_KERNEL_H

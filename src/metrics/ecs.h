@@ -16,9 +16,9 @@
 #include <span>
 
 #include "cachesim/access_stream.h"
+#include "cachesim/address_map.h"
 #include "cachesim/cache.h"
 #include "cachesim/trace.h"
-#include "spmv/trace_gen.h"
 
 namespace gral
 {

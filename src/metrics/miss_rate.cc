@@ -22,6 +22,15 @@ simulateMissProfile(ProducerSet producers,
     result.missesAboveThreshold.assign(options.missThresholds.size(),
                                        0);
 
+    // Per-phase hub views: in-degrees for push targets, out-degrees
+    // for pull reads; either falls back to the accessed view.
+    std::span<const EdgeId> push_hub_degrees =
+        options.pushHubDegrees.empty() ? accessed_degrees
+                                       : options.pushHubDegrees;
+    std::span<const EdgeId> pull_hub_degrees =
+        options.pullHubDegrees.empty() ? accessed_degrees
+                                       : options.pullHubDegrees;
+
     InterleavingScheduler scheduler(std::move(producers),
                                     options.chunkSize);
     ReplayResult replayed = replayStream(
@@ -40,6 +49,25 @@ simulateMissProfile(ProducerSet producers,
                      t < options.missThresholds.size(); ++t)
                     if (accessed > options.missThresholds[t])
                         ++result.missesAboveThreshold[t];
+            }
+            if (access.phase == AccessPhase::None)
+                return;
+            PhaseMissCounters &phase =
+                access.phase == AccessPhase::Push ? result.pushPhase
+                                                  : result.pullPhase;
+            std::span<const EdgeId> hub_degrees =
+                access.phase == AccessPhase::Push ? push_hub_degrees
+                                                  : pull_hub_degrees;
+            ++phase.dataAccesses;
+            if (miss)
+                ++phase.dataMisses;
+            if (options.hubDegreeThreshold != 0 &&
+                access.dataVertex < hub_degrees.size() &&
+                hub_degrees[access.dataVertex] >
+                    options.hubDegreeThreshold) {
+                ++phase.hubAccesses;
+                if (miss)
+                    ++phase.hubMisses;
             }
         },
         0, [](const Cache &) {});

@@ -43,6 +43,58 @@ struct SimulationOptions
      *  (0 disables). Bounded via Cache::enablePselSampling, so long
      *  replays decimate rather than grow. */
     std::uint64_t pselSampleEvery = 4096;
+    /** Hub threshold for the per-phase (push/pull) counters: a data
+     *  access whose hub-view degree strictly exceeds this counts as a
+     *  hub access. 0 disables per-phase hub accounting (the phase
+     *  access/miss totals are still kept). The paper's convention is
+     *  sqrt(|V|) (Section II-A). */
+    EdgeId hubDegreeThreshold = 0;
+    /** Degree view classifying push-phase hub accesses: a push phase
+     *  scatters to its target's accumulator, whose reuse count is the
+     *  *in*-degree, so pass in-degrees here. Empty falls back to the
+     *  accessed_degrees argument. Must outlive the simulation call. */
+    std::span<const EdgeId> pushHubDegrees;
+    /** Degree view classifying pull-phase hub accesses: a pull phase
+     *  reads neighbour data reused once per *out*-edge, so pass
+     *  out-degrees here. Empty falls back to accessed_degrees. */
+    std::span<const EdgeId> pullHubDegrees;
+};
+
+/**
+ * Vertex-data counters of one traversal direction (paper Section VII:
+ * hubs behave differently under push and pull). Filled per
+ * AccessPhase tag; untagged (None) accesses are counted in neither.
+ */
+struct PhaseMissCounters
+{
+    /** Vertex-data accesses issued under this phase. */
+    std::uint64_t dataAccesses = 0;
+    /** Misses among them. */
+    std::uint64_t dataMisses = 0;
+    /** Accesses whose hub-view degree exceeds the threshold. */
+    std::uint64_t hubAccesses = 0;
+    /** Misses among the hub accesses. */
+    std::uint64_t hubMisses = 0;
+
+    /** Miss rate of this phase's vertex-data accesses. */
+    double
+    missRate() const
+    {
+        return dataAccesses == 0
+                   ? 0.0
+                   : static_cast<double>(dataMisses) /
+                         static_cast<double>(dataAccesses);
+    }
+
+    /** Miss rate of this phase's hub accesses. */
+    double
+    hubMissRate() const
+    {
+        return hubAccesses == 0
+                   ? 0.0
+                   : static_cast<double>(hubMisses) /
+                         static_cast<double>(hubAccesses);
+    }
 };
 
 /** Output of simulateMissProfile. */
@@ -71,6 +123,10 @@ struct MissProfileResult
     /** Sampled DRRIP PSEL trajectory (empty when sampling disabled or
      *  the policy is not DRRIP). */
     std::vector<PselSample> pselSamples;
+    /** Push-phase (out-edge scatter) vertex-data counters. */
+    PhaseMissCounters pushPhase;
+    /** Pull-phase (in-edge gather) vertex-data counters. */
+    PhaseMissCounters pullPhase;
     /** Per-set-dueling-class counters, indexed by SetClass. */
     CacheStats classStats[kNumSetClasses];
     /** Peak MemoryAccess records resident during the replay: the

@@ -182,7 +182,8 @@ class IhtlTraceProducer final : public AccessProducer
                 edge_ = flipped_.beginEdge(v_);
                 stage_ = Stage::PushEdge;
                 out = {options_.map.dataOldAddr(v_), v_, v_,
-                       kVertexDataBytes, false, AccessRegion::DataOld};
+                       kVertexDataBytes, false, AccessRegion::DataOld,
+                       AccessPhase::Push};
                 return true;
               case Stage::PushEdge:
                 if (nbrIndex_ >= neighbours_.size()) {
@@ -194,7 +195,7 @@ class IhtlTraceProducer final : public AccessProducer
                 if (options_.traceEdges) {
                     out = {options_.map.edgesAddr(edge_),
                            kInvalidVertex, v_, kEdgeBytes, false,
-                           AccessRegion::EdgesArr};
+                           AccessRegion::EdgesArr, AccessPhase::Push};
                     return true;
                 }
                 break;
@@ -204,7 +205,7 @@ class IhtlTraceProducer final : public AccessProducer
                 stage_ = Stage::PushEdge;
                 out = {options_.map.dataNewAddr(slot), hubs_[slot],
                        v_, kVertexDataBytes, true,
-                       AccessRegion::DataNew};
+                       AccessRegion::DataNew, AccessPhase::Push};
                 return true;
               }
               case Stage::PullVertex:
@@ -221,7 +222,7 @@ class IhtlTraceProducer final : public AccessProducer
                 if (options_.traceOffsets) {
                     out = {options_.map.offsetsAddr(v_),
                            kInvalidVertex, v_, kOffsetBytes, false,
-                           AccessRegion::Offsets};
+                           AccessRegion::Offsets, AccessPhase::Pull};
                     return true;
                 }
                 break;
@@ -237,7 +238,7 @@ class IhtlTraceProducer final : public AccessProducer
                     out = {options_.map.edgesAddr(flipped_.numEdges() +
                                                   edge_),
                            kInvalidVertex, v_, kEdgeBytes, false,
-                           AccessRegion::EdgesArr};
+                           AccessRegion::EdgesArr, AccessPhase::Pull};
                     return true;
                 }
                 break;
@@ -246,14 +247,15 @@ class IhtlTraceProducer final : public AccessProducer
                 ++edge_;
                 stage_ = Stage::PullEdge;
                 out = {options_.map.dataOldAddr(u), u, v_,
-                       kVertexDataBytes, false, AccessRegion::DataOld};
+                       kVertexDataBytes, false, AccessRegion::DataOld,
+                       AccessPhase::Pull};
                 return true;
               }
               case Stage::PullStore:
                 out = {options_.map.dataNewAddr(
                            static_cast<VertexId>(hubs_.size()) + v_),
                        v_, v_, kVertexDataBytes, true,
-                       AccessRegion::DataNew};
+                       AccessRegion::DataNew, AccessPhase::Pull};
                 ++v_;
                 stage_ = Stage::PullVertex;
                 return true;

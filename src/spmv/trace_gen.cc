@@ -5,20 +5,6 @@
 namespace gral
 {
 
-AccessRegion
-AddressMap::regionOf(std::uint64_t addr) const
-{
-    if (addr >= dataNewBase)
-        return AccessRegion::DataNew;
-    if (addr >= dataOldBase)
-        return AccessRegion::DataOld;
-    if (addr >= edgesBase)
-        return AccessRegion::EdgesArr;
-    if (addr >= offsetsBase)
-        return AccessRegion::Offsets;
-    return AccessRegion::Other;
-}
-
 namespace
 {
 
@@ -42,10 +28,11 @@ class SpmvTraceProducer final : public AccessProducer
     };
 
     SpmvTraceProducer(const Adjacency &adj, Kind kind,
-                      VertexRange range, EdgeId range_edges,
-                      const TraceOptions &options)
+                      AccessPhase phase, VertexRange range,
+                      EdgeId range_edges, const TraceOptions &options)
         : adj_(adj), options_(options), range_(range),
-          rangeEdges_(range_edges), kind_(kind), v_(range.begin)
+          rangeEdges_(range_edges), kind_(kind), phase_(phase),
+          v_(range.begin)
     {
     }
 
@@ -94,7 +81,7 @@ class SpmvTraceProducer final : public AccessProducer
                 if (options_.traceOffsets) {
                     out = {options_.map.offsetsAddr(v_),
                            kInvalidVertex, v_, kOffsetBytes, false,
-                           AccessRegion::Offsets};
+                           AccessRegion::Offsets, phase_};
                     return true;
                 }
                 break;
@@ -102,7 +89,8 @@ class SpmvTraceProducer final : public AccessProducer
                 // Sequential load of the source's own (old) data.
                 stage_ = Stage::EdgeTopo;
                 out = {options_.map.dataOldAddr(v_), v_, v_,
-                       kVertexDataBytes, false, AccessRegion::DataOld};
+                       kVertexDataBytes, false, AccessRegion::DataOld,
+                       phase_};
                 return true;
               case Stage::EdgeTopo:
                 if (nbrIndex_ >= neighbours_.size()) {
@@ -118,7 +106,7 @@ class SpmvTraceProducer final : public AccessProducer
                 if (options_.traceEdges) {
                     out = {options_.map.edgesAddr(edge_),
                            kInvalidVertex, v_, kEdgeBytes, false,
-                           AccessRegion::EdgesArr};
+                           AccessRegion::EdgesArr, phase_};
                     return true;
                 }
                 break;
@@ -133,20 +121,21 @@ class SpmvTraceProducer final : public AccessProducer
                     // (write-allocate).
                     out = {options_.map.dataNewAddr(u), u, v_,
                            kVertexDataBytes, true,
-                           AccessRegion::DataNew};
+                           AccessRegion::DataNew, phase_};
                 } else {
                     // The random access RAs target: load neighbour
                     // data.
                     out = {options_.map.dataOldAddr(u), u, v_,
                            kVertexDataBytes, false,
-                           AccessRegion::DataOld};
+                           AccessRegion::DataOld, phase_};
                 }
                 return true;
               }
               case Stage::Store:
                 // Sequential result store.
                 out = {options_.map.dataNewAddr(v_), v_, v_,
-                       kVertexDataBytes, true, AccessRegion::DataNew};
+                       kVertexDataBytes, true, AccessRegion::DataNew,
+                       phase_};
                 ++v_;
                 stage_ = Stage::VertexBegin;
                 return true;
@@ -159,6 +148,7 @@ class SpmvTraceProducer final : public AccessProducer
     VertexRange range_;
     EdgeId rangeEdges_;
     Kind kind_;
+    AccessPhase phase_;
     VertexId v_;
     std::span<const VertexId> neighbours_;
     std::size_t nbrIndex_ = 0;
@@ -166,7 +156,8 @@ class SpmvTraceProducer final : public AccessProducer
     Stage stage_ = Stage::VertexBegin;
 };
 
-/** One producer per edge-balanced partition of @p direction. */
+/** One producer per edge-balanced partition of @p direction. Pull
+ *  phases walk the CSC (In), push phases the CSR (Out). */
 ProducerSet
 makeProducers(const Graph &graph, Direction direction,
               SpmvTraceProducer::Kind kind,
@@ -174,6 +165,9 @@ makeProducers(const Graph &graph, Direction direction,
 {
     const Adjacency &adj =
         direction == Direction::In ? graph.in() : graph.out();
+    const AccessPhase phase = direction == Direction::In
+                                  ? AccessPhase::Pull
+                                  : AccessPhase::Push;
     std::vector<VertexRange> parts =
         edgeBalancedPartitions(graph, direction, options.numThreads);
 
@@ -183,8 +177,8 @@ makeProducers(const Graph &graph, Direction direction,
         // One producer per partition at trace setup, not per access.
         // gral-analyzer: off(hot-path-alloc)
         producers.push_back(std::make_unique<SpmvTraceProducer>(
-            adj, kind, range, edgesInRange(graph, direction, range),
-            options));
+            adj, kind, phase, range,
+            edgesInRange(graph, direction, range), options));
     }
     return producers;
 }

@@ -23,70 +23,13 @@
 #include <vector>
 
 #include "cachesim/access_stream.h"
+#include "cachesim/address_map.h"
 #include "cachesim/trace.h"
 #include "graph/degree.h"
 #include "graph/graph.h"
 
 namespace gral
 {
-
-/** Base addresses of the traversal's arrays in the synthetic address
- *  space. Regions are spaced far apart so they never alias. */
-struct AddressMap
-{
-    std::uint64_t offsetsBase = 0x10'0000'0000ULL;
-    std::uint64_t edgesBase = 0x20'0000'0000ULL;
-    std::uint64_t dataOldBase = 0x30'0000'0000ULL;
-    std::uint64_t dataNewBase = 0x40'0000'0000ULL;
-
-    /** Address of offsets[v]. */
-    std::uint64_t
-    offsetsAddr(VertexId v) const
-    {
-        return offsetsBase + static_cast<std::uint64_t>(v) * kOffsetBytes;
-    }
-
-    /** Address of edges[e]. */
-    std::uint64_t
-    edgesAddr(EdgeId e) const
-    {
-        return edgesBase + e * kEdgeBytes;
-    }
-
-    /** Address of the old vertex-data element of @p v. */
-    std::uint64_t
-    dataOldAddr(VertexId v) const
-    {
-        return dataOldBase +
-               static_cast<std::uint64_t>(v) * kVertexDataBytes;
-    }
-
-    /** Address of the new vertex-data element of @p v. */
-    std::uint64_t
-    dataNewAddr(VertexId v) const
-    {
-        return dataNewBase +
-               static_cast<std::uint64_t>(v) * kVertexDataBytes;
-    }
-
-    /** Region classification of an arbitrary address. */
-    AccessRegion regionOf(std::uint64_t addr) const;
-};
-
-/** Trace-generation knobs. */
-struct TraceOptions
-{
-    /** Simulated parallel threads (per-thread producers; paper
-     *  phase 1). */
-    unsigned numThreads = 8;
-    /** Emit offsets-array accesses (on by default; they are part of
-     *  the real kernel's footprint). */
-    bool traceOffsets = true;
-    /** Emit edges-array accesses. */
-    bool traceEdges = true;
-    /** Synthetic layout. */
-    AddressMap map;
-};
 
 /**
  * Streaming *pull* SpMV instrumentation (Algorithm 1): one resumable

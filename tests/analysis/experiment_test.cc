@@ -106,21 +106,86 @@ TEST(Experiment, RecordedMetricsExportAsValidJson)
 
     MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
     EXPECT_TRUE(snapshot.gauges.contains(
-        "experiment/DegreeSort/traversal_ms"));
+        "experiment/spmv/DegreeSort/traversal_ms"));
     EXPECT_TRUE(snapshot.gauges.contains(
-        "experiment/DegreeSort/l3_miss_rate"));
+        "experiment/spmv/DegreeSort/l3_miss_rate"));
+    EXPECT_TRUE(snapshot.gauges.contains(
+        "experiment/spmv/DegreeSort/pull_hub_miss_rate"));
     EXPECT_TRUE(snapshot.histograms.contains(
-        "experiment/DegreeSort/thread_idle_percent"));
+        "experiment/spmv/DegreeSort/thread_idle_percent"));
     EXPECT_TRUE(snapshot.series.contains(
-        "experiment/DegreeSort/psel"));
+        "experiment/spmv/DegreeSort/psel"));
     EXPECT_FALSE(
-        snapshot.series.at("experiment/DegreeSort/psel").empty());
+        snapshot.series.at("experiment/spmv/DegreeSort/psel")
+            .empty());
 
     std::string json = snapshot.toJson();
     std::string error;
     EXPECT_TRUE(jsonValidate(json, &error)) << error;
-    EXPECT_NE(json.find("experiment/DegreeSort/psel"),
+    EXPECT_NE(json.find("experiment/spmv/DegreeSort/psel"),
               std::string::npos);
+}
+
+TEST(Experiment, KernelAxisRunsEveryRegisteredKernel)
+{
+    Graph base = makeDataset("twtr-s", 0.015);
+    for (const std::string &kernel : kernelNames()) {
+        ExperimentOptions options = tinyOptions();
+        options.kernel = kernel;
+        options.runTiming = false;
+        RaExperimentResult result =
+            runRaExperiment(base, "SB", options);
+        EXPECT_EQ(result.kernel, kernel);
+        EXPECT_GE(result.kernelRun.iterations, 1u) << kernel;
+        EXPECT_GT(result.profile.dataAccesses, 0u) << kernel;
+        EXPECT_GT(result.profile.cache.accesses(), 0u) << kernel;
+        // Acceptance bound: every kernel's trace path streams, so
+        // peak resident trace memory is the scheduler's chunk
+        // buffer, never the materialized trace.
+        EXPECT_LE(result.profile.peakResidentAccesses,
+                  options.sim.chunkSize)
+            << kernel;
+    }
+}
+
+TEST(Experiment, KernelTimingUsesRealRuns)
+{
+    Graph base = makeDataset("twtr-s", 0.015);
+    ExperimentOptions options = tinyOptions();
+    options.kernel = "cc";
+    options.runSimulation = false;
+    RaExperimentResult result = runRaExperiment(base, "Bl", options);
+    EXPECT_GT(result.traversalMs, 0.0);
+    EXPECT_GE(result.kernelRun.iterations, 1u);
+}
+
+TEST(Experiment, BfsReportsPerDirectionCounters)
+{
+    Graph base = makeDataset("sk-s", 0.02);
+    ExperimentOptions options = tinyOptions();
+    options.kernel = "bfs";
+    options.runTiming = false;
+    RaExperimentResult result = runRaExperiment(base, "Bl", options);
+
+    const PhaseMissCounters &push = result.profile.pushPhase;
+    const PhaseMissCounters &pull = result.profile.pullPhase;
+    // Every BFS vertex-data access is direction-tagged.
+    EXPECT_EQ(push.dataAccesses + pull.dataAccesses,
+              result.profile.dataAccesses);
+    EXPECT_GT(push.dataAccesses + pull.dataAccesses, 0u);
+    EXPECT_LE(push.hubAccesses, push.dataAccesses);
+    EXPECT_LE(pull.hubAccesses, pull.dataAccesses);
+    EXPECT_LE(push.hubMisses, push.hubAccesses);
+    EXPECT_LE(pull.hubMisses, pull.hubAccesses);
+}
+
+TEST(Experiment, UnknownKernelNameThrows)
+{
+    Graph base = makeDataset("twtr-s", 0.01);
+    ExperimentOptions options = tinyOptions();
+    options.kernel = "nope";
+    EXPECT_THROW(runRaExperiment(base, "Bl", options),
+                 std::invalid_argument);
 }
 
 TEST(Experiment, RandomOrderHurtsSimulatedLocality)

@@ -90,6 +90,23 @@ TEST(IncludeGraph, AllowedIncludesMatchTheDag)
     ASSERT_NE(analysis, nullptr);
     EXPECT_TRUE(analysis->count("graph"));
     EXPECT_TRUE(analysis->count("metrics"));
+    EXPECT_TRUE(analysis->count("kernels"));
+
+    const std::set<std::string> *kernels = allowedIncludes("kernels");
+    ASSERT_NE(kernels, nullptr);
+    EXPECT_TRUE(kernels->count("algorithms"));
+    EXPECT_TRUE(kernels->count("spmv"));
+    EXPECT_TRUE(kernels->count("cachesim"));
+    EXPECT_FALSE(kernels->count("metrics"));
+    EXPECT_FALSE(kernels->count("analysis"));
+
+    // De-welded: the metrics layer is kernel-agnostic and may not
+    // reach back into any workload module.
+    const std::set<std::string> *metrics = allowedIncludes("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_TRUE(metrics->count("cachesim"));
+    EXPECT_FALSE(metrics->count("spmv"));
+    EXPECT_FALSE(metrics->count("kernels"));
 }
 
 TEST(IncludeGraph, ResolvesSrcPrefixedTargets)

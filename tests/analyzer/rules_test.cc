@@ -1,10 +1,11 @@
 /**
  * @file
- * Rule-engine fixtures. The convention-rule table mirrors the
- * SELF_TEST_CASES in tools/lint/gral_lint.py (the equivalence ctest
- * checks the two implementations agree on shared on-disk fixtures;
- * this file unit-tests the C++ side directly, plus the rules that
- * only exist here: hot-path-*, check-side-effect, raw-new).
+ * Rule-engine fixtures. The convention-rule table descends from the
+ * SELF_TEST_CASES of the retired Python linter (an equivalence ctest
+ * proved the two implementations agreed before the shim was
+ * removed); this file unit-tests the analyzer directly, plus the
+ * rules that only ever existed here: hot-path-*, check-side-effect,
+ * raw-new.
  */
 
 #include <gtest/gtest.h>

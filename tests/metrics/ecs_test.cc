@@ -7,6 +7,7 @@
 
 #include "graph/generators.h"
 #include "metrics/ecs.h"
+#include "spmv/trace_gen.h"
 
 namespace gral
 {

@@ -152,6 +152,88 @@ TEST(MissProfile, StreamingPeakMemoryBoundedByChunk)
               vector_result.totalAccesses);
 }
 
+// --------------------------------------------- per-phase counters
+
+/** A vertex-data access with an explicit direction tag. */
+MemoryAccess
+taggedAccess(std::uint64_t addr, VertexId vertex, AccessPhase phase)
+{
+    MemoryAccess access;
+    access.addr = addr;
+    access.dataVertex = vertex;
+    access.ownerVertex = vertex;
+    access.region = AccessRegion::DataOld;
+    access.phase = phase;
+    return access;
+}
+
+TEST(MissProfile, PhaseCountersSplitByTagAndDegreeView)
+{
+    // v0 is a hub under the push view only, v1 under the pull view
+    // only (threshold 3, strictly exceeded).
+    std::vector<EdgeId> push_deg = {9, 1};
+    std::vector<EdgeId> pull_deg = {1, 9};
+    std::vector<EdgeId> plain_deg = {1, 1};
+
+    std::vector<ThreadTrace> traces(1);
+    traces[0] = {
+        taggedAccess(0, 0, AccessPhase::Push),
+        taggedAccess(64, 1, AccessPhase::Push),
+        taggedAccess(128, 0, AccessPhase::Pull),
+        taggedAccess(192, 1, AccessPhase::Pull),
+        taggedAccess(256, 0, AccessPhase::None),
+    };
+
+    SimulationOptions options = smallSim();
+    options.simulateTlb = false;
+    options.hubDegreeThreshold = 3;
+    options.pushHubDegrees = push_deg;
+    options.pullHubDegrees = pull_deg;
+    auto result =
+        simulateMissProfile(traces, plain_deg, plain_deg, options);
+
+    // Untagged accesses count toward the aggregate but to neither
+    // phase.
+    EXPECT_EQ(result.dataAccesses, 5u);
+    EXPECT_EQ(result.pushPhase.dataAccesses, 2u);
+    EXPECT_EQ(result.pullPhase.dataAccesses, 2u);
+
+    // Hub classification follows the per-phase degree view.
+    EXPECT_EQ(result.pushPhase.hubAccesses, 1u); // v0: push_deg 9
+    EXPECT_EQ(result.pullPhase.hubAccesses, 1u); // v1: pull_deg 9
+
+    // Distinct cache lines: every access is a compulsory miss, so
+    // the phase miss counters are exact.
+    EXPECT_EQ(result.pushPhase.dataMisses, 2u);
+    EXPECT_EQ(result.pullPhase.dataMisses, 2u);
+    EXPECT_EQ(result.pushPhase.hubMisses, 1u);
+    EXPECT_EQ(result.pullPhase.hubMisses, 1u);
+    EXPECT_DOUBLE_EQ(result.pushPhase.missRate(), 1.0);
+    EXPECT_DOUBLE_EQ(result.pushPhase.hubMissRate(), 1.0);
+
+    // Empty phase views fall back to accessed_degrees: under
+    // plain_deg (all 1) nothing is a hub, but phase totals remain.
+    SimulationOptions fallback = smallSim();
+    fallback.simulateTlb = false;
+    fallback.hubDegreeThreshold = 3;
+    auto no_hubs =
+        simulateMissProfile(traces, plain_deg, plain_deg, fallback);
+    EXPECT_EQ(no_hubs.pushPhase.dataAccesses, 2u);
+    EXPECT_EQ(no_hubs.pushPhase.hubAccesses, 0u);
+    EXPECT_EQ(no_hubs.pullPhase.hubAccesses, 0u);
+
+    // Threshold 0 disables hub accounting entirely.
+    SimulationOptions disabled = smallSim();
+    disabled.simulateTlb = false;
+    disabled.pushHubDegrees = push_deg;
+    disabled.pullHubDegrees = pull_deg;
+    auto off =
+        simulateMissProfile(traces, plain_deg, plain_deg, disabled);
+    EXPECT_EQ(off.pushPhase.dataAccesses, 2u);
+    EXPECT_EQ(off.pushPhase.hubAccesses, 0u);
+    EXPECT_EQ(off.pullPhase.hubAccesses, 0u);
+}
+
 TEST(MissProfile, TlbCanBeDisabled)
 {
     Graph graph = makeGrid(10, 10);

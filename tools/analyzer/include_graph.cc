@@ -80,12 +80,15 @@ allowedIncludes(const std::string &module)
         {"reorder", {"reorder", "graph", "common", "obs"}},
         {"spmv", {"spmv", "cachesim", "graph", "common", "obs"}},
         {"metrics",
-         {"metrics", "spmv", "cachesim", "graph", "common", "obs"}},
+         {"metrics", "cachesim", "graph", "common", "obs"}},
         {"algorithms",
          {"algorithms", "spmv", "cachesim", "graph", "common", "obs"}},
+        {"kernels",
+         {"kernels", "algorithms", "spmv", "cachesim", "graph",
+          "common", "obs"}},
         {"analysis",
-         {"analysis", "algorithms", "metrics", "reorder", "spmv",
-          "cachesim", "graph", "common", "obs"}},
+         {"analysis", "kernels", "algorithms", "metrics", "reorder",
+          "spmv", "cachesim", "graph", "common", "obs"}},
     };
     auto it = kDag.find(module);
     return it == kDag.end() ? nullptr : &it->second;

@@ -220,8 +220,8 @@ checkHotPath(const std::string &path, const LexedFile &lexed,
         if (std::regex_search(lexed.lines[i], match, alloc))
             emit(findings, lexed, path, line, matchColumn(match),
                  "hot-path-alloc",
-                 "allocation inside a simulator/SpMV loop; hoist or "
-                 "reserve outside the loop");
+                 "allocation inside a simulator/kernel loop; hoist "
+                 "or reserve outside the loop");
     }
 }
 
@@ -479,13 +479,13 @@ ruleCatalogue()
          "assignment: dchecks compile out in Release builds"},
         {"hot-path-alloc",
          "no allocation (new/make_unique/make_shared) inside loop "
-         "bodies in src/cachesim and src/spmv"},
+         "bodies in src/cachesim, src/spmv and src/kernels"},
         {"hot-path-metrics",
          "no MetricsRegistry name lookup inside loop bodies in "
-         "src/cachesim and src/spmv; hoist the handle"},
+         "src/cachesim, src/spmv and src/kernels; hoist the handle"},
         {"hot-path-span",
-         "no GRAL_SPAN inside loop bodies in src/cachesim and "
-         "src/spmv"},
+         "no GRAL_SPAN inside loop bodies in src/cachesim, src/spmv "
+         "and src/kernels"},
         {"include-cycle",
          "the repo-local include graph must be a DAG"},
         {"include-guard",
@@ -527,7 +527,8 @@ runFileRules(const std::string &path, const LexedFile &lexed,
         (path.substr(path.size() - 2) == ".h" ||
          (path.size() > 4 && path.substr(path.size() - 4) == ".hpp"));
     const bool hotPath = startsWith(path, "src/cachesim/") ||
-                         startsWith(path, "src/spmv/");
+                         startsWith(path, "src/spmv/") ||
+                         startsWith(path, "src/kernels/");
 
     if (endlScope)
         checkStdEndl(path, lexed, findings);

@@ -16,8 +16,8 @@
  *   hot-path-metrics  MetricsRegistry name lookups, GRAL_SPAN, and
  *   hot-path-span     allocation-y constructs (new / make_unique /
  *   hot-path-alloc    make_shared) lexically inside loop bodies in
- *                     src/cachesim and src/spmv — the simulator and
- *                     SpMV hot paths;
+ *                     src/cachesim, src/spmv and src/kernels — the
+ *                     simulator and kernel hot paths;
  *
  *   check-side-effect GRAL_CHECK/GRAL_DCHECK conditions containing
  *                     ++/--/assignment (dchecks compile out in
@@ -65,7 +65,8 @@ const std::vector<RuleInfo> &ruleCatalogue();
  * Run every per-file rule applicable to @p path over @p lexed and
  * append findings. Scoping mirrors the module layout:
  *   - src/ subtree: all convention + API-misuse rules
- *   - src/cachesim, src/spmv: additionally the hot-path rules
+ *   - src/cachesim, src/spmv, src/kernels: additionally the
+ *     hot-path rules
  *   - tools/, bench/, examples/: std-endl only
  * Suppressions (`// gral-analyzer: off(rule)`) are applied here.
  */

@@ -10,7 +10,9 @@
  *                                                permutation file
  *   metrics   <graph>                            locality metrics
  *   simulate  <graph> [cacheKB]                  SpMV cache simulation
- *   experiment <graph> [RAs] [cacheKB]           full per-RA pipeline
+ *   experiment [--kernel=K] <graph> [RAs] [cacheKB]
+ *                                                full per-(kernel, RA)
+ *                                                pipeline
  *
  * Global flags (any subcommand, stripped before dispatch):
  *   --metrics-out=FILE.json   write a MetricsRegistry snapshot
@@ -35,6 +37,7 @@
 #include "graph/degree.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "kernels/kernel.h"
 #include "metrics/aid.h"
 #include "metrics/asymmetricity.h"
 #include "metrics/ecs.h"
@@ -289,19 +292,34 @@ cmdSimulate(int argc, char **argv)
 int
 cmdExperiment(int argc, char **argv)
 {
-    if (argc < 1) {
-        std::cerr << "usage: gral experiment <graph> [RA,RA,...] "
-                     "[cacheKB]\nRAs:";
+    // Strip --kernel=NAME before the positional arguments.
+    std::string kernel = "spmv";
+    std::vector<char *> positional;
+    for (int i = 0; i < argc; ++i) {
+        constexpr const char *kFlag = "--kernel=";
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+            kernel = argv[i] + std::strlen(kFlag);
+        else
+            positional.push_back(argv[i]);
+    }
+    if (positional.empty()) {
+        std::cerr << "usage: gral experiment [--kernel=K] <graph> "
+                     "[RA,RA,...] [cacheKB]\nkernels:";
+        for (const std::string &name : kernelNames())
+            std::cerr << " " << name;
+        std::cerr << "\nRAs:";
         for (const std::string &name : reordererNames())
             std::cerr << " " << name;
         std::cerr << "\n";
         return 2;
     }
-    Graph graph = load(argv[0]);
-    std::string ra_list = argc >= 2 ? argv[1] : "Bl,SB,GO,RO";
+    Graph graph = load(positional[0]);
+    std::string ra_list =
+        positional.size() >= 2 ? positional[1] : "Bl,SB,GO,RO";
     std::uint64_t cache_kb =
-        argc >= 3 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
-                  : 128;
+        positional.size() >= 3
+            ? static_cast<std::uint64_t>(std::atoll(positional[2]))
+            : 128;
 
     std::vector<std::string> ras;
     for (std::size_t start = 0; start <= ra_list.size();) {
@@ -321,6 +339,7 @@ cmdExperiment(int argc, char **argv)
     // the DRRIP duel; PSEL is sampled densely because these runs are
     // short.
     ExperimentOptions options;
+    options.kernel = kernel;
     options.sim.cache.sizeBytes = cache_kb * 1024;
     options.sim.cache.associativity = 8;
     options.sim.tlb = stlb4kConfig();
@@ -329,22 +348,24 @@ cmdExperiment(int argc, char **argv)
     options.sim.pselSampleEvery = 1024;
     options.timingRepeats = 2;
 
-    TextTable table({"RA", "Preproc s", "Time ms", "Idle %",
-                     "Max idle %", "Steals", "L3 miss %",
+    std::cout << "kernel: " << kernel << "\n";
+    TextTable table({"RA", "Relab", "Iters", "Preproc s", "Time ms",
+                     "L3 miss %", "Push hub miss", "Pull hub miss",
                      "PSEL samples"});
     for (const std::string &ra : ras) {
         GRAL_LOG(info) << "running experiment cell"
-                       << logField("ra", ra);
+                       << logField("ra", ra)
+                       << logField("kernel", kernel);
         RaExperimentResult result = runRaExperiment(graph, ra, options);
         recordExperimentMetrics(result);
         table.addRow(
-            {result.ra,
+            {result.ra, result.relabeled ? "yes" : "no",
+             formatCount(result.kernelRun.iterations),
              formatDouble(result.reorderStats.preprocessSeconds, 3),
              formatDouble(result.traversalMs, 2),
-             formatDouble(result.idlePercent, 1),
-             formatDouble(result.traversal.maxIdlePercent(), 1),
-             formatCount(result.traversal.steals),
              formatDouble(100.0 * result.profile.cache.missRate(), 2),
+             formatCount(result.profile.pushPhase.hubMisses),
+             formatCount(result.profile.pullPhase.hubMisses),
              formatCount(result.profile.pselSamples.size())});
     }
     table.print(std::cout);
