@@ -1,0 +1,108 @@
+/**
+ * @file
+ * gral-analyzer incremental-cache baseline: cold vs warm wall time.
+ *
+ * Not a paper artefact — this records the analyzer's own perf
+ * contract: a warm run over an unchanged tree must lex nothing,
+ * analyze 0 files, and finish at least 5x faster than the cold run
+ * that populated the cache (the diff-aware CI job depends on this).
+ * Run from the repo root:
+ *
+ *   build/bench/analyzer_baseline [--root DIR] [--out FILE]
+ *
+ * and commit the JSON as bench/baselines/BENCH_analyzer.json.
+ * Exit code 1 when the warm run analyzed files or missed the 5x bar.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analyzer/analyzer.h"
+
+using namespace gral::analyzer;
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string out = "BENCH_analyzer.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc)
+            root = argv[++i];
+        else if (arg == "--out" && i + 1 < argc)
+            out = argv[++i];
+    }
+
+    SourceTree tree = loadTree(root);
+    if (tree.empty()) {
+        std::cerr << "analyzer_baseline: no analyzable files under "
+                  << root << " (run from the repo root)\n";
+        return 1;
+    }
+
+    Cache cache;
+    AnalyzeOptions options;
+    options.cache = &cache;
+
+    auto cold_start = std::chrono::steady_clock::now();
+    AnalysisResult cold = analyzeTree(tree, Baseline(), options);
+    double cold_ms = msSince(cold_start);
+
+    // Best of three warm runs: the cache is hot, nothing changed.
+    double warm_ms = 0.0;
+    std::size_t warm_analyzed = 0;
+    for (int run = 0; run < 3; ++run) {
+        auto warm_start = std::chrono::steady_clock::now();
+        AnalysisResult warm = analyzeTree(tree, Baseline(), options);
+        double ms = msSince(warm_start);
+        if (run == 0 || ms < warm_ms)
+            warm_ms = ms;
+        warm_analyzed = warm.filesAnalyzed;
+    }
+    double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+    std::ofstream json(out, std::ios::binary);
+    json << "{\n"
+         << "  \"files\": " << cold.filesScanned << ",\n"
+         << "  \"cold_files_analyzed\": " << cold.filesAnalyzed
+         << ",\n"
+         << "  \"warm_files_analyzed\": " << warm_analyzed << ",\n"
+         << "  \"cold_ms\": " << cold_ms << ",\n"
+         << "  \"warm_ms\": " << warm_ms << ",\n"
+         << "  \"speedup\": " << speedup << "\n"
+         << "}\n";
+
+    std::cout << "analyzer_baseline: " << cold.filesScanned
+              << " files; cold " << cold_ms << " ms, warm " << warm_ms
+              << " ms (best of 3), speedup " << speedup << "x, warm "
+              << warm_analyzed << " file(s) analyzed -> " << out
+              << "\n";
+
+    if (warm_analyzed != 0) {
+        std::cerr << "analyzer_baseline: warm run re-analyzed "
+                  << warm_analyzed << " file(s); cache is broken\n";
+        return 1;
+    }
+    if (speedup < 5.0) {
+        std::cerr << "analyzer_baseline: warm speedup " << speedup
+                  << "x is below the 5x contract\n";
+        return 1;
+    }
+    return 0;
+}

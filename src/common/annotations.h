@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Thread-safety annotation macros, checked by gral-analyzer.
+ *
+ * `GRAL_GUARDED_BY(mutex)` on a data member declares that the member
+ * may only be read or written while `mutex` is held.
+ * `GRAL_REQUIRES(mutex)` on a member function declares that callers
+ * must already hold `mutex` when invoking it.
+ *
+ * Both macros expand to nothing: the compiler never sees them, so
+ * they impose no toolchain requirement and no ABI effect. Enforcement
+ * is static, by the in-repo analyzer (tools/analyzer/concurrency.cc),
+ * which reads the annotations verbatim from the unpreprocessed token
+ * stream — a field access outside a scope that locks the named mutex
+ * (via std::lock_guard/scoped_lock/unique_lock/shared_lock, a manual
+ * .lock(), or a GRAL_REQUIRES contract on the enclosing function) is
+ * a `guarded-by` diagnostic. See DESIGN.md "Static analysis layer".
+ *
+ * Usage:
+ *
+ *   class Series
+ *   {
+ *       mutable std::mutex mutex_;
+ *       std::vector<double> samples_ GRAL_GUARDED_BY(mutex_);
+ *
+ *       void compactLocked() GRAL_REQUIRES(mutex_);
+ *   };
+ */
+
+#ifndef GRAL_COMMON_ANNOTATIONS_H
+#define GRAL_COMMON_ANNOTATIONS_H
+
+#define GRAL_GUARDED_BY(mutex)
+#define GRAL_REQUIRES(mutex)
+
+#endif // GRAL_COMMON_ANNOTATIONS_H

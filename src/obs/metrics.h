@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace gral
 {
 
@@ -189,10 +191,10 @@ class Series
 
   private:
     mutable std::mutex mutex_;
-    std::vector<Sample> samples_;
+    std::vector<Sample> samples_ GRAL_GUARDED_BY(mutex_);
     std::size_t capacity_;
-    std::uint64_t stride_ = 1;
-    std::uint64_t offered_ = 0;
+    std::uint64_t stride_ GRAL_GUARDED_BY(mutex_) = 1;
+    std::uint64_t offered_ GRAL_GUARDED_BY(mutex_) = 0;
 };
 
 /** Aggregated registry state at one point in time. */
@@ -239,10 +241,14 @@ class MetricsRegistry
 
   private:
     mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-    std::map<std::string, std::unique_ptr<Series>> series_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        GRAL_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        GRAL_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        GRAL_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Series>> series_
+        GRAL_GUARDED_BY(mutex_);
 };
 
 } // namespace gral

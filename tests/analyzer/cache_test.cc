@@ -1,0 +1,218 @@
+// Incremental cache tests: the text format round-trip, hash-based
+// invalidation, include-graph expansion, and --files selection.
+
+#include "analyzer/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.h"
+
+namespace gral::analyzer
+{
+namespace
+{
+
+SourceTree
+smallTree()
+{
+    return {
+        {"src/obs/val.h", R"(#ifndef GRAL_OBS_VAL_H
+#define GRAL_OBS_VAL_H
+class Val
+{
+    void bump();
+    std::mutex mutex_;
+    int count_ GRAL_GUARDED_BY(mutex_);
+};
+#endif // GRAL_OBS_VAL_H
+)"},
+        {"src/obs/val.cc", R"(#include "obs/val.h"
+void
+Val::bump()
+{
+    count_ += 1;
+}
+)"},
+        {"src/graph/other.cc", R"(int other() { return 1; }
+)"},
+    };
+}
+
+std::size_t
+countRule(const AnalysisResult &analysis, std::string_view rule)
+{
+    std::size_t n = 0;
+    for (const SarifResult &result : analysis.results)
+        n += result.finding.rule == rule;
+    return n;
+}
+
+TEST(CacheTest, ContentHashIsStableAndSensitive)
+{
+    EXPECT_EQ(contentHash("abc"), contentHash("abc"));
+    EXPECT_NE(contentHash("abc"), contentHash("abd"));
+    EXPECT_NE(contentHash(""), contentHash("\n"));
+}
+
+TEST(CacheTest, RenderParseRoundTrip)
+{
+    Cache cache;
+    CacheEntry &entry = cache.entries["src/a b.cc"];
+    entry.hash = 0xdeadbeef12345678ull;
+    entry.includes.push_back({"obs/val.h", 3});
+    entry.includeLines.push_back("#include \"obs/val.h\"");
+    entry.suppressions[7] = {"guarded-by", "std-endl"};
+    entry.suppressions[9] = {"*"};
+    CachedFinding cached;
+    cached.finding = {"src/a b.cc", 12, 5, "std-endl",
+                      "message with\ttab and\nnewline"};
+    cached.finding.fixits.push_back({42, 3, "'\\n'"});
+    cached.strippedLine = "    std::cout << std::endl;";
+    entry.findings.push_back(cached);
+
+    Cache parsed = Cache::parse(cache.render());
+    ASSERT_EQ(parsed.entries.size(), 1u);
+    const CacheEntry &back = parsed.entries.at("src/a b.cc");
+    EXPECT_EQ(back.hash, entry.hash);
+    ASSERT_EQ(back.includes.size(), 1u);
+    EXPECT_EQ(back.includes[0].target, "obs/val.h");
+    EXPECT_EQ(back.includes[0].line, 3);
+    EXPECT_EQ(back.includeLineAt(3), "#include \"obs/val.h\"");
+    EXPECT_TRUE(back.isSuppressed(7, "guarded-by"));
+    EXPECT_FALSE(back.isSuppressed(7, "raw-new"));
+    EXPECT_TRUE(back.isSuppressed(9, "anything"));
+    ASSERT_EQ(back.findings.size(), 1u);
+    EXPECT_EQ(back.findings[0].finding.message,
+              "message with\ttab and\nnewline");
+    EXPECT_EQ(back.findings[0].finding.path, "src/a b.cc");
+    ASSERT_EQ(back.findings[0].finding.fixits.size(), 1u);
+    EXPECT_EQ(back.findings[0].finding.fixits[0].offset, 42u);
+    EXPECT_EQ(back.findings[0].strippedLine,
+              "    std::cout << std::endl;");
+}
+
+TEST(CacheTest, VersionMismatchParsesEmpty)
+{
+    EXPECT_TRUE(Cache::parse("gral-analyzer-cache v1\n")
+                    .entries.empty());
+    EXPECT_TRUE(Cache::parse("garbage").entries.empty());
+    EXPECT_TRUE(Cache::parse("").entries.empty());
+}
+
+TEST(CacheTest, WarmRunAnalyzesNothingAndKeepsFindings)
+{
+    SourceTree tree = smallTree();
+    Cache cache;
+    AnalyzeOptions options;
+    options.cache = &cache;
+
+    AnalysisResult cold = analyzeTree(tree, Baseline(), options);
+    EXPECT_EQ(cold.filesAnalyzed, 3u);
+    std::size_t coldGuarded = countRule(cold, "guarded-by");
+    EXPECT_EQ(coldGuarded, 1u); // val.cc bumps count_ unlocked
+
+    AnalysisResult warm = analyzeTree(tree, Baseline(), options);
+    EXPECT_EQ(warm.filesAnalyzed, 0u);
+    EXPECT_EQ(warm.results.size(), cold.results.size());
+    EXPECT_EQ(countRule(warm, "guarded-by"), coldGuarded);
+}
+
+TEST(CacheTest, CacheSurvivesSerialization)
+{
+    SourceTree tree = smallTree();
+    Cache cache;
+    AnalyzeOptions options;
+    options.cache = &cache;
+    analyzeTree(tree, Baseline(), options);
+
+    Cache reloaded = Cache::parse(cache.render());
+    AnalyzeOptions warmOptions;
+    warmOptions.cache = &reloaded;
+    AnalysisResult warm = analyzeTree(tree, Baseline(), warmOptions);
+    EXPECT_EQ(warm.filesAnalyzed, 0u);
+    EXPECT_EQ(countRule(warm, "guarded-by"), 1u);
+}
+
+TEST(CacheTest, HeaderEditInvalidatesIncludingSource)
+{
+    SourceTree tree = smallTree();
+    Cache cache;
+    AnalyzeOptions options;
+    options.cache = &cache;
+    analyzeTree(tree, Baseline(), options);
+
+    // Touch the header only (comment keeps semantics identical).
+    tree[0].content += "// touched\n";
+    AnalysisResult incremental =
+        analyzeTree(tree, Baseline(), options);
+    // Header + its includer re-analyze; other.cc stays cached.
+    EXPECT_EQ(incremental.filesAnalyzed, 2u);
+    EXPECT_EQ(countRule(incremental, "guarded-by"), 1u);
+}
+
+TEST(CacheTest, SourceEditDoesNotInvalidateSiblings)
+{
+    SourceTree tree = smallTree();
+    Cache cache;
+    AnalyzeOptions options;
+    options.cache = &cache;
+    analyzeTree(tree, Baseline(), options);
+
+    tree[2].content = "int other() { return 2; }\n";
+    AnalysisResult incremental =
+        analyzeTree(tree, Baseline(), options);
+    EXPECT_EQ(incremental.filesAnalyzed, 1u);
+}
+
+TEST(CacheTest, SelectionRestrictsAnalysisButKeepsCached)
+{
+    SourceTree tree = smallTree();
+    Cache cache;
+    AnalyzeOptions options;
+    options.cache = &cache;
+    analyzeTree(tree, Baseline(), options);
+
+    // Edit both leaf sources, but select only other.cc.
+    tree[1].content += "// touched\n";
+    tree[2].content += "// touched\n";
+    AnalyzeOptions selected;
+    selected.cache = &cache;
+    selected.selectFiles = {"src/graph/other.cc"};
+    AnalysisResult partial =
+        analyzeTree(tree, Baseline(), selected);
+    EXPECT_EQ(partial.filesAnalyzed, 1u);
+    // val.cc was dirty but unselected: its stale findings are not
+    // reported and its cache entry is dropped...
+    EXPECT_EQ(countRule(partial, "guarded-by"), 0u);
+    EXPECT_EQ(cache.entries.count("src/obs/val.cc"), 0u);
+
+    // ...so the next unrestricted run re-analyzes it.
+    AnalyzeOptions unrestricted;
+    unrestricted.cache = &cache;
+    AnalysisResult full =
+        analyzeTree(tree, Baseline(), unrestricted);
+    EXPECT_EQ(full.filesAnalyzed, 1u);
+    EXPECT_EQ(countRule(full, "guarded-by"), 1u);
+}
+
+TEST(CacheTest, SelectionExpandsToDependents)
+{
+    SourceTree tree = smallTree();
+    Cache cache;
+    AnalyzeOptions options;
+    options.cache = &cache;
+    analyzeTree(tree, Baseline(), options);
+
+    // Select the edited header: its includer re-analyzes too.
+    tree[0].content += "// touched\n";
+    AnalyzeOptions selected;
+    selected.cache = &cache;
+    selected.selectFiles = {"src/obs/val.h"};
+    AnalysisResult partial =
+        analyzeTree(tree, Baseline(), selected);
+    EXPECT_EQ(partial.filesAnalyzed, 2u);
+    EXPECT_EQ(countRule(partial, "guarded-by"), 1u);
+}
+
+} // namespace
+} // namespace gral::analyzer

@@ -1,0 +1,54 @@
+// FixIt engine tests: ordering, overlap rejection, bounds checks.
+
+#include "analyzer/fixit.h"
+
+#include <gtest/gtest.h>
+
+namespace gral::analyzer
+{
+namespace
+{
+
+TEST(FixItTest, AppliesSingleReplacement)
+{
+    EXPECT_EQ(applyFixIts("abc def", {{4, 3, "xyz"}}), "abc xyz");
+}
+
+TEST(FixItTest, AppliesInsertionsAndDeletions)
+{
+    // Insertion (length 0) and deletion (empty replacement).
+    EXPECT_EQ(applyFixIts("ab", {{1, 0, "-"}}), "a-b");
+    EXPECT_EQ(applyFixIts("abc", {{1, 1, ""}}), "ac");
+}
+
+TEST(FixItTest, AppliesMultipleEditsRegardlessOfOrder)
+{
+    // Offsets shift as edits apply; the engine works back-to-front
+    // so callers can pass edits in any order.
+    std::string out = applyFixIts(
+        "one two three", {{8, 5, "3"}, {0, 3, "1"}, {4, 3, "2"}});
+    EXPECT_EQ(out, "1 2 3");
+}
+
+TEST(FixItTest, DropsOverlappingEdits)
+{
+    // Two edits on the same bytes: first (lowest offset) wins.
+    EXPECT_EQ(applyFixIts("abcdef", {{1, 3, "X"}, {2, 2, "Y"}}),
+              "aXef");
+    // Same offset twice: one survives.
+    EXPECT_EQ(applyFixIts("abc", {{1, 1, "X"}, {1, 1, "Y"}}), "aXc");
+}
+
+TEST(FixItTest, DropsOutOfBoundsEdits)
+{
+    EXPECT_EQ(applyFixIts("abc", {{2, 5, "X"}}), "abc");
+    EXPECT_EQ(applyFixIts("abc", {{9, 0, "X"}}), "abc");
+}
+
+TEST(FixItTest, AdjacentEditsBothApply)
+{
+    EXPECT_EQ(applyFixIts("abcd", {{0, 2, "X"}, {2, 2, "Y"}}), "XY");
+}
+
+} // namespace
+} // namespace gral::analyzer

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "analyzer/lexer.h"
+#include "analyzer/parse.h"
 
 namespace gral::analyzer
 {
@@ -166,6 +167,113 @@ TEST(Lexer, BlockCommentSuppression)
     LexedFile lexed =
         lexCpp("/* gral-analyzer: off(raw-new) */\nnew_thing();\n");
     EXPECT_TRUE(lexed.isSuppressed(2, "raw-new"));
+}
+
+TEST(Lexer, OffNextLineTargetsTheFollowingLine)
+{
+    LexedFile lexed = lexCpp(
+        "a(); // gral-analyzer: off-next-line(std-endl)\nb();\n");
+    EXPECT_FALSE(lexed.isSuppressed(1, "std-endl"));
+    EXPECT_TRUE(lexed.isSuppressed(2, "std-endl"));
+}
+
+TEST(Lexer, OffNextLineFromStandaloneComment)
+{
+    LexedFile lexed = lexCpp(
+        "// gral-analyzer: off-next-line(guarded-by)\nx_ = 1;\n");
+    EXPECT_TRUE(lexed.isSuppressed(2, "guarded-by"));
+    EXPECT_FALSE(lexed.isSuppressed(1, "guarded-by"));
+}
+
+TEST(Lexer, OffNextLineAfterMultiLineBlockComment)
+{
+    // The "next line" counts from where the comment *ends*.
+    LexedFile lexed = lexCpp(
+        "/* note\n   gral-analyzer: off-next-line(raw-new) */\n"
+        "new_thing();\nafter();\n");
+    EXPECT_TRUE(lexed.isSuppressed(3, "raw-new"));
+    EXPECT_FALSE(lexed.isSuppressed(4, "raw-new"));
+}
+
+TEST(Lexer, OffNextLineIsNotMistakenForBareOff)
+{
+    // `off-next-line` must not parse as bare `off` (which would
+    // suppress every rule on the comment's own line).
+    LexedFile lexed = lexCpp(
+        "y(); // gral-analyzer: off-next-line(raw-cerr)\nz();\n");
+    EXPECT_FALSE(lexed.isSuppressed(1, "raw-cerr"));
+    EXPECT_FALSE(lexed.isSuppressed(1, "std-endl"));
+    EXPECT_TRUE(lexed.isSuppressed(2, "raw-cerr"));
+    EXPECT_FALSE(lexed.isSuppressed(2, "std-endl"));
+}
+
+// ------------------------------------ byte-exact positions (parser)
+
+TEST(Lexer, SplicedMacroKeepsBytePositions)
+{
+    // A backslash-newline inside a macro definition: the lexer keeps
+    // one byte column per physical byte, so tokens on the next
+    // physical line report their true line and column.
+    const std::string text = "#define EMIT(x) \\\n"
+                             "    sink(x)\n"
+                             "int after = 1;\n";
+    LexedFile lexed = lexCpp(text);
+    ASSERT_EQ(lexed.lines.size(), 4u);
+    EXPECT_EQ(lexed.lines[1], "    sink(x)");
+
+    TokenStream ts = tokenize(lexed);
+    bool sawSink = false, sawAfter = false;
+    for (const Token &token : ts.tokens) {
+        if (token.text == "sink") {
+            sawSink = true;
+            EXPECT_EQ(token.line, 2);
+            EXPECT_EQ(token.column, 5);
+        }
+        if (token.text == "after") {
+            sawAfter = true;
+            EXPECT_EQ(token.line, 3);
+            EXPECT_EQ(token.column, 5);
+        }
+    }
+    EXPECT_TRUE(sawSink);
+    EXPECT_TRUE(sawAfter);
+}
+
+TEST(Lexer, StringAdjacentToRawStringKeepsPositions)
+{
+    // "abc" R"(def)" — adjacent ordinary and raw literals; the token
+    // after both must keep its byte-exact line and column.
+    const std::string text = "auto s = \"abc\" R\"(def)\" ; tail;\n";
+    LexedFile lexed = lexCpp(text);
+    EXPECT_EQ(lexed.stripped.size(), text.size());
+    EXPECT_EQ(lexed.stripped.find("abc"), std::string::npos);
+    EXPECT_EQ(lexed.stripped.find("def"), std::string::npos);
+
+    TokenStream ts = tokenize(lexed);
+    bool sawTail = false;
+    for (const Token &token : ts.tokens)
+        if (token.text == "tail") {
+            sawTail = true;
+            EXPECT_EQ(token.line, 1);
+            EXPECT_EQ(token.column, 27);
+            EXPECT_EQ(token.offset, 26u);
+        }
+    EXPECT_TRUE(sawTail);
+}
+
+TEST(Lexer, MultiLineRawStringShiftsFollowingLineAndColumn)
+{
+    const std::string text = "a = R\"(one\ntwo)\"; b = 2;\n";
+    LexedFile lexed = lexCpp(text);
+    TokenStream ts = tokenize(lexed);
+    bool sawB = false;
+    for (const Token &token : ts.tokens)
+        if (token.text == "b") {
+            sawB = true;
+            EXPECT_EQ(token.line, 2);
+            EXPECT_EQ(token.column, 8); // after `two)";` + space
+        }
+    EXPECT_TRUE(sawB);
 }
 
 } // namespace

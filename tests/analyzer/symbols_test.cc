@@ -1,0 +1,253 @@
+// Symbol-table tests: classes, fields, annotations, functions,
+// loop-body ranges, call sites, and the merged TU view.
+
+#include "analyzer/symbols.h"
+
+#include <gtest/gtest.h>
+
+#include "analyzer/lexer.h"
+
+namespace gral::analyzer
+{
+namespace
+{
+
+FileSymbols
+symbolsOf(const std::string &text, TokenStream *out = nullptr)
+{
+    TokenStream ts = tokenize(lexCpp(text));
+    FileSymbols symbols = buildSymbols(ts);
+    if (out != nullptr)
+        *out = std::move(ts);
+    return symbols;
+}
+
+const ClassSymbol *
+classNamed(const FileSymbols &symbols, const std::string &name)
+{
+    for (const ClassSymbol &c : symbols.classes)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+const FunctionSymbol *
+functionNamed(const FileSymbols &symbols, const std::string &name)
+{
+    for (const FunctionSymbol &f : symbols.functions)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+TEST(SymbolsTest, ClassFieldsWithTypesAndAnnotations)
+{
+    FileSymbols symbols = symbolsOf(R"(
+class Series
+{
+  public:
+    void offer(double value);
+
+  private:
+    std::mutex mutex_;
+    std::vector<double> samples_ GRAL_GUARDED_BY(mutex_);
+    std::atomic<std::uint64_t> dropped_{0};
+    int plain_ = 0;
+};
+)");
+    const ClassSymbol *series = classNamed(symbols, "Series");
+    ASSERT_NE(series, nullptr);
+    ASSERT_EQ(series->fields.size(), 4u);
+
+    EXPECT_EQ(series->fields[0].name, "mutex_");
+    EXPECT_TRUE(series->fields[0].isMutex);
+    EXPECT_FALSE(series->fields[0].isAtomic);
+
+    EXPECT_EQ(series->fields[1].name, "samples_");
+    EXPECT_EQ(series->fields[1].guardedBy, "mutex_");
+    EXPECT_EQ(series->fields[1].line, 9);
+
+    EXPECT_EQ(series->fields[2].name, "dropped_");
+    EXPECT_TRUE(series->fields[2].isAtomic);
+
+    EXPECT_EQ(series->fields[3].name, "plain_");
+    EXPECT_TRUE(series->fields[3].guardedBy.empty());
+}
+
+TEST(SymbolsTest, InClassAndOutOfLineFunctions)
+{
+    FileSymbols symbols = symbolsOf(R"(
+class Pool
+{
+  public:
+    Pool();
+    virtual ~Pool();
+    virtual void run() = 0;
+    std::size_t size() const { return n_; }
+    void drain() GRAL_REQUIRES(mutex_);
+
+  private:
+    std::size_t n_ = 0;
+    std::mutex mutex_;
+};
+
+void
+Pool::drain()
+{
+    n_ = 0;
+}
+)");
+    const FunctionSymbol *run = functionNamed(symbols, "run");
+    ASSERT_NE(run, nullptr);
+    EXPECT_TRUE(run->isVirtual);
+    EXPECT_FALSE(run->hasBody);
+    EXPECT_EQ(run->className, "Pool");
+
+    const FunctionSymbol *size = functionNamed(symbols, "size");
+    ASSERT_NE(size, nullptr);
+    EXPECT_TRUE(size->hasBody);
+
+    const FunctionSymbol *ctor = functionNamed(symbols, "Pool");
+    ASSERT_NE(ctor, nullptr);
+    EXPECT_TRUE(ctor->isCtorOrDtor);
+    const FunctionSymbol *dtor = functionNamed(symbols, "~Pool");
+    ASSERT_NE(dtor, nullptr);
+    EXPECT_TRUE(dtor->isCtorOrDtor);
+    EXPECT_TRUE(dtor->isVirtual);
+
+    // Two 'drain' symbols: the header declaration carrying the
+    // GRAL_REQUIRES contract and the out-of-line definition.
+    int declarations = 0, definitions = 0;
+    for (const FunctionSymbol &f : symbols.functions) {
+        if (f.name != "drain")
+            continue;
+        EXPECT_EQ(f.className, "Pool");
+        if (f.hasBody)
+            ++definitions;
+        else {
+            ++declarations;
+            ASSERT_EQ(f.requiresLocks.size(), 1u);
+            EXPECT_EQ(f.requiresLocks[0], "mutex_");
+        }
+    }
+    EXPECT_EQ(declarations, 1);
+    EXPECT_EQ(definitions, 1);
+}
+
+TEST(SymbolsTest, NamespacesAndTemplatesAreTransparent)
+{
+    FileSymbols symbols = symbolsOf(R"(
+namespace gral::obs
+{
+template <typename T>
+class Shard
+{
+    T value_ GRAL_GUARDED_BY(lock_);
+    std::mutex lock_;
+};
+template <typename T>
+T
+clamp(T v)
+{
+    return v;
+}
+} // namespace gral::obs
+)");
+    const ClassSymbol *shard = classNamed(symbols, "Shard");
+    ASSERT_NE(shard, nullptr);
+    EXPECT_EQ(shard->fields[0].guardedBy, "lock_");
+    const FunctionSymbol *clamp = functionNamed(symbols, "clamp");
+    ASSERT_NE(clamp, nullptr);
+    EXPECT_TRUE(clamp->hasBody);
+}
+
+TEST(SymbolsTest, LoopBodiesIncludeBraceless)
+{
+    TokenStream ts;
+    symbolsOf(R"(
+void f()
+{
+    for (int i = 0; i < n; ++i) {
+        g(i);
+        while (busy())
+            spin();
+    }
+    do { h(); } while (more());
+}
+)",
+              &ts);
+    std::vector<LoopRange> loops =
+        loopBodies(ts, 0, ts.tokens.size());
+    ASSERT_EQ(loops.size(), 3u);
+    // Every loop body is a non-empty, in-range token span.
+    for (const LoopRange &loop : loops) {
+        EXPECT_LT(loop.begin, loop.end);
+        EXPECT_LE(loop.end, ts.tokens.size());
+    }
+    // The while body (brace-less) covers exactly `spin ( )`.
+    bool sawSpin = false;
+    for (const LoopRange &loop : loops) {
+        for (std::size_t i = loop.begin; i < loop.end; ++i)
+            if (ts.isIdent(i, "spin"))
+                sawSpin = true;
+    }
+    EXPECT_TRUE(sawSpin);
+}
+
+TEST(SymbolsTest, CallSitesDistinguishMemberCalls)
+{
+    TokenStream ts;
+    symbolsOf("void f() { g(); obj.h(); ptr->k(); if (x) {} }\n",
+              &ts);
+    std::vector<CallSite> calls = callSites(ts, 0, ts.tokens.size());
+    std::map<std::string, bool> byName;
+    for (const CallSite &call : calls)
+        byName[call.name] = call.isMemberCall;
+    ASSERT_EQ(byName.size(), 4u); // f's declarator also matches
+    EXPECT_FALSE(byName.at("g"));
+    EXPECT_TRUE(byName.at("h"));
+    EXPECT_TRUE(byName.at("k"));
+    EXPECT_EQ(byName.count("if"), 0u); // keywords excluded
+}
+
+TEST(SymbolsTest, NormalizeGuardExpr)
+{
+    EXPECT_EQ(normalizeGuardExpr("this->mutex_"), "mutex_");
+    EXPECT_EQ(normalizeGuardExpr(" & mutex_ "), "mutex_");
+    EXPECT_EQ(normalizeGuardExpr("queue.lock"), "queue.lock");
+}
+
+TEST(SymbolsTest, TuViewMergesHeaderFields)
+{
+    // Header: class with annotated field. Source: out-of-line body.
+    FileSymbols header = symbolsOf(R"(
+class Registry
+{
+    std::mutex mutex_;
+    int count_ GRAL_GUARDED_BY(mutex_);
+    void bump() GRAL_REQUIRES(mutex_);
+    virtual void flush();
+};
+)");
+    FileSymbols source = symbolsOf(R"(
+void
+Registry::bump()
+{
+    ++count_;
+}
+)");
+    TuView tu = buildTuView(source, {&header});
+    const std::vector<const FieldSymbol *> &fields =
+        tu.fieldsOf("Registry");
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[1]->guardedBy, "mutex_");
+    std::vector<std::string> requires_ =
+        tu.requiresOf("Registry", "bump");
+    ASSERT_EQ(requires_.size(), 1u);
+    EXPECT_EQ(requires_[0], "mutex_");
+    EXPECT_EQ(tu.virtualFunctions.count("flush"), 1u);
+    EXPECT_TRUE(tu.fieldsOf("Unknown").empty());
+}
+
+} // namespace
+} // namespace gral::analyzer

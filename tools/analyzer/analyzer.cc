@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <tuple>
 
+#include "analyzer/fixit.h"
 #include "analyzer/include_graph.h"
 #include "spmv/thread_pool.h"
 
@@ -50,6 +54,43 @@ strippedLine(const LexedFile &lexed, int line)
     return lexed.lines[static_cast<std::size_t>(line) - 1];
 }
 
+/** Per-file working state of one run. */
+struct FileState
+{
+    bool lexed = false;
+    LexedFile lex;
+    bool symbols = false;
+    TokenStream ts;
+    FileSymbols sym;
+};
+
+/** Run @p fn over every index in @p work, parallel when worthwhile. */
+void
+runParallel(const std::vector<std::size_t> &work, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min<unsigned>(
+        jobs, static_cast<unsigned>(std::max<std::size_t>(
+                  work.size(), 1)));
+    if (jobs > 1 && work.size() > 1) {
+        WorkStealingPool pool(jobs);
+        pool.run(work.size(),
+                 [&](std::size_t k) { fn(work[k]); });
+    } else {
+        for (std::size_t index : work)
+            fn(index);
+    }
+}
+
+/** A finding plus the stripped source line its baseline key uses. */
+struct Item
+{
+    Finding finding;
+    std::string line;
+};
+
 } // namespace
 
 std::vector<const Finding *>
@@ -91,53 +132,222 @@ loadTree(const std::string &root)
 }
 
 AnalysisResult
-analyzeTree(const SourceTree &tree, Baseline baseline, unsigned jobs)
+analyzeTree(const SourceTree &tree, Baseline baseline,
+            const AnalyzeOptions &options)
 {
     AnalysisResult analysis;
-    analysis.filesScanned = tree.size();
+    const std::size_t n = tree.size();
+    analysis.filesScanned = n;
 
-    // Phase 1: lex + per-file rules, parallel over files. Each slot
-    // is owned by exactly one task, so no locking is needed.
-    std::vector<LexedFile> lexed(tree.size());
-    std::vector<std::vector<Finding>> perFile(tree.size());
-    std::vector<std::vector<IncludeDirective>> includes(tree.size());
-
-    auto scanOne = [&](std::size_t index) {
-        const SourceFile &file = tree[index];
-        lexed[index] = lexCpp(file.content);
-        includes[index] = extractIncludes(
-            lexed[index].lines, splitLines(file.content));
-        runFileRules(file.path, lexed[index], perFile[index]);
+    std::vector<std::string> paths;
+    paths.reserve(n);
+    std::map<std::string, std::size_t> pathIndex;
+    for (const SourceFile &file : tree) {
+        pathIndex[file.path] = paths.size();
+        paths.push_back(file.path);
+    }
+    auto indexOf = [&](const std::string &path) -> std::size_t {
+        auto it = pathIndex.find(path);
+        return it != pathIndex.end() ? it->second : n;
     };
-    if (jobs == 0)
-        jobs = std::max(1u, std::thread::hardware_concurrency());
-    jobs = std::min<unsigned>(
-        jobs, std::max<std::size_t>(tree.size(), 1));
-    if (jobs > 1 && tree.size() > 1) {
-        WorkStealingPool pool(jobs);
-        pool.run(tree.size(), scanOne);
-    } else {
-        for (std::size_t i = 0; i < tree.size(); ++i)
-            scanOne(i);
+
+    // ------------------------------------------------ dirty marking
+    Cache *cache = options.cache;
+    std::vector<std::uint64_t> hashes(n);
+    std::vector<char> cachedOk(n, 0);
+    std::vector<char> dirty(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        hashes[i] = contentHash(tree[i].content);
+        if (cache != nullptr) {
+            auto it = cache->entries.find(paths[i]);
+            if (it != cache->entries.end() &&
+                it->second.hash == hashes[i]) {
+                cachedOk[i] = 1;
+                dirty[i] = 0;
+            }
+        }
     }
 
-    std::vector<Finding> findings;
-    for (std::vector<Finding> &chunk : perFile)
-        findings.insert(findings.end(), chunk.begin(), chunk.end());
+    // -------------------------------- lex what is known dirty so far
+    std::vector<FileState> state(n);
+    auto lexBatch = [&](const std::vector<std::size_t> &batch) {
+        runParallel(batch, options.jobs, [&](std::size_t i) {
+            state[i].lex = lexCpp(tree[i].content);
+            state[i].lexed = true;
+        });
+    };
+    std::vector<std::size_t> firstBatch;
+    for (std::size_t i = 0; i < n; ++i)
+        if (dirty[i])
+            firstBatch.push_back(i);
+    lexBatch(firstBatch);
 
-    // Phase 2: include-graph rules (layering + cycles).
-    std::vector<std::string> paths;
-    paths.reserve(tree.size());
-    for (const SourceFile &file : tree)
-        paths.push_back(file.path);
+    // Include lists: fresh for dirty files, cached for clean ones
+    // (cached includes equal fresh ones — the bytes are unchanged).
+    std::vector<std::vector<IncludeDirective>> includes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (state[i].lexed)
+            includes[i] = extractIncludes(
+                state[i].lex.lines, splitLines(tree[i].content));
+        else
+            includes[i] = cache->entries.at(paths[i]).includes;
+    }
+
     IncludeGraph graph(paths, includes);
 
-    auto lexedOf = [&](const std::string &path) -> const LexedFile * {
-        auto it = std::lower_bound(
-            paths.begin(), paths.end(), path);
-        if (it == paths.end() || *it != path)
-            return nullptr;
-        return &lexed[static_cast<std::size_t>(it - paths.begin())];
+    // Forward and reverse adjacency over resolved edges.
+    std::vector<std::vector<std::size_t>> fwd(n), rev(n);
+    for (const IncludeEdge &edge : graph.edges()) {
+        std::size_t from = indexOf(edge.from);
+        std::size_t to = indexOf(edge.to);
+        if (from >= n || to >= n)
+            continue;
+        fwd[from].push_back(to);
+        rev[to].push_back(from);
+    }
+
+    // ------------------- expand dirty through reverse include edges
+    {
+        std::vector<std::size_t> queue;
+        for (std::size_t i = 0; i < n; ++i)
+            if (dirty[i])
+                queue.push_back(i);
+        std::vector<std::size_t> added;
+        while (!queue.empty()) {
+            std::size_t to = queue.back();
+            queue.pop_back();
+            for (std::size_t from : rev[to])
+                if (!dirty[from]) {
+                    dirty[from] = 1;
+                    queue.push_back(from);
+                    added.push_back(from);
+                }
+        }
+        lexBatch(added);
+    }
+
+    // ----------------------------------------- --files selection
+    std::vector<char> analyzed(dirty.begin(), dirty.end());
+    if (!options.selectFiles.empty()) {
+        std::vector<char> selected(n, 0);
+        std::vector<std::size_t> queue;
+        for (const std::string &path : options.selectFiles) {
+            std::size_t i = indexOf(path);
+            if (i < n && !selected[i]) {
+                selected[i] = 1;
+                queue.push_back(i);
+            }
+        }
+        while (!queue.empty()) { // dependents of the selection
+            std::size_t to = queue.back();
+            queue.pop_back();
+            for (std::size_t from : rev[to])
+                if (!selected[from]) {
+                    selected[from] = 1;
+                    queue.push_back(from);
+                }
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            analyzed[i] = analyzed[i] && selected[i];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        if (analyzed[i])
+            ++analysis.filesAnalyzed;
+
+    // ------------- symbols: analyzed files + their TU dependencies
+    std::vector<char> needSymbols(analyzed.begin(), analyzed.end());
+    {
+        std::vector<std::size_t> queue;
+        for (std::size_t i = 0; i < n; ++i)
+            if (needSymbols[i])
+                queue.push_back(i);
+        while (!queue.empty()) {
+            std::size_t from = queue.back();
+            queue.pop_back();
+            for (std::size_t to : fwd[from])
+                if (!needSymbols[to]) {
+                    needSymbols[to] = 1;
+                    queue.push_back(to);
+                }
+        }
+        std::vector<std::size_t> lexMore;
+        for (std::size_t i = 0; i < n; ++i)
+            if (needSymbols[i] && !state[i].lexed)
+                lexMore.push_back(i);
+        lexBatch(lexMore);
+        std::vector<std::size_t> symbolBatch;
+        for (std::size_t i = 0; i < n; ++i)
+            if (needSymbols[i])
+                symbolBatch.push_back(i);
+        runParallel(symbolBatch, options.jobs, [&](std::size_t i) {
+            state[i].ts = tokenize(state[i].lex);
+            state[i].sym = buildSymbols(state[i].ts);
+            state[i].symbols = true;
+        });
+    }
+
+    // ---------------------------- per-file rules on the dirty set
+    std::vector<std::vector<Finding>> perFile(n);
+    {
+        std::vector<std::size_t> ruleBatch;
+        for (std::size_t i = 0; i < n; ++i)
+            if (analyzed[i])
+                ruleBatch.push_back(i);
+        runParallel(ruleBatch, options.jobs, [&](std::size_t i) {
+            // TU view: symbols of every transitive include.
+            std::vector<const FileSymbols *> deps;
+            std::vector<char> seen(n, 0);
+            seen[i] = 1;
+            std::vector<std::size_t> queue = {i};
+            while (!queue.empty()) {
+                std::size_t from = queue.back();
+                queue.pop_back();
+                for (std::size_t to : fwd[from])
+                    if (!seen[to]) {
+                        seen[to] = 1;
+                        queue.push_back(to);
+                        if (state[to].symbols)
+                            deps.push_back(&state[to].sym);
+                    }
+            }
+            TuView tu = buildTuView(state[i].sym, deps);
+            runFileRules(paths[i], state[i].lex, state[i].ts, tu,
+                         perFile[i]);
+        });
+    }
+
+    // -------------------------------------------- assemble findings
+    std::vector<Item> items;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (analyzed[i]) {
+            for (Finding &finding : perFile[i])
+                items.push_back(
+                    {finding, std::string(strippedLine(
+                                  state[i].lex, finding.line))});
+        } else if (cachedOk[i] && !dirty[i]) {
+            for (const CachedFinding &cached :
+                 cache->entries.at(paths[i]).findings)
+                items.push_back(
+                    {cached.finding, cached.strippedLine});
+        }
+        // dirty but unanalyzed (filtered by --files): no findings —
+        // and below, no cache entry either, so nothing goes stale.
+    }
+
+    // Graph rules need suppression checks and stripped lines for
+    // files that were never lexed this run; those are clean cached
+    // files, whose entries carry both.
+    auto suppressedAt = [&](std::size_t i, int line,
+                            std::string_view rule) {
+        if (state[i].lexed)
+            return state[i].lex.isSuppressed(line, rule);
+        return cache->entries.at(paths[i]).isSuppressed(line, rule);
+    };
+    auto lineAt = [&](std::size_t i, int line) -> std::string {
+        if (state[i].lexed)
+            return std::string(strippedLine(state[i].lex, line));
+        return std::string(
+            cache->entries.at(paths[i]).includeLineAt(line));
     };
 
     for (const IncludeEdge &edge : graph.edges()) {
@@ -145,13 +355,15 @@ analyzeTree(const SourceTree &tree, Baseline baseline, unsigned jobs)
         const std::string toModule = moduleOf(edge.to);
         if (!edge.from.starts_with("src/"))
             continue; // layering restricts src/ only
-        const LexedFile *fromLexed = lexedOf(edge.from);
+        std::size_t fromIndex = indexOf(edge.from);
         auto flag = [&](const std::string &message) {
-            if (fromLexed &&
-                fromLexed->isSuppressed(edge.line, "layering"))
+            if (fromIndex < n &&
+                suppressedAt(fromIndex, edge.line, "layering"))
                 return;
-            findings.push_back(
-                {edge.from, edge.line, 1, "layering", message});
+            items.push_back(
+                {{edge.from, edge.line, 1, "layering", message},
+                 fromIndex < n ? lineAt(fromIndex, edge.line)
+                               : std::string()});
         };
         if (toModule == "bench" || toModule == "tools" ||
             toModule == "tests") {
@@ -184,9 +396,9 @@ analyzeTree(const SourceTree &tree, Baseline baseline, unsigned jobs)
                 line = edge.line;
                 break;
             }
-        const LexedFile *fromLexed = lexedOf(from);
-        if (fromLexed &&
-            fromLexed->isSuppressed(line, "include-cycle"))
+        std::size_t fromIndex = indexOf(from);
+        if (fromIndex < n &&
+            suppressedAt(fromIndex, line, "include-cycle"))
             continue;
         std::string chain;
         for (std::size_t i = 0; i < cycle.size(); ++i) {
@@ -194,28 +406,91 @@ analyzeTree(const SourceTree &tree, Baseline baseline, unsigned jobs)
                 chain += " -> ";
             chain += cycle[i];
         }
-        findings.push_back({from, line, 1, "include-cycle",
-                            "include cycle: " + chain});
+        items.push_back({{from, line, 1, "include-cycle",
+                          "include cycle: " + chain},
+                         fromIndex < n ? lineAt(fromIndex, line)
+                                       : std::string()});
     }
 
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  return std::tie(a.path, a.line, a.rule, a.column) <
-                         std::tie(b.path, b.line, b.rule, b.column);
+    std::sort(items.begin(), items.end(),
+              [](const Item &a, const Item &b) {
+                  return std::tie(a.finding.path, a.finding.line,
+                                  a.finding.rule,
+                                  a.finding.column) <
+                         std::tie(b.finding.path, b.finding.line,
+                                  b.finding.rule, b.finding.column);
               });
 
-    // Phase 3: baseline disposition.
-    for (Finding &finding : findings) {
-        const LexedFile *fileLexed = lexedOf(finding.path);
-        std::string key = Baseline::key(
-            finding, fileLexed
-                         ? strippedLine(*fileLexed, finding.line)
-                         : std::string_view());
+    // ------------------------------------- baseline disposition
+    for (Item &item : items) {
+        std::string key = Baseline::key(item.finding, item.line);
         bool known = baseline.match(key);
         analysis.results.push_back(
-            {std::move(finding), known, std::move(key)});
+            {std::move(item.finding), known, std::move(key)});
+    }
+
+    // -------------------------------------------- cache refresh
+    if (cache != nullptr) {
+        std::map<std::string, CacheEntry> refreshed;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (analyzed[i]) {
+                CacheEntry entry;
+                entry.hash = hashes[i];
+                entry.includes = includes[i];
+                for (const IncludeDirective &inc : includes[i])
+                    entry.includeLines.push_back(std::string(
+                        strippedLine(state[i].lex, inc.line)));
+                entry.suppressions = state[i].lex.suppressions;
+                for (const Finding &finding : perFile[i])
+                    entry.findings.push_back(
+                        {finding,
+                         std::string(strippedLine(state[i].lex,
+                                                  finding.line))});
+                refreshed[paths[i]] = std::move(entry);
+            } else if (cachedOk[i] && !dirty[i]) {
+                refreshed[paths[i]] =
+                    cache->entries.at(paths[i]);
+            }
+            // dirty-but-unanalyzed: deliberately dropped, so the
+            // next unrestricted run re-analyzes it.
+        }
+        cache->entries = std::move(refreshed);
     }
     return analysis;
+}
+
+AnalysisResult
+analyzeTree(const SourceTree &tree, Baseline baseline, unsigned jobs)
+{
+    AnalyzeOptions options;
+    options.jobs = jobs;
+    return analyzeTree(tree, std::move(baseline), options);
+}
+
+std::vector<std::string>
+applyFixes(SourceTree &tree, const AnalysisResult &analysis)
+{
+    std::map<std::string, std::vector<FixIt>> edits;
+    for (const SarifResult &result : analysis.results) {
+        if (result.baselined || result.finding.fixits.empty())
+            continue;
+        std::vector<FixIt> &slot = edits[result.finding.path];
+        slot.insert(slot.end(), result.finding.fixits.begin(),
+                    result.finding.fixits.end());
+    }
+    std::vector<std::string> changed;
+    for (SourceFile &file : tree) {
+        auto it = edits.find(file.path);
+        if (it == edits.end())
+            continue;
+        std::string edited = applyFixIts(file.content, it->second);
+        if (edited != file.content) {
+            file.content = std::move(edited);
+            changed.push_back(file.path);
+        }
+    }
+    std::sort(changed.begin(), changed.end());
+    return changed;
 }
 
 } // namespace gral::analyzer

@@ -6,10 +6,27 @@
  * The driver is tree-agnostic so tests can analyze in-memory file
  * sets: loadTree() materializes the on-disk repo (src/, tools/,
  * bench/, examples/ — the same scope as the historical Python lint),
- * analyzeTree() does the work. Per-file lexing and rules are
- * parallelized over the repo's own work-stealing pool
+ * analyzeTree() does the work. Per-file lexing, symbol building and
+ * rules are parallelized over the repo's own work-stealing pool
  * (src/spmv/thread_pool.h); the include-graph rules run once on the
  * merged result.
+ *
+ * v2 pipeline (AnalyzeOptions):
+ *   1. hash every file; with a cache, mark files dirty when their
+ *      bytes changed, then expand through reverse include edges
+ *      (a header edit dirties every transitive includer — the TU
+ *      symbol view merges header symbols, so this is a correctness
+ *      rule, not a heuristic);
+ *   2. lex + tokenize + build symbols for dirty files and for the
+ *      headers their TU views need; run per-file rules on the dirty
+ *      set only (optionally intersected with --files selection plus
+ *      its dependents — the diff-aware CI path);
+ *   3. re-run the whole-tree graph rules (layering, include-cycle)
+ *      from cached + fresh include lists;
+ *   4. merge cached findings for clean files, sort, apply baseline;
+ *   5. write refreshed entries back to the cache.
+ *
+ * On a fully warm run (nothing changed) step 2 analyzes 0 files.
  */
 
 #ifndef GRAL_ANALYZER_ANALYZER_H
@@ -19,6 +36,7 @@
 #include <vector>
 
 #include "analyzer/baseline.h"
+#include "analyzer/cache.h"
 #include "analyzer/rules.h"
 #include "analyzer/sarif.h"
 
@@ -41,9 +59,28 @@ struct AnalysisResult
      *  rule); `baselined` marks the acknowledged ones. */
     std::vector<SarifResult> results;
     std::size_t filesScanned = 0;
+    /** Files whose rules actually ran this time (== filesScanned
+     *  without a cache; 0 on a fully warm incremental run). */
+    std::size_t filesAnalyzed = 0;
 
     /** Findings not covered by the baseline. */
     std::vector<const Finding *> newFindings() const;
+};
+
+/** Knobs of one analyzeTree() run. */
+struct AnalyzeOptions
+{
+    /** Worker threads (0 = hardware concurrency). */
+    unsigned jobs = 0;
+    /** Incremental cache, read and refreshed in place (nullptr =
+     *  analyze everything, cache nothing). */
+    Cache *cache = nullptr;
+    /** When non-empty: only these repo-relative paths and the files
+     *  that transitively include them are analyzed (diff-aware PR
+     *  mode). Findings of unselected clean files still come from the
+     *  cache; unselected files without a valid cache entry
+     *  contribute none. */
+    std::vector<std::string> selectFiles;
 };
 
 /**
@@ -52,13 +89,23 @@ struct AnalysisResult
  */
 SourceTree loadTree(const std::string &root);
 
-/**
- * Analyze @p tree with @p jobs worker threads (0 = hardware
- * concurrency). @p baseline is consumed (entries matched at most
- * once each).
- */
+/** Analyze @p tree. @p baseline is consumed (entries matched at most
+ *  once each). */
+AnalysisResult analyzeTree(const SourceTree &tree, Baseline baseline,
+                           const AnalyzeOptions &options);
+
+/** Convenience overload: no cache, no selection. */
 AnalysisResult analyzeTree(const SourceTree &tree, Baseline baseline,
                            unsigned jobs = 0);
+
+/**
+ * Apply the fixits of every fresh (non-baselined) finding to @p tree
+ * in place; returns the paths of changed files (sorted, unique).
+ * Callers persist the new contents (main.cc writes them to disk; the
+ * fixit round-trip test re-analyzes the edited tree in memory).
+ */
+std::vector<std::string> applyFixes(SourceTree &tree,
+                                    const AnalysisResult &analysis);
 
 } // namespace gral::analyzer
 

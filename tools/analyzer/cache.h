@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Incremental analysis cache for gral-analyzer.
+ *
+ * One entry per analyzed file, keyed by repo-relative path and
+ * validated by an FNV-1a hash of the file's bytes. An entry stores
+ * everything a *clean* (unchanged) file contributes to a run without
+ * being re-lexed:
+ *
+ *   - its resolved-to-be-extracted include directives plus the
+ *     stripped text of each include line (graph rules re-run every
+ *     time — layering and cycles are whole-tree properties — and
+ *     need those lines for suppression checks and baseline keys);
+ *   - its suppression map (`gral-analyzer: off` directives);
+ *   - its per-file findings, each with the stripped source line the
+ *     baseline keys on, and any fixits.
+ *
+ * Invalidation is content hash + include graph: a file re-analyzes
+ * when its own bytes changed or when anything it transitively
+ * includes changed (the TU symbol view merges header symbols, so a
+ * header edit can change a .cc's findings). On a fully warm run the
+ * analyzer lexes nothing and analyzes 0 files — BENCH_analyzer.json
+ * records the resulting speedup.
+ *
+ * The on-disk format is a versioned, tab-separated text file
+ * ("gral-analyzer-cache v2" header); any mismatch parses as an empty
+ * cache, i.e. a cold run. The cache never affects *what* is reported,
+ * only what is recomputed.
+ */
+
+#ifndef GRAL_ANALYZER_CACHE_H
+#define GRAL_ANALYZER_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/include_graph.h"
+#include "analyzer/rules.h"
+
+namespace gral::analyzer
+{
+
+/** A cached finding: the finding plus its baseline-key source line. */
+struct CachedFinding
+{
+    Finding finding;
+    std::string strippedLine;
+};
+
+/** Cached state of one file. */
+struct CacheEntry
+{
+    std::uint64_t hash = 0;
+    std::vector<IncludeDirective> includes;
+    /** Stripped text of each include's line (parallel to includes). */
+    std::vector<std::string> includeLines;
+    /** 1-based line -> suppressed rules ("*" = all). */
+    std::unordered_map<int, std::vector<std::string>> suppressions;
+    std::vector<CachedFinding> findings;
+
+    /** True when @p rule is suppressed on @p line. */
+    bool isSuppressed(int line, std::string_view rule) const;
+
+    /** Stripped line of include directive at @p line ("" unknown). */
+    std::string_view includeLineAt(int line) const;
+};
+
+/** The whole cache: path -> entry. */
+struct Cache
+{
+    std::map<std::string, CacheEntry> entries;
+
+    /** Parse cache text; version/format mismatch -> empty cache. */
+    static Cache parse(std::string_view text);
+
+    /** Render to the versioned text format. */
+    std::string render() const;
+};
+
+/** FNV-1a 64-bit content hash (same family as the SARIF
+ *  fingerprints; stable across platforms). */
+std::uint64_t contentHash(std::string_view bytes);
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_CACHE_H

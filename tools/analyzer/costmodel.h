@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cost-model rule pack: hot-path checks with intra-procedural
+ * reachability.
+ *
+ * v1 flagged expensive constructs only when they sat lexically inside
+ * a loop body. v2 computes, per file, the set of "hot" token ranges:
+ * every loop body, plus the body of every function transitively
+ * called (by name, within the file) from a hot range. The checks then
+ * run over the union:
+ *
+ *   hot-path-metrics  MetricsRegistry name lookup
+ *                     (.counter()/.gauge()/.histogram()/.series(),
+ *                     MetricsRegistry::global())
+ *   hot-path-span     GRAL_SPAN(...)
+ *   hot-path-alloc    new / std::make_unique / std::make_shared
+ *   hot-path-lock     mutex acquisition (std::lock_guard/scoped_lock/
+ *                     unique_lock/shared_lock, manual .lock())
+ *   hot-path-virtual  member call to a method declared virtual
+ *                     anywhere in the TU view
+ *
+ * Scope: src/cachesim/, src/spmv/, src/kernels/ — the simulator and
+ * kernel hot paths. Findings in a called function say which function
+ * made them reachable.
+ */
+
+#ifndef GRAL_ANALYZER_COSTMODEL_H
+#define GRAL_ANALYZER_COSTMODEL_H
+
+#include <string>
+#include <vector>
+
+#include "analyzer/rules.h"
+
+namespace gral::analyzer
+{
+
+/** Run the hot-path rules over @p ts (path-scoped). */
+void runCostModelRules(const std::string &path,
+                       const LexedFile &lexed, const TokenStream &ts,
+                       const TuView &tu,
+                       std::vector<Finding> &findings);
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_COSTMODEL_H

@@ -1,0 +1,38 @@
+#include "analyzer/fixit.h"
+
+#include <algorithm>
+
+namespace gral::analyzer
+{
+
+std::string
+applyFixIts(std::string_view content, std::vector<FixIt> fixits)
+{
+    // Sort ascending, drop overlaps front-to-back, then apply
+    // back-to-front so offsets stay valid.
+    std::sort(fixits.begin(), fixits.end(),
+              [](const FixIt &a, const FixIt &b) {
+                  return a.offset != b.offset ? a.offset < b.offset
+                                              : a.length < b.length;
+              });
+    std::vector<const FixIt *> kept;
+    std::size_t nextFree = 0;
+    for (const FixIt &fix : fixits) {
+        if (fix.offset < nextFree ||
+            fix.offset + fix.length > content.size())
+            continue;
+        // Two zero-length inserts at one offset would double-insert;
+        // treat same-offset as overlap too.
+        if (!kept.empty() && fix.offset == kept.back()->offset)
+            continue;
+        kept.push_back(&fix);
+        nextFree = fix.offset + std::max<std::size_t>(fix.length, 1);
+    }
+    std::string edited(content);
+    for (auto it = kept.rbegin(); it != kept.rend(); ++it)
+        edited.replace((*it)->offset, (*it)->length,
+                       (*it)->replacement);
+    return edited;
+}
+
+} // namespace gral::analyzer

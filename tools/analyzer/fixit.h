@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Auto-fix engine: applies FixIt byte-offset replacements.
+ *
+ * Rules attach FixIts to findings (rules.h); `--fix` collects the
+ * fixits of every *fresh* (non-baselined) finding per file and
+ * rewrites the file. Edits are applied back-to-front so earlier
+ * offsets stay valid; overlapping edits are skipped (first one wins,
+ * deterministic because the list is sorted). Applying fixes and
+ * re-analyzing must converge to zero diagnostics for the fixable
+ * rules — tests/analyzer/fixit_test.cc asserts the round-trip.
+ */
+
+#ifndef GRAL_ANALYZER_FIXIT_H
+#define GRAL_ANALYZER_FIXIT_H
+
+#include <string>
+#include <vector>
+
+#include "analyzer/rules.h"
+
+namespace gral::analyzer
+{
+
+/**
+ * Apply @p fixits to @p content and return the edited text. Edits
+ * whose range overlaps an already-applied edit, or runs past the end
+ * of @p content, are dropped.
+ */
+std::string applyFixIts(std::string_view content,
+                        std::vector<FixIt> fixits);
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_FIXIT_H

@@ -70,11 +70,12 @@ const std::set<std::string> *
 allowedIncludes(const std::string &module)
 {
     // The layering DAG (DESIGN.md "Static analysis layer"). Each
-    // module lists every module it may include; `obs` is the
-    // standalone telemetry leaf everyone may use.
+    // module lists every module it may include. `common` is the
+    // dependency-free bottom layer (assertions, annotation macros);
+    // `obs` is the telemetry leaf above it that everyone may use.
     static const std::map<std::string, std::set<std::string>> kDag = {
-        {"obs", {"obs"}},
-        {"common", {"common", "obs"}},
+        {"common", {"common"}},
+        {"obs", {"obs", "common"}},
         {"graph", {"graph", "common", "obs"}},
         {"cachesim", {"cachesim", "graph", "common", "obs"}},
         {"reorder", {"reorder", "graph", "common", "obs"}},

@@ -45,6 +45,7 @@ struct CommentSpan
     std::size_t begin = 0;
     std::size_t end = 0; // one past the last comment byte
     int startLine = 1;
+    int endLine = 1;         // line of the last comment byte
     bool codeBefore = false; // non-blank code earlier on startLine
 };
 
@@ -69,37 +70,57 @@ splitRuleList(std::string_view args)
     return rules;
 }
 
-/** Parse `gral-analyzer: off` / `gral-analyzer: off(a, b)` directives
- *  out of one comment's text and record them in @p out. */
+/**
+ * Parse `gral-analyzer: off` / `off(a, b)` / `off-next-line(a, b)`
+ * directives out of one comment's text and record them in @p out.
+ *
+ * Scope: `off` in a trailing comment suppresses its own line; `off`
+ * in a standalone comment suppresses the next line; `off-next-line`
+ * always suppresses the line after the comment *ends* (so it works
+ * both trailing and standalone, and after a multi-line comment).
+ */
 void
 parseDirectives(std::string_view comment, const CommentSpan &span,
                 LexedFile &out)
 {
     static constexpr std::string_view kMarker = "gral-analyzer:";
+    static constexpr std::string_view kOffNextLine = "off-next-line";
+    static constexpr std::string_view kOff = "off";
     std::size_t pos = comment.find(kMarker);
     while (pos != std::string_view::npos) {
         std::size_t p = pos + kMarker.size();
         while (p < comment.size() &&
                std::isspace(static_cast<unsigned char>(comment[p])))
             ++p;
-        if (comment.substr(p, 3) == "off") {
-            p += 3;
-            std::vector<std::string> rules;
-            if (p < comment.size() && comment[p] == '(') {
-                std::size_t close = comment.find(')', p);
-                if (close != std::string_view::npos) {
-                    rules = splitRuleList(
-                        comment.substr(p + 1, close - p - 1));
-                    p = close + 1;
-                }
-            }
-            if (rules.empty())
-                rules.push_back("*");
-            int target =
-                span.codeBefore ? span.startLine : span.startLine + 1;
-            auto &slot = out.suppressions[target];
-            slot.insert(slot.end(), rules.begin(), rules.end());
+        // `off-next-line` first: `off` is its prefix.
+        bool nextLine = false;
+        if (comment.substr(p, kOffNextLine.size()) == kOffNextLine) {
+            nextLine = true;
+            p += kOffNextLine.size();
+        } else if (comment.substr(p, kOff.size()) == kOff &&
+                   (p + kOff.size() >= comment.size() ||
+                    !isIdentChar(comment[p + kOff.size()]))) {
+            p += kOff.size();
+        } else {
+            pos = comment.find(kMarker, p);
+            continue;
         }
+        std::vector<std::string> rules;
+        if (p < comment.size() && comment[p] == '(') {
+            std::size_t close = comment.find(')', p);
+            if (close != std::string_view::npos) {
+                rules = splitRuleList(
+                    comment.substr(p + 1, close - p - 1));
+                p = close + 1;
+            }
+        }
+        if (rules.empty())
+            rules.push_back("*");
+        int target = nextLine ? span.endLine + 1
+                     : span.codeBefore ? span.startLine
+                                       : span.startLine + 1;
+        auto &slot = out.suppressions[target];
+        slot.insert(slot.end(), rules.begin(), rules.end());
         pos = comment.find(kMarker, p);
     }
 }
@@ -153,7 +174,7 @@ lexCpp(std::string_view text)
         char next = i + 1 < n ? text[i + 1] : '\0';
 
         if (c == '/' && next == '/') {
-            CommentSpan span{i, i, line, lineHasCode};
+            CommentSpan span{i, i, line, line, lineHasCode};
             // A backslash-newline continues a // comment onto the
             // next physical line.
             while (i < n) {
@@ -173,6 +194,7 @@ lexCpp(std::string_view text)
                 ++i;
             }
             span.end = i;
+            span.endLine = line;
             parseDirectives(text.substr(span.begin,
                                         span.end - span.begin),
                             span, out);
@@ -181,7 +203,7 @@ lexCpp(std::string_view text)
         }
 
         if (c == '/' && next == '*') {
-            CommentSpan span{i, i, line, lineHasCode};
+            CommentSpan span{i, i, line, line, lineHasCode};
             blank(i);
             blank(i + 1);
             i += 2;
@@ -196,6 +218,7 @@ lexCpp(std::string_view text)
                 i += 2;
             }
             span.end = i;
+            span.endLine = line;
             parseDirectives(text.substr(span.begin,
                                         span.end - span.begin),
                             span, out);

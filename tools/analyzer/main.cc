@@ -4,6 +4,7 @@
  *
  *   gral_analyzer [--root DIR] [--sarif FILE] [--baseline FILE]
  *                 [--no-baseline] [--write-baseline] [--jobs N]
+ *                 [--cache FILE] [--files a.cc,b.h] [--fix]
  *                 [--list-rules]
  *
  * Exit codes: 0 clean (or only baselined findings), 1 unbaselined
@@ -12,6 +13,15 @@
  * SARIF 2.1.0 report (default file gral_analysis.sarif). This is the
  * `repo_analyze` ctest and the CI `analyze` job
  * (DESIGN.md "Static analysis layer").
+ *
+ * Incremental mode: `--cache FILE` loads/stores the content-hash +
+ * include-graph cache, so unchanged files are neither lexed nor
+ * re-analyzed. `--files` (comma-separated or repeated, repo-relative)
+ * restricts analysis to those files plus everything that transitively
+ * includes them — the diff-aware CI path. `--fix` applies the
+ * auto-fixes attached to fresh findings (std-endl, include-guard
+ * names, missing memory_order arguments) to the working tree and
+ * reports what changed; remaining unfixable findings still exit 1.
  */
 
 #include <chrono>
@@ -34,7 +44,8 @@ usageError(const std::string &message)
     std::cerr << "gral_analyzer: " << message << "\n"
               << "usage: gral_analyzer [--root DIR] [--sarif [FILE]] "
                  "[--baseline FILE] [--no-baseline] "
-                 "[--write-baseline] [--jobs N] [--list-rules]\n";
+                 "[--write-baseline] [--jobs N] [--cache FILE] "
+                 "[--files LIST] [--fix] [--list-rules]\n";
     return 2;
 }
 
@@ -45,6 +56,20 @@ readFile(const std::string &path)
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return buffer.str();
+}
+
+/** Append comma-separated paths in @p list to @p out. */
+void
+splitPathList(const std::string &list, std::vector<std::string> &out)
+{
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= list.size(); ++i) {
+        if (i == list.size() || list[i] == ',') {
+            if (i > start)
+                out.push_back(list.substr(start, i - start));
+            start = i + 1;
+        }
+    }
 }
 
 } // namespace
@@ -59,6 +84,9 @@ main(int argc, char **argv)
     bool useBaseline = true;
     bool writeBaseline = false;
     bool listRules = false;
+    bool applyFix = false;
+    std::string cachePath;
+    std::vector<std::string> selectFiles;
     unsigned jobs = 0;
 
     std::vector<std::string> args(argv + 1, argv + argc);
@@ -93,6 +121,16 @@ main(int argc, char **argv)
             if (!takeValue(value))
                 return usageError("--jobs needs a count");
             jobs = static_cast<unsigned>(std::stoul(value));
+        } else if (arg == "--cache") {
+            if (!takeValue(cachePath))
+                return usageError("--cache needs a file");
+        } else if (arg == "--files") {
+            std::string value;
+            if (!takeValue(value))
+                return usageError("--files needs a path list");
+            splitPathList(value, selectFiles);
+        } else if (arg == "--fix") {
+            applyFix = true;
         } else if (arg == "--list-rules") {
             listRules = true;
         } else {
@@ -120,8 +158,24 @@ main(int argc, char **argv)
     if (useBaseline && !writeBaseline)
         baseline = Baseline::parse(readFile(baselinePath));
 
+    Cache cache;
+    AnalyzeOptions options;
+    options.jobs = jobs;
+    options.selectFiles = selectFiles;
+    if (!cachePath.empty()) {
+        cache = Cache::parse(readFile(cachePath));
+        options.cache = &cache;
+    }
+
     AnalysisResult analysis =
-        analyzeTree(tree, std::move(baseline), jobs);
+        analyzeTree(tree, std::move(baseline), options);
+
+    if (!cachePath.empty()) {
+        std::ofstream out(cachePath, std::ios::binary);
+        if (!out)
+            return usageError("cannot write " + cachePath);
+        out << cache.render();
+    }
 
     if (writeBaseline) {
         std::vector<std::string> keys;
@@ -138,15 +192,43 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (applyFix) {
+        std::vector<std::string> changed = applyFixes(tree, analysis);
+        for (const std::string &path : changed) {
+            for (const SourceFile &file : tree) {
+                if (file.path != path)
+                    continue;
+                std::ofstream out(root + "/" + path,
+                                  std::ios::binary);
+                if (!out)
+                    return usageError("cannot write " + path);
+                out << file.content;
+            }
+            std::cout << "gral_analyzer: fixed " << path << "\n";
+        }
+        if (!changed.empty() && !cachePath.empty()) {
+            // Edited files must re-analyze next run; drop them.
+            for (const std::string &path : changed)
+                cache.entries.erase(path);
+            std::ofstream out(cachePath, std::ios::binary);
+            out << cache.render();
+        }
+    }
+
     std::size_t fresh = 0;
+    std::size_t fixable = 0;
     std::size_t known = 0;
     for (const SarifResult &result : analysis.results) {
         if (result.baselined) {
             ++known;
             continue;
         }
-        ++fresh;
         const Finding &finding = result.finding;
+        if (applyFix && !finding.fixits.empty()) {
+            ++fixable; // applied above; not an error any more
+            continue;
+        }
+        ++fresh;
         std::cout << finding.path << ":" << finding.line << ":"
                   << finding.column << ": [" << finding.rule << "] "
                   << finding.message << "\n";
@@ -164,7 +246,10 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - start)
             .count();
     std::cout << "gral_analyzer: " << analysis.filesScanned
-              << " files, " << fresh << " finding(s)";
+              << " files scanned, " << analysis.filesAnalyzed
+              << " analyzed, " << fresh << " finding(s)";
+    if (fixable != 0)
+        std::cout << " (" << fixable << " auto-fixed)";
     if (known != 0)
         std::cout << " (+" << known << " baselined)";
     std::cout << " in " << elapsed << " ms\n";

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <regex>
 
+#include "analyzer/concurrency.h"
+#include "analyzer/costmodel.h"
 #include "analyzer/include_graph.h"
 
 namespace gral::analyzer
@@ -26,12 +28,25 @@ isIdentChar(char c)
 void
 emit(std::vector<Finding> &findings, const LexedFile &lexed,
      const std::string &path, int line, int column,
-     std::string_view rule, std::string_view message)
+     std::string_view rule, std::string_view message,
+     std::vector<FixIt> fixits = {})
 {
     if (lexed.isSuppressed(line, rule))
         return;
     findings.push_back({path, line, column, std::string(rule),
-                        std::string(message)});
+                        std::string(message), std::move(fixits)});
+}
+
+/** Byte offset of the start of 1-based line N in the stripped text
+ *  (lines are '\n'-joined, byte-identical to the original shape). */
+std::size_t
+lineStartOffset(const LexedFile &lexed, std::size_t line)
+{
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i + 1 < line && i < lexed.lines.size();
+         ++i)
+        offset += lexed.lines[i].size() + 1;
+    return offset;
 }
 
 // ---------------------------------------------------------------
@@ -128,10 +143,18 @@ checkStdEndl(const std::string &path, const LexedFile &lexed,
 {
     for (std::size_t i = 0; i < lexed.lines.size(); ++i) {
         std::smatch match;
-        if (std::regex_search(lexed.lines[i], match, endlRe()))
+        if (std::regex_search(lexed.lines[i], match, endlRe())) {
+            FixIt fix;
+            fix.offset =
+                lineStartOffset(lexed, i + 1) +
+                static_cast<std::size_t>(match.position(0));
+            fix.length = static_cast<std::size_t>(match.length(0));
+            fix.replacement = "'\\n'";
             emit(findings, lexed, path, static_cast<int>(i) + 1,
                  matchColumn(match), "std-endl",
-                 "std::endl flushes the stream; use '\\n'");
+                 "std::endl flushes the stream; use '\\n'",
+                 {std::move(fix)});
+        }
     }
 }
 
@@ -174,9 +197,24 @@ checkIncludeGuard(const std::string &path, const LexedFile &lexed,
                        code.begin() + match.position(0), '\n')) +
         1;
     if (got != want) {
+        // Mechanical fix: rewrite the guard name everywhere it is
+        // used as one (#ifndef / #define / #endif comment is left
+        // alone — it's inside a comment, invisible here).
+        std::vector<FixIt> fixits;
+        fixits.push_back(
+            {static_cast<std::size_t>(match.position(1)),
+             got.size(), want});
+        const std::regex defineGot("#\\s*define\\s+(" + got +
+                                   ")\\b");
+        std::smatch defineMatch;
+        if (std::regex_search(code, defineMatch, defineGot))
+            fixits.push_back(
+                {static_cast<std::size_t>(defineMatch.position(1)),
+                 got.size(), want});
         emit(findings, lexed, path, line, 1, "include-guard",
              "guard " + got + " does not match path-derived name " +
-                 want);
+                 want,
+             std::move(fixits));
         return;
     }
     const std::regex define("#\\s*define\\s+" + want + "\\b");
@@ -184,45 +222,6 @@ checkIncludeGuard(const std::string &path, const LexedFile &lexed,
         emit(findings, lexed, path, line, 1, "include-guard",
              "#ifndef " + want + " is not followed by #define " +
                  want);
-}
-
-// ---------------------------------------------------------------
-// Hot-path rules (src/cachesim, src/spmv)
-// ---------------------------------------------------------------
-
-void
-checkHotPath(const std::string &path, const LexedFile &lexed,
-             std::vector<Finding> &findings)
-{
-    static const std::regex metricsLookup(
-        R"((\.|->)\s*(counter|gauge|histogram|series)\s*\(|MetricsRegistry\s*::\s*global\s*\()");
-    static const std::regex span(R"(GRAL_SPAN\s*\()");
-    static const std::regex alloc(
-        R"(\bnew\b|std\s*::\s*make_unique\s*<|std\s*::\s*make_shared\s*<)");
-
-    const std::vector<bool> inLoop = loopBodyLines(lexed.lines);
-    for (std::size_t i = 0; i < lexed.lines.size(); ++i) {
-        if (!inLoop[i])
-            continue;
-        const int line = static_cast<int>(i) + 1;
-        std::smatch match;
-        if (std::regex_search(lexed.lines[i], match, metricsLookup))
-            emit(findings, lexed, path, line, matchColumn(match),
-                 "hot-path-metrics",
-                 "MetricsRegistry name lookup inside a loop; resolve "
-                 "the Counter/Gauge/Histogram/Series reference once "
-                 "before the loop (obs/metrics.h)");
-        if (std::regex_search(lexed.lines[i], match, span))
-            emit(findings, lexed, path, line, matchColumn(match),
-                 "hot-path-span",
-                 "GRAL_SPAN inside a loop records one span per "
-                 "iteration; hoist it to the enclosing scope");
-        if (std::regex_search(lexed.lines[i], match, alloc))
-            emit(findings, lexed, path, line, matchColumn(match),
-                 "hot-path-alloc",
-                 "allocation inside a simulator/kernel loop; hoist "
-                 "or reserve outside the loop");
-    }
 }
 
 // ---------------------------------------------------------------
@@ -474,18 +473,36 @@ const std::vector<RuleInfo> &
 ruleCatalogue()
 {
     static const std::vector<RuleInfo> kRules = {
+        {"atomic-seq-cst",
+         "std::atomic load/store/RMW in the lock-free hot modules "
+         "(src/obs/metrics, src/spmv, src/cachesim) must state its "
+         "memory_order explicitly; the default is seq_cst"},
         {"check-side-effect",
          "GRAL_CHECK/GRAL_DCHECK condition must not contain ++/--/"
          "assignment: dchecks compile out in Release builds"},
+        {"guarded-by",
+         "a field annotated GRAL_GUARDED_BY(mutex) may only be "
+         "accessed while the named mutex is held (lock scope or "
+         "GRAL_REQUIRES contract; common/annotations.h)"},
         {"hot-path-alloc",
-         "no allocation (new/make_unique/make_shared) inside loop "
-         "bodies in src/cachesim, src/spmv and src/kernels"},
+         "no allocation (new/make_unique/make_shared) in loop bodies "
+         "or functions reachable from them in src/cachesim, "
+         "src/spmv and src/kernels"},
+        {"hot-path-lock",
+         "no mutex acquisition (lock_guard/scoped_lock/unique_lock/"
+         "shared_lock/.lock()) in loop bodies or functions reachable "
+         "from them in src/cachesim, src/spmv and src/kernels"},
         {"hot-path-metrics",
-         "no MetricsRegistry name lookup inside loop bodies in "
-         "src/cachesim, src/spmv and src/kernels; hoist the handle"},
+         "no MetricsRegistry name lookup in loop bodies or functions "
+         "reachable from them in src/cachesim, src/spmv and "
+         "src/kernels; hoist the handle"},
         {"hot-path-span",
-         "no GRAL_SPAN inside loop bodies in src/cachesim, src/spmv "
-         "and src/kernels"},
+         "no GRAL_SPAN in loop bodies or functions reachable from "
+         "them in src/cachesim, src/spmv and src/kernels"},
+        {"hot-path-virtual",
+         "no virtual dispatch in loop bodies or functions reachable "
+         "from them in src/cachesim, src/spmv and src/kernels; "
+         "devirtualize the per-element path"},
         {"include-cycle",
          "the repo-local include graph must be a DAG"},
         {"include-guard",
@@ -516,6 +533,7 @@ ruleCatalogue()
 
 void
 runFileRules(const std::string &path, const LexedFile &lexed,
+             const TokenStream &ts, const TuView &tu,
              std::vector<Finding> &findings)
 {
     const bool inSrc = startsWith(path, "src/");
@@ -526,9 +544,6 @@ runFileRules(const std::string &path, const LexedFile &lexed,
         path.size() > 2 &&
         (path.substr(path.size() - 2) == ".h" ||
          (path.size() > 4 && path.substr(path.size() - 4) == ".hpp"));
-    const bool hotPath = startsWith(path, "src/cachesim/") ||
-                         startsWith(path, "src/spmv/") ||
-                         startsWith(path, "src/kernels/");
 
     if (endlScope)
         checkStdEndl(path, lexed, findings);
@@ -541,8 +556,21 @@ runFileRules(const std::string &path, const LexedFile &lexed,
         checkIncludeGuard(path, lexed, findings);
     checkRawNewDelete(path, lexed, findings);
     checkSideEffectingChecks(path, lexed, findings);
-    if (hotPath)
-        checkHotPath(path, lexed, findings);
+    // Token-tree packs gate on path internally (concurrency: src/
+    // for guarded-by, the lock-free hot modules for atomic-seq-cst;
+    // cost model: src/cachesim, src/spmv, src/kernels).
+    runConcurrencyRules(path, lexed, ts, tu, findings);
+    runCostModelRules(path, lexed, ts, tu, findings);
+}
+
+void
+runFileRules(const std::string &path, const LexedFile &lexed,
+             std::vector<Finding> &findings)
+{
+    TokenStream ts = tokenize(lexed);
+    FileSymbols symbols = buildSymbols(ts);
+    TuView tu = buildTuView(symbols, {});
+    runFileRules(path, lexed, ts, tu, findings);
 }
 
 } // namespace gral::analyzer

@@ -13,11 +13,20 @@
  *   std-endl        block comments cannot desync them;
  *   raw-cerr
  *
- *   hot-path-metrics  MetricsRegistry name lookups, GRAL_SPAN, and
+ *   hot-path-metrics  MetricsRegistry name lookups, GRAL_SPAN,
  *   hot-path-span     allocation-y constructs (new / make_unique /
- *   hot-path-alloc    make_shared) lexically inside loop bodies in
- *                     src/cachesim, src/spmv and src/kernels — the
- *                     simulator and kernel hot paths;
+ *   hot-path-alloc    make_shared), mutex acquisition and virtual
+ *   hot-path-lock     dispatch in loop bodies — or in any function
+ *   hot-path-virtual  transitively called from a loop body — in
+ *                     src/cachesim, src/spmv and src/kernels, the
+ *                     simulator and kernel hot paths (costmodel.cc);
+ *
+ *   guarded-by        GRAL_GUARDED_BY field accessed outside a scope
+ *                     that locks the named mutex (concurrency.cc);
+ *   atomic-seq-cst    std::atomic load/store/RMW with a defaulted
+ *                     memory_order_seq_cst in the lock-free hot
+ *                     modules (src/obs/metrics, src/spmv,
+ *                     src/cachesim);
  *
  *   check-side-effect GRAL_CHECK/GRAL_DCHECK conditions containing
  *                     ++/--/assignment (dchecks compile out in
@@ -25,8 +34,11 @@
  *   raw-new           raw new/delete expressions in src/ (owning
  *                     containers and smart pointers only).
  *
- * Per-file rules run on a LexedFile; graph rules run once over the
- * whole tree in analyzer.cc. Findings carry 1-based line/column.
+ * Per-file rules run on a LexedFile (plus the token stream and the
+ * translation-unit symbol view for the concurrency and cost-model
+ * packs); graph rules run once over the whole tree in analyzer.cc.
+ * Findings carry 1-based line/column, and mechanical rules attach
+ * FixIts — byte-offset replacements applied by `--fix` (fixit.h).
  */
 
 #ifndef GRAL_ANALYZER_RULES_H
@@ -37,9 +49,19 @@
 #include <vector>
 
 #include "analyzer/lexer.h"
+#include "analyzer/parse.h"
+#include "analyzer/symbols.h"
 
 namespace gral::analyzer
 {
+
+/** One mechanical edit: replace @p length bytes at @p offset. */
+struct FixIt
+{
+    std::size_t offset = 0;
+    std::size_t length = 0;
+    std::string replacement;
+};
 
 /** One diagnostic. */
 struct Finding
@@ -49,6 +71,8 @@ struct Finding
     int column = 1;
     std::string rule;
     std::string message;
+    /** Mechanical fixes, applied by `--fix` (empty = not fixable). */
+    std::vector<FixIt> fixits;
 };
 
 /** Static metadata of one rule (drives --list-rules and SARIF). */
@@ -64,12 +88,25 @@ const std::vector<RuleInfo> &ruleCatalogue();
 /**
  * Run every per-file rule applicable to @p path over @p lexed and
  * append findings. Scoping mirrors the module layout:
- *   - src/ subtree: all convention + API-misuse rules
+ *   - src/ subtree: all convention + API-misuse rules, plus the
+ *     concurrency pack (guarded-by everywhere in src/,
+ *     atomic-seq-cst in src/obs/metrics, src/spmv, src/cachesim)
  *   - src/cachesim, src/spmv, src/kernels: additionally the
- *     hot-path rules
+ *     hot-path (cost-model) rules
  *   - tools/, bench/, examples/: std-endl only
  * Suppressions (`// gral-analyzer: off(rule)`) are applied here.
+ *
+ * @p ts must be tokenize(lexed); @p tu is the translation-unit
+ * symbol view whose local file is @p lexed (symbols.h). The packs
+ * resolve annotations, atomic fields and virtual methods against it,
+ * so headers merged into the view make cross-file contracts visible.
  */
+void runFileRules(const std::string &path, const LexedFile &lexed,
+                  const TokenStream &ts, const TuView &tu,
+                  std::vector<Finding> &findings);
+
+/** Single-file convenience overload: tokenizes @p lexed and builds a
+ *  TU view from the file alone (no cross-file symbols). */
 void runFileRules(const std::string &path, const LexedFile &lexed,
                   std::vector<Finding> &findings);
 

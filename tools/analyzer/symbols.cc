@@ -1,0 +1,705 @@
+#include "analyzer/symbols.h"
+
+#include <algorithm>
+
+namespace gral::analyzer
+{
+
+namespace
+{
+
+bool
+isKeyword(std::string_view s)
+{
+    static constexpr std::string_view kWords[] = {
+        "if",       "for",      "while",    "switch",  "return",
+        "sizeof",   "alignof",  "catch",    "do",      "else",
+        "case",     "default",  "new",      "delete",  "throw",
+        "goto",     "break",    "continue", "static_cast",
+        "dynamic_cast", "const_cast", "reinterpret_cast",
+        "decltype", "noexcept", "alignas",  "void",    "int",
+        "bool",     "char",     "float",    "double",  "long",
+        "short",    "unsigned", "signed",   "auto",    "const",
+        "static",   "constexpr"};
+    return std::find(std::begin(kWords), std::end(kWords), s) !=
+           std::end(kWords);
+}
+
+/** Control/operator keywords that can never be a callee name. */
+bool
+isCallKeyword(std::string_view s)
+{
+    static constexpr std::string_view kWords[] = {
+        "if",     "for",    "while",   "switch", "return",
+        "sizeof", "alignof", "catch",  "assert", "decltype",
+        "noexcept", "alignas", "static_assert"};
+    return std::find(std::begin(kWords), std::end(kWords), s) !=
+           std::end(kWords);
+}
+
+} // namespace
+
+std::string
+normalizeGuardExpr(std::string_view expr)
+{
+    std::string out;
+    for (char c : expr)
+        if (c != ' ' && c != '\t' && c != '\n')
+            out += c;
+    if (out.rfind("this->", 0) == 0)
+        out.erase(0, 6);
+    while (!out.empty() && out.front() == '&')
+        out.erase(out.begin());
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Heuristic scanner. One instance per file; scan() recurses through
+ * namespace and class scopes but never into function bodies (their
+ * contents are consumed by loopBodies()/callSites() instead).
+ */
+class SymbolScanner
+{
+  public:
+    SymbolScanner(const TokenStream &ts, FileSymbols &out)
+        : ts_(ts), out_(out)
+    {
+    }
+
+    void
+    run()
+    {
+        scan(0, ts_.tokens.size(), std::string());
+    }
+
+  private:
+    const TokenStream &ts_;
+    FileSymbols &out_;
+
+    const Token &
+    tok(std::size_t i) const
+    {
+        return ts_.tokens[i];
+    }
+
+    bool
+    ident(std::size_t i, std::string_view t) const
+    {
+        return ts_.isIdent(i, t);
+    }
+
+    /** Index past a balanced <...> starting at @p i (a '<'), treating
+     *  '>>' as two closers; @p i itself when it does not look like a
+     *  template argument list (hits ';' '{' '}' or EOF first). */
+    std::size_t
+    skipTemplateArgs(std::size_t i, std::size_t end) const
+    {
+        if (!ts_.is(i, "<"))
+            return i;
+        int depth = 0;
+        for (std::size_t j = i; j < end; ++j) {
+            std::string_view t = tok(j).text;
+            if (t == "<") {
+                ++depth;
+            } else if (t == ">") {
+                if (--depth == 0)
+                    return j + 1;
+            } else if (t == ">>") {
+                depth -= 2;
+                if (depth <= 0)
+                    return j + 1;
+            } else if (t == ";" || t == "{" || t == "}") {
+                return i; // not a template argument list after all
+            } else if (t == "(" || t == "[") {
+                std::size_t p = ts_.partner(j);
+                if (p >= end)
+                    return i;
+                j = p;
+            }
+        }
+        return i;
+    }
+
+    /** Join token texts in [b, e) excluding [skipB, skipE). */
+    std::string
+    joinTokens(std::size_t b, std::size_t e, std::size_t skipB,
+               std::size_t skipE) const
+    {
+        std::string joined;
+        for (std::size_t i = b; i < e; ++i) {
+            if (i >= skipB && i < skipE)
+                continue;
+            if (!joined.empty())
+                joined += ' ';
+            joined += tok(i).text;
+        }
+        return joined;
+    }
+
+    /** Arguments of the paren group opening at @p open, normalized
+     *  and split on top-level commas. */
+    std::vector<std::string>
+    groupArgs(std::size_t open) const
+    {
+        std::vector<std::string> args;
+        std::size_t close = ts_.partner(open);
+        if (close >= ts_.tokens.size())
+            return args;
+        std::string current;
+        for (std::size_t i = open + 1; i < close; ++i) {
+            if (tok(i).text == "," ) {
+                if (!current.empty())
+                    args.push_back(normalizeGuardExpr(current));
+                current.clear();
+                continue;
+            }
+            std::size_t p = ts_.partner(i);
+            if (p < ts_.tokens.size() && p > i) {
+                // Nested group: keep it verbatim inside one argument.
+                for (std::size_t k = i; k <= p; ++k)
+                    current += std::string(tok(k).text);
+                i = p;
+                continue;
+            }
+            current += std::string(tok(i).text);
+        }
+        if (!current.empty())
+            args.push_back(normalizeGuardExpr(current));
+        return args;
+    }
+
+    enum class FnShape
+    {
+        NotAFunction,
+        Declaration,
+        Definition,
+    };
+
+    /**
+     * Classify what follows a parameter list closing at @p close:
+     * qualifiers / GRAL_REQUIRES / ctor-init / trailing return, then
+     * a body, a ';' or '= default|delete|0'.
+     */
+    FnShape
+    classifyAfterParams(std::size_t close, std::size_t end,
+                        std::vector<std::string> &requiresLocks,
+                        std::size_t &bodyBegin) const
+    {
+        bool afterArrow = false;
+        for (std::size_t j = close + 1; j < end;) {
+            std::string_view t = tok(j).text;
+            if (t == "const" || t == "noexcept" || t == "override" ||
+                t == "final" || t == "volatile" || t == "mutable" ||
+                t == "throw" || t == "try" || t == "&" || t == "&&") {
+                ++j;
+                if (j < end && ts_.is(j, "(") &&
+                    (t == "noexcept" || t == "throw"))
+                    j = ts_.partner(j) + 1;
+                continue;
+            }
+            if (ident(j, "GRAL_REQUIRES")) {
+                if (ts_.is(j + 1, "(")) {
+                    for (std::string &arg : groupArgs(j + 1))
+                        requiresLocks.push_back(std::move(arg));
+                    j = ts_.partner(j + 1) + 1;
+                } else {
+                    ++j;
+                }
+                continue;
+            }
+            if (t == "->") {
+                afterArrow = true;
+                ++j;
+                continue;
+            }
+            if (afterArrow &&
+                (tok(j).kind == TokenKind::Identifier || t == "::" ||
+                 t == "*" || t == "&")) {
+                if (tok(j).kind == TokenKind::Identifier) {
+                    std::size_t after = skipTemplateArgs(j + 1, end);
+                    j = after == j + 1 ? j + 1 : after;
+                } else {
+                    ++j;
+                }
+                continue;
+            }
+            if (t == ":") {
+                // Constructor initializer list: `name(args)` or
+                // `name{args}` items separated by commas, then the
+                // body brace.
+                ++j;
+                while (j < end) {
+                    // Skip the member name (possibly qualified or
+                    // templated base class name).
+                    while (j < end &&
+                           (tok(j).kind == TokenKind::Identifier ||
+                            tok(j).text == "::"))
+                        ++j;
+                    j = std::max(j, skipTemplateArgs(j, end));
+                    if (j >= end ||
+                        (tok(j).text != "(" && tok(j).text != "{"))
+                        return FnShape::NotAFunction;
+                    j = ts_.partner(j) + 1;
+                    if (j < end && tok(j).text == "...")
+                        ++j;
+                    if (j < end && tok(j).text == ",") {
+                        ++j;
+                        continue;
+                    }
+                    break;
+                }
+                if (j < end && tok(j).text == "{") {
+                    bodyBegin = j;
+                    return FnShape::Definition;
+                }
+                return FnShape::NotAFunction;
+            }
+            if (t == "{") {
+                bodyBegin = j;
+                return FnShape::Definition;
+            }
+            if (t == ";")
+                return FnShape::Declaration;
+            if (t == "=") {
+                // = default / = delete / = 0 (pure virtual).
+                std::string_view next =
+                    j + 1 < end ? tok(j + 1).text : std::string_view();
+                if (next == "default" || next == "delete" ||
+                    next == "0")
+                    return FnShape::Declaration;
+                return FnShape::NotAFunction;
+            }
+            return FnShape::NotAFunction;
+        }
+        return FnShape::NotAFunction;
+    }
+
+    /** Field candidate: statement [s, e) in a class body, where
+     *  tokens[e] is the terminating ';'. */
+    void
+    tryField(std::size_t s, std::size_t e, ClassSymbol &cls)
+    {
+        if (e <= s)
+            return;
+        for (std::size_t i = s; i < e; ++i) {
+            std::string_view t = tok(i).text;
+            if (t == "using" || t == "typedef" || t == "friend" ||
+                t == "static_assert" || t == "operator" ||
+                t == "template" || t == "enum")
+                return;
+        }
+        // Trailing GRAL_GUARDED_BY(expr) annotation.
+        std::string guardedBy;
+        std::size_t gbBegin = e, gbEnd = e;
+        for (std::size_t i = s; i < e; ++i) {
+            if (ident(i, "GRAL_GUARDED_BY") && ts_.is(i + 1, "(")) {
+                std::vector<std::string> args = groupArgs(i + 1);
+                if (!args.empty())
+                    guardedBy = args[0];
+                gbBegin = i;
+                gbEnd = ts_.partner(i + 1) + 1;
+                break;
+            }
+        }
+        // Walk back from the ';' to the declarator name, skipping the
+        // initializer ('= value', '{...}'), array extents and the
+        // annotation.
+        std::size_t k = e;
+        std::size_t nameIndex = ts_.tokens.size();
+        while (k > s) {
+            --k;
+            if (k >= gbBegin && k < gbEnd)
+                continue;
+            std::string_view t = tok(k).text;
+            if (t == "}" || t == ")" || t == "]") {
+                std::size_t p = ts_.partner(k);
+                if (p >= ts_.tokens.size() || p < s)
+                    return;
+                k = p;
+                continue;
+            }
+            if (tok(k).kind == TokenKind::Identifier &&
+                !isKeyword(t)) {
+                nameIndex = k;
+                break;
+            }
+        }
+        if (nameIndex >= ts_.tokens.size() || nameIndex <= s)
+            return; // no name, or a name with no type before it
+        FieldSymbol field;
+        field.name = std::string(tok(nameIndex).text);
+        field.type = joinTokens(s, nameIndex, gbBegin, gbEnd);
+        if (field.type.empty())
+            return;
+        field.guardedBy = guardedBy;
+        field.line = tok(nameIndex).line;
+        field.column = tok(nameIndex).column;
+        field.isMutex =
+            field.type.find("mutex") != std::string::npos ||
+            field.type.find("Mutex") != std::string::npos;
+        field.isAtomic =
+            field.type.find("atomic") != std::string::npos;
+        cls.fields.push_back(std::move(field));
+    }
+
+    /**
+     * Scan [b, e). @p cls empty = namespace scope; otherwise the
+     * class whose body this is (fields are appended to @p fields).
+     */
+    void
+    scan(std::size_t b, std::size_t e, const std::string &cls,
+         ClassSymbol *fields = nullptr)
+    {
+        bool virtualSeen = false;
+        std::size_t statementStart = b;
+        for (std::size_t i = b; i < e;) {
+            const Token &t = tok(i);
+
+            if (ident(i, "virtual")) {
+                virtualSeen = true;
+                ++i;
+                continue;
+            }
+            if (ident(i, "namespace")) {
+                std::size_t j = i + 1;
+                while (j < e &&
+                       (tok(j).kind == TokenKind::Identifier ||
+                        tok(j).text == "::"))
+                    ++j;
+                if (j < e && tok(j).text == "{") {
+                    std::size_t p = ts_.partner(j);
+                    scan(j + 1, std::min(p, e), cls, fields);
+                    i = p + 1;
+                    statementStart = i;
+                    continue;
+                }
+                i = j;
+                continue;
+            }
+            if (ident(i, "template")) {
+                std::size_t after = skipTemplateArgs(i + 1, e);
+                i = after == i + 1 ? i + 1 : after;
+                continue;
+            }
+            if (ident(i, "enum")) {
+                // enum / enum class: skip to the end of the
+                // enumerator list or the ';' of an opaque declaration.
+                std::size_t j = i + 1;
+                while (j < e && tok(j).text != "{" &&
+                       tok(j).text != ";")
+                    ++j;
+                if (j < e && tok(j).text == "{")
+                    j = ts_.partner(j);
+                i = j + 1;
+                statementStart = i;
+                continue;
+            }
+            if (ident(i, "class") || ident(i, "struct")) {
+                std::size_t j = i + 1;
+                // Skip alignas(...) and [[attributes]].
+                while (j < e && (ident(j, "alignas") ||
+                                 tok(j).text == "[")) {
+                    if (tok(j).text == "[")
+                        j = ts_.partner(j) + 1;
+                    else if (ts_.is(j + 1, "("))
+                        j = ts_.partner(j + 1) + 1;
+                    else
+                        ++j;
+                }
+                std::string name;
+                if (j < e && tok(j).kind == TokenKind::Identifier) {
+                    name = std::string(tok(j).text);
+                    ++j;
+                }
+                // Find the body '{' (through a base clause) or give
+                // up at ';' (forward declaration) / '(' (not a
+                // class after all).
+                while (j < e && tok(j).text != "{" &&
+                       tok(j).text != ";") {
+                    if (tok(j).text == "(") {
+                        j = e;
+                        break;
+                    }
+                    std::size_t after = skipTemplateArgs(j, e);
+                    j = after == j ? j + 1 : after;
+                }
+                if (j < e && tok(j).text == "{" && !name.empty()) {
+                    std::size_t p = ts_.partner(j);
+                    ClassSymbol symbol;
+                    symbol.name = name;
+                    symbol.bodyBegin = j;
+                    symbol.bodyEnd = p;
+                    std::size_t slot = out_.classes.size();
+                    out_.classes.push_back(std::move(symbol));
+                    // Recurse with the class as context; fields land
+                    // in the freshly pushed symbol (re-indexed, the
+                    // vector may grow while recursing).
+                    scanClassBody(j + 1, std::min(p, e), name, slot);
+                    i = p + 1;
+                } else {
+                    i = j + 1;
+                }
+                statementStart = i;
+                virtualSeen = false;
+                continue;
+            }
+            if (t.text == "(" && i > b &&
+                tok(i - 1).kind == TokenKind::Identifier &&
+                !isKeyword(tok(i - 1).text) &&
+                // Annotation macros look like calls but annotate the
+                // *preceding* declarator; leave them to tryField /
+                // classifyAfterParams.
+                tok(i - 1).text != "GRAL_GUARDED_BY" &&
+                tok(i - 1).text != "GRAL_REQUIRES" &&
+                !(i >= 2 && (tok(i - 2).text == "." ||
+                             tok(i - 2).text == "->"))) {
+                std::size_t close = ts_.partner(i);
+                if (close < e) {
+                    std::vector<std::string> requiresLocks;
+                    std::size_t bodyBegin = 0;
+                    FnShape shape = classifyAfterParams(
+                        close, e, requiresLocks, bodyBegin);
+                    if (shape != FnShape::NotAFunction) {
+                        FunctionSymbol fn;
+                        fn.name = std::string(tok(i - 1).text);
+                        fn.line = tok(i - 1).line;
+                        fn.className = cls;
+                        bool tilde =
+                            i >= 2 && tok(i - 2).text == "~";
+                        std::size_t qual = tilde ? i - 3 : i - 2;
+                        if (qual < ts_.tokens.size() && qual >= b &&
+                            i >= (tilde ? 3u : 2u) &&
+                            tok(qual).text == "::" && qual >= 1 &&
+                            tok(qual - 1).kind ==
+                                TokenKind::Identifier)
+                            fn.className =
+                                std::string(tok(qual - 1).text);
+                        if (tilde)
+                            fn.name = "~" + fn.name;
+                        fn.isCtorOrDtor =
+                            tilde || (!fn.className.empty() &&
+                                      fn.name == fn.className);
+                        fn.isVirtual = virtualSeen;
+                        fn.requiresLocks = std::move(requiresLocks);
+                        if (shape == FnShape::Definition) {
+                            fn.hasBody = true;
+                            fn.bodyBegin = bodyBegin;
+                            fn.bodyEnd = ts_.partner(bodyBegin);
+                            i = fn.bodyEnd + 1;
+                        } else {
+                            // Skip to the terminating ';'.
+                            std::size_t j = close + 1;
+                            while (j < e && tok(j).text != ";") {
+                                std::size_t p = ts_.partner(j);
+                                j = (p < e && p > j) ? p + 1 : j + 1;
+                            }
+                            i = j + 1;
+                        }
+                        out_.functions.push_back(std::move(fn));
+                        statementStart = i;
+                        virtualSeen = false;
+                        continue;
+                    }
+                }
+            }
+            if (t.text == "{") {
+                // Some non-function brace (e.g. a braced initializer
+                // at namespace scope): skip it whole.
+                std::size_t p = ts_.partner(i);
+                i = p >= e ? i + 1 : p + 1;
+                continue;
+            }
+            if (t.text == ";") {
+                if (fields != nullptr)
+                    tryField(statementStart, i, *fields);
+                statementStart = i + 1;
+                virtualSeen = false;
+                ++i;
+                continue;
+            }
+            if ((ident(i, "public") || ident(i, "private") ||
+                 ident(i, "protected")) &&
+                ts_.is(i + 1, ":")) {
+                i += 2;
+                statementStart = i;
+                continue;
+            }
+            ++i;
+        }
+    }
+
+    /** Class-body scan; fields go to out_.classes[slot] (looked up
+     *  fresh because recursion may reallocate the vector). */
+    void
+    scanClassBody(std::size_t b, std::size_t e,
+                  const std::string &name, std::size_t slot)
+    {
+        ClassSymbol proxy;
+        scan(b, e, name, &proxy);
+        out_.classes[slot].fields = std::move(proxy.fields);
+    }
+
+    friend FileSymbols gral::analyzer::buildSymbols(
+        const TokenStream &);
+};
+
+} // namespace
+
+FileSymbols
+buildSymbols(const TokenStream &ts)
+{
+    FileSymbols symbols;
+    SymbolScanner scanner(ts, symbols);
+    scanner.run();
+    return symbols;
+}
+
+std::vector<LoopRange>
+loopBodies(const TokenStream &ts, std::size_t begin, std::size_t end)
+{
+    std::vector<LoopRange> loops;
+    end = std::min(end, ts.tokens.size());
+
+    auto bracelessEnd = [&](std::size_t from) {
+        for (std::size_t j = from; j < end; ++j) {
+            std::string_view t = ts.tokens[j].text;
+            if (t == "(" || t == "[" || t == "{") {
+                std::size_t p = ts.partner(j);
+                if (p >= end)
+                    return end;
+                j = p;
+                continue;
+            }
+            if (t == ";")
+                return j;
+            if (t == "}")
+                return j; // malformed; stop at scope end
+        }
+        return end;
+    };
+
+    for (std::size_t i = begin; i < end; ++i) {
+        bool isFor = ts.isIdent(i, "for");
+        bool isWhile = ts.isIdent(i, "while");
+        bool isDo = ts.isIdent(i, "do");
+        if (!isFor && !isWhile && !isDo)
+            continue;
+        std::size_t bodyTok;
+        if (isDo) {
+            bodyTok = i + 1;
+        } else {
+            if (!ts.is(i + 1, "("))
+                continue;
+            std::size_t close = ts.partner(i + 1);
+            if (close >= end)
+                continue;
+            bodyTok = close + 1;
+        }
+        if (bodyTok >= end)
+            continue;
+        LoopRange range;
+        if (ts.is(bodyTok, "{")) {
+            std::size_t p = ts.partner(bodyTok);
+            if (p >= end)
+                continue;
+            range.begin = bodyTok + 1;
+            range.end = p;
+        } else {
+            range.begin = bodyTok;
+            range.end = bracelessEnd(bodyTok);
+        }
+        if (range.begin < range.end)
+            loops.push_back(range);
+    }
+    return loops;
+}
+
+const std::vector<const FieldSymbol *> &
+TuView::fieldsOf(const std::string &className) const
+{
+    static const std::vector<const FieldSymbol *> kEmpty;
+    auto it = classFields.find(className);
+    return it == classFields.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string>
+TuView::requiresOf(const std::string &className,
+                   const std::string &name) const
+{
+    std::string key =
+        className.empty() ? name : className + "::" + name;
+    auto it = requiresLocks.find(key);
+    return it == requiresLocks.end() ? std::vector<std::string>()
+                                     : it->second;
+}
+
+TuView
+buildTuView(const FileSymbols &local,
+            const std::vector<const FileSymbols *> &deps)
+{
+    TuView view;
+    view.local = &local;
+
+    auto mergeOne = [&](const FileSymbols &symbols) {
+        for (const ClassSymbol &cls : symbols.classes) {
+            std::vector<const FieldSymbol *> &slot =
+                view.classFields[cls.name];
+            for (const FieldSymbol &field : cls.fields) {
+                bool known = false;
+                for (const FieldSymbol *existing : slot)
+                    if (existing->name == field.name)
+                        known = true;
+                if (!known)
+                    slot.push_back(&field);
+                if (field.isAtomic)
+                    view.atomicFields.insert(field.name);
+            }
+        }
+        for (const FunctionSymbol &fn : symbols.functions) {
+            if (fn.isVirtual)
+                view.virtualFunctions.insert(fn.name);
+            if (!fn.requiresLocks.empty()) {
+                std::string key = fn.className.empty()
+                                      ? fn.name
+                                      : fn.className + "::" + fn.name;
+                std::vector<std::string> &locks =
+                    view.requiresLocks[key];
+                for (const std::string &lock : fn.requiresLocks)
+                    if (std::find(locks.begin(), locks.end(), lock) ==
+                        locks.end())
+                        locks.push_back(lock);
+            }
+        }
+    };
+
+    mergeOne(local);
+    for (const FileSymbols *dep : deps)
+        if (dep != nullptr)
+            mergeOne(*dep);
+    return view;
+}
+
+std::vector<CallSite>
+callSites(const TokenStream &ts, std::size_t begin, std::size_t end)
+{
+    std::vector<CallSite> calls;
+    end = std::min(end, ts.tokens.size());
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+        if (ts.tokens[i].kind != TokenKind::Identifier ||
+            !ts.is(i + 1, "(") || isCallKeyword(ts.tokens[i].text))
+            continue;
+        CallSite call;
+        call.name = std::string(ts.tokens[i].text);
+        call.tokenIndex = i;
+        call.isMemberCall =
+            i > begin && (ts.tokens[i - 1].text == "." ||
+                          ts.tokens[i - 1].text == "->");
+        calls.push_back(std::move(call));
+    }
+    return calls;
+}
+
+} // namespace gral::analyzer
