@@ -2,15 +2,106 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "graph/degree.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/perf/backend.h"
+#include "obs/perf/scope.h"
 #include "obs/span.h"
 #include "reorder/registry.h"
 
 namespace gral
 {
+
+namespace
+{
+
+/** Snapshot of the spmv worker perf site's cumulative registry
+ *  counters ("hw/spmv/worker/..."), used to difference readings over
+ *  a timed window. The pool's workers run on their own threads, so
+ *  their published counters — not a calling-thread group — are the
+ *  ground truth for what the traversal cost. */
+struct WorkerHwSnapshot
+{
+    std::uint64_t regions = 0;
+    std::vector<std::uint64_t> values;
+};
+
+WorkerHwSnapshot
+snapshotWorkerHw(std::span<const PerfEventSpec> specs)
+{
+    MetricsRegistry &registry = MetricsRegistry::global();
+    WorkerHwSnapshot snap;
+    snap.regions =
+        registry.counter("hw/spmv/worker/regions").value();
+    snap.values.reserve(specs.size());
+    for (const PerfEventSpec &spec : specs)
+        snap.values.push_back(
+            registry
+                .counter(std::string("hw/spmv/worker/") + spec.name)
+                .value());
+    return snap;
+}
+
+/** Difference two worker snapshots into a self-describing reading.
+ *  Valid only when at least one worker region actually published
+ *  (regions unchanged means every worker hit the unavailable path).
+ *  The published values are already multiplex-scaled, so the delta
+ *  carries the worker site's duty-cycle gauge rather than re-scaling.
+ */
+PerfGroupReading
+workerHwDelta(const WorkerHwSnapshot &before,
+              const WorkerHwSnapshot &after,
+              std::span<const PerfEventSpec> specs)
+{
+    MetricsRegistry &registry = MetricsRegistry::global();
+    PerfGroupReading reading;
+    reading.backend = probePerfBackend();
+    reading.valid = after.regions > before.regions &&
+                    reading.backend != PerfBackend::Unavailable;
+    if (!reading.valid)
+        return reading;
+    // Reconstruct the duty cycle from the worker site's gauge so
+    // multiplexFraction() reports what the workers saw.
+    constexpr std::uint64_t kScale = 1000000;
+    double fraction = std::clamp(
+        registry.gauge("hw/spmv/worker/multiplex_fraction").value(),
+        0.0, 1.0);
+    reading.timeEnabled = kScale;
+    reading.timeRunning =
+        static_cast<std::uint64_t>(fraction * kScale);
+    reading.values.reserve(specs.size());
+    for (std::size_t i = 0;
+         i < specs.size() && i < after.values.size(); ++i) {
+        PerfCounterValue value;
+        value.kind = specs[i].kind;
+        value.raw = after.values[i] - before.values[i];
+        value.scaled = value.raw; // published values are pre-scaled
+        value.valid = true;
+        reading.values.push_back(value);
+    }
+    return reading;
+}
+
+/** The event list active for the probed backend (what the worker
+ *  site publishes under hw/spmv/worker/...). */
+std::span<const PerfEventSpec>
+activeEventSet()
+{
+    switch (probePerfBackend()) {
+    case PerfBackend::Hardware:
+        return hardwareEventSet();
+    case PerfBackend::Software:
+        return softwareEventSet();
+    case PerfBackend::Unavailable:
+        return {};
+    }
+    return {};
+}
+
+} // namespace
 
 Graph
 reorderedGraph(const Graph &base, const std::string &ra_name,
@@ -26,13 +117,20 @@ reorderedGraph(const Graph &base, const std::string &ra_name,
 double
 timePullSpmv(const Graph &graph, const ParallelOptions &options,
              unsigned repeats, double *idle_percent,
-             ParallelResult *detail)
+             ParallelResult *detail, PerfGroupReading *hw)
 {
     GRAL_SPAN("experiment/time_pull_spmv");
     std::vector<double> src(graph.numVertices(), 1.0);
     std::vector<double> dst(graph.numVertices(), 0.0);
 
     spmvPullParallel(graph, src, dst, options); // warm-up
+
+    // The measured window covers the timed repeats only (warm-up
+    // excluded): difference the workers' cumulative counters.
+    std::span<const PerfEventSpec> specs = activeEventSet();
+    WorkerHwSnapshot hw_before;
+    if (hw)
+        hw_before = snapshotWorkerHw(specs);
 
     double best_ms = 0.0;
     ParallelResult best;
@@ -44,6 +142,9 @@ timePullSpmv(const Graph &graph, const ParallelOptions &options,
             best = std::move(result);
         }
     }
+    if (hw)
+        *hw = workerHwDelta(hw_before, snapshotWorkerHw(specs),
+                            specs);
     if (idle_percent)
         *idle_percent = best.idlePercent;
     if (detail)
@@ -52,7 +153,8 @@ timePullSpmv(const Graph &graph, const ParallelOptions &options,
 }
 
 double
-timeKernelRun(Kernel &kernel, const Graph &graph, unsigned repeats)
+timeKernelRun(Kernel &kernel, const Graph &graph, unsigned repeats,
+              PerfGroupReading *hw)
 {
     GRAL_SPAN("experiment/time_kernel");
     using Clock = std::chrono::steady_clock;
@@ -60,13 +162,28 @@ timeKernelRun(Kernel &kernel, const Graph &graph, unsigned repeats)
 
     double best_ms = 0.0;
     for (unsigned r = 0; r < std::max(1u, repeats); ++r) {
+        // Sequential kernels run on this thread, so a calling-thread
+        // group sees exactly the run; keep the reading of the best
+        // (fastest, least-perturbed) repeat alongside its time.
+        std::optional<PerfCounterGroup> group;
+        if (hw) {
+            group.emplace();
+            group->openForThisThread();
+        }
         Clock::time_point start = Clock::now();
+        if (group)
+            group->start();
         kernel.run(graph);
+        if (group)
+            group->stop();
         double ms = std::chrono::duration<double, std::milli>(
                         Clock::now() - start)
                         .count();
-        if (r == 0 || ms < best_ms)
+        if (r == 0 || ms < best_ms) {
             best_ms = ms;
+            if (group)
+                *hw = group->readCounters();
+        }
     }
     return best_ms;
 }
@@ -135,6 +252,30 @@ recordExperimentMetrics(const RaExperimentResult &result)
         psel.record(static_cast<double>(sample.access),
                     static_cast<double>(sample.psel));
 
+    // Measured hardware counters next to the simulated ones. The
+    // simulated L3 miss rate above is `l3_miss_rate`; its measured
+    // twin is `hw_llc_miss_rate`. Unavailable values export as -1
+    // with hw_valid = 0 — never as zeros a report could mistake for
+    // a perfect cache.
+    registry.gauge(prefix + "hw_valid")
+        .set(result.hw.valid ? 1.0 : 0.0);
+    registry.gauge(prefix + "hw_backend")
+        .set(static_cast<double>(result.hw.backend));
+    registry.gauge(prefix + "hw_llc_miss_rate")
+        .set(result.hw.llcMissRate());
+    registry.gauge(prefix + "hw_cycles")
+        .set(result.hw.value(PerfEventKind::Cycles));
+    registry.gauge(prefix + "hw_instructions")
+        .set(result.hw.value(PerfEventKind::Instructions));
+    registry.gauge(prefix + "hw_llc_loads")
+        .set(result.hw.value(PerfEventKind::LlcLoads));
+    registry.gauge(prefix + "hw_llc_load_misses")
+        .set(result.hw.value(PerfEventKind::LlcLoadMisses));
+    registry.gauge(prefix + "hw_dtlb_load_misses")
+        .set(result.hw.value(PerfEventKind::DtlbLoadMisses));
+    registry.gauge(prefix + "hw_multiplex_fraction")
+        .set(result.hw.valid ? result.hw.multiplexFraction() : -1.0);
+
     GRAL_LOG(info) << "experiment cell recorded"
                    << logField("ra", result.ra)
                    << logField("kernel", result.kernel)
@@ -171,16 +312,32 @@ runRaExperiment(const Graph &base, const std::string &ra_name,
     const Graph &graph = result.relabeled ? relabeled : base;
 
     if (options.runTiming) {
+        // Collection is scoped to the timed traversal so the
+        // simulation/trace phases below never pay for counting.
+        ScopedHwCounters hw_window(options.hwCounters);
+        PerfGroupReading *hw =
+            options.hwCounters ? &result.hw : nullptr;
         if (options.kernel == "spmv") {
             result.traversalMs = timePullSpmv(
                 graph, options.parallel, options.timingRepeats,
-                &result.idlePercent, &result.traversal);
+                &result.idlePercent, &result.traversal, hw);
         } else {
             result.traversalMs = timeKernelRun(
-                *kernel, graph, options.timingRepeats);
+                *kernel, graph, options.timingRepeats, hw);
         }
+    } else if (options.hwCounters) {
+        // Timing skipped: measure the single real run below instead,
+        // so --hw-counters still reports a reading.
+        ScopedHwCounters hw_window(true);
+        PerfCounterGroup group;
+        group.openForThisThread();
+        group.start();
+        result.kernelRun = kernel->run(graph);
+        group.stop();
+        result.hw = group.readCounters();
     }
-    result.kernelRun = kernel->run(graph);
+    if (options.runTiming || !options.hwCounters)
+        result.kernelRun = kernel->run(graph);
 
     if (options.runSimulation) {
         GRAL_SPAN("experiment/simulate");

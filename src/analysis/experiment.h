@@ -20,6 +20,7 @@
 #include "graph/graph.h"
 #include "kernels/kernel.h"
 #include "metrics/miss_rate.h"
+#include "obs/perf/counters.h"
 #include "reorder/reorderer.h"
 #include "spmv/parallel.h"
 #include "spmv/trace_gen.h"
@@ -48,6 +49,12 @@ struct ExperimentOptions
     bool runTiming = true;
     /** Skip the cache simulation (timing only). */
     bool runSimulation = true;
+    /** Measure hardware counters around the real traversal and report
+     *  the measured LLC miss rate next to the simulated one
+     *  (`--hw-counters`). Degrades per the obs/perf backend ladder:
+     *  the reading is explicitly invalid when perf is unreachable,
+     *  never zero-filled. */
+    bool hwCounters = false;
 };
 
 /** Everything measured for one (dataset, kernel, RA) cell. */
@@ -74,6 +81,12 @@ struct RaExperimentResult
     ParallelResult traversal;
     /** Simulated L3/DTLB counters and per-degree miss profile. */
     MissProfileResult profile;
+    /** Measured hardware counters over the timed traversal (only when
+     *  ExperimentOptions::hwCounters; default-invalid otherwise). For
+     *  spmv this aggregates the per-worker groups the thread pool
+     *  attaches; for sequential kernels it is the best timed run's
+     *  group reading on the running thread. */
+    PerfGroupReading hw;
 };
 
 /**
@@ -88,19 +101,26 @@ Graph reorderedGraph(const Graph &base, const std::string &ra_name,
  * @p repeats timed runs; returns the minimum wall time (ms) and
  * stores the matching idle percentage in @p idle_percent. When
  * @p detail is non-null, the full ParallelResult of the best run is
- * copied there.
+ * copied there. When @p hw is non-null (and collection is enabled),
+ * the per-worker perf groups attached by the thread pool are
+ * aggregated over the timed repeats into one reading — the work runs
+ * on pool threads, so a calling-thread group would count nothing.
  */
 double timePullSpmv(const Graph &graph, const ParallelOptions &options,
                     unsigned repeats, double *idle_percent,
-                    ParallelResult *detail = nullptr);
+                    ParallelResult *detail = nullptr,
+                    PerfGroupReading *hw = nullptr);
 
 /**
  * Time @p kernel's real (untraced) run on @p graph: one warm-up plus
  * @p repeats timed runs; returns the minimum wall time (ms). Used for
- * every kernel without a dedicated parallel engine.
+ * every kernel without a dedicated parallel engine. When @p hw is
+ * non-null a perf group counts each timed run on the calling thread
+ * and the best (fastest) run's reading is kept.
  */
 double timeKernelRun(Kernel &kernel, const Graph &graph,
-                     unsigned repeats);
+                     unsigned repeats,
+                     PerfGroupReading *hw = nullptr);
 
 /**
  * Publish one cell's measurements into the global MetricsRegistry
@@ -109,6 +129,9 @@ double timeKernelRun(Kernel &kernel, const Graph &graph,
  * per-set-class L3 miss-rate gauges, per-phase (push/pull) data and
  * hub miss-rate gauges, and the sampled DRRIP PSEL trajectory as a
  * series. Drives the --metrics-out JSON report of `gral experiment`.
+ * Hardware-counter gauges (hw_llc_miss_rate, hw_cycles, ...) sit
+ * next to the simulated ones; unavailable values export as -1 with
+ * hw_valid = 0 so the two can never be confused.
  */
 void recordExperimentMetrics(const RaExperimentResult &result);
 

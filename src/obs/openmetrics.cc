@@ -1,0 +1,89 @@
+#include "obs/openmetrics.h"
+
+#include <limits>
+#include <sstream>
+
+namespace gral
+{
+
+namespace
+{
+
+bool
+validNameChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/** Shortest round-trippable decimal rendering of @p value. */
+std::string
+formatValue(double value)
+{
+    std::ostringstream out;
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << value;
+    return out.str();
+}
+
+} // namespace
+
+std::string
+openMetricsName(const std::string &name)
+{
+    std::string result = "gral_";
+    for (char c : name)
+        result += validNameChar(c) ? c : '_';
+    return result;
+}
+
+std::string
+toOpenMetrics(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+
+    for (const auto &[name, value] : snapshot.counters) {
+        std::string metric = openMetricsName(name);
+        out << "# TYPE " << metric << " counter\n";
+        out << metric << "_total " << value << "\n";
+    }
+
+    for (const auto &[name, value] : snapshot.gauges) {
+        std::string metric = openMetricsName(name);
+        out << "# TYPE " << metric << " gauge\n";
+        out << metric << " " << formatValue(value) << "\n";
+    }
+
+    for (const auto &[name, data] : snapshot.histograms) {
+        std::string metric = openMetricsName(name);
+        out << "# TYPE " << metric << " histogram\n";
+        // The registry's log2 buckets are per-bucket counts with
+        // inclusive upper bounds; the exposition wants cumulative
+        // counts per le threshold.
+        std::uint64_t cumulative = 0;
+        for (const auto &[upper, count] : data.buckets) {
+            cumulative += count;
+            out << metric << "_bucket{le=\"" << upper << "\"} "
+                << cumulative << "\n";
+        }
+        out << metric << "_bucket{le=\"+Inf\"} " << data.count
+            << "\n";
+        out << metric << "_sum " << data.sum << "\n";
+        out << metric << "_count " << data.count << "\n";
+    }
+
+    for (const auto &[name, samples] : snapshot.series) {
+        if (samples.empty())
+            continue;
+        std::string metric = openMetricsName(name);
+        const Series::Sample &last = samples.back();
+        out << "# TYPE " << metric << " gauge\n";
+        out << metric << "{x=\"" << formatValue(last.x) << "\"} "
+            << formatValue(last.y) << "\n";
+    }
+
+    out << "# EOF\n";
+    return out.str();
+}
+
+} // namespace gral

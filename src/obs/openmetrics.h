@@ -1,0 +1,46 @@
+/**
+ * @file
+ * OpenMetrics / Prometheus text exposition of a MetricsSnapshot.
+ *
+ * Groundwork for the `grald` daemon (ROADMAP item 2): a long-running
+ * service exposes its registry over a /metrics endpoint, and the
+ * scrape format of record is the OpenMetrics text exposition. The
+ * CLI and benches reach it today via `--metrics-format=openmetrics`.
+ *
+ * Mapping from the registry model:
+ *
+ *   Counter    -> counter   `gral_<name>_total <value>`
+ *   Gauge      -> gauge     `gral_<name> <value>`
+ *   Histogram  -> histogram cumulative `_bucket{le="..."}` series
+ *                 from the log2 buckets, plus `_sum` and `_count`
+ *   Series     -> gauge of the last sample, labeled with its x
+ *                 (trajectories don't fit a scrape; the JSON export
+ *                 keeps the full series)
+ *
+ * Registry names use '/' and '.' as separators; both map to '_' to
+ * satisfy the [a-zA-Z_:][a-zA-Z0-9_:]* metric-name grammar. The
+ * document ends with the mandatory `# EOF`.
+ */
+
+#ifndef GRAL_OBS_OPENMETRICS_H
+#define GRAL_OBS_OPENMETRICS_H
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gral
+{
+
+/** A registry name as a valid OpenMetrics metric name: prefixed
+ *  "gral_", every character outside [a-zA-Z0-9_:] replaced by '_',
+ *  and a leading digit guarded by an extra '_'. */
+std::string openMetricsName(const std::string &name);
+
+/** Render @p snapshot as one OpenMetrics text document
+ *  (terminated by "# EOF\n"). */
+std::string toOpenMetrics(const MetricsSnapshot &snapshot);
+
+} // namespace gral
+
+#endif // GRAL_OBS_OPENMETRICS_H

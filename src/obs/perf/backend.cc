@@ -1,0 +1,137 @@
+#include "obs/perf/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/log.h"
+#include "obs/perf/syscall.h"
+
+namespace gral
+{
+
+namespace
+{
+
+/** Cached probe result; kNotProbed until the first probe or force. */
+constexpr int kNotProbed = -1;
+std::atomic<int> g_backend{kNotProbed};
+
+std::atomic<bool> g_enabled{false};
+
+/** Does the first event of @p specs open on this host? */
+bool
+rungOpens(std::span<const PerfEventSpec> specs)
+{
+    if (specs.empty())
+        return false;
+    int fd = perfEventOpenFd(specs.front(), -1);
+    if (fd < 0)
+        return false;
+    perfEventCloseFd(fd);
+    return true;
+}
+
+PerfBackend
+probeUncached()
+{
+    if (const char *env = std::getenv("GRAL_PERF_BACKEND")) {
+        PerfBackend forced;
+        if (parsePerfBackendOverride(env, &forced)) {
+            GRAL_LOG(info)
+                << "perf backend forced by GRAL_PERF_BACKEND"
+                << logField("backend", toString(forced));
+            return forced;
+        }
+        GRAL_LOG(warn) << "unrecognized GRAL_PERF_BACKEND value "
+                          "ignored; probing"
+                       << logField("value", env);
+    }
+    if (rungOpens(hardwareEventSet()))
+        return PerfBackend::Hardware;
+    if (rungOpens(softwareEventSet()))
+        return PerfBackend::Software;
+    return PerfBackend::Unavailable;
+}
+
+} // namespace
+
+const char *
+toString(PerfBackend backend)
+{
+    switch (backend) {
+    case PerfBackend::Hardware:
+        return "hardware";
+    case PerfBackend::Software:
+        return "software";
+    case PerfBackend::Unavailable:
+        return "unavailable";
+    }
+    return "unavailable";
+}
+
+bool
+parsePerfBackendOverride(const std::string &value, PerfBackend *backend)
+{
+    if (value == "hw" || value == "hardware") {
+        *backend = PerfBackend::Hardware;
+        return true;
+    }
+    if (value == "sw" || value == "software") {
+        *backend = PerfBackend::Software;
+        return true;
+    }
+    if (value == "off" || value == "none" || value == "unavailable") {
+        *backend = PerfBackend::Unavailable;
+        return true;
+    }
+    return false;
+}
+
+PerfBackend
+probePerfBackend()
+{
+    int cached = g_backend.load(std::memory_order_acquire);
+    if (cached != kNotProbed)
+        return static_cast<PerfBackend>(cached);
+    PerfBackend probed = probeUncached();
+    // Several threads may race the first probe; they all compute the
+    // same answer, so the last store winning is harmless.
+    g_backend.store(static_cast<int>(probed),
+                    std::memory_order_release);
+    GRAL_LOG(info) << "perf backend selected"
+                   << logField("backend", toString(probed))
+                   << logField("paranoid", perfParanoidLevel());
+    return probed;
+}
+
+void
+forcePerfBackend(PerfBackend backend)
+{
+    g_backend.store(static_cast<int>(backend),
+                    std::memory_order_release);
+}
+
+int
+perfParanoidLevel(int fallback)
+{
+    std::ifstream in("/proc/sys/kernel/perf_event_paranoid");
+    int level = fallback;
+    if (!(in >> level))
+        return fallback;
+    return level;
+}
+
+bool
+hwCountersEnabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setHwCountersEnabled(bool enabled)
+{
+    g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace gral

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Capability-probing backend selector for the perf counter layer.
+ *
+ * Containers, CI runners and locked-down hosts routinely refuse the
+ * perf_event_open syscall (kernel.perf_event_paranoid, seccomp, or a
+ * kernel built without perf). The measurement layer must never crash
+ * — and never *silently lie* — in those environments, so backend
+ * selection is an explicit three-rung ladder:
+ *
+ *   Hardware     PMU events reachable: cycles/instructions/LLC/dTLB.
+ *   Software     only kernel software events reachable (paranoid
+ *                level blocks the PMU but not task-clock).
+ *   Unavailable  perf_event_open unusable at all; every reading is
+ *                explicitly marked invalid, never zero-filled.
+ *
+ * The probe opens (and immediately closes) one throwaway counter per
+ * rung. `GRAL_PERF_BACKEND=hw|sw|off` overrides the probe — CI uses
+ * `off` to exercise the degradation path deterministically.
+ */
+
+#ifndef GRAL_OBS_PERF_BACKEND_H
+#define GRAL_OBS_PERF_BACKEND_H
+
+#include <cstdint>
+#include <string>
+
+namespace gral
+{
+
+/** Which rung of the measurement ladder is active. */
+enum class PerfBackend : std::uint8_t
+{
+    Hardware,
+    Software,
+    Unavailable,
+};
+
+/** "hardware" | "software" | "unavailable". */
+const char *toString(PerfBackend backend);
+
+/**
+ * Parse a GRAL_PERF_BACKEND override value ("hw"/"hardware",
+ * "sw"/"software", "off"/"none"/"unavailable"). Returns true and
+ * fills @p backend on a recognized value.
+ */
+bool parsePerfBackendOverride(const std::string &value,
+                              PerfBackend *backend);
+
+/**
+ * Probe the host: the highest ladder rung whose throwaway counter
+ * opens. Honours GRAL_PERF_BACKEND first. The result is cached after
+ * the first call (the environment does not change mid-process);
+ * forcePerfBackend overrides the cache.
+ */
+PerfBackend probePerfBackend();
+
+/** Pin the cached backend (tests, and the CLI's explicit degraded
+ *  runs). Passing the probe result of a fresh probe is a no-op. */
+void forcePerfBackend(PerfBackend backend);
+
+/**
+ * kernel.perf_event_paranoid as an int, or @p fallback when /proc is
+ * unreadable (the level that blocks everything, so callers degrade
+ * rather than assume access).
+ */
+int perfParanoidLevel(int fallback = 4);
+
+/**
+ * Process-wide enable switch for hardware-counter collection
+ * (default off: counting multiplexed PMU groups around every region
+ * is not free). `--hw-counters` and the fidelity bench turn it on;
+ * GRAL_PERF_SCOPE no-ops while it is off.
+ */
+bool hwCountersEnabled();
+void setHwCountersEnabled(bool enabled);
+
+/** RAII collection window: enables hardware-counter collection for
+ *  its scope (when asked to) and restores the previous state. The
+ *  experiment runner uses this so `--hw-counters` runs measure and
+ *  everything else keeps paying nothing. */
+class ScopedHwCounters
+{
+  public:
+    explicit ScopedHwCounters(bool enable)
+        : previous_(hwCountersEnabled())
+    {
+        if (enable)
+            setHwCountersEnabled(true);
+    }
+
+    ~ScopedHwCounters() { setHwCountersEnabled(previous_); }
+
+    ScopedHwCounters(const ScopedHwCounters &) = delete;
+    ScopedHwCounters &operator=(const ScopedHwCounters &) = delete;
+
+  private:
+    bool previous_;
+};
+
+} // namespace gral
+
+#endif // GRAL_OBS_PERF_BACKEND_H

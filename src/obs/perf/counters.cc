@@ -1,0 +1,190 @@
+#include "obs/perf/counters.h"
+
+#include "obs/perf/syscall.h"
+
+namespace gral
+{
+
+double
+PerfGroupReading::multiplexFraction() const
+{
+    if (timeEnabled == 0)
+        return 0.0;
+    double fraction = static_cast<double>(timeRunning) /
+                      static_cast<double>(timeEnabled);
+    return fraction > 1.0 ? 1.0 : fraction;
+}
+
+const PerfCounterValue *
+PerfGroupReading::find(PerfEventKind kind) const
+{
+    for (const PerfCounterValue &value : values)
+        if (value.kind == kind)
+            return &value;
+    return nullptr;
+}
+
+double
+PerfGroupReading::value(PerfEventKind kind) const
+{
+    const PerfCounterValue *entry = find(kind);
+    if (entry == nullptr || !entry->valid)
+        return -1.0;
+    return static_cast<double>(entry->scaled);
+}
+
+double
+PerfGroupReading::ratio(PerfEventKind num, PerfEventKind den) const
+{
+    double numerator = value(num);
+    double denominator = value(den);
+    if (numerator < 0.0 || denominator <= 0.0)
+        return -1.0;
+    return numerator / denominator;
+}
+
+double
+PerfGroupReading::llcMissRate() const
+{
+    return ratio(PerfEventKind::LlcLoadMisses, PerfEventKind::LlcLoads);
+}
+
+std::uint64_t
+scaleCounterValue(std::uint64_t raw, std::uint64_t enabled,
+                  std::uint64_t running)
+{
+    if (running == 0)
+        return 0;
+    if (running >= enabled)
+        return raw;
+    // 128-bit intermediate: raw * enabled overflows 64 bits for
+    // cycle counts beyond ~minutes once nanosecond times multiply in.
+    unsigned __int128 wide = raw;
+    wide *= enabled;
+    wide /= running;
+    constexpr std::uint64_t kMax = ~std::uint64_t{0};
+    return wide > kMax ? kMax : static_cast<std::uint64_t>(wide);
+}
+
+PerfGroupReading
+scaleGroupReading(const RawGroupReading &raw,
+                  std::span<const PerfEventSpec> specs,
+                  PerfBackend backend)
+{
+    PerfGroupReading reading;
+    reading.backend = backend;
+    reading.timeEnabled = raw.timeEnabled;
+    reading.timeRunning = raw.timeRunning;
+    reading.valid = backend != PerfBackend::Unavailable &&
+                    raw.timeRunning > 0 && !specs.empty();
+    reading.values.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        PerfCounterValue value;
+        value.kind = specs[i].kind;
+        if (i < raw.values.size() && reading.valid) {
+            value.raw = raw.values[i];
+            value.scaled = scaleCounterValue(
+                value.raw, raw.timeEnabled, raw.timeRunning);
+            value.valid = true;
+        }
+        reading.values.push_back(value);
+    }
+    return reading;
+}
+
+PerfCounterGroup::PerfCounterGroup()
+    : PerfCounterGroup(probePerfBackend())
+{
+}
+
+PerfCounterGroup::PerfCounterGroup(PerfBackend backend)
+    : backend_(backend)
+{
+}
+
+PerfCounterGroup::~PerfCounterGroup()
+{
+    close();
+}
+
+bool
+PerfCounterGroup::openEventSet(std::span<const PerfEventSpec> specs)
+{
+    for (const PerfEventSpec &spec : specs) {
+        int leader = fds_.empty() ? -1 : fds_.front();
+        int fd = perfEventOpenFd(spec, leader);
+        if (fd < 0)
+            continue; // this event is unsupported here; skip it
+        fds_.push_back(fd);
+        openedEvents_.push_back(spec);
+    }
+    return !fds_.empty();
+}
+
+bool
+PerfCounterGroup::openForThisThread()
+{
+    close();
+    if (backend_ == PerfBackend::Hardware) {
+        if (openEventSet(hardwareEventSet()))
+            return true;
+        backend_ = PerfBackend::Software; // descend the ladder
+    }
+    if (backend_ == PerfBackend::Software) {
+        if (openEventSet(softwareEventSet()))
+            return true;
+        backend_ = PerfBackend::Unavailable;
+    }
+    return false;
+}
+
+void
+PerfCounterGroup::start()
+{
+    if (!fds_.empty() && !perfEventStartGroup(fds_.front())) {
+        // A group that cannot be enabled measures nothing: make that
+        // explicit instead of returning zeros at the next read.
+        close();
+        backend_ = PerfBackend::Unavailable;
+    }
+}
+
+void
+PerfCounterGroup::stop()
+{
+    if (!fds_.empty())
+        perfEventStopGroup(fds_.front());
+}
+
+PerfGroupReading
+PerfCounterGroup::readCounters() const
+{
+    if (fds_.empty()) {
+        PerfGroupReading unavailable;
+        unavailable.backend = PerfBackend::Unavailable;
+        return unavailable;
+    }
+    RawGroupReading raw;
+    std::uint64_t values[kNumPerfEventKinds] = {};
+    int count = perfEventReadGroup(
+        fds_.front(), &raw.timeEnabled, &raw.timeRunning, values,
+        static_cast<int>(kNumPerfEventKinds));
+    if (count < 0) {
+        PerfGroupReading failed;
+        failed.backend = backend_;
+        return failed;
+    }
+    raw.values.assign(values, values + count);
+    return scaleGroupReading(raw, openedEvents_, backend_);
+}
+
+void
+PerfCounterGroup::close()
+{
+    for (int fd : fds_)
+        perfEventCloseFd(fd);
+    fds_.clear();
+    openedEvents_.clear();
+}
+
+} // namespace gral

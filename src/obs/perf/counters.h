@@ -1,0 +1,177 @@
+/**
+ * @file
+ * perf_event_open counter groups with multiplexing-scaling math.
+ *
+ * All events of one backend rung are opened as a single perf *group*
+ * (one leader, followers attached to it), so the kernel schedules
+ * them onto the PMU together and every reading is taken from one
+ * coherent interval. Five hardware events usually exceed the PMU's
+ * programmable-counter budget, so the kernel time-multiplexes the
+ * group; each reading therefore carries time_enabled/time_running
+ * and the layer extrapolates
+ *
+ *     scaled = raw * time_enabled / time_running
+ *
+ * exactly as perf(1) does. A reading with time_running == 0 (the
+ * group never got scheduled) is *invalid*, never zero — consumers
+ * must either skip it or report "unavailable".
+ *
+ * The scaling math is pure and separated from the syscall so tests
+ * drive it with deterministic fake readings on hosts with no perf
+ * access at all.
+ */
+
+#ifndef GRAL_OBS_PERF_COUNTERS_H
+#define GRAL_OBS_PERF_COUNTERS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/perf/backend.h"
+#include "obs/perf/events.h"
+
+namespace gral
+{
+
+/** One event's reading after scaling. */
+struct PerfCounterValue
+{
+    PerfEventKind kind = PerfEventKind::Cycles;
+    /** Counter value as read from the kernel. */
+    std::uint64_t raw = 0;
+    /** raw extrapolated over the multiplexing duty cycle. */
+    std::uint64_t scaled = 0;
+    /** False when the event never ran (skip it, don't read 0). */
+    bool valid = false;
+};
+
+/** Kernel-layout group reading: what read(2) returns for a group
+ *  opened with PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED |
+ *  TOTAL_TIME_RUNNING, minus the nr header. Tests build these by
+ *  hand. */
+struct RawGroupReading
+{
+    std::uint64_t timeEnabled = 0;
+    std::uint64_t timeRunning = 0;
+    /** One raw value per opened event, in group order. */
+    std::vector<std::uint64_t> values;
+};
+
+/** A full group reading after scaling, self-describing enough for
+ *  exports: which backend produced it and whether it is usable. */
+struct PerfGroupReading
+{
+    PerfBackend backend = PerfBackend::Unavailable;
+    /** False when nothing was measured (unavailable backend, or the
+     *  group never ran). Individual values may still be invalid when
+     *  this is true (an event the PMU lacks). */
+    bool valid = false;
+    std::uint64_t timeEnabled = 0;
+    std::uint64_t timeRunning = 0;
+    std::vector<PerfCounterValue> values;
+
+    /** Fraction of enabled time the group actually counted: 1.0 = no
+     *  multiplexing, 0.0 = never scheduled. */
+    double multiplexFraction() const;
+
+    /** Reading of @p kind, or nullptr when absent. */
+    const PerfCounterValue *find(PerfEventKind kind) const;
+
+    /** Scaled value of @p kind as a double, or -1.0 when absent or
+     *  invalid. */
+    double value(PerfEventKind kind) const;
+
+    /** scaled(num)/scaled(den), or -1.0 when either side is
+     *  unavailable or the denominator is 0. */
+    double ratio(PerfEventKind num, PerfEventKind den) const;
+
+    /** Measured LLC load miss rate (misses/loads), or -1.0 when the
+     *  backend cannot measure it (software rung, unavailable). */
+    double llcMissRate() const;
+};
+
+/**
+ * Multiplexing extrapolation of one counter. @p running == 0 yields
+ * 0 (callers mark the value invalid); @p running >= @p enabled
+ * yields @p raw unchanged. 128-bit intermediate, so week-long
+ * cycle counts do not overflow.
+ */
+std::uint64_t scaleCounterValue(std::uint64_t raw,
+                                std::uint64_t enabled,
+                                std::uint64_t running);
+
+/**
+ * Scale a raw kernel reading against the event list it was read for.
+ * @p specs must be the opened events in group order; extra raw
+ * values are ignored, missing ones leave their events invalid.
+ */
+PerfGroupReading scaleGroupReading(const RawGroupReading &raw,
+                                   std::span<const PerfEventSpec> specs,
+                                   PerfBackend backend);
+
+/**
+ * One opened perf event group attached to the calling thread.
+ *
+ * Lifecycle: construct (picks the probed backend unless given one),
+ * openForThisThread() from the thread to measure, start()/stop()
+ * around the region, readCounters() for the scaled reading. Events
+ * the host PMU rejects are skipped individually; when an entire rung
+ * fails to open the group descends the ladder (hardware → software →
+ * unavailable) instead of failing. Every syscall failure is absorbed
+ * into an explicit Unavailable state — no exceptions, no crashes on
+ * locked-down hosts.
+ *
+ * Not thread-safe; one group belongs to one measuring thread.
+ */
+class PerfCounterGroup
+{
+  public:
+    PerfCounterGroup();
+    explicit PerfCounterGroup(PerfBackend backend);
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /** Open the backend's events for the calling thread, descending
+     *  the ladder on failure. True when at least one event counts. */
+    bool openForThisThread();
+
+    /** Zero and enable the whole group (no-op when unavailable). */
+    void start();
+
+    /** Disable the whole group (no-op when unavailable). */
+    void stop();
+
+    /** Read and scale the group. Unavailable groups return a reading
+     *  with valid == false and backend Unavailable. */
+    PerfGroupReading readCounters() const;
+
+    /** Close every event fd; the group can be re-opened. */
+    void close();
+
+    /** The rung the group ended up on after openForThisThread(). */
+    PerfBackend backend() const { return backend_; }
+
+    /** Events successfully opened, in group (read) order. */
+    std::span<const PerfEventSpec> openedEvents() const
+    {
+        return openedEvents_;
+    }
+
+    bool isOpen() const { return !fds_.empty(); }
+
+  private:
+    PerfBackend backend_;
+    /** Opened fds; fds_[0] is the group leader. */
+    std::vector<int> fds_;
+    std::vector<PerfEventSpec> openedEvents_;
+
+    /** Try one rung; true when at least one event opened. */
+    bool openEventSet(std::span<const PerfEventSpec> specs);
+};
+
+} // namespace gral
+
+#endif // GRAL_OBS_PERF_COUNTERS_H

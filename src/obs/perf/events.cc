@@ -1,0 +1,86 @@
+#include "obs/perf/events.h"
+
+namespace gral
+{
+
+namespace
+{
+
+// Linux perf UAPI constants (stable ABI, mirrored here so the
+// catalogue is platform-independent; the syscall lives in
+// counters.cc behind __linux__).
+constexpr std::uint32_t kTypeHardware = 0; // PERF_TYPE_HARDWARE
+constexpr std::uint32_t kTypeSoftware = 1; // PERF_TYPE_SOFTWARE
+constexpr std::uint32_t kTypeHwCache = 3;  // PERF_TYPE_HW_CACHE
+
+constexpr std::uint64_t kHwCpuCycles = 0;
+constexpr std::uint64_t kHwInstructions = 1;
+
+constexpr std::uint64_t kSwTaskClock = 1;
+constexpr std::uint64_t kSwPageFaults = 2;
+constexpr std::uint64_t kSwContextSwitches = 3;
+constexpr std::uint64_t kSwCpuMigrations = 4;
+
+/** PERF_TYPE_HW_CACHE config: cache id | (op << 8) | (result << 16). */
+constexpr std::uint64_t
+cacheEvent(std::uint64_t cache, std::uint64_t op, std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+constexpr std::uint64_t kCacheLl = 2;   // PERF_COUNT_HW_CACHE_LL
+constexpr std::uint64_t kCacheDtlb = 3; // PERF_COUNT_HW_CACHE_DTLB
+constexpr std::uint64_t kOpRead = 0;    // PERF_COUNT_HW_CACHE_OP_READ
+constexpr std::uint64_t kResultAccess = 0;
+constexpr std::uint64_t kResultMiss = 1;
+
+constexpr PerfEventSpec kHardwareSet[] = {
+    {PerfEventKind::Cycles, "cycles", kTypeHardware, kHwCpuCycles},
+    {PerfEventKind::Instructions, "instructions", kTypeHardware,
+     kHwInstructions},
+    {PerfEventKind::LlcLoads, "llc_loads", kTypeHwCache,
+     cacheEvent(kCacheLl, kOpRead, kResultAccess)},
+    {PerfEventKind::LlcLoadMisses, "llc_load_misses", kTypeHwCache,
+     cacheEvent(kCacheLl, kOpRead, kResultMiss)},
+    {PerfEventKind::DtlbLoadMisses, "dtlb_load_misses", kTypeHwCache,
+     cacheEvent(kCacheDtlb, kOpRead, kResultMiss)},
+};
+
+constexpr PerfEventSpec kSoftwareSet[] = {
+    {PerfEventKind::TaskClockNs, "task_clock_ns", kTypeSoftware,
+     kSwTaskClock},
+    {PerfEventKind::PageFaults, "page_faults", kTypeSoftware,
+     kSwPageFaults},
+    {PerfEventKind::ContextSwitches, "context_switches",
+     kTypeSoftware, kSwContextSwitches},
+    {PerfEventKind::CpuMigrations, "cpu_migrations", kTypeSoftware,
+     kSwCpuMigrations},
+};
+
+} // namespace
+
+const char *
+perfEventName(PerfEventKind kind)
+{
+    for (const PerfEventSpec &spec : kHardwareSet)
+        if (spec.kind == kind)
+            return spec.name;
+    for (const PerfEventSpec &spec : kSoftwareSet)
+        if (spec.kind == kind)
+            return spec.name;
+    return "unknown";
+}
+
+std::span<const PerfEventSpec>
+hardwareEventSet()
+{
+    return kHardwareSet;
+}
+
+std::span<const PerfEventSpec>
+softwareEventSet()
+{
+    return kSoftwareSet;
+}
+
+} // namespace gral

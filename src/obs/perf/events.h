@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Hardware/software perf-event catalogue for the counter layer.
+ *
+ * The paper's locality tables are grounded in *measured* counters —
+ * LLC loads and misses, cycles, instructions, dTLB load misses read
+ * with perf (Section IV "Methodology") — so this catalogue names
+ * exactly those events, plus the software set the backend ladder
+ * falls back to when the hardware PMU is not reachable (containers,
+ * perf_event_paranoid, CI runners).
+ *
+ * Every event carries the raw (type, config) pair handed to
+ * perf_event_open; the values are the stable Linux UAPI constants so
+ * this header does not need <linux/perf_event.h> (keeping the
+ * catalogue usable in tests on any platform — the syscall itself is
+ * gated behind __linux__ in counters.cc).
+ */
+
+#ifndef GRAL_OBS_PERF_EVENTS_H
+#define GRAL_OBS_PERF_EVENTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gral
+{
+
+/** One countable quantity the perf layer knows about. */
+enum class PerfEventKind : std::uint8_t
+{
+    // Hardware set (the paper's Tables III-V columns).
+    Cycles,
+    Instructions,
+    LlcLoads,
+    LlcLoadMisses,
+    DtlbLoadMisses,
+    // Software fallback set (kernel-maintained, no PMU needed).
+    TaskClockNs,
+    PageFaults,
+    ContextSwitches,
+    CpuMigrations,
+};
+
+/** Number of distinct PerfEventKind values. */
+inline constexpr std::size_t kNumPerfEventKinds = 9;
+
+/** Catalogue row: kind, exposition name, perf_event_attr numbers. */
+struct PerfEventSpec
+{
+    PerfEventKind kind = PerfEventKind::Cycles;
+    /** Metric suffix ("cycles", "llc_load_misses", ...). */
+    const char *name = "";
+    /** perf_event_attr.type (PERF_TYPE_*). */
+    std::uint32_t type = 0;
+    /** perf_event_attr.config (PERF_COUNT_* or cache-event triple). */
+    std::uint64_t config = 0;
+};
+
+/** Exposition name of @p kind ("cycles", "task_clock_ns", ...). */
+const char *perfEventName(PerfEventKind kind);
+
+/**
+ * The multiplexed hardware group: cycles, instructions, LLC-loads,
+ * LLC-load-misses, dTLB-load-misses. Five events usually exceed the
+ * PMU's counter budget, which is exactly why readings carry
+ * time_enabled/time_running scaling (counters.h).
+ */
+std::span<const PerfEventSpec> hardwareEventSet();
+
+/** The degraded set: software events every kernel can always count
+ *  (task-clock, page-faults, context-switches, cpu-migrations). LLC
+ *  miss rates are *not* derivable from these — readers must report
+ *  them as unavailable rather than substituting a proxy. */
+std::span<const PerfEventSpec> softwareEventSet();
+
+} // namespace gral
+
+#endif // GRAL_OBS_PERF_EVENTS_H

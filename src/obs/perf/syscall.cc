@@ -1,0 +1,136 @@
+#include "obs/perf/syscall.h"
+
+#ifdef __linux__
+
+#include <cstring>
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace gral
+{
+
+int
+perfEventOpenFd(const PerfEventSpec &spec, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    // User-space counting only: works at perf_event_paranoid <= 2
+    // (the common default) without CAP_PERFMON, and the regions being
+    // measured are user-space kernels anyway.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // The leader starts disabled so start() defines the interval;
+    // followers follow the leader's enable state.
+    attr.disabled = group_fd == -1 ? 1 : 0;
+    attr.read_format = PERF_FORMAT_GROUP |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+
+    long fd = ::syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                        /*cpu=*/-1, group_fd, /*flags=*/0UL);
+    return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+void
+perfEventCloseFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+int
+perfEventReadGroup(int leader_fd, std::uint64_t *enabled,
+                   std::uint64_t *running, std::uint64_t *values,
+                   int max_values)
+{
+    if (leader_fd < 0 || max_values < 0)
+        return -1;
+    // Kernel layout: nr, time_enabled, time_running, values[nr].
+    constexpr int kMaxEvents = 16;
+    std::uint64_t buffer[3 + kMaxEvents];
+    ssize_t bytes = ::read(leader_fd, buffer, sizeof(buffer));
+    if (bytes < static_cast<ssize_t>(3 * sizeof(std::uint64_t)))
+        return -1;
+    auto nr = static_cast<int>(buffer[0]);
+    int available =
+        static_cast<int>(bytes / sizeof(std::uint64_t)) - 3;
+    int count = nr < available ? nr : available;
+    if (count > max_values)
+        count = max_values;
+    *enabled = buffer[1];
+    *running = buffer[2];
+    for (int i = 0; i < count; ++i)
+        values[i] = buffer[3 + i];
+    return count;
+}
+
+bool
+perfEventStartGroup(int leader_fd)
+{
+    if (leader_fd < 0)
+        return false;
+    if (::ioctl(leader_fd, PERF_EVENT_IOC_RESET,
+                PERF_IOC_FLAG_GROUP) != 0)
+        return false;
+    return ::ioctl(leader_fd, PERF_EVENT_IOC_ENABLE,
+                   PERF_IOC_FLAG_GROUP) == 0;
+}
+
+bool
+perfEventStopGroup(int leader_fd)
+{
+    if (leader_fd < 0)
+        return false;
+    return ::ioctl(leader_fd, PERF_EVENT_IOC_DISABLE,
+                   PERF_IOC_FLAG_GROUP) == 0;
+}
+
+} // namespace gral
+
+#else // !__linux__
+
+namespace gral
+{
+
+// Non-Linux hosts have no perf_event_open; every probe fails and the
+// backend selector lands on Unavailable — explicitly, not silently.
+
+int
+perfEventOpenFd(const PerfEventSpec &, int)
+{
+    return -1;
+}
+
+void
+perfEventCloseFd(int)
+{
+}
+
+int
+perfEventReadGroup(int, std::uint64_t *, std::uint64_t *,
+                   std::uint64_t *, int)
+{
+    return -1;
+}
+
+bool
+perfEventStartGroup(int)
+{
+    return false;
+}
+
+bool
+perfEventStopGroup(int)
+{
+    return false;
+}
+
+} // namespace gral
+
+#endif // __linux__

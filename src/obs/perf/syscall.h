@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Thin perf_event_open wrapper shared by the backend probe and the
+ * counter group. Internal to src/obs/perf.
+ *
+ * Returns plain fds / -1 instead of throwing: on locked-down hosts
+ * failure is the *expected* path, and the callers translate it into
+ * an explicit backend rung rather than an error.
+ */
+
+#ifndef GRAL_OBS_PERF_SYSCALL_H
+#define GRAL_OBS_PERF_SYSCALL_H
+
+#include "obs/perf/events.h"
+
+namespace gral
+{
+
+/**
+ * perf_event_open(2) for @p spec on the calling thread (pid=0,
+ * cpu=-1), counting user space only, with group read format
+ * (PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING).
+ * @p group_fd is the group leader, or -1 to lead a new group (the
+ * leader starts disabled; followers inherit its enable state).
+ * @return the event fd, or -1 on any failure (EPERM/EACCES/ENOENT/
+ *         ENOSYS/unsupported platform alike).
+ */
+int perfEventOpenFd(const PerfEventSpec &spec, int group_fd);
+
+/** close(2) that tolerates already-closed / never-opened fds. */
+void perfEventCloseFd(int fd);
+
+/**
+ * Group read into the kernel layout {nr, time_enabled, time_running,
+ * values[nr]}. @return number of values read into @p values (bounded
+ * by @p max_values), with times in @p enabled / @p running; -1 on
+ * read failure or when the platform has no perf.
+ */
+int perfEventReadGroup(int leader_fd, std::uint64_t *enabled,
+                       std::uint64_t *running, std::uint64_t *values,
+                       int max_values);
+
+/** ioctl RESET+ENABLE / DISABLE on the whole group. False when the
+ *  ioctl failed (callers degrade, not crash). */
+bool perfEventStartGroup(int leader_fd);
+bool perfEventStopGroup(int leader_fd);
+
+} // namespace gral
+
+#endif // GRAL_OBS_PERF_SYSCALL_H

@@ -50,7 +50,28 @@ TraceRecorder::record(const char *name, char phase)
         ++buffer.dropped;
         return;
     }
-    buffer.events.push_back({name, ts, buffer.tid, phase});
+    buffer.events.push_back({name, ts, buffer.tid, phase, 0.0});
+}
+
+void
+TraceRecorder::recordCounter(const char *name, double value)
+{
+    Clock::time_point origin;
+    {
+        std::lock_guard lock(mutex_);
+        origin = start_;
+    }
+    double ts = std::chrono::duration<double, std::micro>(
+                    Clock::now() - origin)
+                    .count();
+
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard lock(buffer.mutex);
+    if (buffer.events.size() >= capacity_) {
+        ++buffer.dropped;
+        return;
+    }
+    buffer.events.push_back({name, ts, buffer.tid, 'C', value});
 }
 
 std::vector<SpanEvent>
@@ -126,6 +147,13 @@ TraceRecorder::writeChromeTrace(std::ostream &out) const
         json.key("pid").value(std::uint64_t{1});
         json.key("tid").value(
             static_cast<std::uint64_t>(event.tid));
+        // Counter samples carry their value; Chrome renders each
+        // distinct name as its own counter track.
+        if (event.phase == 'C') {
+            json.key("args").beginObject();
+            json.key("value").value(event.value);
+            json.endObject();
+        }
         json.endObject();
     }
     json.endArray();

@@ -36,18 +36,22 @@
 namespace gral
 {
 
-/** One begin or end event of a span. */
+/** One begin, end, or counter-sample event. */
 struct SpanEvent
 {
-    /** Span name; must point at storage with static lifetime (the
-     *  GRAL_SPAN macro guarantees a string literal). */
+    /** Span or counter-track name; must point at storage with static
+     *  lifetime (the GRAL_SPAN macro guarantees a string literal;
+     *  perf scope sites intern their track names). */
     const char *name = nullptr;
     /** Microseconds since the recorder was created (or cleared). */
     double tsMicros = 0.0;
     /** Recorder-assigned sequential thread id. */
     std::uint32_t tid = 0;
-    /** 'B' (begin) or 'E' (end) — Chrome trace-event phases. */
+    /** 'B' (begin), 'E' (end) or 'C' (counter sample) — Chrome
+     *  trace-event phases. */
     char phase = 'B';
+    /** Counter value; meaningful for 'C' events only. */
+    double value = 0.0;
 };
 
 /** Process-wide span event store. */
@@ -59,6 +63,14 @@ class TraceRecorder
 
     /** Append one event to the calling thread's buffer. */
     void record(const char *name, char phase);
+
+    /**
+     * Append one counter sample ("ph":"C"): a point on the counter
+     * track @p name at the current timestamp. Hardware perf scopes
+     * use these so measured counters line up with the spans they
+     * were measured under in one Chrome/Perfetto timeline.
+     */
+    void recordCounter(const char *name, double value);
 
     /**
      * Serialize everything recorded so far as Chrome trace-event JSON

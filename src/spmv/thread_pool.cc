@@ -11,6 +11,7 @@
 #include "common/annotations.h"
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/perf/scope.h"
 #include "obs/span.h"
 
 namespace gral
@@ -132,6 +133,13 @@ WorkStealingPool::run(std::size_t num_tasks,
     auto batch_start = Clock::now();
     auto worker = [&](unsigned self) {
         GRAL_SPAN("spmv/worker");
+        // Per-worker hardware-counter attachment: each worker thread
+        // opens its own perf group for the batch (start hook) and
+        // publishes the scaled reading when it drains (stop hook), so
+        // hw/spmv/worker/... aggregates exactly the workers' cycles/
+        // LLC traffic, not the caller's. No-op unless --hw-counters
+        // enabled collection.
+        GRAL_PERF_SCOPE("spmv/worker");
         auto start = Clock::now();
         double busy = 0.0;
         std::uint64_t steals = 0;

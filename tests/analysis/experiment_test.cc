@@ -9,6 +9,7 @@
 #include "analysis/experiment.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/perf/backend.h"
 
 namespace gral
 {
@@ -124,6 +125,72 @@ TEST(Experiment, RecordedMetricsExportAsValidJson)
     EXPECT_TRUE(jsonValidate(json, &error)) << error;
     EXPECT_NE(json.find("experiment/spmv/DegreeSort/psel"),
               std::string::npos);
+}
+
+TEST(Experiment, HwCountersOffByDefault)
+{
+    Graph base = makeDataset("twtr-s", 0.015);
+    RaExperimentResult result =
+        runRaExperiment(base, "Bl", tinyOptions());
+    // No collection requested: the measured reading is the explicit
+    // default-invalid state, never zero-filled fake numbers.
+    EXPECT_FALSE(result.hw.valid);
+    EXPECT_EQ(result.hw.backend, PerfBackend::Unavailable);
+    EXPECT_EQ(result.hw.llcMissRate(), -1.0);
+}
+
+TEST(Experiment, HwCountersDegradeExplicitlyWhenPerfIsOff)
+{
+    // Pin the Unavailable rung: this test must behave identically on
+    // a PMU-capable workstation and a locked-down CI runner.
+    PerfBackend saved = probePerfBackend();
+    forcePerfBackend(PerfBackend::Unavailable);
+    bool saved_enabled = hwCountersEnabled();
+
+    ExperimentOptions options = tinyOptions();
+    options.hwCounters = true;
+    Graph base = makeDataset("twtr-s", 0.015);
+    RaExperimentResult result = runRaExperiment(base, "Bl", options);
+    EXPECT_FALSE(result.hw.valid);
+    EXPECT_EQ(result.hw.llcMissRate(), -1.0);
+    // Collection was a scoped window; the process-wide switch is
+    // back to its prior state afterwards.
+    EXPECT_EQ(hwCountersEnabled(), saved_enabled);
+
+    recordExperimentMetrics(result);
+    MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+    ASSERT_TRUE(snapshot.gauges.contains(
+        "experiment/spmv/Bl/hw_llc_miss_rate"));
+    EXPECT_DOUBLE_EQ(
+        snapshot.gauges.at("experiment/spmv/Bl/hw_llc_miss_rate"),
+        -1.0);
+    EXPECT_DOUBLE_EQ(
+        snapshot.gauges.at("experiment/spmv/Bl/hw_valid"), 0.0);
+    EXPECT_DOUBLE_EQ(
+        snapshot.gauges.at("experiment/spmv/Bl/hw_backend"),
+        static_cast<double>(PerfBackend::Unavailable));
+
+    forcePerfBackend(saved);
+}
+
+TEST(Experiment, HwCountersMeasureSequentialKernelWhenAvailable)
+{
+    // Whatever rung the host offers, a --hw-counters run must either
+    // produce a valid reading on that rung or an explicit invalid
+    // one — and always restore the collection switch.
+    ExperimentOptions options = tinyOptions();
+    options.hwCounters = true;
+    options.kernel = "pagerank";
+    options.runSimulation = false;
+    Graph base = makeDataset("twtr-s", 0.015);
+    RaExperimentResult result = runRaExperiment(base, "Bl", options);
+    EXPECT_FALSE(hwCountersEnabled());
+    if (result.hw.valid) {
+        EXPECT_NE(result.hw.backend, PerfBackend::Unavailable);
+        EXPECT_FALSE(result.hw.values.empty());
+    } else {
+        EXPECT_EQ(result.hw.llcMissRate(), -1.0);
+    }
 }
 
 TEST(Experiment, KernelAxisRunsEveryRegisteredKernel)

@@ -74,6 +74,11 @@ TEST(IncludeGraph, ModuleOf)
     EXPECT_EQ(moduleOf("src/cachesim/cache.cc"), "cachesim");
     EXPECT_EQ(moduleOf("tools/gral_cli.cc"), "tools");
     EXPECT_EQ(moduleOf("bench/bench_main.cc"), "bench");
+    // The perf sublayer is its own DAG node; obs core stays "obs".
+    EXPECT_EQ(moduleOf("src/obs/perf/counters.h"), "obs/perf");
+    EXPECT_EQ(moduleOf("src/obs/perf/syscall.cc"), "obs/perf");
+    EXPECT_EQ(moduleOf("src/obs/metrics.h"), "obs");
+    EXPECT_EQ(moduleOf("src/obs/span.cc"), "obs");
 }
 
 TEST(IncludeGraph, AllowedIncludesMatchTheDag)
@@ -107,6 +112,24 @@ TEST(IncludeGraph, AllowedIncludesMatchTheDag)
     EXPECT_TRUE(metrics->count("cachesim"));
     EXPECT_FALSE(metrics->count("spmv"));
     EXPECT_FALSE(metrics->count("kernels"));
+
+    // obs core must stay syscall-free: it may not include obs/perf,
+    // while obs/perf may use obs (metrics, spans). Only the modules
+    // that measure (spmv's pool, the experiment runner) get the
+    // sublayer.
+    const std::set<std::string> *obs = allowedIncludes("obs");
+    ASSERT_NE(obs, nullptr);
+    EXPECT_FALSE(obs->count("obs/perf"));
+    const std::set<std::string> *perf = allowedIncludes("obs/perf");
+    ASSERT_NE(perf, nullptr);
+    EXPECT_TRUE(perf->count("obs"));
+    EXPECT_TRUE(perf->count("common"));
+    EXPECT_FALSE(perf->count("graph"));
+    const std::set<std::string> *spmv = allowedIncludes("spmv");
+    ASSERT_NE(spmv, nullptr);
+    EXPECT_TRUE(spmv->count("obs/perf"));
+    EXPECT_TRUE(allowedIncludes("analysis")->count("obs/perf"));
+    EXPECT_FALSE(allowedIncludes("cachesim")->count("obs/perf"));
 }
 
 TEST(IncludeGraph, ResolvesSrcPrefixedTargets)
@@ -207,6 +230,29 @@ TEST(Layering, CycleReported)
         hasFinding(result, "src/graph/a.h", "include-cycle") ||
         hasFinding(result, "src/graph/b.h", "include-cycle");
     EXPECT_TRUE(cycle_found);
+}
+
+TEST(Layering, ObsCoreMayNotIncludePerfSublayer)
+{
+    SourceTree tree = {
+        {"src/obs/perf/counters.h", "#pragma once\nint read();\n"},
+        {"src/obs/export.h",
+         "#pragma once\n#include \"obs/perf/counters.h\"\n"},
+    };
+    AnalysisResult result = analyzeTree(tree, Baseline{}, 1);
+    EXPECT_TRUE(hasFinding(result, "src/obs/export.h", "layering"));
+}
+
+TEST(Layering, PerfSublayerMayUseObsCore)
+{
+    SourceTree tree = {
+        {"src/obs/metrics.h", "#pragma once\nint metrics();\n"},
+        {"src/obs/perf/scope.h",
+         "#pragma once\n#include \"obs/metrics.h\"\n"},
+    };
+    AnalysisResult result = analyzeTree(tree, Baseline{}, 1);
+    EXPECT_FALSE(
+        hasFinding(result, "src/obs/perf/scope.h", "layering"));
 }
 
 TEST(Layering, SuppressionSilencesTheFinding)

@@ -210,6 +210,43 @@ TEST(HotPath, SingleStatementLoopBodyCounts)
     EXPECT_EQ(countRule(findings, "hot-path-alloc"), 1);
 }
 
+TEST(HotPath, PerfReadInsideLoopFires)
+{
+    std::vector<Finding> findings = runOn(
+        "src/spmv/s.cc",
+        "for (std::size_t i = 0; i < n; ++i) {\n"
+        "    PerfGroupReading r = group.readCounters();\n"
+        "    use(r);\n"
+        "}\n");
+    EXPECT_EQ(countRule(findings, "hot-path-perf-read"), 1);
+}
+
+TEST(HotPath, PerfReadReachableFromLoopFires)
+{
+    std::vector<Finding> findings = runOn(
+        "src/cachesim/c.cc",
+        "void sample() { last = group->readCounters(); }\n"
+        "void drain() {\n"
+        "    while (running) {\n"
+        "        step();\n"
+        "        sample();\n"
+        "    }\n"
+        "}\n");
+    EXPECT_EQ(countRule(findings, "hot-path-perf-read"), 1);
+}
+
+TEST(HotPath, PerfReadOutsideLoopIsFine)
+{
+    std::vector<Finding> findings = runOn(
+        "src/spmv/s.cc",
+        "group.start();\n"
+        "for (std::size_t i = 0; i < n; ++i)\n"
+        "    work(i);\n"
+        "group.stop();\n"
+        "PerfGroupReading r = group.readCounters();\n");
+    EXPECT_EQ(countRule(findings, "hot-path-perf-read"), 0);
+}
+
 TEST(HotPath, SuppressionCommentSilences)
 {
     std::vector<Finding> findings = runOn(

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * OpenMetrics text exposition: name mangling, the four metric-type
+ * mappings, cumulative histogram buckets, and the mandatory # EOF
+ * terminator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/openmetrics.h"
+
+namespace gral
+{
+namespace
+{
+
+bool
+containsLine(const std::string &text, const std::string &line)
+{
+    std::string needle = line + "\n";
+    if (text.compare(0, needle.size(), needle) == 0)
+        return true;
+    return text.find("\n" + needle) != std::string::npos;
+}
+
+TEST(OpenMetricsName, MangledToTheGrammar)
+{
+    EXPECT_EQ(openMetricsName("spmv.pool.steals"),
+              "gral_spmv_pool_steals");
+    EXPECT_EQ(openMetricsName("experiment/spmv/GO/l3_miss_rate"),
+              "gral_experiment_spmv_GO_l3_miss_rate");
+    EXPECT_EQ(openMetricsName("hw/spmv/worker/llc_load_misses"),
+              "gral_hw_spmv_worker_llc_load_misses");
+    // '-' and spaces are outside the grammar.
+    EXPECT_EQ(openMetricsName("a-b c"), "gral_a_b_c");
+}
+
+TEST(OpenMetrics, CountersGetTotalSuffix)
+{
+    MetricsSnapshot snapshot;
+    snapshot.counters["spmv.pool.steals"] = 42;
+    std::string text = toOpenMetrics(snapshot);
+    EXPECT_TRUE(containsLine(
+        text, "# TYPE gral_spmv_pool_steals counter"));
+    EXPECT_TRUE(containsLine(text, "gral_spmv_pool_steals_total 42"));
+}
+
+TEST(OpenMetrics, GaugesKeepTheirName)
+{
+    MetricsSnapshot snapshot;
+    snapshot.gauges["experiment/spmv/GO/l3_miss_rate"] = 0.25;
+    std::string text = toOpenMetrics(snapshot);
+    EXPECT_TRUE(containsLine(
+        text,
+        "# TYPE gral_experiment_spmv_GO_l3_miss_rate gauge"));
+    EXPECT_TRUE(containsLine(
+        text, "gral_experiment_spmv_GO_l3_miss_rate 0.25"));
+}
+
+TEST(OpenMetrics, HistogramBucketsAreCumulative)
+{
+    MetricsSnapshot snapshot;
+    MetricsSnapshot::HistogramData data;
+    data.count = 6;
+    data.sum = 100;
+    data.buckets = {{1, 2}, {4, 3}, {16, 1}};
+    snapshot.histograms["task_micros"] = data;
+    std::string text = toOpenMetrics(snapshot);
+    EXPECT_TRUE(
+        containsLine(text, "# TYPE gral_task_micros histogram"));
+    // Per-bucket counts 2/3/1 become cumulative 2/5/6.
+    EXPECT_TRUE(
+        containsLine(text, "gral_task_micros_bucket{le=\"1\"} 2"));
+    EXPECT_TRUE(
+        containsLine(text, "gral_task_micros_bucket{le=\"4\"} 5"));
+    EXPECT_TRUE(
+        containsLine(text, "gral_task_micros_bucket{le=\"16\"} 6"));
+    EXPECT_TRUE(containsLine(
+        text, "gral_task_micros_bucket{le=\"+Inf\"} 6"));
+    EXPECT_TRUE(containsLine(text, "gral_task_micros_sum 100"));
+    EXPECT_TRUE(containsLine(text, "gral_task_micros_count 6"));
+}
+
+TEST(OpenMetrics, SeriesExportsLastSampleLabeled)
+{
+    MetricsSnapshot snapshot;
+    snapshot.series["psel"] = {{1.0, 10.0}, {2.0, 20.0}};
+    snapshot.series["empty"] = {};
+    std::string text = toOpenMetrics(snapshot);
+    EXPECT_TRUE(containsLine(text, "gral_psel{x=\"2\"} 20"));
+    EXPECT_EQ(text.find("gral_empty"), std::string::npos);
+}
+
+TEST(OpenMetrics, DocumentEndsWithEof)
+{
+    MetricsSnapshot empty;
+    std::string text = toOpenMetrics(empty);
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+} // namespace
+} // namespace gral

@@ -123,6 +123,42 @@ TEST_F(SpanTest, ChromeTraceExportIsValidJson)
     EXPECT_NE(text.find("\"tid\""), std::string::npos);
 }
 
+TEST_F(SpanTest, CounterSamplesExportAsCounterTracks)
+{
+    TraceRecorder &recorder = TraceRecorder::global();
+    recorder.recordCounter("hw/test/llc_load_misses", 1234.0);
+    recorder.recordCounter("hw/test/llc_load_misses", 5678.0);
+
+    std::vector<SpanEvent> events = recorder.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].phase, 'C');
+    EXPECT_EQ(events[0].value, 1234.0);
+
+    std::ostringstream out;
+    recorder.writeChromeTrace(out);
+    std::string text = out.str();
+    std::string error;
+    EXPECT_TRUE(jsonValidate(text, &error)) << error << "\n" << text;
+    // "ph":"C" events carry their sample in args.value — that is
+    // what makes the trace viewer draw them as a counter track.
+    EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(text.find("\"args\":{\"value\":1234"),
+              std::string::npos);
+    EXPECT_NE(text.find("hw/test/llc_load_misses"),
+              std::string::npos);
+}
+
+TEST_F(SpanTest, CounterSamplesRespectTheBufferCap)
+{
+    TraceRecorder &recorder = TraceRecorder::global();
+    std::size_t capacity = recorder.capacityPerThread();
+    for (std::size_t i = 0; i < capacity + 10; ++i)
+        recorder.recordCounter("test/flood_counter",
+                               static_cast<double>(i));
+    EXPECT_EQ(recorder.events().size(), capacity);
+    EXPECT_EQ(recorder.droppedEvents(), 10u);
+}
+
 TEST_F(SpanTest, ExportWhileRecordingIsSafe)
 {
     std::atomic<bool> stop{false};

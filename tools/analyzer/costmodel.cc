@@ -178,6 +178,14 @@ class CostModelChecker
                        range);
                 continue;
             }
+            if (memberCall && t.text == "readCounters") {
+                report(t, i, "hot-path-perf-read",
+                       "perf counter group read(2)",
+                       "a group read is a syscall per call; count "
+                       "across the whole region (GRAL_PERF_SCOPE) "
+                       "and read once at its end", range);
+                continue;
+            }
             if (memberCall &&
                 tu_.virtualFunctions.count(std::string(t.text)) !=
                     0) {

@@ -18,6 +18,9 @@
  *                     unique_lock/shared_lock, manual .lock())
  *   hot-path-virtual  member call to a method declared virtual
  *                     anywhere in the TU view
+ *   hot-path-perf-read  perf group .readCounters() — a syscall per
+ *                     call; count the whole region via
+ *                     GRAL_PERF_SCOPE and read once at its end
  *
  * Scope: src/cachesim/, src/spmv/, src/kernels/ — the simulator and
  * kernel hot paths. Findings in a called function say which function

@@ -63,7 +63,15 @@ moduleOf(std::string_view path)
     std::size_t second = path.find('/', slash + 1);
     if (second == std::string_view::npos)
         return std::string();
-    return std::string(path.substr(slash + 1, second - slash - 1));
+    std::string module(path.substr(slash + 1, second - slash - 1));
+    // The perf sublayer is its own DAG node: obs core must stay
+    // syscall-free (it is the bottom telemetry leaf every module
+    // links), while obs/perf sits above it and is granted only to
+    // the modules that measure.
+    if (module == "obs" &&
+        path.substr(second + 1).find("perf/") == 0)
+        return "obs/perf";
+    return module;
 }
 
 const std::set<std::string> *
@@ -76,10 +84,15 @@ allowedIncludes(const std::string &module)
     static const std::map<std::string, std::set<std::string>> kDag = {
         {"common", {"common"}},
         {"obs", {"obs", "common"}},
+        // The perf sublayer may use obs core (metrics, spans) but
+        // not vice versa: obs stays portable and syscall-free while
+        // obs/perf wraps perf_event_open.
+        {"obs/perf", {"obs/perf", "obs", "common"}},
         {"graph", {"graph", "common", "obs"}},
         {"cachesim", {"cachesim", "graph", "common", "obs"}},
         {"reorder", {"reorder", "graph", "common", "obs"}},
-        {"spmv", {"spmv", "cachesim", "graph", "common", "obs"}},
+        {"spmv",
+         {"spmv", "cachesim", "graph", "common", "obs", "obs/perf"}},
         {"metrics",
          {"metrics", "cachesim", "graph", "common", "obs"}},
         {"algorithms",
@@ -89,7 +102,7 @@ allowedIncludes(const std::string &module)
           "common", "obs"}},
         {"analysis",
          {"analysis", "kernels", "algorithms", "metrics", "reorder",
-          "spmv", "cachesim", "graph", "common", "obs"}},
+          "spmv", "cachesim", "graph", "common", "obs", "obs/perf"}},
     };
     auto it = kDag.find(module);
     return it == kDag.end() ? nullptr : &it->second;

@@ -61,7 +61,10 @@ extractIncludes(const std::vector<std::string> &stripped_lines,
 /**
  * Top-level module of a repo-relative path: "src/graph/csr.h" ->
  * "graph", "tools/gral_cli.cc" -> "tools", "bench/common.h" ->
- * "bench". Empty when the path has no recognizable module.
+ * "bench". The perf sublayer is its own node:
+ * "src/obs/perf/counters.h" -> "obs/perf" (obs core must not depend
+ * on the syscall wrapper). Empty when the path has no recognizable
+ * module.
  */
 std::string moduleOf(std::string_view path);
 

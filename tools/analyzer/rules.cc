@@ -496,6 +496,11 @@ ruleCatalogue()
          "no MetricsRegistry name lookup in loop bodies or functions "
          "reachable from them in src/cachesim, src/spmv and "
          "src/kernels; hoist the handle"},
+        {"hot-path-perf-read",
+         "no perf counter group .readCounters() in loop bodies or "
+         "functions reachable from them in src/cachesim, src/spmv "
+         "and src/kernels; each read is a syscall — count the whole "
+         "region and read once at its end (obs/perf/scope.h)"},
         {"hot-path-span",
          "no GRAL_SPAN in loop bodies or functions reachable from "
          "them in src/cachesim, src/spmv and src/kernels"},
@@ -512,6 +517,7 @@ ruleCatalogue()
          "src/ modules may only include modules at or below them in "
          "the DAG common -> graph -> {reorder, cachesim} -> spmv -> "
          "{metrics, algorithms} -> analysis (obs usable by all; "
+         "obs/perf above obs, granted to spmv and analysis only; "
          "bench/tools/tests never from src/)"},
         {"raw-assert",
          "no raw assert()/<cassert> in src/; use GRAL_CHECK/"

@@ -15,11 +15,12 @@
  *
  *   hot-path-metrics  MetricsRegistry name lookups, GRAL_SPAN,
  *   hot-path-span     allocation-y constructs (new / make_unique /
- *   hot-path-alloc    make_shared), mutex acquisition and virtual
- *   hot-path-lock     dispatch in loop bodies — or in any function
- *   hot-path-virtual  transitively called from a loop body — in
- *                     src/cachesim, src/spmv and src/kernels, the
- *                     simulator and kernel hot paths (costmodel.cc);
+ *   hot-path-alloc    make_shared), mutex acquisition, virtual
+ *   hot-path-lock     dispatch and perf group .readCounters() in
+ *   hot-path-virtual  loop bodies — or in any function transitively
+ *   hot-path-perf-read  called from a loop body — in src/cachesim,
+ *                     src/spmv and src/kernels, the simulator and
+ *                     kernel hot paths (costmodel.cc);
  *
  *   guarded-by        GRAL_GUARDED_BY field accessed outside a scope
  *                     that locks the named mutex (concurrency.cc);

@@ -10,9 +10,12 @@
  *                                                permutation file
  *   metrics   <graph>                            locality metrics
  *   simulate  <graph> [cacheKB]                  SpMV cache simulation
- *   experiment [--kernel=K] <graph> [RAs] [cacheKB]
+ *   experiment [--kernel=K] [--hw-counters] <graph> [RAs] [cacheKB]
  *                                                full per-(kernel, RA)
- *                                                pipeline
+ *                                                pipeline;
+ *                                                --hw-counters adds
+ *                                                measured LLC miss
+ *                                                rates via perf
  *
  * Global flags (any subcommand, stripped before dispatch):
  *   --metrics-out=FILE.json   write a MetricsRegistry snapshot
@@ -45,6 +48,7 @@
 #include "metrics/miss_rate.h"
 #include "obs/export.h"
 #include "obs/log.h"
+#include "obs/perf/backend.h"
 #include "reorder/registry.h"
 #include "spmv/trace_gen.h"
 
@@ -292,18 +296,26 @@ cmdSimulate(int argc, char **argv)
 int
 cmdExperiment(int argc, char **argv)
 {
-    // Strip --kernel=NAME before the positional arguments.
+    // Strip --kernel=NAME / --kernel NAME / --hw-counters before the
+    // positional arguments.
     std::string kernel = "spmv";
+    bool hw_counters = false;
     std::vector<char *> positional;
     for (int i = 0; i < argc; ++i) {
         constexpr const char *kFlag = "--kernel=";
         if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
             kernel = argv[i] + std::strlen(kFlag);
+        else if (std::strcmp(argv[i], "--kernel") == 0 &&
+                 i + 1 < argc)
+            kernel = argv[++i];
+        else if (std::strcmp(argv[i], "--hw-counters") == 0)
+            hw_counters = true;
         else
             positional.push_back(argv[i]);
     }
     if (positional.empty()) {
-        std::cerr << "usage: gral experiment [--kernel=K] <graph> "
+        std::cerr << "usage: gral experiment [--kernel=K] "
+                     "[--hw-counters] <graph> "
                      "[RA,RA,...] [cacheKB]\nkernels:";
         for (const std::string &name : kernelNames())
             std::cerr << " " << name;
@@ -347,23 +359,44 @@ cmdExperiment(int argc, char **argv)
     options.sim.tlb.associativity = 4;
     options.sim.pselSampleEvery = 1024;
     options.timingRepeats = 2;
+    options.hwCounters = hw_counters;
+    if (hw_counters) {
+        setHwCountersEnabled(true);
+        std::cout << "hw counters: backend="
+                  << toString(probePerfBackend())
+                  << " (perf_event_paranoid="
+                  << perfParanoidLevel() << ")\n";
+    }
 
     std::cout << "kernel: " << kernel << "\n";
     TextTable table({"RA", "Relab", "Iters", "Preproc s", "Time ms",
-                     "L3 miss %", "Push hub miss", "Pull hub miss",
-                     "PSEL samples"});
+                     "L3 miss %", "HW LLC miss %", "Push hub miss",
+                     "Pull hub miss", "PSEL samples"});
     for (const std::string &ra : ras) {
         GRAL_LOG(info) << "running experiment cell"
                        << logField("ra", ra)
                        << logField("kernel", kernel);
         RaExperimentResult result = runRaExperiment(graph, ra, options);
         recordExperimentMetrics(result);
+        // The measured column says "unavailable" explicitly — on a
+        // host with no perf access a blank or zero would read as a
+        // perfect cache. A software-rung reading counted, but the
+        // PMU (and so LLC misses) was out of reach.
+        double hw_rate = result.hw.llcMissRate();
+        std::string hw_cell;
+        if (result.hw.valid && hw_rate >= 0.0)
+            hw_cell = formatDouble(100.0 * hw_rate, 2);
+        else if (result.hw.valid)
+            hw_cell = "sw-only";
+        else
+            hw_cell = hw_counters ? "unavailable" : "-";
         table.addRow(
             {result.ra, result.relabeled ? "yes" : "no",
              formatCount(result.kernelRun.iterations),
              formatDouble(result.reorderStats.preprocessSeconds, 3),
              formatDouble(result.traversalMs, 2),
              formatDouble(100.0 * result.profile.cache.missRate(), 2),
+             hw_cell,
              formatCount(result.profile.pushPhase.hubMisses),
              formatCount(result.profile.pullPhase.hubMisses),
              formatCount(result.profile.pselSamples.size())});
