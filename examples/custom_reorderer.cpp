@@ -36,7 +36,7 @@ class BfsOrder : public Reorderer
     std::string name() const override { return "BfsOrder"; }
 
     Permutation
-    reorder(const Graph &graph) override
+    reorder(const GraphView &graph) override
     {
         stats_ = {};
         ScopedTimer timer(stats_.preprocessSeconds);

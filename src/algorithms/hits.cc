@@ -36,7 +36,7 @@ l1Delta(const std::vector<double> &a, const std::vector<double> &b)
 } // namespace
 
 HitsResult
-hits(const Graph &graph, const HitsOptions &options)
+hits(const GraphView &graph, const HitsOptions &options)
 {
     const VertexId n = graph.numVertices();
     HitsResult result;

@@ -14,7 +14,7 @@
 
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -40,7 +40,7 @@ struct HitsResult
 };
 
 /** Run HITS on @p graph. */
-HitsResult hits(const Graph &graph, const HitsOptions &options = {});
+HitsResult hits(const GraphView &graph, const HitsOptions &options = {});
 
 } // namespace gral
 

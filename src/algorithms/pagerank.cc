@@ -6,7 +6,7 @@ namespace gral
 {
 
 PageRankResult
-pageRank(const Graph &graph, const PageRankOptions &options)
+pageRank(const GraphView &graph, const PageRankOptions &options)
 {
     const VertexId n = graph.numVertices();
     PageRankResult result;

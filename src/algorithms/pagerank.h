@@ -15,7 +15,7 @@
 
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -47,7 +47,7 @@ struct PageRankResult
  * in-neighbour contributions). Dangling-vertex mass is redistributed
  * uniformly each iteration, so the scores stay a distribution.
  */
-PageRankResult pageRank(const Graph &graph,
+PageRankResult pageRank(const GraphView &graph,
                         const PageRankOptions &options = {});
 
 } // namespace gral

@@ -8,7 +8,7 @@ namespace gral
 {
 
 BfsResult
-bfs(const Graph &graph, VertexId source, const BfsOptions &options)
+bfs(const GraphView &graph, VertexId source, const BfsOptions &options)
 {
     const VertexId n = graph.numVertices();
     if (source >= n)
@@ -80,7 +80,7 @@ bfs(const Graph &graph, VertexId source, const BfsOptions &options)
 }
 
 LabelPropagationResult
-labelPropagation(const Graph &graph, unsigned max_iterations)
+labelPropagation(const GraphView &graph, unsigned max_iterations)
 {
     const VertexId n = graph.numVertices();
     LabelPropagationResult result;
@@ -139,7 +139,7 @@ edgeWeight(VertexId u, VertexId v)
 } // namespace
 
 SsspResult
-sssp(const Graph &graph, VertexId source)
+sssp(const GraphView &graph, VertexId source)
 {
     const VertexId n = graph.numVertices();
     if (source >= n)

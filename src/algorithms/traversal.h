@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -73,7 +73,7 @@ struct BfsOptions
  * Direction-optimizing BFS over the out-adjacency from @p source.
  * @pre source < graph.numVertices().
  */
-BfsResult bfs(const Graph &graph, VertexId source,
+BfsResult bfs(const GraphView &graph, VertexId source,
               const BfsOptions &options = {});
 
 /** Connected-components-by-label-propagation output. */
@@ -94,7 +94,7 @@ struct LabelPropagationResult
  * graph/. Every sweep is a full-edge traversal, i.e. exactly the
  * memory-access pattern the paper's locality analysis covers.
  */
-LabelPropagationResult labelPropagation(const Graph &graph,
+LabelPropagationResult labelPropagation(const GraphView &graph,
                                         unsigned max_iterations = 0);
 
 /** SSSP (Bellman-Ford over unit/uniform weights) output. */
@@ -113,7 +113,7 @@ struct SsspResult
  * deterministically from the edge endpoints (pseudo-random uniform in
  * [1, 2)); frontier-based Bellman-Ford.
  */
-SsspResult sssp(const Graph &graph, VertexId source);
+SsspResult sssp(const GraphView &graph, VertexId source);
 
 } // namespace gral
 

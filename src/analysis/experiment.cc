@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "graph/degree.h"
+#include "graph/storage/varint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/perf/backend.h"
@@ -101,10 +102,33 @@ activeEventSet()
     return {};
 }
 
+/** Compressed topology bytes of one direction: the stored blob for a
+ *  compressed backing, a throwaway encoding pass otherwise. */
+std::size_t
+compressedBlobBytes(const AdjacencyView &adjacency)
+{
+    if (adjacency.isCompressed())
+        return adjacency.compressedBlob().size();
+    return compressAdjacency(adjacency).blob.size();
+}
+
+/** Compressed bytes/edge averaged over both directions — the same
+ *  definition writeGralbFile reports for a compressed `.gralb`. */
+double
+graphCompressedBytesPerEdge(const GraphView &graph)
+{
+    if (graph.numEdges() == 0)
+        return 0.0;
+    std::size_t blob_bytes = compressedBlobBytes(graph.out()) +
+                             compressedBlobBytes(graph.in());
+    return static_cast<double>(blob_bytes) /
+           (2.0 * static_cast<double>(graph.numEdges()));
+}
+
 } // namespace
 
 Graph
-reorderedGraph(const Graph &base, const std::string &ra_name,
+reorderedGraph(const GraphView &base, const std::string &ra_name,
                ReorderStats *stats)
 {
     ReordererPtr reorderer = makeReorderer(ra_name);
@@ -115,7 +139,7 @@ reorderedGraph(const Graph &base, const std::string &ra_name,
 }
 
 double
-timePullSpmv(const Graph &graph, const ParallelOptions &options,
+timePullSpmv(const GraphView &graph, const ParallelOptions &options,
              unsigned repeats, double *idle_percent,
              ParallelResult *detail, PerfGroupReading *hw)
 {
@@ -153,7 +177,7 @@ timePullSpmv(const Graph &graph, const ParallelOptions &options,
 }
 
 double
-timeKernelRun(Kernel &kernel, const Graph &graph, unsigned repeats,
+timeKernelRun(Kernel &kernel, const GraphView &graph, unsigned repeats,
               PerfGroupReading *hw)
 {
     GRAL_SPAN("experiment/time_kernel");
@@ -222,6 +246,8 @@ recordExperimentMetrics(const RaExperimentResult &result)
         .set(result.profile.dataMissRate());
     registry.gauge(prefix + "relabeled")
         .set(result.relabeled ? 1.0 : 0.0);
+    registry.gauge(prefix + "compressed_bytes_per_edge")
+        .set(result.compressedBytesPerEdge);
     registry.gauge(prefix + "kernel_iterations")
         .set(static_cast<double>(result.kernelRun.iterations));
 
@@ -288,7 +314,7 @@ recordExperimentMetrics(const RaExperimentResult &result)
 }
 
 RaExperimentResult
-runRaExperiment(const Graph &base, const std::string &ra_name,
+runRaExperiment(const GraphView &base, const std::string &ra_name,
                 const ExperimentOptions &options)
 {
     GRAL_SPAN("experiment/run_ra");
@@ -309,7 +335,15 @@ runRaExperiment(const Graph &base, const std::string &ra_name,
     Graph relabeled;
     if (result.relabeled)
         relabeled = applyPermutation(base, permutation);
-    const Graph &graph = result.relabeled ? relabeled : base;
+    const GraphView graph = result.relabeled
+                                ? GraphView(relabeled)
+                                : base;
+
+    if (options.compressionMetric) {
+        GRAL_SPAN("experiment/compression_metric");
+        result.compressedBytesPerEdge =
+            graphCompressedBytesPerEdge(graph);
+    }
 
     if (options.runTiming) {
         // Collection is scoped to the timed traversal so the

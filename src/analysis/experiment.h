@@ -17,7 +17,7 @@
 
 #include <string>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "kernels/kernel.h"
 #include "metrics/miss_rate.h"
 #include "obs/perf/counters.h"
@@ -55,6 +55,13 @@ struct ExperimentOptions
      *  the reading is explicitly invalid when perf is unreachable,
      *  never zero-filled. */
     bool hwCounters = false;
+    /** Report the delta+varint compressed bytes/edge of the traversed
+     *  (relabeled) adjacencies — a storage-level locality metric: the
+     *  better the RA clusters neighbour IDs, the smaller the deltas
+     *  and the fewer bytes each edge costs (graph/storage/varint.h).
+     *  One O(|E|) encoding pass per cell; disable for timing-only
+     *  sweeps. */
+    bool compressionMetric = true;
 };
 
 /** Everything measured for one (dataset, kernel, RA) cell. */
@@ -87,13 +94,17 @@ struct RaExperimentResult
      *  attaches; for sequential kernels it is the best timed run's
      *  group reading on the running thread. */
     PerfGroupReading hw;
+    /** Delta+varint compressed topology bytes per edge of the
+     *  traversed graph, averaged over both adjacency directions
+     *  (0 when ExperimentOptions::compressionMetric is off). */
+    double compressedBytesPerEdge = 0.0;
 };
 
 /**
  * Apply the RA named @p ra_name to @p base and return the relabeled
  * graph; preprocessing stats go to @p stats when non-null.
  */
-Graph reorderedGraph(const Graph &base, const std::string &ra_name,
+Graph reorderedGraph(const GraphView &base, const std::string &ra_name,
                      ReorderStats *stats = nullptr);
 
 /**
@@ -106,7 +117,7 @@ Graph reorderedGraph(const Graph &base, const std::string &ra_name,
  * aggregated over the timed repeats into one reading — the work runs
  * on pool threads, so a calling-thread group would count nothing.
  */
-double timePullSpmv(const Graph &graph, const ParallelOptions &options,
+double timePullSpmv(const GraphView &graph, const ParallelOptions &options,
                     unsigned repeats, double *idle_percent,
                     ParallelResult *detail = nullptr,
                     PerfGroupReading *hw = nullptr);
@@ -118,7 +129,7 @@ double timePullSpmv(const Graph &graph, const ParallelOptions &options,
  * non-null a perf group counts each timed run on the calling thread
  * and the best (fastest) run's reading is kept.
  */
-double timeKernelRun(Kernel &kernel, const Graph &graph,
+double timeKernelRun(Kernel &kernel, const GraphView &graph,
                      unsigned repeats,
                      PerfGroupReading *hw = nullptr);
 
@@ -144,7 +155,7 @@ void recordExperimentMetrics(const RaExperimentResult &result);
  * out-degrees for pull-phase accesses, threshold sqrt(|V|) unless
  * overridden in options.sim.
  */
-RaExperimentResult runRaExperiment(const Graph &base,
+RaExperimentResult runRaExperiment(const GraphView &base,
                                    const std::string &ra_name,
                                    const ExperimentOptions &options = {});
 

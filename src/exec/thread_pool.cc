@@ -1,4 +1,4 @@
-#include "spmv/thread_pool.h"
+#include "exec/thread_pool.h"
 #include <algorithm>
 
 #include <atomic>

@@ -10,8 +10,8 @@
  * wall time each thread spends not executing tasks.
  */
 
-#ifndef GRAL_SPMV_THREAD_POOL_H
-#define GRAL_SPMV_THREAD_POOL_H
+#ifndef GRAL_EXEC_THREAD_POOL_H
+#define GRAL_EXEC_THREAD_POOL_H
 
 #include <cstdint>
 #include <functional>
@@ -72,4 +72,4 @@ class WorkStealingPool
 
 } // namespace gral
 
-#endif // GRAL_SPMV_THREAD_POOL_H
+#endif // GRAL_EXEC_THREAD_POOL_H

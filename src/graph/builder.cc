@@ -72,7 +72,7 @@ buildGraph(VertexId num_vertices, std::span<const Edge> edges,
 }
 
 Graph
-symmetrize(const Graph &graph)
+symmetrize(const GraphView &graph)
 {
     std::vector<Edge> edges = graph.edgeList();
     std::size_t original = edges.size();

@@ -14,7 +14,7 @@
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/types.h"
 
 namespace gral
@@ -93,7 +93,7 @@ Graph buildGraph(VertexId num_vertices, std::span<const Edge> edges,
  * Duplicates are collapsed. Used to model undirected social networks
  * and as the view SlashBurn's connected components operate on.
  */
-Graph symmetrize(const Graph &graph);
+Graph symmetrize(const GraphView &graph);
 
 } // namespace gral
 

@@ -1,0 +1,291 @@
+#include "graph/builder_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "exec/thread_pool.h"
+#include "graph/csr.h"
+#include "obs/span.h"
+
+namespace gral
+{
+
+namespace
+{
+
+/** Contiguous slice i of n items split into t near-equal pieces. */
+std::pair<std::size_t, std::size_t>
+sliceRange(std::size_t n, std::size_t i, std::size_t t)
+{
+    std::size_t lo = n * i / t;
+    std::size_t hi = n * (i + 1) / t;
+    return {lo, hi};
+}
+
+/** Phase 1: per-chunk self-loop filter (+sort when deduping). */
+std::vector<std::vector<Edge>>
+filterSortChunks(std::span<const Edge> edges, const BuildOptions &cleanup,
+                 WorkStealingPool &pool, std::size_t num_chunks)
+{
+    GRAL_SPAN("graph/build/filter_sort");
+    std::vector<std::vector<Edge>> chunks(num_chunks);
+    pool.run(num_chunks, [&](std::size_t i) {
+        auto [lo, hi] = sliceRange(edges.size(), i, num_chunks);
+        std::vector<Edge> &chunk = chunks[i];
+        chunk.reserve(hi - lo);
+        for (std::size_t e = lo; e < hi; ++e) {
+            if (cleanup.removeSelfLoops &&
+                edges[e].src == edges[e].dst)
+                continue;
+            chunk.push_back(edges[e]);
+        }
+        if (cleanup.removeDuplicates)
+            std::sort(chunk.begin(), chunk.end());
+    });
+    return chunks;
+}
+
+/**
+ * Phase 2: merge the sorted chunks into one globally sorted,
+ * deduplicated edge vector. Value-domain splitters (sampled from the
+ * chunks) carve the key space into disjoint ranges; every copy of an
+ * edge falls into the same range, so each range merges and dedups
+ * independently.
+ */
+std::vector<Edge>
+mergeDedup(std::vector<std::vector<Edge>> chunks,
+           WorkStealingPool &pool, std::size_t num_parts)
+{
+    GRAL_SPAN("graph/build/merge_dedup");
+
+    // Deterministic splitter sample: a few evenly spaced probes per
+    // chunk. Balance-only — the output is independent of the choice.
+    std::vector<Edge> samples;
+    constexpr std::size_t kProbesPerChunk = 32;
+    for (const std::vector<Edge> &chunk : chunks)
+        for (std::size_t p = 0; p < kProbesPerChunk && !chunk.empty();
+             ++p)
+            samples.push_back(chunk[chunk.size() * p /
+                              kProbesPerChunk]);
+    std::sort(samples.begin(), samples.end());
+    std::vector<Edge> splitters;
+    for (std::size_t p = 1; p < num_parts && !samples.empty(); ++p)
+        splitters.push_back(samples[samples.size() * p / num_parts]);
+    num_parts = splitters.size() + 1;
+
+    std::vector<std::vector<Edge>> parts(num_parts);
+    pool.run(num_parts, [&](std::size_t p) {
+        // The subrange of every chunk belonging to key range p.
+        struct Cursor
+        {
+            const Edge *it;
+            const Edge *end;
+        };
+        std::vector<Cursor> cursors;
+        std::size_t total = 0;
+        for (const std::vector<Edge> &chunk : chunks) {
+            const Edge *lo =
+                p == 0 ? chunk.data()
+                       : std::lower_bound(chunk.data(),
+                                          chunk.data() + chunk.size(),
+                                          splitters[p - 1]);
+            const Edge *hi =
+                p + 1 == num_parts
+                    ? chunk.data() + chunk.size()
+                    : std::lower_bound(chunk.data(),
+                                       chunk.data() + chunk.size(),
+                                       splitters[p]);
+            if (lo != hi)
+                cursors.push_back({lo, hi});
+            total += static_cast<std::size_t>(hi - lo);
+        }
+        std::vector<Edge> &out = parts[p];
+        out.reserve(total);
+        // K-way merge with inline dedup; K is the chunk count
+        // (<= pool width), so linear min-scan beats a heap here.
+        while (!cursors.empty()) {
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < cursors.size(); ++c)
+                if (*cursors[c].it < *cursors[best].it)
+                    best = c;
+            Edge next = *cursors[best].it;
+            if (out.empty() || !(out.back() == next))
+                out.push_back(next);
+            if (++cursors[best].it == cursors[best].end) {
+                cursors[best] = cursors.back();
+                cursors.pop_back();
+            }
+        }
+    });
+    chunks.clear();
+
+    std::vector<std::size_t> starts(num_parts + 1, 0);
+    for (std::size_t p = 0; p < num_parts; ++p)
+        starts[p + 1] = starts[p] + parts[p].size();
+    std::vector<Edge> merged(starts[num_parts]);
+    pool.run(num_parts, [&](std::size_t p) {
+        std::copy(parts[p].begin(), parts[p].end(),
+                  merged.begin() +
+                      static_cast<std::ptrdiff_t>(starts[p]));
+    });
+    return merged;
+}
+
+/** Phase 3: zero-degree compaction, semantics of GraphBuilder. */
+VertexId
+compactZeroDegree(std::vector<Edge> &edges, VertexId num_vertices,
+                  WorkStealingPool &pool, std::size_t num_tasks,
+                  std::vector<VertexId> *old_to_new)
+{
+    GRAL_SPAN("graph/build/compact");
+    std::vector<std::atomic<std::uint8_t>> used(num_vertices);
+    pool.run(num_tasks, [&](std::size_t i) {
+        auto [lo, hi] = sliceRange(edges.size(), i, num_tasks);
+        for (std::size_t e = lo; e < hi; ++e) {
+            used[edges[e].src].store(1, std::memory_order_relaxed);
+            used[edges[e].dst].store(1, std::memory_order_relaxed);
+        }
+    });
+
+    std::vector<VertexId> remap(num_vertices, kInvalidVertex);
+    VertexId next = 0;
+    for (VertexId v = 0; v < num_vertices; ++v)
+        if (used[v].load(std::memory_order_relaxed))
+            remap[v] = next++;
+
+    pool.run(num_tasks, [&](std::size_t i) {
+        auto [lo, hi] = sliceRange(edges.size(), i, num_tasks);
+        for (std::size_t e = lo; e < hi; ++e) {
+            edges[e].src = remap[edges[e].src];
+            edges[e].dst = remap[edges[e].dst];
+        }
+    });
+    if (old_to_new)
+        *old_to_new = std::move(remap);
+    return next;
+}
+
+/**
+ * Phase 4: one adjacency direction by count-then-place. Atomic
+ * per-vertex degree counts, an exclusive scan into the offsets
+ * array, atomic-cursor placement (the counts array reused as
+ * cursors), then a canonicalizing per-list sort — the same final
+ * arrays buildAdjacency() produces, whatever the placement order.
+ */
+Adjacency
+buildAdjacencyParallel(VertexId num_vertices,
+                       std::span<const Edge> edges, bool by_source,
+                       WorkStealingPool &pool, std::size_t num_tasks)
+{
+    GRAL_SPAN("graph/build/adjacency");
+    std::vector<std::atomic<EdgeId>> slots(num_vertices);
+    pool.run(num_tasks, [&](std::size_t i) {
+        auto [lo, hi] = sliceRange(edges.size(), i, num_tasks);
+        for (std::size_t e = lo; e < hi; ++e) {
+            VertexId key = by_source ? edges[e].src : edges[e].dst;
+            slots[key].fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    std::vector<EdgeId> offsets(num_vertices + 1, 0);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        offsets[v + 1] =
+            offsets[v] + slots[v].load(std::memory_order_relaxed);
+        // Reuse the counts as placement cursors.
+        slots[v].store(offsets[v], std::memory_order_relaxed);
+    }
+
+    std::vector<VertexId> adjacency(edges.size());
+    pool.run(num_tasks, [&](std::size_t i) {
+        auto [lo, hi] = sliceRange(edges.size(), i, num_tasks);
+        for (std::size_t e = lo; e < hi; ++e) {
+            VertexId key = by_source ? edges[e].src : edges[e].dst;
+            VertexId value = by_source ? edges[e].dst : edges[e].src;
+            EdgeId pos =
+                slots[key].fetch_add(1, std::memory_order_relaxed);
+            adjacency[pos] = value;
+        }
+    });
+
+    pool.run(num_tasks, [&](std::size_t i) {
+        auto [lo, hi] = sliceRange(num_vertices, i, num_tasks);
+        for (std::size_t v = lo; v < hi; ++v)
+            std::sort(adjacency.begin() +
+                          static_cast<std::ptrdiff_t>(offsets[v]),
+                      adjacency.begin() +
+                          static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    });
+    return Adjacency(std::move(offsets), std::move(adjacency));
+}
+
+} // namespace
+
+Graph
+buildGraphParallel(VertexId num_vertices, std::span<const Edge> edges,
+                   const ParallelBuildOptions &options,
+                   std::vector<VertexId> *old_to_new)
+{
+    GRAL_SPAN("graph/build/parallel");
+    unsigned threads =
+        options.numThreads != 0
+            ? options.numThreads
+            : std::max(1u, std::thread::hardware_concurrency());
+    WorkStealingPool pool(threads);
+    // More tasks than workers so stealing can rebalance skew.
+    std::size_t num_tasks = static_cast<std::size_t>(threads) * 4;
+
+    // Match GraphBuilder::addEdge: the vertex count grows to fit the
+    // largest endpoint seen.
+    std::vector<VertexId> chunk_max(num_tasks, 0);
+    pool.run(num_tasks, [&](std::size_t i) {
+        auto [lo, hi] = sliceRange(edges.size(), i, num_tasks);
+        VertexId hi_id = 0;
+        for (std::size_t e = lo; e < hi; ++e)
+            hi_id = std::max({hi_id, edges[e].src, edges[e].dst});
+        chunk_max[i] = hi_id;
+    });
+    for (VertexId m : chunk_max)
+        if (!edges.empty() && m >= num_vertices)
+            num_vertices = m + 1;
+
+    std::vector<Edge> cleaned;
+    if (options.cleanup.removeDuplicates) {
+        cleaned = mergeDedup(
+            filterSortChunks(edges, options.cleanup, pool, num_tasks),
+            pool, num_tasks);
+    } else {
+        // No dedup means no global order requirement: concatenate the
+        // filtered chunks as-is (the per-list sort in phase 4
+        // canonicalizes the result either way).
+        std::vector<std::vector<Edge>> chunks =
+            filterSortChunks(edges, options.cleanup, pool, num_tasks);
+        std::size_t total = 0;
+        for (const std::vector<Edge> &chunk : chunks)
+            total += chunk.size();
+        cleaned.reserve(total);
+        for (const std::vector<Edge> &chunk : chunks)
+            cleaned.insert(cleaned.end(), chunk.begin(), chunk.end());
+    }
+
+    if (options.cleanup.removeZeroDegree) {
+        num_vertices = compactZeroDegree(cleaned, num_vertices, pool,
+                                         num_tasks, old_to_new);
+    } else if (old_to_new) {
+        old_to_new->resize(num_vertices);
+        for (VertexId v = 0; v < num_vertices; ++v)
+            (*old_to_new)[v] = v;
+    }
+
+    Adjacency out = buildAdjacencyParallel(num_vertices, cleaned,
+                                           /*by_source=*/true, pool,
+                                           num_tasks);
+    Adjacency in = buildAdjacencyParallel(num_vertices, cleaned,
+                                          /*by_source=*/false, pool,
+                                          num_tasks);
+    return Graph(std::move(out), std::move(in));
+}
+
+} // namespace gral

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Parallel graph construction over the work-stealing pool.
+ *
+ * The sequential GraphBuilder pipeline (self-loop filter, sort+unique
+ * dedup, zero-degree compaction, CSR/CSC build) is a single-threaded
+ * O(|E| log |E|) wall — the adoption blocker BOBA (PAPERS.md) calls
+ * out for any reordering study at the paper's 1-8 B edge scale. This
+ * builder runs the same pipeline as data-parallel phases on a
+ * WorkStealingPool (exec/thread_pool.h):
+ *
+ *   1. chunk filter+sort — each task sorts a contiguous edge chunk;
+ *   2. splitter merge+dedup — value-domain splitters carve the sorted
+ *      chunks into disjoint ranges, one k-way merge task per range
+ *      (duplicates of an edge always land in the same range, so
+ *      cross-range dedup is free);
+ *   3. zero-degree mark (atomic flags) + sequential prefix remap;
+ *   4. count-then-place CSR/CSC — atomic degree counts, exclusive
+ *      scan, atomic-cursor placement, per-range neighbour sort.
+ *
+ * Every phase is order-insensitive before a canonicalizing sort, so
+ * the output Graph is BIT-IDENTICAL to GraphBuilder::finalize() for
+ * any thread count — tested across generators and 1..N threads.
+ */
+
+#ifndef GRAL_GRAPH_BUILDER_PARALLEL_H
+#define GRAL_GRAPH_BUILDER_PARALLEL_H
+
+#include <span>
+
+#include "graph/builder.h"
+#include "graph/view.h"
+#include "graph/types.h"
+
+namespace gral
+{
+
+/** Knobs for buildGraphParallel. */
+struct ParallelBuildOptions
+{
+    /** Cleanup semantics, identical to the sequential builder. */
+    BuildOptions cleanup;
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned numThreads = 0;
+};
+
+/**
+ * Parallel equivalent of buildGraph(): clean @p edges per
+ * @p options.cleanup and assemble both adjacency directions.
+ * Bit-identical to the sequential builder for every option
+ * combination and thread count.
+ *
+ * @param num_vertices  vertex-count lower bound; grows to fit the
+ *                      largest endpoint, exactly like GraphBuilder.
+ * @param old_to_new    optional zero-degree renumbering map (old ID
+ *                      -> new ID, kInvalidVertex when removed).
+ */
+Graph buildGraphParallel(VertexId num_vertices,
+                         std::span<const Edge> edges,
+                         const ParallelBuildOptions &options = {},
+                         std::vector<VertexId> *old_to_new = nullptr);
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_BUILDER_PARALLEL_H

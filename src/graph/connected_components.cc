@@ -26,7 +26,7 @@ ComponentResult::giantByVertices() const
 }
 
 ComponentResult
-connectedComponents(const Graph &graph, const std::vector<char> &active)
+connectedComponents(const GraphView &graph, const std::vector<char> &active)
 {
     VertexId n = graph.numVertices();
     if (!active.empty() && active.size() != n)

@@ -12,7 +12,7 @@
 
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/types.h"
 
 namespace gral
@@ -54,7 +54,7 @@ struct ComponentResult
  *               removed hubs and already-placed spokes).
  */
 ComponentResult connectedComponents(
-    const Graph &graph, const std::vector<char> &active = {});
+    const GraphView &graph, const std::vector<char> &active = {});
 
 } // namespace gral
 

@@ -7,9 +7,9 @@ namespace gral
 {
 
 std::vector<EdgeId>
-degrees(const Graph &graph, Direction direction)
+degrees(const GraphView &graph, Direction direction)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     std::vector<EdgeId> result(graph.numVertices());
     for (VertexId v = 0; v < graph.numVertices(); ++v)
@@ -18,19 +18,19 @@ degrees(const Graph &graph, Direction direction)
 }
 
 double
-hubThreshold(const Graph &graph)
+hubThreshold(const GraphView &graph)
 {
     return std::sqrt(static_cast<double>(graph.numVertices()));
 }
 
 bool
-isInHub(const Graph &graph, VertexId v)
+isInHub(const GraphView &graph, VertexId v)
 {
     return static_cast<double>(graph.inDegree(v)) > hubThreshold(graph);
 }
 
 bool
-isOutHub(const Graph &graph, VertexId v)
+isOutHub(const GraphView &graph, VertexId v)
 {
     return static_cast<double>(graph.outDegree(v)) > hubThreshold(graph);
 }
@@ -39,10 +39,10 @@ namespace
 {
 
 std::vector<VertexId>
-hubsImpl(const Graph &graph, Direction direction)
+hubsImpl(const GraphView &graph, Direction direction)
 {
     double threshold = hubThreshold(graph);
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     std::vector<VertexId> result;
     for (VertexId v = 0; v < graph.numVertices(); ++v)
@@ -54,21 +54,21 @@ hubsImpl(const Graph &graph, Direction direction)
 } // namespace
 
 std::vector<VertexId>
-inHubs(const Graph &graph)
+inHubs(const GraphView &graph)
 {
     return hubsImpl(graph, Direction::In);
 }
 
 std::vector<VertexId>
-outHubs(const Graph &graph)
+outHubs(const GraphView &graph)
 {
     return hubsImpl(graph, Direction::Out);
 }
 
 DegreeClassCounts
-classifyDegrees(const Graph &graph, Direction direction)
+classifyDegrees(const GraphView &graph, Direction direction)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     double average = graph.averageDegree();
     double hub = hubThreshold(graph);
@@ -87,9 +87,9 @@ classifyDegrees(const Graph &graph, Direction direction)
 }
 
 std::vector<VertexId>
-degreeHistogram(const Graph &graph, Direction direction)
+degreeHistogram(const GraphView &graph, Direction direction)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     std::vector<VertexId> histogram(maxDegree(graph, direction) + 1, 0);
     for (VertexId v = 0; v < graph.numVertices(); ++v)
@@ -98,9 +98,9 @@ degreeHistogram(const Graph &graph, Direction direction)
 }
 
 EdgeId
-maxDegree(const Graph &graph, Direction direction)
+maxDegree(const GraphView &graph, Direction direction)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     EdgeId best = 0;
     for (VertexId v = 0; v < graph.numVertices(); ++v)

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/types.h"
 
 namespace gral
@@ -27,22 +27,22 @@ enum class Direction
 };
 
 /** Per-vertex degrees in the requested direction. */
-std::vector<EdgeId> degrees(const Graph &graph, Direction direction);
+std::vector<EdgeId> degrees(const GraphView &graph, Direction direction);
 
 /** The paper's hub threshold, sqrt(|V|). */
-double hubThreshold(const Graph &graph);
+double hubThreshold(const GraphView &graph);
 
 /** True if @p v is an in-hub: in-degree > sqrt(|V|). */
-bool isInHub(const Graph &graph, VertexId v);
+bool isInHub(const GraphView &graph, VertexId v);
 
 /** True if @p v is an out-hub: out-degree > sqrt(|V|). */
-bool isOutHub(const Graph &graph, VertexId v);
+bool isOutHub(const GraphView &graph, VertexId v);
 
 /** IDs of all in-hubs (ascending ID order). */
-std::vector<VertexId> inHubs(const Graph &graph);
+std::vector<VertexId> inHubs(const GraphView &graph);
 
 /** IDs of all out-hubs (ascending ID order). */
-std::vector<VertexId> outHubs(const Graph &graph);
+std::vector<VertexId> outHubs(const GraphView &graph);
 
 /**
  * Vertices classified against the average-degree threshold:
@@ -56,17 +56,17 @@ struct DegreeClassCounts
 };
 
 /** Count LDV / HDV / hubs in the requested direction. */
-DegreeClassCounts classifyDegrees(const Graph &graph, Direction direction);
+DegreeClassCounts classifyDegrees(const GraphView &graph, Direction direction);
 
 /**
  * Degree histogram: result[d] = number of vertices with degree d,
  * for d in [0, max degree].
  */
-std::vector<VertexId> degreeHistogram(const Graph &graph,
+std::vector<VertexId> degreeHistogram(const GraphView &graph,
                                       Direction direction);
 
 /** Maximum degree in the requested direction (0 for empty graphs). */
-EdgeId maxDegree(const Graph &graph, Direction direction);
+EdgeId maxDegree(const GraphView &graph, Direction direction);
 
 /**
  * Logarithmic degree bin index used by all degree-distribution plots:

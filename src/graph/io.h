@@ -10,16 +10,41 @@
 #ifndef GRAL_GRAPH_IO_H
 #define GRAL_GRAPH_IO_H
 
+#include <functional>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/permutation.h"
 #include "graph/types.h"
 
 namespace gral
 {
+
+/**
+ * Stream a text edge list through @p sink in bounded chunks of at
+ * most @p chunk_edges edges. Unlike readEdgeListText this never
+ * materializes the whole list: resident state is one block buffer
+ * plus one chunk, so a 100M+ edge file parses in O(chunk) memory
+ * when the sink consumes incrementally. Lines are parsed with a
+ * manual integer scanner (no per-line stream construction), which is
+ * what makes the text path usable at the paper's edge scales at all.
+ *
+ * The chunk span passed to @p sink is only valid during the call.
+ *
+ * @returns the total number of edges delivered.
+ * @throws std::runtime_error on malformed lines or >32-bit IDs.
+ */
+std::size_t readEdgeListTextChunked(
+    std::istream &in, std::size_t chunk_edges,
+    const std::function<void(std::span<const Edge>)> &sink);
+
+/** Chunked streaming parse of a file. @throws std::runtime_error. */
+std::size_t readEdgeListTextChunkedFile(
+    const std::string &path, std::size_t chunk_edges,
+    const std::function<void(std::span<const Edge>)> &sink);
 
 /** Parse a text edge list ("src dst" per line) from a stream. */
 std::vector<Edge> readEdgeListText(std::istream &in);
@@ -28,16 +53,16 @@ std::vector<Edge> readEdgeListText(std::istream &in);
 std::vector<Edge> readEdgeListTextFile(const std::string &path);
 
 /** Write "src dst" lines for all edges of @p graph. */
-void writeEdgeListText(const Graph &graph, std::ostream &out);
+void writeEdgeListText(const GraphView &graph, std::ostream &out);
 
 /**
  * Write the binary format: magic, |V|, |E|, CSR offsets, CSR edges.
  * The CSC is rebuilt on load.
  */
-void writeBinary(const Graph &graph, std::ostream &out);
+void writeBinary(const GraphView &graph, std::ostream &out);
 
 /** Write the binary format to a file. @throws std::runtime_error. */
-void writeBinaryFile(const Graph &graph, const std::string &path);
+void writeBinaryFile(const GraphView &graph, const std::string &path);
 
 /** Load the binary format. @throws std::runtime_error on corruption. */
 Graph readBinary(std::istream &in);

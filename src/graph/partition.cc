@@ -6,10 +6,10 @@ namespace gral
 {
 
 std::vector<VertexRange>
-edgeBalancedPartitions(const Graph &graph, Direction direction,
+edgeBalancedPartitions(const GraphView &graph, Direction direction,
                        VertexId num_partitions)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     auto offsets = adj.offsets();
     EdgeId total = adj.numEdges();
@@ -33,9 +33,9 @@ edgeBalancedPartitions(const Graph &graph, Direction direction,
 }
 
 EdgeId
-edgesInRange(const Graph &graph, Direction direction, VertexRange range)
+edgesInRange(const GraphView &graph, Direction direction, VertexRange range)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     return adj.beginEdge(range.end) - adj.beginEdge(range.begin);
 }

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "graph/degree.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/types.h"
 
 namespace gral
@@ -42,12 +42,12 @@ struct VertexRange
  * count reaches i * |E| / num_partitions. Empty ranges are possible
  * when a single vertex holds more than a partition's share of edges.
  */
-std::vector<VertexRange> edgeBalancedPartitions(const Graph &graph,
+std::vector<VertexRange> edgeBalancedPartitions(const GraphView &graph,
                                                 Direction direction,
                                                 VertexId num_partitions);
 
 /** Total edges covered by a range in the given direction. */
-EdgeId edgesInRange(const Graph &graph, Direction direction,
+EdgeId edgesInRange(const GraphView &graph, Direction direction,
                     VertexRange range);
 
 } // namespace gral

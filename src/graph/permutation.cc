@@ -49,7 +49,7 @@ Permutation::compose(const Permutation &first) const
 }
 
 Graph
-applyPermutation(const Graph &graph, const Permutation &permutation)
+applyPermutation(const GraphView &graph, const Permutation &permutation)
 {
     if (permutation.size() != graph.numVertices())
         throw std::invalid_argument("applyPermutation: size mismatch");

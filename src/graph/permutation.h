@@ -14,7 +14,7 @@
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/types.h"
 
 namespace gral
@@ -79,7 +79,7 @@ class Permutation
  *
  * @pre permutation.size() == graph.numVertices() and is a bijection.
  */
-Graph applyPermutation(const Graph &graph,
+Graph applyPermutation(const GraphView &graph,
                        const Permutation &permutation);
 
 /**

@@ -1,0 +1,86 @@
+#include "graph/storage/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace gral
+{
+
+namespace
+{
+
+[[noreturn]] void
+failErrno(const std::string &what, const std::string &path)
+{
+    throw std::runtime_error(what + " " + path + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+MmapFile
+MmapFile::open(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        failErrno("cannot open", path);
+
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        failErrno("cannot stat", path);
+    }
+
+    MmapFile file;
+    file.size_ = static_cast<std::size_t>(st.st_size);
+    if (file.size_ > 0) {
+        void *data = ::mmap(nullptr, file.size_, PROT_READ,
+                            MAP_PRIVATE, fd, 0);
+        if (data == MAP_FAILED) {
+            int saved = errno;
+            ::close(fd);
+            errno = saved;
+            failErrno("cannot mmap", path);
+        }
+        file.data_ = data;
+    }
+    // The mapping keeps its own reference to the file; the descriptor
+    // is no longer needed.
+    ::close(fd);
+    return file;
+}
+
+MmapFile::~MmapFile()
+{
+    if (data_ != nullptr)
+        ::munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile &&other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0))
+{
+}
+
+MmapFile &
+MmapFile::operator=(MmapFile &&other) noexcept
+{
+    if (this != &other) {
+        if (data_ != nullptr)
+            ::munmap(data_, size_);
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+}
+
+} // namespace gral

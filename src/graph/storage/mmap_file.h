@@ -1,0 +1,61 @@
+/**
+ * @file
+ * RAII read-only memory mapping.
+ *
+ * The `.gralb` load path maps the whole file and hands out spans into
+ * it: load time is O(1) regardless of graph size, and the working set
+ * is whatever pages the traversal actually touches (page-cache
+ * resident across runs). The mapping must outlive every view derived
+ * from it — MappedGraph (gralb.h) owns exactly this pairing.
+ */
+
+#ifndef GRAL_GRAPH_STORAGE_MMAP_FILE_H
+#define GRAL_GRAPH_STORAGE_MMAP_FILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace gral
+{
+
+/** A read-only mmap of a whole file. Move-only; unmaps on destroy. */
+class MmapFile
+{
+  public:
+    /** Empty (no mapping). */
+    MmapFile() = default;
+
+    /** Map @p path read-only. @throws std::runtime_error with errno
+     *  context when the file cannot be opened, stat'ed or mapped. */
+    static MmapFile open(const std::string &path);
+
+    ~MmapFile();
+
+    MmapFile(MmapFile &&other) noexcept;
+    MmapFile &operator=(MmapFile &&other) noexcept;
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /** The mapped bytes (empty when nothing is mapped). */
+    std::span<const std::uint8_t>
+    bytes() const
+    {
+        return {static_cast<const std::uint8_t *>(data_), size_};
+    }
+
+    /** Mapped size in bytes. */
+    std::size_t size() const { return size_; }
+
+    /** True when a mapping is held. */
+    bool isOpen() const { return data_ != nullptr; }
+
+  private:
+    void *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace gral
+
+#endif // GRAL_GRAPH_STORAGE_MMAP_FILE_H

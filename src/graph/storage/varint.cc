@@ -1,0 +1,64 @@
+#include "graph/storage/varint.h"
+
+namespace gral
+{
+
+CompressedAdjacency
+compressAdjacency(const AdjacencyView &adjacency)
+{
+    GRAL_CHECK(!adjacency.isCompressed())
+        << "compressAdjacency: input is already compressed";
+    CompressedAdjacency result;
+    result.byteIndex.reserve(adjacency.numVertices() + 1);
+    result.byteIndex.push_back(0);
+    // Sorted lists encode to ~1-2 bytes/edge; reserve for the common
+    // case to avoid repeated regrowth over 100M+ edges.
+    result.blob.reserve(adjacency.numEdges() * 2);
+    for (VertexId v = 0; v < adjacency.numVertices(); ++v) {
+        encodeNeighbourList(adjacency.neighbours(v), result.blob);
+        result.byteIndex.push_back(result.blob.size());
+    }
+    return result;
+}
+
+double
+compressedBytesPerEdge(const CompressedAdjacency &compressed,
+                       EdgeId num_edges)
+{
+    if (num_edges == 0)
+        return 0.0;
+    return static_cast<double>(compressed.blob.size()) /
+           static_cast<double>(num_edges);
+}
+
+namespace
+{
+
+Adjacency
+decodeDirection(const AdjacencyView &adjacency)
+{
+    std::vector<EdgeId> offsets(adjacency.offsets().begin(),
+                                adjacency.offsets().end());
+    std::vector<VertexId> edges(adjacency.numEdges());
+    NeighbourScratch scratch;
+    scratch.reserveFor(adjacency);
+    for (VertexId v = 0; v < adjacency.numVertices(); ++v) {
+        std::span<const VertexId> list =
+            scratch.neighbours(adjacency, v);
+        std::copy(list.begin(), list.end(),
+                  edges.begin() +
+                      static_cast<std::ptrdiff_t>(offsets[v]));
+    }
+    return Adjacency(std::move(offsets), std::move(edges));
+}
+
+} // namespace
+
+Graph
+decodeGraph(const GraphView &view)
+{
+    return Graph(decodeDirection(view.out()),
+                 decodeDirection(view.in()));
+}
+
+} // namespace gral

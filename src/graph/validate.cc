@@ -61,13 +61,13 @@ validateCsr(std::span<const EdgeId> offsets,
 }
 
 void
-validateCsr(const Adjacency &adjacency, const std::string &what)
+validateCsr(const AdjacencyView &adjacency, const std::string &what)
 {
     validateCsr(adjacency.offsets(), adjacency.edges(), what);
 }
 
 void
-validateGraph(const Graph &graph, const std::string &what)
+validateGraph(const GraphView &graph, const std::string &what)
 {
     validateCsr(graph.out(), what + " (out-adjacency)");
     validateCsr(graph.in(), what + " (in-adjacency)");

@@ -30,7 +30,7 @@
 #include <string>
 
 #include "graph/csr.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/permutation.h"
 #include "graph/types.h"
 
@@ -64,13 +64,14 @@ void validateCsr(std::span<const EdgeId> offsets,
                  std::span<const VertexId> edges,
                  const std::string &what = "adjacency");
 
-/** Validate an assembled Adjacency (same checks). */
-void validateCsr(const Adjacency &adjacency,
+/** Validate an assembled Adjacency or any uncompressed
+ *  AdjacencyView (same checks). */
+void validateCsr(const AdjacencyView &adjacency,
                  const std::string &what = "adjacency");
 
 /** Validate both directions of a Graph plus their mutual edge-count
  *  consistency. */
-void validateGraph(const Graph &graph,
+void validateGraph(const GraphView &graph,
                    const std::string &what = "graph");
 
 /**

@@ -31,7 +31,7 @@ namespace
 class BfsTraceProducer final : public AccessProducer
 {
   public:
-    BfsTraceProducer(const Graph &graph, const BfsResult &bfs,
+    BfsTraceProducer(const GraphView &graph, const BfsResult &bfs,
                      std::span<const VertexId> by_depth,
                      std::span<const std::size_t> depth_offsets,
                      unsigned thread, unsigned num_threads,
@@ -214,7 +214,7 @@ class BfsTraceProducer final : public AccessProducer
         }
     }
 
-    const Graph &graph_;
+    GraphView graph_;
     const BfsResult &bfs_;
     std::span<const VertexId> byDepth_;
     std::span<const std::size_t> depthOffsets_;
@@ -236,7 +236,7 @@ class BfsTraceProducer final : public AccessProducer
 
 /** Highest-out-degree vertex (lowest ID on ties); 0 if empty. */
 VertexId
-defaultSource(const Graph &graph)
+defaultSource(const GraphView &graph)
 {
     VertexId best = 0;
     EdgeId best_degree = 0;
@@ -252,7 +252,7 @@ defaultSource(const Graph &graph)
 } // namespace
 
 void
-BfsKernel::execute(const Graph &graph)
+BfsKernel::execute(const GraphView &graph)
 {
     GRAL_CHECK(graph.numVertices() > 0)
         << "BfsKernel: cannot traverse an empty graph";
@@ -279,32 +279,32 @@ BfsKernel::execute(const Graph &graph)
         if (bfs_.distance[v] != kUnreached)
             byDepth_[cursor[bfs_.distance[v]]++] = v;
 
-    prepared_ = &graph;
+    prepared_ = graph.key();
 }
 
 void
-BfsKernel::prepare(const Graph &graph)
+BfsKernel::prepare(const GraphView &graph)
 {
-    if (prepared_ != &graph)
+    if (prepared_ != graph.key())
         execute(graph);
 }
 
 const BfsResult &
-BfsKernel::result(const Graph &graph)
+BfsKernel::result(const GraphView &graph)
 {
     prepare(graph);
     return bfs_;
 }
 
 bool
-BfsKernel::resolveAutoRelabel(const Graph &graph)
+BfsKernel::resolveAutoRelabel(const GraphView &graph)
 {
     prepare(graph);
     return bfs_.denseEdges >= bfs_.sparseEdges;
 }
 
 KernelRunInfo
-BfsKernel::run(const Graph &graph)
+BfsKernel::run(const GraphView &graph)
 {
     // Always execute (run() is the timed real kernel); refresh the
     // cached state subsequent makeProducers calls reuse.
@@ -317,7 +317,7 @@ BfsKernel::run(const Graph &graph)
 }
 
 ProducerSet
-BfsKernel::makeProducers(const Graph &graph,
+BfsKernel::makeProducers(const GraphView &graph,
                          const TraceOptions &options)
 {
     prepare(graph);

@@ -51,25 +51,25 @@ class BfsKernel final : public Kernel
         return {Relabeling::kAutoRelabel};
     }
 
-    KernelRunInfo run(const Graph &graph) override;
+    KernelRunInfo run(const GraphView &graph) override;
 
-    ProducerSet makeProducers(const Graph &graph,
+    ProducerSet makeProducers(const GraphView &graph,
                               const TraceOptions &options) override;
 
     /** Traversal result of the last prepared graph (runs if needed). */
-    const BfsResult &result(const Graph &graph);
+    const BfsResult &result(const GraphView &graph);
 
   protected:
     /** Relabel iff the traversal is dominated by dense (SpMV-shaped)
      *  rounds: denseEdges >= sparseEdges on this graph. */
-    bool resolveAutoRelabel(const Graph &graph) override;
+    bool resolveAutoRelabel(const GraphView &graph) override;
 
   private:
     /** Run the traversal and rebuild the depth buckets. */
-    void execute(const Graph &graph);
+    void execute(const GraphView &graph);
 
     /** execute(graph) unless already cached for it. */
-    void prepare(const Graph &graph);
+    void prepare(const GraphView &graph);
 
     BfsOptions options_;
     VertexId source_;
@@ -79,7 +79,7 @@ class BfsKernel final : public Kernel
      *  byDepth_[depthOffsets_[d] .. depthOffsets_[d + 1]). */
     std::vector<VertexId> byDepth_;
     std::vector<std::size_t> depthOffsets_;
-    const Graph *prepared_ = nullptr;
+    GraphViewKey prepared_;
 };
 
 } // namespace gral

@@ -21,7 +21,7 @@ class CcTraceProducer final : public AccessProducer
 {
   public:
     CcTraceProducer(
-        const Graph &graph,
+        const GraphView &graph,
         std::span<const std::vector<std::uint8_t>> changed,
         VertexRange range, EdgeId range_edges,
         const TraceOptions &options)
@@ -170,7 +170,7 @@ class CcTraceProducer final : public AccessProducer
         }
     }
 
-    const Graph &graph_;
+    GraphView graph_;
     std::span<const std::vector<std::uint8_t>> changed_;
     TraceOptions options_;
     VertexRange range_;
@@ -186,7 +186,7 @@ class CcTraceProducer final : public AccessProducer
 } // namespace
 
 void
-CcKernel::execute(const Graph &graph)
+CcKernel::execute(const GraphView &graph)
 {
     const VertexId n = graph.numVertices();
     label_.resize(n);
@@ -228,32 +228,32 @@ CcKernel::execute(const Graph &graph)
         if (label_[v] == v)
             ++numComponents_;
 
-    prepared_ = &graph;
+    prepared_ = graph.key();
 }
 
 void
-CcKernel::prepare(const Graph &graph)
+CcKernel::prepare(const GraphView &graph)
 {
-    if (prepared_ != &graph)
+    if (prepared_ != graph.key())
         execute(graph);
 }
 
 const std::vector<VertexId> &
-CcKernel::labels(const Graph &graph)
+CcKernel::labels(const GraphView &graph)
 {
     prepare(graph);
     return label_;
 }
 
 VertexId
-CcKernel::numComponents(const Graph &graph)
+CcKernel::numComponents(const GraphView &graph)
 {
     prepare(graph);
     return numComponents_;
 }
 
 KernelRunInfo
-CcKernel::run(const Graph &graph)
+CcKernel::run(const GraphView &graph)
 {
     // Always execute (run() is the timed real kernel); refresh the
     // cached state subsequent makeProducers calls reuse.
@@ -265,7 +265,7 @@ CcKernel::run(const Graph &graph)
 }
 
 ProducerSet
-CcKernel::makeProducers(const Graph &graph,
+CcKernel::makeProducers(const GraphView &graph,
                         const TraceOptions &options)
 {
     prepare(graph);

@@ -40,30 +40,30 @@ class CcKernel final : public Kernel
         return {Relabeling::kRelabel};
     }
 
-    KernelRunInfo run(const Graph &graph) override;
+    KernelRunInfo run(const GraphView &graph) override;
 
-    ProducerSet makeProducers(const Graph &graph,
+    ProducerSet makeProducers(const GraphView &graph,
                               const TraceOptions &options) override;
 
     /** Final labels of the last prepared graph (runs if needed). */
-    const std::vector<VertexId> &labels(const Graph &graph);
+    const std::vector<VertexId> &labels(const GraphView &graph);
 
     /** Components found on the last prepared graph. */
-    VertexId numComponents(const Graph &graph);
+    VertexId numComponents(const GraphView &graph);
 
   private:
     /** Run the propagation, recording the per-sweep changed masks. */
-    void execute(const Graph &graph);
+    void execute(const GraphView &graph);
 
     /** execute(graph) unless already cached for it. */
-    void prepare(const Graph &graph);
+    void prepare(const GraphView &graph);
 
     unsigned maxIterations_;
     std::vector<VertexId> label_;
     /** changed_[i][v] != 0 iff sweep i lowered v's label. */
     std::vector<std::vector<std::uint8_t>> changed_;
     VertexId numComponents_ = 0;
-    const Graph *prepared_ = nullptr;
+    GraphViewKey prepared_;
 };
 
 } // namespace gral

@@ -11,7 +11,7 @@ namespace gral
 {
 
 bool
-Kernel::shouldRelabel(const Graph &graph)
+Kernel::shouldRelabel(const GraphView &graph)
 {
     switch (plan().relabeling) {
       case Relabeling::kRelabel:
@@ -25,7 +25,7 @@ Kernel::shouldRelabel(const Graph &graph)
 }
 
 bool
-Kernel::resolveAutoRelabel(const Graph &)
+Kernel::resolveAutoRelabel(const GraphView &)
 {
     return true;
 }

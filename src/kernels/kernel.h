@@ -24,7 +24,7 @@
 
 #include "cachesim/access_stream.h"
 #include "cachesim/address_map.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -94,22 +94,22 @@ class Kernel
      * kRelabel/kNoRelabel answer directly; kAutoRelabel consults
      * resolveAutoRelabel (which may run the kernel to decide).
      */
-    bool shouldRelabel(const Graph &graph);
+    bool shouldRelabel(const GraphView &graph);
 
     /** Execute the real (untraced) kernel on @p graph. */
-    virtual KernelRunInfo run(const Graph &graph) = 0;
+    virtual KernelRunInfo run(const GraphView &graph) = 0;
 
     /**
      * Resumable per-thread producers replaying run(graph)'s memory
      * accesses over the synthetic address space. Self-priming: runs
      * the kernel first when its stream depends on runtime state.
      */
-    virtual ProducerSet makeProducers(const Graph &graph,
+    virtual ProducerSet makeProducers(const GraphView &graph,
                                       const TraceOptions &options) = 0;
 
   protected:
     /** kAutoRelabel resolution hook (default: relabel). */
-    virtual bool resolveAutoRelabel(const Graph &graph);
+    virtual bool resolveAutoRelabel(const GraphView &graph);
 };
 
 /** Owning kernel handle. */

@@ -1,6 +1,9 @@
 #include "kernels/pagerank_kernel.h"
 
+#include <algorithm>
+
 #include "graph/partition.h"
+#include "graph/storage/varint.h"
 
 namespace gral
 {
@@ -18,13 +21,21 @@ namespace
 class PageRankTraceProducer final : public AccessProducer
 {
   public:
-    PageRankTraceProducer(const Adjacency &adj, unsigned iterations,
+    PageRankTraceProducer(const AdjacencyView &adj, unsigned iterations,
                           VertexRange range, EdgeId range_edges,
                           const TraceOptions &options)
         : adj_(adj), options_(options), range_(range),
           rangeEdges_(range_edges), iterations_(iterations),
           v_(range.begin)
     {
+        if (adj_.isCompressed()) {
+            // Setup: size the decode scratch once so fill() never
+            // allocates.
+            EdgeId max_degree = 0;
+            for (VertexId v = range.begin; v < range.end; ++v)
+                max_degree = std::max(max_degree, adj_.degree(v));
+            scratch_.reserve(max_degree);
+        }
     }
 
     std::size_t
@@ -84,7 +95,7 @@ class PageRankTraceProducer final : public AccessProducer
                     v_ = range_.begin;
                     break;
                 }
-                neighbours_ = adj_.neighbours(v_);
+                neighbours_ = scratch_.neighbours(adj_, v_);
                 nbrIndex_ = 0;
                 edge_ = adj_.beginEdge(v_);
                 stage_ = Stage::EdgeTopo;
@@ -136,7 +147,8 @@ class PageRankTraceProducer final : public AccessProducer
         }
     }
 
-    const Adjacency &adj_;
+    AdjacencyView adj_;
+    NeighbourScratch scratch_;
     TraceOptions options_;
     VertexRange range_;
     EdgeId rangeEdges_;
@@ -152,28 +164,28 @@ class PageRankTraceProducer final : public AccessProducer
 } // namespace
 
 void
-PageRankKernel::prepare(const Graph &graph)
+PageRankKernel::prepare(const GraphView &graph)
 {
-    if (prepared_ == &graph)
+    if (prepared_ == graph.key())
         return;
     result_ = pageRank(graph, options_);
-    prepared_ = &graph;
+    prepared_ = graph.key();
 }
 
 const PageRankResult &
-PageRankKernel::result(const Graph &graph)
+PageRankKernel::result(const GraphView &graph)
 {
     prepare(graph);
     return result_;
 }
 
 KernelRunInfo
-PageRankKernel::run(const Graph &graph)
+PageRankKernel::run(const GraphView &graph)
 {
     // Always execute (run() is the timed real kernel); refresh the
     // cached state subsequent makeProducers calls reuse.
     result_ = pageRank(graph, options_);
-    prepared_ = &graph;
+    prepared_ = graph.key();
     KernelRunInfo info;
     info.iterations = result_.iterations;
     info.checksum = result_.lastDelta;
@@ -181,7 +193,7 @@ PageRankKernel::run(const Graph &graph)
 }
 
 ProducerSet
-PageRankKernel::makeProducers(const Graph &graph,
+PageRankKernel::makeProducers(const GraphView &graph,
                               const TraceOptions &options)
 {
     // The real run decides how many sweeps the trace replays.

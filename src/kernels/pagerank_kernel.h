@@ -48,21 +48,21 @@ class PageRankKernel final : public Kernel
         return {Relabeling::kRelabel};
     }
 
-    KernelRunInfo run(const Graph &graph) override;
+    KernelRunInfo run(const GraphView &graph) override;
 
-    ProducerSet makeProducers(const Graph &graph,
+    ProducerSet makeProducers(const GraphView &graph,
                               const TraceOptions &options) override;
 
     /** Solver result of the last prepared graph (runs it if needed). */
-    const PageRankResult &result(const Graph &graph);
+    const PageRankResult &result(const GraphView &graph);
 
   private:
     /** Run the solver for @p graph unless already cached for it. */
-    void prepare(const Graph &graph);
+    void prepare(const GraphView &graph);
 
     PageRankOptions options_;
     PageRankResult result_;
-    const Graph *prepared_ = nullptr;
+    GraphViewKey prepared_;
 };
 
 } // namespace gral

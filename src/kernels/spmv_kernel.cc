@@ -9,7 +9,7 @@ namespace gral
 {
 
 KernelRunInfo
-SpmvKernel::run(const Graph &graph)
+SpmvKernel::run(const GraphView &graph)
 {
     std::vector<double> src(graph.numVertices(), 1.0);
     std::vector<double> dst(graph.numVertices(), 0.0);
@@ -23,7 +23,7 @@ SpmvKernel::run(const Graph &graph)
 }
 
 ProducerSet
-SpmvKernel::makeProducers(const Graph &graph,
+SpmvKernel::makeProducers(const GraphView &graph,
                           const TraceOptions &options)
 {
     return makePullProducers(graph, options);

@@ -29,9 +29,9 @@ class SpmvKernel final : public Kernel
         return {Relabeling::kRelabel};
     }
 
-    KernelRunInfo run(const Graph &graph) override;
+    KernelRunInfo run(const GraphView &graph) override;
 
-    ProducerSet makeProducers(const Graph &graph,
+    ProducerSet makeProducers(const GraphView &graph,
                               const TraceOptions &options) override;
 };
 

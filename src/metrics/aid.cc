@@ -6,7 +6,7 @@ namespace gral
 {
 
 double
-vertexAid(const Adjacency &adjacency, VertexId v)
+vertexAid(const AdjacencyView &adjacency, VertexId v)
 {
     auto nbrs = adjacency.neighbours(v);
     if (nbrs.size() < 2)
@@ -19,9 +19,9 @@ vertexAid(const Adjacency &adjacency, VertexId v)
 }
 
 std::vector<double>
-allAid(const Graph &graph, Direction direction)
+allAid(const GraphView &graph, Direction direction)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     std::vector<double> result(graph.numVertices());
     for (VertexId v = 0; v < graph.numVertices(); ++v)
@@ -30,9 +30,9 @@ allAid(const Graph &graph, Direction direction)
 }
 
 DegreeBinnedAccumulator
-aidDegreeDistribution(const Graph &graph, Direction direction)
+aidDegreeDistribution(const GraphView &graph, Direction direction)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     DegreeBinnedAccumulator accumulator;
     for (VertexId v = 0; v < graph.numVertices(); ++v)
@@ -41,9 +41,9 @@ aidDegreeDistribution(const Graph &graph, Direction direction)
 }
 
 double
-meanAid(const Graph &graph, Direction direction)
+meanAid(const GraphView &graph, Direction direction)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     double sum = 0.0;
     std::uint64_t count = 0;
@@ -57,7 +57,7 @@ meanAid(const Graph &graph, Direction direction)
 }
 
 double
-averageGapProfile(const Graph &graph)
+averageGapProfile(const GraphView &graph)
 {
     if (graph.numEdges() == 0)
         return 0.0;

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "graph/degree.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "metrics/distribution.h"
 
 namespace gral
@@ -35,10 +35,10 @@ namespace gral
  * Vertices with fewer than two neighbours have AID 0.
  * @pre neighbour lists sorted ascending (Adjacency guarantees this).
  */
-double vertexAid(const Adjacency &adjacency, VertexId v);
+double vertexAid(const AdjacencyView &adjacency, VertexId v);
 
 /** AID of every vertex (paper: in-neighbours for a pull traversal). */
-std::vector<double> allAid(const Graph &graph,
+std::vector<double> allAid(const GraphView &graph,
                            Direction direction = Direction::In);
 
 /**
@@ -46,13 +46,13 @@ std::vector<double> allAid(const Graph &graph,
  * their degree in @p direction.
  */
 DegreeBinnedAccumulator aidDegreeDistribution(
-    const Graph &graph, Direction direction = Direction::In);
+    const GraphView &graph, Direction direction = Direction::In);
 
 /** Mean AID over all vertices with >= 2 neighbours. */
-double meanAid(const Graph &graph, Direction direction = Direction::In);
+double meanAid(const GraphView &graph, Direction direction = Direction::In);
 
 /** Average gap profile: mean |src - dst| over all edges. */
-double averageGapProfile(const Graph &graph);
+double averageGapProfile(const GraphView &graph);
 
 } // namespace gral
 

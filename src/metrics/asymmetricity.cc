@@ -6,7 +6,7 @@ namespace gral
 {
 
 double
-vertexAsymmetricity(const Graph &graph, VertexId v)
+vertexAsymmetricity(const GraphView &graph, VertexId v)
 {
     auto in = graph.inNeighbours(v);
     if (in.empty())
@@ -33,7 +33,7 @@ vertexAsymmetricity(const Graph &graph, VertexId v)
 }
 
 std::vector<double>
-allAsymmetricity(const Graph &graph)
+allAsymmetricity(const GraphView &graph)
 {
     std::vector<double> result(graph.numVertices());
     for (VertexId v = 0; v < graph.numVertices(); ++v)
@@ -42,7 +42,7 @@ allAsymmetricity(const Graph &graph)
 }
 
 DegreeBinnedAccumulator
-asymmetricityDegreeDistribution(const Graph &graph)
+asymmetricityDegreeDistribution(const GraphView &graph)
 {
     DegreeBinnedAccumulator accumulator;
     for (VertexId v = 0; v < graph.numVertices(); ++v) {
@@ -55,7 +55,7 @@ asymmetricityDegreeDistribution(const Graph &graph)
 }
 
 double
-meanAsymmetricity(const Graph &graph)
+meanAsymmetricity(const GraphView &graph)
 {
     if (graph.numEdges() == 0)
         return 0.0;

@@ -16,17 +16,17 @@
 
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "metrics/distribution.h"
 
 namespace gral
 {
 
 /** Asymmetricity of one vertex; 0 when it has no in-neighbours. */
-double vertexAsymmetricity(const Graph &graph, VertexId v);
+double vertexAsymmetricity(const GraphView &graph, VertexId v);
 
 /** Asymmetricity of every vertex. */
-std::vector<double> allAsymmetricity(const Graph &graph);
+std::vector<double> allAsymmetricity(const GraphView &graph);
 
 /**
  * Asymmetricity degree distribution (Figure 4): mean asymmetricity of
@@ -34,10 +34,10 @@ std::vector<double> allAsymmetricity(const Graph &graph);
  * multiply by 100 for the paper's percentage axis.
  */
 DegreeBinnedAccumulator asymmetricityDegreeDistribution(
-    const Graph &graph);
+    const GraphView &graph);
 
 /** Edge-weighted mean asymmetricity of the whole graph. */
-double meanAsymmetricity(const Graph &graph);
+double meanAsymmetricity(const GraphView &graph);
 
 } // namespace gral
 

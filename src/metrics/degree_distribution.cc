@@ -31,7 +31,7 @@ degreeCcdf(std::span<const EdgeId> degrees)
 }
 
 std::vector<CcdfPoint>
-degreeCcdf(const Graph &graph, Direction direction)
+degreeCcdf(const GraphView &graph, Direction direction)
 {
     std::vector<EdgeId> d = degrees(graph, direction);
     return degreeCcdf(d);
@@ -76,7 +76,7 @@ degreeGini(std::span<const EdgeId> degrees)
 }
 
 double
-degreeGini(const Graph &graph, Direction direction)
+degreeGini(const GraphView &graph, Direction direction)
 {
     std::vector<EdgeId> d = degrees(graph, direction);
     return degreeGini(d);

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "graph/degree.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -34,7 +34,7 @@ struct CcdfPoint
 std::vector<CcdfPoint> degreeCcdf(std::span<const EdgeId> degrees);
 
 /** CCDF of a graph's degrees in the given direction. */
-std::vector<CcdfPoint> degreeCcdf(const Graph &graph,
+std::vector<CcdfPoint> degreeCcdf(const GraphView &graph,
                                   Direction direction);
 
 /**
@@ -53,7 +53,7 @@ double powerLawAlpha(std::span<const EdgeId> degrees, EdgeId d_min = 1);
 double degreeGini(std::span<const EdgeId> degrees);
 
 /** Gini coefficient of a graph's degrees. */
-double degreeGini(const Graph &graph, Direction direction);
+double degreeGini(const GraphView &graph, Direction direction);
 
 } // namespace gral
 

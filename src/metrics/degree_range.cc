@@ -35,7 +35,7 @@ decadeClassLabel(std::size_t c)
 }
 
 DegreeRangeDecomposition
-degreeRangeDecomposition(const Graph &graph)
+degreeRangeDecomposition(const GraphView &graph)
 {
     std::size_t num_classes = 1;
     for (VertexId v = 0; v < graph.numVertices(); ++v) {

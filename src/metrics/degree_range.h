@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -47,7 +47,7 @@ std::size_t decadeClass(EdgeId degree);
 std::string decadeClassLabel(std::size_t c);
 
 /** Compute the decomposition of @p graph. */
-DegreeRangeDecomposition degreeRangeDecomposition(const Graph &graph);
+DegreeRangeDecomposition degreeRangeDecomposition(const GraphView &graph);
 
 } // namespace gral
 

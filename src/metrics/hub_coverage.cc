@@ -12,7 +12,7 @@ namespace
 
 /** Degrees sorted descending, plus running prefix sums. */
 std::vector<double>
-coveragePrefix(const Graph &graph, Direction direction)
+coveragePrefix(const GraphView &graph, Direction direction)
 {
     std::vector<EdgeId> degree = degrees(graph, direction);
     std::sort(degree.begin(), degree.end(), std::greater<EdgeId>());
@@ -29,7 +29,7 @@ coveragePrefix(const Graph &graph, Direction direction)
 } // namespace
 
 std::vector<HubCoveragePoint>
-hubCoverage(const Graph &graph, std::vector<std::uint64_t> sweep)
+hubCoverage(const GraphView &graph, std::vector<std::uint64_t> sweep)
 {
     if (sweep.empty()) {
         for (std::uint64_t h = 1; h <= graph.numVertices(); h *= 10)
@@ -55,7 +55,7 @@ hubCoverage(const Graph &graph, std::vector<std::uint64_t> sweep)
 }
 
 std::uint64_t
-hubsForCoverage(const Graph &graph, Direction direction, double percent)
+hubsForCoverage(const GraphView &graph, Direction direction, double percent)
 {
     std::vector<double> prefix = coveragePrefix(graph, direction);
     for (std::size_t h = 0; h < prefix.size(); ++h)

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "graph/degree.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -40,13 +40,13 @@ struct HubCoveragePoint
  * default 1, 10, 100, ... decade sweep up to |V|.
  */
 std::vector<HubCoveragePoint> hubCoverage(
-    const Graph &graph, std::vector<std::uint64_t> sweep = {});
+    const GraphView &graph, std::vector<std::uint64_t> sweep = {});
 
 /**
  * Smallest H whose in-/out-hub coverage reaches @p percent of edges
  * (|V| when unreachable). Used to size iHTL-style flipped blocks.
  */
-std::uint64_t hubsForCoverage(const Graph &graph, Direction direction,
+std::uint64_t hubsForCoverage(const GraphView &graph, Direction direction,
                               double percent);
 
 } // namespace gral

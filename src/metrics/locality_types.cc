@@ -6,10 +6,10 @@ namespace gral
 {
 
 LocalityTypeSummary
-classifyLocalityTypes(const Graph &graph, Direction direction,
+classifyLocalityTypes(const GraphView &graph, Direction direction,
                       const LocalityTypeOptions &options)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     const VertexId n = graph.numVertices();
     const auto line = static_cast<VertexId>(

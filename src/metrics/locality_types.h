@@ -24,7 +24,7 @@
 #define GRAL_METRICS_LOCALITY_TYPES_H
 
 #include "graph/degree.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -60,7 +60,7 @@ struct LocalityTypeSummary
  * in ID order reading neighbours from @p direction.
  */
 LocalityTypeSummary classifyLocalityTypes(
-    const Graph &graph, Direction direction = Direction::In,
+    const GraphView &graph, Direction direction = Direction::In,
     const LocalityTypeOptions &options = {});
 
 } // namespace gral

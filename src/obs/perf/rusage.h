@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Peak-RSS probe for the scale benches and the CI memory-ceiling
+ * smoke: getrusage(RUSAGE_SELF) high-water mark, normalized to
+ * bytes. Lives in the perf/ sublayer with the other syscalls so the
+ * obs core stays platform-free.
+ */
+
+#ifndef GRAL_OBS_PERF_RUSAGE_H
+#define GRAL_OBS_PERF_RUSAGE_H
+
+#include <cstdint>
+
+namespace gral
+{
+
+/**
+ * High-water-mark resident set size of this process, in bytes; 0 on
+ * hosts that cannot report it. Monotone within a process — the
+ * kernel never lowers the mark — so "RSS of phase X" needs a
+ * before/after pair only when X is the first big allocation.
+ */
+std::uint64_t peakRssBytes();
+
+} // namespace gral
+
+#endif // GRAL_OBS_PERF_RUSAGE_H

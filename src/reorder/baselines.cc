@@ -10,7 +10,7 @@ namespace gral
 {
 
 Permutation
-IdentityOrder::reorder(const Graph &graph)
+IdentityOrder::reorder(const GraphView &graph)
 {
     stats_ = {};
     ScopedTimer timer(stats_.preprocessSeconds);
@@ -18,7 +18,7 @@ IdentityOrder::reorder(const Graph &graph)
 }
 
 Permutation
-RandomOrder::reorder(const Graph &graph)
+RandomOrder::reorder(const GraphView &graph)
 {
     stats_ = {};
     stats_.peakFootprintBytes =
@@ -28,14 +28,14 @@ RandomOrder::reorder(const Graph &graph)
 }
 
 Permutation
-DegreeSort::reorder(const Graph &graph)
+DegreeSort::reorder(const GraphView &graph)
 {
     stats_ = {};
     stats_.peakFootprintBytes =
         graph.numVertices() * (sizeof(VertexId) + sizeof(EdgeId));
     ScopedTimer timer(stats_.preprocessSeconds);
 
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction_ == Direction::In ? graph.in() : graph.out();
     std::vector<VertexId> ordering(graph.numVertices());
     std::iota(ordering.begin(), ordering.end(), VertexId{0});
@@ -51,14 +51,14 @@ DegreeSort::reorder(const Graph &graph)
 }
 
 Permutation
-HubSort::reorder(const Graph &graph)
+HubSort::reorder(const GraphView &graph)
 {
     stats_ = {};
     stats_.peakFootprintBytes =
         graph.numVertices() * 2 * sizeof(VertexId);
     ScopedTimer timer(stats_.preprocessSeconds);
 
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction_ == Direction::In ? graph.in() : graph.out();
     double threshold = hubThreshold(graph);
 
@@ -84,14 +84,14 @@ HubSort::reorder(const Graph &graph)
 }
 
 Permutation
-HubCluster::reorder(const Graph &graph)
+HubCluster::reorder(const GraphView &graph)
 {
     stats_ = {};
     stats_.peakFootprintBytes =
         graph.numVertices() * 2 * sizeof(VertexId);
     ScopedTimer timer(stats_.preprocessSeconds);
 
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction_ == Direction::In ? graph.in() : graph.out();
     double threshold = hubThreshold(graph);
 

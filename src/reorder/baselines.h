@@ -27,7 +27,7 @@ class IdentityOrder : public Reorderer
 {
   public:
     std::string name() const override { return "Identity"; }
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 };
 
 /** Uniformly random relabeling — the locality worst case. */
@@ -36,7 +36,7 @@ class RandomOrder : public Reorderer
   public:
     explicit RandomOrder(std::uint64_t seed = 42) : seed_(seed) {}
     std::string name() const override { return "Random"; }
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
   private:
     std::uint64_t seed_;
@@ -56,7 +56,7 @@ class DegreeSort : public Reorderer
     }
 
     std::string name() const override { return "DegreeSort"; }
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
   private:
     Direction direction_;
@@ -74,7 +74,7 @@ class HubSort : public Reorderer
     }
 
     std::string name() const override { return "HubSort"; }
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
   private:
     Direction direction_;
@@ -91,7 +91,7 @@ class HubCluster : public Reorderer
     }
 
     std::string name() const override { return "HubCluster"; }
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
   private:
     Direction direction_;

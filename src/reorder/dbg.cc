@@ -10,7 +10,7 @@ namespace gral
 {
 
 Permutation
-DbgOrder::reorder(const Graph &graph)
+DbgOrder::reorder(const GraphView &graph)
 {
     stats_ = {};
     GRAL_SPAN("reorder/dbg");

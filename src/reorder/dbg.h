@@ -35,7 +35,7 @@ class DbgOrder : public Reorderer
 
     std::string name() const override { return "DBG"; }
 
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
     /** Configuration in use. */
     const DbgConfig &config() const { return config_; }

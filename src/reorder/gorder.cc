@@ -21,7 +21,7 @@ namespace
  */
 template <bool Entering>
 void
-updateWindow(const Graph &graph, UnitHeap &heap, VertexId v,
+updateWindow(const GraphView &graph, UnitHeap &heap, VertexId v,
              EdgeId expand_cap)
 {
     auto bump = [&](VertexId u) {
@@ -52,7 +52,7 @@ updateWindow(const Graph &graph, UnitHeap &heap, VertexId v,
 } // namespace
 
 Permutation
-GOrder::reorder(const Graph &graph)
+GOrder::reorder(const GraphView &graph)
 {
     stats_ = {};
     GRAL_SPAN("reorder/gorder");

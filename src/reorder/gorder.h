@@ -46,7 +46,7 @@ class GOrder : public Reorderer
 
     std::string name() const override { return "GOrder"; }
 
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
     /** Configuration in use. */
     const GOrderConfig &config() const { return config_; }

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
 
 Adjacency
-undirectedAdjacency(const Graph &graph)
+undirectedAdjacency(const GraphView &graph)
 {
     VertexId n = graph.numVertices();
     std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
@@ -34,7 +34,7 @@ undirectedAdjacency(const Graph &graph)
 }
 
 std::vector<EdgeId>
-undirectedDegrees(const Graph &graph)
+undirectedDegrees(const GraphView &graph)
 {
     Adjacency undirected = undirectedAdjacency(graph);
     std::vector<EdgeId> result(graph.numVertices());

@@ -34,13 +34,13 @@ orderingToPermutation(const std::vector<VertexId> &ordering)
  * undirected neighbours (union of in- and out-neighbour sets).
  * SlashBurn and Rabbit-Order both operate on the undirected view.
  */
-std::vector<EdgeId> undirectedDegrees(const Graph &graph);
+std::vector<EdgeId> undirectedDegrees(const GraphView &graph);
 
 /**
  * Undirected adjacency: for each vertex the sorted union of its in-
  * and out-neighbours, deduplicated, self-loops removed.
  */
-Adjacency undirectedAdjacency(const Graph &graph);
+Adjacency undirectedAdjacency(const GraphView &graph);
 
 } // namespace gral
 

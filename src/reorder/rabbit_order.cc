@@ -67,7 +67,7 @@ canonicalize(std::vector<WeightedNeighbour> &adj,
 } // namespace
 
 Permutation
-RabbitOrder::reorder(const Graph &graph)
+RabbitOrder::reorder(const GraphView &graph)
 {
     stats_ = {};
     numCommunities_ = 0;

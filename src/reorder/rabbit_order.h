@@ -65,7 +65,7 @@ class RabbitOrder : public Reorderer
         return restricted ? "RabbitOrder-EDR" : "RabbitOrder";
     }
 
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
     /** Number of top-level communities after the last reorder(). */
     VertexId numCommunities() const { return numCommunities_; }

@@ -10,7 +10,7 @@ namespace gral
 {
 
 Permutation
-RcmOrder::reorder(const Graph &graph)
+RcmOrder::reorder(const GraphView &graph)
 {
     stats_ = {};
     GRAL_SPAN("reorder/rcm");

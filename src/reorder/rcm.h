@@ -24,7 +24,7 @@ class RcmOrder : public Reorderer
   public:
     std::string name() const override { return "RCM"; }
 
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 };
 
 } // namespace gral

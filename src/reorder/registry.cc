@@ -22,7 +22,7 @@ ValidatingReorderer::ValidatingReorderer(ReordererPtr inner)
 }
 
 Permutation
-ValidatingReorderer::reorder(const Graph &graph)
+ValidatingReorderer::reorder(const GraphView &graph)
 {
     Permutation permutation = inner_->reorder(graph);
     stats_ = inner_->stats();

@@ -37,7 +37,7 @@ class ValidatingReorderer final : public Reorderer
 
     /** @throws ValidationError when the inner RA emits a relabeling
      *  array that is not a bijection onto [0, graph.numVertices()). */
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
   private:
     ReordererPtr inner_;

@@ -16,7 +16,7 @@
 #include <memory>
 #include <string>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/permutation.h"
 
 namespace gral
@@ -48,7 +48,7 @@ class Reorderer
      * Deterministic given the object's configuration.
      * @post result.isValid() and result.size() == graph.numVertices().
      */
-    virtual Permutation reorder(const Graph &graph) = 0;
+    virtual Permutation reorder(const GraphView &graph) = 0;
 
     /** Cost of the most recent reorder() call. */
     const ReorderStats &stats() const { return stats_; }

@@ -44,7 +44,7 @@ struct Spoke
 } // namespace
 
 Permutation
-SlashBurn::reorder(const Graph &graph)
+SlashBurn::reorder(const GraphView &graph)
 {
     stats_ = {};
     iterations_.clear();

@@ -69,7 +69,7 @@ class SlashBurn : public Reorderer
         return config_.earlyStop ? "SlashBurn++" : "SlashBurn";
     }
 
-    Permutation reorder(const Graph &graph) override;
+    Permutation reorder(const GraphView &graph) override;
 
     /** Per-iteration GCC records of the last reorder() call. */
     const std::vector<SlashBurnIteration> &

@@ -8,7 +8,7 @@
 namespace gral
 {
 
-IhtlGraph::IhtlGraph(const Graph &graph, const IhtlConfig &config)
+IhtlGraph::IhtlGraph(const GraphView &graph, const IhtlConfig &config)
     : graph_(graph), hubIndex_(graph.numVertices(), kInvalidVertex)
 {
     const VertexId n = graph.numVertices();

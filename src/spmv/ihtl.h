@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "graph/degree.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "spmv/trace_gen.h"
 
 namespace gral
@@ -44,9 +44,9 @@ struct IhtlConfig
 class IhtlGraph
 {
   public:
-    /** Split @p graph according to @p config. The graph reference
-     *  must outlive this object (the sparse block reuses it). */
-    IhtlGraph(const Graph &graph, const IhtlConfig &config = {});
+    /** Split @p graph according to @p config. The storage behind
+     *  @p graph must outlive this object (the view is kept). */
+    IhtlGraph(const GraphView &graph, const IhtlConfig &config = {});
 
     /** Number of in-hubs in the flipped block. */
     VertexId numHubs() const { return hubs_.size(); }
@@ -90,7 +90,7 @@ class IhtlGraph
         const TraceOptions &options = {}) const;
 
   private:
-    const Graph &graph_;
+    GraphView graph_;
     std::vector<VertexId> hubs_;     ///< selected hub IDs
     std::vector<VertexId> hubIndex_; ///< vertex -> dense hub slot
     Adjacency flipped_;              ///< source -> hub slots (CSR)

@@ -24,11 +24,11 @@ fillPerThread(ParallelResult &result, const PoolStats &stats)
 }
 
 ParallelResult
-runPartitioned(const Graph &graph, Direction direction,
+runPartitioned(const GraphView &graph, Direction direction,
                std::span<const double> src, std::span<double> dst,
                const ParallelOptions &options)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     VertexId num_parts = options.numThreads * options.partitionsPerThread;
     std::vector<VertexRange> parts =
@@ -65,7 +65,7 @@ ParallelResult::maxIdlePercent() const
 }
 
 ParallelResult
-spmvPullParallel(const Graph &graph, std::span<const double> src,
+spmvPullParallel(const GraphView &graph, std::span<const double> src,
                  std::span<double> dst, const ParallelOptions &options)
 {
     GRAL_SPAN("spmv/pull");
@@ -73,7 +73,7 @@ spmvPullParallel(const Graph &graph, std::span<const double> src,
 }
 
 ParallelResult
-readSumParallel(const Graph &graph, Direction direction,
+readSumParallel(const GraphView &graph, Direction direction,
                 std::span<const double> src, std::span<double> dst,
                 const ParallelOptions &options)
 {
@@ -82,7 +82,7 @@ readSumParallel(const Graph &graph, Direction direction,
 }
 
 ParallelResult
-spmvPushParallel(const Graph &graph, std::span<const double> src,
+spmvPushParallel(const GraphView &graph, std::span<const double> src,
                  std::span<double> dst, const ParallelOptions &options)
 {
     GRAL_SPAN("spmv/push");

@@ -13,9 +13,9 @@
 
 #include <span>
 
-#include "graph/graph.h"
+#include "graph/view.h"
 #include "graph/partition.h"
-#include "spmv/thread_pool.h"
+#include "exec/thread_pool.h"
 
 namespace gral
 {
@@ -55,7 +55,7 @@ struct ParallelResult
  * Partitions are contiguous destination ranges, so no two workers
  * write the same element and no synchronization on dst is needed.
  */
-ParallelResult spmvPullParallel(const Graph &graph,
+ParallelResult spmvPullParallel(const GraphView &graph,
                                 std::span<const double> src,
                                 std::span<double> dst,
                                 const ParallelOptions &options = {});
@@ -64,7 +64,7 @@ ParallelResult spmvPullParallel(const Graph &graph,
  * Parallel read-sum traversal in either direction (Table VI): the
  * same read operation applied to CSC (In) or CSR (Out).
  */
-ParallelResult readSumParallel(const Graph &graph, Direction direction,
+ParallelResult readSumParallel(const GraphView &graph, Direction direction,
                                std::span<const double> src,
                                std::span<double> dst,
                                const ParallelOptions &options = {});
@@ -77,7 +77,7 @@ ParallelResult readSumParallel(const Graph &graph, Direction direction,
  * merged in a second parallel pass, trading memory (threads x |V|
  * doubles) for atomic-free updates. @p dst is fully overwritten.
  */
-ParallelResult spmvPushParallel(const Graph &graph,
+ParallelResult spmvPushParallel(const GraphView &graph,
                                 std::span<const double> src,
                                 std::span<double> dst,
                                 const ParallelOptions &options = {});

@@ -8,7 +8,7 @@ namespace gral
 {
 
 void
-spmvPullRange(const Graph &graph, std::span<const double> src,
+spmvPullRange(const GraphView &graph, std::span<const double> src,
               std::span<double> dst, VertexId begin, VertexId end)
 {
     for (VertexId v = begin; v < end; ++v) {
@@ -20,7 +20,7 @@ spmvPullRange(const Graph &graph, std::span<const double> src,
 }
 
 void
-spmvPull(const Graph &graph, std::span<const double> src,
+spmvPull(const GraphView &graph, std::span<const double> src,
          std::span<double> dst)
 {
     GRAL_CHECK(src.size() == graph.numVertices())
@@ -33,7 +33,7 @@ spmvPull(const Graph &graph, std::span<const double> src,
 }
 
 void
-spmvPush(const Graph &graph, std::span<const double> src,
+spmvPush(const GraphView &graph, std::span<const double> src,
          std::span<double> dst)
 {
     GRAL_CHECK(src.size() == graph.numVertices())
@@ -51,10 +51,10 @@ spmvPush(const Graph &graph, std::span<const double> src,
 }
 
 void
-readSum(const Graph &graph, Direction direction,
+readSum(const GraphView &graph, Direction direction,
         std::span<const double> src, std::span<double> dst)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     for (VertexId v = 0; v < graph.numVertices(); ++v) {
         double sum = 0.0;
@@ -65,7 +65,7 @@ readSum(const Graph &graph, Direction direction,
 }
 
 std::vector<double>
-spmvIterations(const Graph &graph, unsigned iterations)
+spmvIterations(const GraphView &graph, unsigned iterations)
 {
     std::vector<double> current(graph.numVertices(), 1.0);
     std::vector<double> next(graph.numVertices(), 0.0);

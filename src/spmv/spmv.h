@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "graph/degree.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -26,14 +26,14 @@ namespace gral
  * Random reads, sequential writes (paper Algorithm 1).
  * @pre src.size() == dst.size() == |V|; src and dst distinct.
  */
-void spmvPull(const Graph &graph, std::span<const double> src,
+void spmvPull(const GraphView &graph, std::span<const double> src,
               std::span<double> dst);
 
 /**
  * Push SpMV: dst[u] += src[v] for every out-neighbour u of v.
  * Sequential reads, random writes. @p dst is zeroed first.
  */
-void spmvPush(const Graph &graph, std::span<const double> src,
+void spmvPush(const GraphView &graph, std::span<const double> src,
               std::span<double> dst);
 
 /**
@@ -42,14 +42,14 @@ void spmvPush(const Graph &graph, std::span<const double> src,
  * directions perform the same *read* operation so the comparison
  * isolates the format.
  */
-void readSum(const Graph &graph, Direction direction,
+void readSum(const GraphView &graph, Direction direction,
              std::span<const double> src, std::span<double> dst);
 
 /**
  * Pull SpMV over a vertex range only (parallel workers and the
  * instrumented tracer share this shape).
  */
-void spmvPullRange(const Graph &graph, std::span<const double> src,
+void spmvPullRange(const GraphView &graph, std::span<const double> src,
                    std::span<double> dst, VertexId begin, VertexId end);
 
 /**
@@ -57,7 +57,7 @@ void spmvPullRange(const Graph &graph, std::span<const double> src,
  * from all-ones, normalizing each step by the max to avoid overflow.
  * @return the final vector (a PageRank-flavoured power iteration).
  */
-std::vector<double> spmvIterations(const Graph &graph,
+std::vector<double> spmvIterations(const GraphView &graph,
                                    unsigned iterations);
 
 } // namespace gral

@@ -1,6 +1,9 @@
 #include "spmv/trace_gen.h"
 
+#include <algorithm>
+
 #include "graph/partition.h"
+#include "graph/storage/varint.h"
 
 namespace gral
 {
@@ -27,13 +30,21 @@ class SpmvTraceProducer final : public AccessProducer
         Push,    ///< offsets, dataOld(v), [edges, store dataNew(u)]*
     };
 
-    SpmvTraceProducer(const Adjacency &adj, Kind kind,
+    SpmvTraceProducer(const AdjacencyView &adj, Kind kind,
                       AccessPhase phase, VertexRange range,
                       EdgeId range_edges, const TraceOptions &options)
         : adj_(adj), options_(options), range_(range),
           rangeEdges_(range_edges), kind_(kind), phase_(phase),
           v_(range.begin)
     {
+        if (adj_.isCompressed()) {
+            // Setup: size the decode scratch for the largest list this
+            // producer's range will touch, so fill() never allocates.
+            EdgeId max_degree = 0;
+            for (VertexId v = range.begin; v < range.end; ++v)
+                max_degree = std::max(max_degree, adj_.degree(v));
+            scratch_.reserve(max_degree);
+        }
     }
 
     std::size_t
@@ -73,7 +84,7 @@ class SpmvTraceProducer final : public AccessProducer
               case Stage::VertexBegin:
                 if (v_ >= range_.end)
                     return false;
-                neighbours_ = adj_.neighbours(v_);
+                neighbours_ = scratch_.neighbours(adj_, v_);
                 nbrIndex_ = 0;
                 edge_ = adj_.beginEdge(v_);
                 stage_ = kind_ == Kind::Push ? Stage::OwnData
@@ -143,7 +154,8 @@ class SpmvTraceProducer final : public AccessProducer
         }
     }
 
-    const Adjacency &adj_;
+    AdjacencyView adj_;
+    NeighbourScratch scratch_;
     TraceOptions options_;
     VertexRange range_;
     EdgeId rangeEdges_;
@@ -159,11 +171,11 @@ class SpmvTraceProducer final : public AccessProducer
 /** One producer per edge-balanced partition of @p direction. Pull
  *  phases walk the CSC (In), push phases the CSR (Out). */
 ProducerSet
-makeProducers(const Graph &graph, Direction direction,
+makeProducers(const GraphView &graph, Direction direction,
               SpmvTraceProducer::Kind kind,
               const TraceOptions &options)
 {
-    const Adjacency &adj =
+    const AdjacencyView &adj =
         direction == Direction::In ? graph.in() : graph.out();
     const AccessPhase phase = direction == Direction::In
                                   ? AccessPhase::Pull
@@ -197,20 +209,20 @@ drainAll(ProducerSet producers)
 } // namespace
 
 ProducerSet
-makePullProducers(const Graph &graph, const TraceOptions &options)
+makePullProducers(const GraphView &graph, const TraceOptions &options)
 {
     return makeReadSumProducers(graph, Direction::In, options);
 }
 
 ProducerSet
-makePushProducers(const Graph &graph, const TraceOptions &options)
+makePushProducers(const GraphView &graph, const TraceOptions &options)
 {
     return makeProducers(graph, Direction::Out,
                          SpmvTraceProducer::Kind::Push, options);
 }
 
 ProducerSet
-makeReadSumProducers(const Graph &graph, Direction direction,
+makeReadSumProducers(const GraphView &graph, Direction direction,
                      const TraceOptions &options)
 {
     return makeProducers(graph, direction,
@@ -218,19 +230,19 @@ makeReadSumProducers(const Graph &graph, Direction direction,
 }
 
 std::vector<ThreadTrace>
-generatePullTrace(const Graph &graph, const TraceOptions &options)
+generatePullTrace(const GraphView &graph, const TraceOptions &options)
 {
     return drainAll(makePullProducers(graph, options));
 }
 
 std::vector<ThreadTrace>
-generatePushTrace(const Graph &graph, const TraceOptions &options)
+generatePushTrace(const GraphView &graph, const TraceOptions &options)
 {
     return drainAll(makePushProducers(graph, options));
 }
 
 std::vector<ThreadTrace>
-generateReadSumTrace(const Graph &graph, Direction direction,
+generateReadSumTrace(const GraphView &graph, Direction direction,
                      const TraceOptions &options)
 {
     return drainAll(makeReadSumProducers(graph, direction, options));

@@ -26,7 +26,7 @@
 #include "cachesim/address_map.h"
 #include "cachesim/trace.h"
 #include "graph/degree.h"
-#include "graph/graph.h"
+#include "graph/view.h"
 
 namespace gral
 {
@@ -39,7 +39,7 @@ namespace gral
  * store to dataNew[v]. Threads own edge-balanced contiguous
  * destination ranges. @p graph must outlive the producers.
  */
-ProducerSet makePullProducers(const Graph &graph,
+ProducerSet makePullProducers(const GraphView &graph,
                               const TraceOptions &options = {});
 
 /**
@@ -48,7 +48,7 @@ ProducerSet makePullProducers(const Graph &graph,
  * dataNew[u] for every out-neighbour u (tagged with u). @p graph must
  * outlive the producers.
  */
-ProducerSet makePushProducers(const Graph &graph,
+ProducerSet makePushProducers(const GraphView &graph,
                               const TraceOptions &options = {});
 
 /**
@@ -57,21 +57,21 @@ ProducerSet makePushProducers(const Graph &graph,
  * store, isolating the effect of the format. @p graph must outlive
  * the producers.
  */
-ProducerSet makeReadSumProducers(const Graph &graph,
+ProducerSet makeReadSumProducers(const GraphView &graph,
                                  Direction direction,
                                  const TraceOptions &options = {});
 
 /** Materialized pull trace: makePullProducers() drained to vectors. */
 std::vector<ThreadTrace> generatePullTrace(
-    const Graph &graph, const TraceOptions &options = {});
+    const GraphView &graph, const TraceOptions &options = {});
 
 /** Materialized push trace: makePushProducers() drained to vectors. */
 std::vector<ThreadTrace> generatePushTrace(
-    const Graph &graph, const TraceOptions &options = {});
+    const GraphView &graph, const TraceOptions &options = {});
 
 /** Materialized read-sum trace: makeReadSumProducers() drained. */
 std::vector<ThreadTrace> generateReadSumTrace(
-    const Graph &graph, Direction direction,
+    const GraphView &graph, Direction direction,
     const TraceOptions &options = {});
 
 /** Total accesses across all threads of a materialized trace. */

@@ -79,6 +79,12 @@ TEST(IncludeGraph, ModuleOf)
     EXPECT_EQ(moduleOf("src/obs/perf/syscall.cc"), "obs/perf");
     EXPECT_EQ(moduleOf("src/obs/metrics.h"), "obs");
     EXPECT_EQ(moduleOf("src/obs/span.cc"), "obs");
+    // Likewise the storage sublayer; graph core stays "graph".
+    EXPECT_EQ(moduleOf("src/graph/storage/gralb.h"), "graph/storage");
+    EXPECT_EQ(moduleOf("src/graph/storage/varint.cc"),
+              "graph/storage");
+    EXPECT_EQ(moduleOf("src/graph/view.h"), "graph");
+    EXPECT_EQ(moduleOf("src/exec/thread_pool.h"), "exec");
 }
 
 TEST(IncludeGraph, AllowedIncludesMatchTheDag)
@@ -130,6 +136,32 @@ TEST(IncludeGraph, AllowedIncludesMatchTheDag)
     EXPECT_TRUE(spmv->count("obs/perf"));
     EXPECT_TRUE(allowedIncludes("analysis")->count("obs/perf"));
     EXPECT_FALSE(allowedIncludes("cachesim")->count("obs/perf"));
+
+    // graph core stays format- and syscall-free: it may use the
+    // execution substrate (parallel builder) but never reach up into
+    // its own storage sublayer; storage may use graph (views, types)
+    // but not exec. Consumers above (spmv, kernels, analysis) get
+    // the sublayer; reorder and cachesim do not.
+    const std::set<std::string> *graphDeps = allowedIncludes("graph");
+    ASSERT_NE(graphDeps, nullptr);
+    EXPECT_TRUE(graphDeps->count("exec"));
+    EXPECT_FALSE(graphDeps->count("graph/storage"));
+    const std::set<std::string> *storage =
+        allowedIncludes("graph/storage");
+    ASSERT_NE(storage, nullptr);
+    EXPECT_TRUE(storage->count("graph"));
+    EXPECT_TRUE(storage->count("common"));
+    EXPECT_FALSE(storage->count("exec"));
+    EXPECT_FALSE(storage->count("spmv"));
+    const std::set<std::string> *exec = allowedIncludes("exec");
+    ASSERT_NE(exec, nullptr);
+    EXPECT_TRUE(exec->count("obs"));
+    EXPECT_FALSE(exec->count("graph"));
+    EXPECT_TRUE(spmv->count("graph/storage"));
+    EXPECT_TRUE(allowedIncludes("kernels")->count("graph/storage"));
+    EXPECT_TRUE(allowedIncludes("analysis")->count("graph/storage"));
+    EXPECT_FALSE(allowedIncludes("reorder")->count("graph/storage"));
+    EXPECT_FALSE(allowedIncludes("cachesim")->count("graph/storage"));
 }
 
 TEST(IncludeGraph, ResolvesSrcPrefixedTargets)

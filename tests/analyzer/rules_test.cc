@@ -168,6 +168,15 @@ TEST(RuleScoping, HotPathRulesOnlyInCachesimAndSpmv)
     EXPECT_EQ(countRule(runOn("src/graph/g.cc", loop),
                         "hot-path-alloc"),
               0);
+    // The storage sublayer's decode loop runs once per traversed
+    // vertex, and the pool's dispatch loop once per task: both are
+    // hot scopes even though graph core is not.
+    EXPECT_EQ(countRule(runOn("src/graph/storage/varint.cc", loop),
+                        "hot-path-alloc"),
+              1);
+    EXPECT_EQ(countRule(runOn("src/exec/thread_pool.cc", loop),
+                        "hot-path-alloc"),
+              1);
 }
 
 // ------------------------------------------------- hot-path details

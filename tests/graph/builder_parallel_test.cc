@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the parallel graph builder: bit-identical output vs the
+ * sequential GraphBuilder across generators, cleanup options, and
+ * thread counts, with validateCsr on every result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/builder_parallel.h"
+#include "graph/generators.h"
+#include "graph/validate.h"
+
+namespace gral
+{
+namespace
+{
+
+/** Edge lists the cleanup phases actually have to work on: the
+ *  generator's list plus injected self-loops and duplicates. */
+std::vector<Edge>
+dirtyEdges(const Graph &graph)
+{
+    std::vector<Edge> edges = graph.edgeList();
+    std::size_t original = edges.size();
+    for (std::size_t e = 0; e < original; e += 7)
+        edges.push_back(edges[e]); // duplicates
+    for (VertexId v = 0; v < graph.numVertices(); v += 13)
+        edges.push_back({v, v}); // self-loops
+    return edges;
+}
+
+struct NamedEdgeList
+{
+    std::string name;
+    VertexId numVertices;
+    std::vector<Edge> edges;
+};
+
+std::vector<NamedEdgeList>
+generatorCases()
+{
+    std::vector<NamedEdgeList> cases;
+    {
+        RMatParams params;
+        params.scale = 10;
+        Graph graph = generateRMat(params);
+        cases.push_back(
+            {"rmat", graph.numVertices(), dirtyEdges(graph)});
+    }
+    {
+        Graph graph = generateErdosRenyi(2000, 16000, 42);
+        cases.push_back(
+            {"uniform", graph.numVertices(), dirtyEdges(graph)});
+    }
+    {
+        // Table-I stand-ins: heavy-tailed social / host-local web.
+        SocialNetworkParams social;
+        social.numVertices = 1500;
+        Graph graph = generateSocialNetwork(social);
+        cases.push_back(
+            {"social", graph.numVertices(), dirtyEdges(graph)});
+    }
+    {
+        WebGraphParams web;
+        web.numVertices = 1500;
+        Graph graph = generateWebGraph(web);
+        cases.push_back(
+            {"web", graph.numVertices(), dirtyEdges(graph)});
+    }
+    return cases;
+}
+
+std::vector<BuildOptions>
+optionCombos()
+{
+    std::vector<BuildOptions> combos;
+    for (bool loops : {true, false})
+        for (bool dups : {true, false})
+            for (bool zero : {true, false}) {
+                BuildOptions options;
+                options.removeSelfLoops = loops;
+                options.removeDuplicates = dups;
+                options.removeZeroDegree = zero;
+                combos.push_back(options);
+            }
+    return combos;
+}
+
+TEST(BuilderParallel, BitIdenticalAcrossGeneratorsAndThreads)
+{
+    for (const NamedEdgeList &c : generatorCases()) {
+        GraphBuilder sequential;
+        sequential.addEdges(c.edges);
+        Graph expected = sequential.finalize();
+        for (unsigned threads : {1u, 2u, 3u, 4u}) {
+            ParallelBuildOptions options;
+            options.numThreads = threads;
+            Graph got = buildGraphParallel(0, c.edges, options);
+            validateCsr(got.out(), "parallel out " + c.name);
+            validateCsr(got.in(), "parallel in " + c.name);
+            ASSERT_EQ(got, expected)
+                << c.name << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(BuilderParallel, BitIdenticalForEveryCleanupCombo)
+{
+    Graph base = generateErdosRenyi(600, 5000, 7);
+    std::vector<Edge> edges = dirtyEdges(base);
+    for (const BuildOptions &cleanup : optionCombos()) {
+        GraphBuilder sequential;
+        sequential.addEdges(edges);
+        Graph expected = sequential.finalize(cleanup);
+        ParallelBuildOptions options;
+        options.cleanup = cleanup;
+        options.numThreads = 3;
+        Graph got = buildGraphParallel(0, edges, options);
+        validateCsr(got.out(), "parallel out");
+        validateCsr(got.in(), "parallel in");
+        ASSERT_EQ(got, expected)
+            << "loops=" << cleanup.removeSelfLoops
+            << " dups=" << cleanup.removeDuplicates
+            << " zero=" << cleanup.removeZeroDegree;
+    }
+}
+
+TEST(BuilderParallel, OldToNewMatchesSequential)
+{
+    // Sparse IDs with holes: vertices 0, 5, 10, ... used only.
+    std::vector<Edge> edges;
+    for (VertexId v = 0; v < 500; v += 5)
+        edges.push_back({v, (v + 35) % 500});
+    GraphBuilder sequential;
+    sequential.addEdges(edges);
+    std::vector<VertexId> expected_map;
+    Graph expected = sequential.finalize({}, &expected_map);
+
+    std::vector<VertexId> got_map;
+    ParallelBuildOptions options;
+    options.numThreads = 4;
+    Graph got = buildGraphParallel(0, edges, options, &got_map);
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(got_map, expected_map);
+}
+
+TEST(BuilderParallel, IdentityMapWithoutCompaction)
+{
+    std::vector<Edge> edges = {{0, 2}, {2, 4}};
+    ParallelBuildOptions options;
+    options.cleanup.removeZeroDegree = false;
+    options.numThreads = 2;
+    std::vector<VertexId> map;
+    Graph got = buildGraphParallel(0, edges, options, &map);
+    EXPECT_EQ(got.numVertices(), 5u);
+    ASSERT_EQ(map.size(), 5u);
+    for (VertexId v = 0; v < map.size(); ++v)
+        EXPECT_EQ(map[v], v);
+}
+
+TEST(BuilderParallel, GrowsVertexCountToLargestEndpoint)
+{
+    std::vector<Edge> edges = {{0, 1}, {1, 999}};
+    ParallelBuildOptions options;
+    options.cleanup.removeZeroDegree = false;
+    Graph got = buildGraphParallel(10, edges, options);
+    EXPECT_EQ(got.numVertices(), 1000u);
+}
+
+TEST(BuilderParallel, EmptyEdgeListYieldsEmptyGraph)
+{
+    std::vector<Edge> no_edges;
+    Graph got = buildGraphParallel(0, no_edges);
+    EXPECT_EQ(got.numVertices(), 0u);
+    EXPECT_EQ(got.numEdges(), 0u);
+    // Vertex floor respected when compaction is off.
+    ParallelBuildOptions keep;
+    keep.cleanup.removeZeroDegree = false;
+    Graph floored = buildGraphParallel(7, no_edges, keep);
+    EXPECT_EQ(floored.numVertices(), 7u);
+}
+
+TEST(BuilderParallel, DefaultThreadCountWorks)
+{
+    Graph base = generateErdosRenyi(300, 2000, 3);
+    std::vector<Edge> edges = dirtyEdges(base);
+    GraphBuilder sequential;
+    sequential.addEdges(edges);
+    Graph expected = sequential.finalize();
+    Graph got = buildGraphParallel(0, edges); // numThreads = 0
+    EXPECT_EQ(got, expected);
+}
+
+} // namespace
+} // namespace gral

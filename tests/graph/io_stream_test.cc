@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the chunked streaming text edge-list parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/io.h"
+
+namespace gral
+{
+namespace
+{
+
+std::vector<Edge>
+collect(const std::string &text, std::size_t chunk_edges,
+        std::vector<std::size_t> *chunk_sizes = nullptr)
+{
+    std::istringstream in(text);
+    std::vector<Edge> edges;
+    std::size_t total = readEdgeListTextChunked(
+        in, chunk_edges, [&](std::span<const Edge> chunk) {
+            if (chunk_sizes)
+                chunk_sizes->push_back(chunk.size());
+            edges.insert(edges.end(), chunk.begin(), chunk.end());
+        });
+    EXPECT_EQ(total, edges.size());
+    return edges;
+}
+
+TEST(StreamingTextIo, DeliversBoundedChunks)
+{
+    std::string text;
+    for (int i = 0; i < 10; ++i)
+        text += std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+    std::vector<std::size_t> sizes;
+    std::vector<Edge> edges = collect(text, 3, &sizes);
+    ASSERT_EQ(edges.size(), 10u);
+    // 3+3+3+1: every chunk bounded by the requested size.
+    ASSERT_EQ(sizes.size(), 4u);
+    EXPECT_EQ(sizes[0], 3u);
+    EXPECT_EQ(sizes[3], 1u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(edges[static_cast<std::size_t>(i)],
+                  (Edge{static_cast<VertexId>(i),
+                        static_cast<VertexId>(i + 1)}));
+}
+
+TEST(StreamingTextIo, SkipsCommentsAndBlankLines)
+{
+    std::vector<Edge> edges =
+        collect("# header\n0 1\n% note\n\n2 3\n", 64);
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0], (Edge{0, 1}));
+    EXPECT_EQ(edges[1], (Edge{2, 3}));
+}
+
+TEST(StreamingTextIo, HandlesMissingTrailingNewline)
+{
+    std::vector<Edge> edges = collect("0 1\n2 3", 64);
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[1], (Edge{2, 3}));
+}
+
+TEST(StreamingTextIo, IgnoresTrailingFieldsAndCarriageReturns)
+{
+    // KONECT-style lines carry weights/timestamps; Windows files \r.
+    std::vector<Edge> edges =
+        collect("0 1 17 999\r\n2\t3\t0.5\n", 64);
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0], (Edge{0, 1}));
+    EXPECT_EQ(edges[1], (Edge{2, 3}));
+}
+
+TEST(StreamingTextIo, LineSpanningReadBlocksParses)
+{
+    // Force the carry path: a comment longer than the 1 MB read
+    // block pushes the following edges across block boundaries.
+    std::string text = "# " + std::string(3u << 20, 'x') + "\n";
+    text += "7 9\n11 13\n";
+    std::vector<Edge> edges = collect(text, 64);
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0], (Edge{7, 9}));
+    EXPECT_EQ(edges[1], (Edge{11, 13}));
+}
+
+TEST(StreamingTextIo, BadLineThrows)
+{
+    std::istringstream in("0 1\nbanana split\n");
+    EXPECT_THROW((void)readEdgeListTextChunked(
+                     in, 64, [](std::span<const Edge>) {}),
+                 std::runtime_error);
+}
+
+TEST(StreamingTextIo, MissingSecondFieldThrows)
+{
+    std::istringstream in("42\n");
+    EXPECT_THROW((void)readEdgeListTextChunked(
+                     in, 64, [](std::span<const Edge>) {}),
+                 std::runtime_error);
+}
+
+TEST(StreamingTextIo, HugeIdThrows)
+{
+    std::istringstream in("0 99999999999\n");
+    EXPECT_THROW((void)readEdgeListTextChunked(
+                     in, 64, [](std::span<const Edge>) {}),
+                 std::runtime_error);
+}
+
+TEST(StreamingTextIo, MaxValidIdAccepted)
+{
+    std::string max = std::to_string(kInvalidVertex - 1);
+    std::vector<Edge> edges = collect("0 " + max + "\n", 64);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0].dst, kInvalidVertex - 1);
+}
+
+TEST(StreamingTextIo, SentinelIdRejected)
+{
+    // kInvalidVertex itself is reserved.
+    std::string bad = std::to_string(kInvalidVertex);
+    std::istringstream in("0 " + bad + "\n");
+    EXPECT_THROW((void)readEdgeListTextChunked(
+                     in, 64, [](std::span<const Edge>) {}),
+                 std::runtime_error);
+}
+
+TEST(StreamingTextIo, FileVariantStreams)
+{
+    std::string path =
+        testing::TempDir() + "/gral_stream_test.txt";
+    {
+        std::ofstream out(path);
+        for (int i = 0; i < 100; ++i)
+            out << i << " " << (i + 1) << "\n";
+    }
+    std::size_t chunks = 0;
+    std::size_t total = readEdgeListTextChunkedFile(
+        path, 32, [&](std::span<const Edge> chunk) {
+            ++chunks;
+            EXPECT_LE(chunk.size(), 32u);
+        });
+    EXPECT_EQ(total, 100u);
+    EXPECT_EQ(chunks, 4u);
+    EXPECT_THROW((void)readEdgeListTextChunkedFile(
+                     "/nonexistent/edges.txt", 32,
+                     [](std::span<const Edge>) {}),
+                 std::runtime_error);
+}
+
+TEST(StreamingTextIo, MatchesMaterializingReader)
+{
+    std::string text;
+    for (int i = 0; i < 257; ++i)
+        text +=
+            std::to_string(i * 3) + " " + std::to_string(i) + "\n";
+    std::istringstream a(text);
+    std::vector<Edge> whole = readEdgeListText(a);
+    std::vector<Edge> streamed = collect(text, 17);
+    EXPECT_EQ(whole, streamed);
+}
+
+} // namespace
+} // namespace gral

@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/perf/backend.h"
 #include "obs/perf/counters.h"
 #include "obs/perf/events.h"
+#include "obs/perf/rusage.h"
 #include "obs/perf/scope.h"
 
 namespace gral
@@ -261,6 +263,23 @@ TEST(PerfStub, ScopedHwCountersRestoresPreviousState)
         EXPECT_TRUE(hwCountersEnabled());
     }
     EXPECT_FALSE(hwCountersEnabled());
+}
+
+// ---------------------------------------------------- rusage probe
+
+TEST(Rusage, PeakRssReportsAndNeverShrinks)
+{
+    std::uint64_t before = peakRssBytes();
+    // Any live test process has resident pages; the probe must not
+    // report the explicit-failure 0 on a supported host.
+    EXPECT_GT(before, 0u);
+    // Touch 8 MB so the high-water mark is forced upward, then check
+    // monotonicity (the kernel never lowers the mark).
+    std::vector<char> ballast(8u << 20, 1);
+    volatile char sink = ballast[ballast.size() / 2];
+    (void)sink;
+    std::uint64_t after = peakRssBytes();
+    EXPECT_GE(after, before);
 }
 
 // ------------------------------------------------- event catalogue

@@ -56,7 +56,7 @@ class BrokenReorderer final : public Reorderer
     }
 
     Permutation
-    reorder(const Graph &graph) override
+    reorder(const GraphView &graph) override
     {
         return Permutation(
             std::vector<VertexId>(graph.numVertices(), 0));

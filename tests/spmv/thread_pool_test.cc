@@ -9,7 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "spmv/thread_pool.h"
+#include "exec/thread_pool.h"
 
 namespace gral
 {

@@ -12,7 +12,7 @@
 
 #include "analyzer/fixit.h"
 #include "analyzer/include_graph.h"
-#include "spmv/thread_pool.h"
+#include "exec/thread_pool.h"
 
 namespace gral::analyzer
 {

@@ -8,7 +8,7 @@
  * bench/, examples/ — the same scope as the historical Python lint),
  * analyzeTree() does the work. Per-file lexing, symbol building and
  * rules are parallelized over the repo's own work-stealing pool
- * (src/spmv/thread_pool.h); the include-graph rules run once on the
+ * (src/exec/thread_pool.h); the include-graph rules run once on the
  * merged result.
  *
  * v2 pipeline (AnalyzeOptions):

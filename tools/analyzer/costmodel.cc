@@ -21,7 +21,9 @@ inHotScope(const std::string &path)
 {
     return startsWith(path, "src/cachesim/") ||
            startsWith(path, "src/spmv/") ||
-           startsWith(path, "src/kernels/");
+           startsWith(path, "src/kernels/") ||
+           startsWith(path, "src/exec/") ||
+           startsWith(path, "src/graph/storage/");
 }
 
 /** One hot range: a loop body, or the body of a reachable function

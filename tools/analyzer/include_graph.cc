@@ -71,6 +71,12 @@ moduleOf(std::string_view path)
     if (module == "obs" &&
         path.substr(second + 1).find("perf/") == 0)
         return "obs/perf";
+    // The storage sublayer is its own DAG node: graph core stays
+    // format- and syscall-free, while graph/storage (mmap, .gralb,
+    // varint codec) sits above it and below every GraphView consumer.
+    if (module == "graph" &&
+        path.substr(second + 1).find("storage/") == 0)
+        return "graph/storage";
     return module;
 }
 
@@ -88,21 +94,32 @@ allowedIncludes(const std::string &module)
         // not vice versa: obs stays portable and syscall-free while
         // obs/perf wraps perf_event_open.
         {"obs/perf", {"obs/perf", "obs", "common"}},
-        {"graph", {"graph", "common", "obs"}},
+        // The execution substrate (work-stealing pool) sits between
+        // obs and graph so both the parallel graph builder and the
+        // SpMV engine can drive it.
+        {"exec", {"exec", "common", "obs", "obs/perf"}},
+        {"graph", {"graph", "exec", "common", "obs"}},
+        // Storage sublayer: builds GraphViews over mmap'd .gralb
+        // sections and the varint codec; graph core must not reach
+        // up into it.
+        {"graph/storage",
+         {"graph/storage", "graph", "common", "obs"}},
         {"cachesim", {"cachesim", "graph", "common", "obs"}},
         {"reorder", {"reorder", "graph", "common", "obs"}},
         {"spmv",
-         {"spmv", "cachesim", "graph", "common", "obs", "obs/perf"}},
+         {"spmv", "cachesim", "graph/storage", "graph", "exec",
+          "common", "obs", "obs/perf"}},
         {"metrics",
          {"metrics", "cachesim", "graph", "common", "obs"}},
         {"algorithms",
          {"algorithms", "spmv", "cachesim", "graph", "common", "obs"}},
         {"kernels",
-         {"kernels", "algorithms", "spmv", "cachesim", "graph",
-          "common", "obs"}},
+         {"kernels", "algorithms", "spmv", "cachesim", "graph/storage",
+          "graph", "common", "obs"}},
         {"analysis",
          {"analysis", "kernels", "algorithms", "metrics", "reorder",
-          "spmv", "cachesim", "graph", "common", "obs", "obs/perf"}},
+          "spmv", "cachesim", "graph/storage", "graph", "exec",
+          "common", "obs", "obs/perf"}},
     };
     auto it = kDag.find(module);
     return it == kDag.end() ? nullptr : &it->second;

@@ -3,10 +3,12 @@
  * gral command-line tool.
  *
  * Subcommands:
- *   generate  <type> <vertices> <out.grf>        synthesize a graph
- *   convert   <in> <out>                         text <-> binary
+ *   generate  <type> <vertices> <out>            synthesize a graph
+ *   convert   [--compressed] [--graph-format=F] <in> <out>
+ *                                                convert between text,
+ *                                                .grf, and .gralb
  *   info      <graph>                            basic statistics
- *   reorder   <graph> <RA|perm.txt> <out.grf>    apply an RA or a
+ *   reorder   <graph> <RA|perm.txt> <out>        apply an RA or a
  *                                                permutation file
  *   metrics   <graph>                            locality metrics
  *   simulate  <graph> [cacheKB]                  SpMV cache simulation
@@ -22,8 +24,11 @@
  *   --trace-out=FILE.json     write collected spans as Chrome trace
  *   --log-level=LEVEL         trace|debug|info|warn|error|off
  *
- * Graph files ending in .grf are the binary format; anything else is
- * parsed as a text edge list ("src dst" per line).
+ * Graph files ending in .gralb are the memory-mapped binary CSR
+ * format (O(1) load — build once with `gral convert`); .grf is the
+ * legacy binary format (CSC rebuilt on load); anything else is parsed
+ * as a text edge list ("src dst" per line), streamed in bounded
+ * chunks and assembled by the parallel builder.
  */
 
 #include <cstring>
@@ -36,10 +41,12 @@
 #include "analysis/report.h"
 #include "common/check.h"
 #include "graph/validate.h"
-#include "graph/builder.h"
+#include "graph/builder_parallel.h"
 #include "graph/degree.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/storage/gralb.h"
+#include "graph/storage/varint.h"
 #include "kernels/kernel.h"
 #include "metrics/aid.h"
 #include "metrics/asymmetricity.h"
@@ -58,33 +65,106 @@ namespace
 {
 
 bool
-isBinaryPath(const std::string &path)
+hasSuffix(const std::string &path, const std::string &suffix)
 {
-    return path.size() >= 4 &&
-           path.compare(path.size() - 4, 4, ".grf") == 0;
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
 }
 
-Graph
-load(const std::string &path)
+bool
+isBinaryPath(const std::string &path)
 {
-    Graph graph;
+    return hasSuffix(path, ".grf");
+}
+
+bool
+isGralbPath(const std::string &path)
+{
+    return hasSuffix(path, ".gralb");
+}
+
+/** Streaming-parse chunk size: ~24 MB of parse-side state. */
+constexpr std::size_t kTextChunkEdges = std::size_t{1} << 21;
+
+/**
+ * A loaded graph plus whatever owns its storage: an owned Graph for
+ * text/.grf inputs, the live mapping for .gralb. Commands work on
+ * `view`; the holder keeps the backing alive for the command's
+ * duration.
+ */
+struct LoadedGraph
+{
+    Graph owned;
+    MappedGraph mapped;
+    GraphView view;
+    bool isMapped = false;
+};
+
+LoadedGraph
+loadView(const std::string &path)
+{
+    LoadedGraph loaded;
+    if (isGralbPath(path)) {
+        loaded.mapped = MappedGraph::open(path);
+        loaded.isMapped = true;
+        if (loaded.mapped.view().isCompressed()) {
+            // Most subcommands (reorder, metrics, ...) walk raw
+            // neighbour spans; decode a compressed mapping into an
+            // owned graph up front. Uncompressed mappings stay
+            // zero-copy.
+            loaded.owned = decodeGraph(loaded.mapped.view());
+            loaded.view = loaded.owned;
+        } else {
+            loaded.view = loaded.mapped.view();
+        }
+        // Header and section geometry were validated by open(); the
+        // O(|V|+|E|) structural pass is the writer's job, keeping the
+        // mmap load path O(1).
+        return loaded;
+    }
     if (isBinaryPath(path)) {
-        graph = readBinaryFile(path);
+        loaded.owned = readBinaryFile(path);
     } else {
-        auto edges = readEdgeListTextFile(path);
-        GraphBuilder builder;
-        builder.addEdges(edges);
-        graph = builder.finalize();
+        // Stream the text file in bounded chunks (no per-line stream
+        // churn), then assemble CSR+CSC on the work-stealing pool.
+        std::vector<Edge> edges;
+        readEdgeListTextChunkedFile(
+            path, kTextChunkEdges, [&](std::span<const Edge> chunk) {
+                edges.insert(edges.end(), chunk.begin(), chunk.end());
+            });
+        loaded.owned = buildGraphParallel(0, edges);
     }
     // Files are untrusted: reject structural corruption here, with
     // the file name attached, instead of misbehaving downstream.
-    validateGraph(graph, path);
-    return graph;
+    validateGraph(loaded.owned, path);
+    loaded.view = loaded.owned;
+    return loaded;
 }
 
 void
-save(const Graph &graph, const std::string &path)
+saveGralb(const GraphView &graph, const std::string &path,
+          bool compressed)
 {
+    GralbWriteOptions options;
+    options.compressed = compressed;
+    GralbWriteResult result = writeGralbFile(graph, path, options);
+    std::cout << "wrote " << path << ": "
+              << formatBytes(result.fileBytes);
+    if (compressed)
+        std::cout << ", "
+                  << formatDouble(result.compressedBytesPerEdge, 2)
+                  << " compressed B/edge";
+    std::cout << "\n";
+}
+
+void
+save(const GraphView &graph, const std::string &path)
+{
+    if (isGralbPath(path)) {
+        saveGralb(graph, path, /*compressed=*/false);
+        return;
+    }
     if (isBinaryPath(path)) {
         writeBinaryFile(graph, path);
         return;
@@ -138,13 +218,56 @@ cmdGenerate(int argc, char **argv)
 int
 cmdConvert(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: gral convert <in> <out>\n";
+    // Strip --compressed / --graph-format=F before the positionals.
+    bool compressed = false;
+    std::string format;
+    std::vector<char *> positional;
+    for (int i = 0; i < argc; ++i) {
+        constexpr const char *kFormatFlag = "--graph-format=";
+        if (std::strcmp(argv[i], "--compressed") == 0)
+            compressed = true;
+        else if (std::strncmp(argv[i], kFormatFlag,
+                              std::strlen(kFormatFlag)) == 0)
+            format = argv[i] + std::strlen(kFormatFlag);
+        else
+            positional.push_back(argv[i]);
+    }
+    if (positional.size() < 2) {
+        std::cerr << "usage: gral convert [--compressed] "
+                     "[--graph-format=text|grf|gralb] <in> <out>\n"
+                     "default format follows the output extension; "
+                     "--compressed needs a .gralb output (or "
+                     "--graph-format=gralb)\n";
         return 2;
     }
-    Graph graph = load(argv[0]);
-    save(graph, argv[1]);
-    std::cout << "converted " << argv[0] << " -> " << argv[1] << "\n";
+    const std::string in_path = positional[0];
+    const std::string out_path = positional[1];
+    if (format.empty()) {
+        format = isGralbPath(out_path) ? "gralb"
+                 : isBinaryPath(out_path) ? "grf"
+                                          : "text";
+    }
+    if (format != "text" && format != "grf" && format != "gralb")
+        throw ValidationError("unknown --graph-format '" + format +
+                              "' (expected text, grf, or gralb)");
+    if (compressed && format != "gralb")
+        throw ValidationError(
+            "--compressed requires the gralb format (got " + format +
+            " from the output extension)");
+
+    LoadedGraph loaded = loadView(in_path);
+    if (format == "gralb") {
+        saveGralb(loaded.view, out_path, compressed);
+    } else if (format == "grf") {
+        writeBinaryFile(loaded.view, out_path);
+    } else {
+        std::ofstream out(out_path);
+        if (!out)
+            throw std::runtime_error("cannot open " + out_path);
+        writeEdgeListText(loaded.view, out);
+    }
+    std::cout << "converted " << in_path << " -> " << out_path
+              << " (" << format << ")\n";
     return 0;
 }
 
@@ -155,7 +278,8 @@ cmdInfo(int argc, char **argv)
         std::cerr << "usage: gral info <graph>\n";
         return 2;
     }
-    Graph graph = load(argv[0]);
+    LoadedGraph loaded = loadView(argv[0]);
+    const GraphView &graph = loaded.view;
     TextTable table({"Property", "Value"});
     table.addRow({"vertices", formatCount(graph.numVertices())});
     table.addRow({"edges", formatCount(graph.numEdges())});
@@ -171,6 +295,12 @@ cmdInfo(int argc, char **argv)
     table.addRow({"out-hubs", formatCount(outHubs(graph).size())});
     table.addRow({"topology footprint",
                   formatBytes(graph.footprintBytes())});
+    if (loaded.isMapped) {
+        table.addRow({"backing file",
+                      formatBytes(loaded.mapped.fileBytes())});
+        table.addRow({"compressed",
+                      loaded.mapped.isCompressed() ? "yes" : "no"});
+    }
     table.print(std::cout);
     return 0;
 }
@@ -187,7 +317,8 @@ cmdReorder(int argc, char **argv)
                      "indexed by old ID\n";
         return 2;
     }
-    Graph graph = load(argv[0]);
+    LoadedGraph loaded = loadView(argv[0]);
+    const GraphView &graph = loaded.view;
     std::string source = argv[1];
     Permutation p;
     std::string label;
@@ -216,7 +347,8 @@ cmdMetrics(int argc, char **argv)
         std::cerr << "usage: gral metrics <graph>\n";
         return 2;
     }
-    Graph graph = load(argv[0]);
+    LoadedGraph loaded = loadView(argv[0]);
+    const GraphView &graph = loaded.view;
     TextTable table({"Metric", "Value"});
     table.addRow({"mean in-AID (N2N)",
                   formatDouble(meanAid(graph, Direction::In), 1)});
@@ -242,7 +374,8 @@ cmdSimulate(int argc, char **argv)
         std::cerr << "usage: gral simulate <graph> [cacheKB]\n";
         return 2;
     }
-    Graph graph = load(argv[0]);
+    LoadedGraph loaded = loadView(argv[0]);
+    const GraphView &graph = loaded.view;
     std::uint64_t cache_kb =
         argc >= 2 ? static_cast<std::uint64_t>(std::atoll(argv[1]))
                   : 128;
@@ -325,7 +458,8 @@ cmdExperiment(int argc, char **argv)
         std::cerr << "\n";
         return 2;
     }
-    Graph graph = load(positional[0]);
+    LoadedGraph loaded = loadView(positional[0]);
+    const GraphView &graph = loaded.view;
     std::string ra_list =
         positional.size() >= 2 ? positional[1] : "Bl,SB,GO,RO";
     std::uint64_t cache_kb =
@@ -370,8 +504,9 @@ cmdExperiment(int argc, char **argv)
 
     std::cout << "kernel: " << kernel << "\n";
     TextTable table({"RA", "Relab", "Iters", "Preproc s", "Time ms",
-                     "L3 miss %", "HW LLC miss %", "Push hub miss",
-                     "Pull hub miss", "PSEL samples"});
+                     "L3 miss %", "HW LLC miss %", "Comp B/E",
+                     "Push hub miss", "Pull hub miss",
+                     "PSEL samples"});
     for (const std::string &ra : ras) {
         GRAL_LOG(info) << "running experiment cell"
                        << logField("ra", ra)
@@ -397,6 +532,7 @@ cmdExperiment(int argc, char **argv)
              formatDouble(result.traversalMs, 2),
              formatDouble(100.0 * result.profile.cache.missRate(), 2),
              hw_cell,
+             formatDouble(result.compressedBytesPerEdge, 2),
              formatCount(result.profile.pushPhase.hubMisses),
              formatCount(result.profile.pullPhase.hubMisses),
              formatCount(result.profile.pselSamples.size())});
