@@ -32,6 +32,9 @@ ThreadTrace
 drainProducer(AccessProducer &producer)
 {
     ThreadTrace trace;
+    // One virtual call per drained producer — not per access — even
+    // when callers drain a whole producer set in a loop.
+    // gral-analyzer: off-next-line(hot-path-virtual)
     trace.reserve(producer.sizeHint());
     MemoryAccess buffer[1024];
     for (;;) {

@@ -1,20 +1,45 @@
 /**
  * @file
- * Thread-safety annotation macros, checked by gral-analyzer.
+ * Thread-safety and lifetime annotation macros, checked by
+ * gral-analyzer.
  *
  * `GRAL_GUARDED_BY(mutex)` on a data member declares that the member
  * may only be read or written while `mutex` is held.
  * `GRAL_REQUIRES(mutex)` on a member function declares that callers
  * must already hold `mutex` when invoking it.
+ * `GRAL_LIFETIMEBOUND` on a function parameter declares that the
+ * returned value refers into that argument (so the argument must
+ * outlive the result); placed after a member function's parameter
+ * list it declares that the result refers into `*this`.
  *
- * Both macros expand to nothing: the compiler never sees them, so
- * they impose no toolchain requirement and no ABI effect. Enforcement
- * is static, by the in-repo analyzer (tools/analyzer/concurrency.cc),
- * which reads the annotations verbatim from the unpreprocessed token
- * stream — a field access outside a scope that locks the named mutex
- * (via std::lock_guard/scoped_lock/unique_lock/shared_lock, a manual
+ * The thread-safety macros expand to nothing: the compiler never sees
+ * them, so they impose no toolchain requirement and no ABI effect.
+ * Enforcement is static, by the in-repo analyzer
+ * (tools/analyzer/concurrency.cc), which reads the annotations
+ * verbatim from the unpreprocessed token stream — a field access
+ * outside a scope that locks the named mutex (via
+ * std::lock_guard/scoped_lock/unique_lock/shared_lock, a manual
  * .lock(), or a GRAL_REQUIRES contract on the enclosing function) is
  * a `guarded-by` diagnostic. See DESIGN.md "Static analysis layer".
+ *
+ * GRAL_LIFETIMEBOUND is double-checked: the analyzer's lifetime pack
+ * (tools/analyzer/lifetime.cc) reads it from the token stream to
+ * drive the `view-from-temporary` / `view-outlives-storage` /
+ * `return-dangling-view` / `view-invalidated-by-mutation` rules, and
+ * when the compiler understands `[[clang::lifetimebound]]` the macro
+ * degrades to exactly that attribute, so clang's own `-Wdangling`
+ * diagnostics cross-check ours on the annotated API surface. The
+ * mapping is 1:1 — both spellings attach to the same grammar
+ * positions (after a parameter's declarator, or after a member
+ * function's cv/ref qualifiers):
+ *
+ *   GRAL_LIFETIMEBOUND            clang
+ *   --------------------------    ----------------------------
+ *   f(const T &t GRAL_LIFETIMEBOUND)
+ *                                 f(const T &t [[clang::lifetimebound]])
+ *   span<U> view() const GRAL_LIFETIMEBOUND;
+ *                                 span<U> view() const
+ *                                     [[clang::lifetimebound]];
  *
  * Usage:
  *
@@ -24,6 +49,8 @@
  *       std::vector<double> samples_ GRAL_GUARDED_BY(mutex_);
  *
  *       void compactLocked() GRAL_REQUIRES(mutex_);
+ *
+ *       std::span<const double> window() const GRAL_LIFETIMEBOUND;
  *   };
  */
 
@@ -32,5 +59,14 @@
 
 #define GRAL_GUARDED_BY(mutex)
 #define GRAL_REQUIRES(mutex)
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define GRAL_LIFETIMEBOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef GRAL_LIFETIMEBOUND
+#define GRAL_LIFETIMEBOUND
+#endif
 
 #endif // GRAL_COMMON_ANNOTATIONS_H

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "graph/types.h"
 
 namespace gral
@@ -59,7 +60,7 @@ class Adjacency
 
     /** Neighbour list of vertex @p v, sorted ascending. */
     std::span<const VertexId>
-    neighbours(VertexId v) const
+    neighbours(VertexId v) const GRAL_LIFETIMEBOUND
     {
         return {edges_.data() + offsets_[v],
                 edges_.data() + offsets_[v + 1]};
@@ -72,10 +73,16 @@ class Adjacency
     EdgeId endEdge(VertexId v) const { return offsets_[v + 1]; }
 
     /** Raw offsets array (|V|+1 entries). */
-    std::span<const EdgeId> offsets() const { return offsets_; }
+    std::span<const EdgeId> offsets() const GRAL_LIFETIMEBOUND
+    {
+        return offsets_;
+    }
 
     /** Raw edges array (|E| entries). */
-    std::span<const VertexId> edges() const { return edges_; }
+    std::span<const VertexId> edges() const GRAL_LIFETIMEBOUND
+    {
+        return edges_;
+    }
 
     /** Whether @p v has an edge to @p u (binary search). */
     bool hasNeighbour(VertexId v, VertexId u) const;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "graph/csr.h"
 #include "graph/types.h"
 
@@ -47,10 +48,10 @@ class Graph
     double averageDegree() const;
 
     /** Out-adjacency (CSR): vertex -> out-neighbours. */
-    const Adjacency &out() const { return out_; }
+    const Adjacency &out() const GRAL_LIFETIMEBOUND { return out_; }
 
     /** In-adjacency (CSC): vertex -> in-neighbours. */
-    const Adjacency &in() const { return in_; }
+    const Adjacency &in() const GRAL_LIFETIMEBOUND { return in_; }
 
     /** Out-degree of @p v. */
     EdgeId outDegree(VertexId v) const { return out_.degree(v); }
@@ -60,14 +61,14 @@ class Graph
 
     /** Out-neighbours of @p v, sorted ascending. */
     std::span<const VertexId>
-    outNeighbours(VertexId v) const
+    outNeighbours(VertexId v) const GRAL_LIFETIMEBOUND
     {
         return out_.neighbours(v);
     }
 
     /** In-neighbours of @p v, sorted ascending. */
     std::span<const VertexId>
-    inNeighbours(VertexId v) const
+    inNeighbours(VertexId v) const GRAL_LIFETIMEBOUND
     {
         return in_.neighbours(v);
     }

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/annotations.h"
 #include "graph/storage/mmap_file.h"
 #include "graph/types.h"
 #include "graph/view.h"
@@ -143,7 +144,7 @@ class MappedGraph
     static MappedGraph open(const std::string &path);
 
     /** Topology view into the mapping (valid while *this lives). */
-    const GraphView &view() const { return view_; }
+    const GraphView &view() const GRAL_LIFETIMEBOUND { return view_; }
 
     /** Parsed header (counts, flags, degrees). */
     const GralbHeader &header() const { return header_; }

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "graph/types.h"
 #include "graph/view.h"
@@ -197,6 +198,7 @@ class NeighbourScratch
      */
     std::span<const VertexId>
     neighbours(const AdjacencyView &adjacency, VertexId v)
+        GRAL_LIFETIMEBOUND
     {
         if (!adjacency.isCompressed())
             return adjacency.neighbours(v);

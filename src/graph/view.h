@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "graph/graph.h"
 #include "graph/types.h"
@@ -60,7 +61,8 @@ class AdjacencyView
 
     /** View of an in-memory Adjacency (implicit: any Adjacency is
      *  usable wherever a view is expected). */
-    /* implicit */ AdjacencyView(const Adjacency &adjacency)
+    /* implicit */ AdjacencyView(
+        const Adjacency &adjacency GRAL_LIFETIMEBOUND)
         : offsets_(adjacency.offsets()), edges_(adjacency.edges())
     {
     }
@@ -113,7 +115,7 @@ class AdjacencyView
 
     /** Neighbour list of @p v, sorted ascending. Uncompressed only. */
     std::span<const VertexId>
-    neighbours(VertexId v) const
+    neighbours(VertexId v) const GRAL_LIFETIMEBOUND
     {
         GRAL_DCHECK(!isCompressed())
             << "AdjacencyView: span access on a compressed view";
@@ -213,7 +215,7 @@ class GraphView
     /** View over an in-memory Graph (implicit by design: every
      *  read-only consumer takes a GraphView and callers keep passing
      *  Graph objects). The Graph must outlive the view. */
-    /* implicit */ GraphView(const Graph &graph)
+    /* implicit */ GraphView(const Graph &graph GRAL_LIFETIMEBOUND)
         : out_(graph.out()), in_(graph.in())
     {
     }
@@ -243,10 +245,10 @@ class GraphView
     }
 
     /** Out-adjacency (CSR): vertex -> out-neighbours. */
-    const AdjacencyView &out() const { return out_; }
+    const AdjacencyView &out() const GRAL_LIFETIMEBOUND { return out_; }
 
     /** In-adjacency (CSC): vertex -> in-neighbours. */
-    const AdjacencyView &in() const { return in_; }
+    const AdjacencyView &in() const GRAL_LIFETIMEBOUND { return in_; }
 
     /** Out-degree of @p v. */
     EdgeId outDegree(VertexId v) const { return out_.degree(v); }

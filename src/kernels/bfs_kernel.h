@@ -20,6 +20,7 @@
 #define GRAL_KERNELS_BFS_KERNEL_H
 
 #include "algorithms/traversal.h"
+#include "common/annotations.h"
 #include "kernels/kernel.h"
 
 namespace gral
@@ -57,7 +58,7 @@ class BfsKernel final : public Kernel
                               const TraceOptions &options) override;
 
     /** Traversal result of the last prepared graph (runs if needed). */
-    const BfsResult &result(const GraphView &graph);
+    const BfsResult &result(const GraphView &graph) GRAL_LIFETIMEBOUND;
 
   protected:
     /** Relabel iff the traversal is dominated by dense (SpMV-shaped)

@@ -16,6 +16,7 @@
 #ifndef GRAL_KERNELS_CC_KERNEL_H
 #define GRAL_KERNELS_CC_KERNEL_H
 
+#include "common/annotations.h"
 #include "kernels/kernel.h"
 
 namespace gral
@@ -46,7 +47,8 @@ class CcKernel final : public Kernel
                               const TraceOptions &options) override;
 
     /** Final labels of the last prepared graph (runs if needed). */
-    const std::vector<VertexId> &labels(const GraphView &graph);
+    const std::vector<VertexId> &labels(const GraphView &graph)
+        GRAL_LIFETIMEBOUND;
 
     /** Components found on the last prepared graph. */
     VertexId numComponents(const GraphView &graph);

@@ -12,6 +12,7 @@
 #define GRAL_KERNELS_PAGERANK_KERNEL_H
 
 #include "algorithms/pagerank.h"
+#include "common/annotations.h"
 #include "kernels/kernel.h"
 
 namespace gral
@@ -54,7 +55,8 @@ class PageRankKernel final : public Kernel
                               const TraceOptions &options) override;
 
     /** Solver result of the last prepared graph (runs it if needed). */
-    const PageRankResult &result(const GraphView &graph);
+    const PageRankResult &result(const GraphView &graph)
+        GRAL_LIFETIMEBOUND;
 
   private:
     /** Run the solver for @p graph unless already cached for it. */

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "analyzer/analyzer.h"
+#include "analyzer/version.h"
 
 namespace gral::analyzer
 {
@@ -97,6 +98,31 @@ TEST(CacheTest, VersionMismatchParsesEmpty)
                     .entries.empty());
     EXPECT_TRUE(Cache::parse("garbage").entries.empty());
     EXPECT_TRUE(Cache::parse("").entries.empty());
+}
+
+TEST(CacheTest, SignatureChangeBustsTheCache)
+{
+    // The header carries analyzerSignature() — kAnalyzerVersion plus
+    // a hash of the rule-id list — so a cache written before a rule
+    // was added (or the analyzer was bumped) reads as empty and the
+    // next run is cold. Regression test for stale-cache findings.
+    Cache cache;
+    CacheEntry entry;
+    entry.hash = 42;
+    cache.entries["src/graph/g.cc"] = entry;
+    std::string rendered = cache.render();
+    ASSERT_EQ(rendered.rfind("gral-analyzer-cache " +
+                                 analyzerSignature() + "\n",
+                             0),
+              0u)
+        << rendered;
+    EXPECT_EQ(Cache::parse(rendered).entries.size(), 1u);
+
+    // Same payload under any other signature: cold.
+    std::string stale = rendered;
+    std::size_t eol = stale.find('\n');
+    stale.replace(0, eol, "gral-analyzer-cache v2/0123abcd");
+    EXPECT_TRUE(Cache::parse(stale).entries.empty());
 }
 
 TEST(CacheTest, WarmRunAnalyzesNothingAndKeepsFindings)

@@ -1,0 +1,55 @@
+// Negative fixture: correct view usage the lifetime pack must stay
+// quiet on. Expected: zero lifetime findings.
+
+namespace gral
+{
+
+Graph loadGraph();
+void replay(const GraphView &view);
+GraphView wholeProgramView();
+
+// A view of a named owner used inside the owner's scope is fine.
+void
+viewOfNamedOwner()
+{
+    Graph graph = loadGraph();
+    GraphView view = graph.view();
+    replay(view);
+}
+
+// Returning an owning object (not a view) is fine.
+Graph
+materializedCopy()
+{
+    Graph graph = loadGraph();
+    GraphView view = graph.view();
+    return materializeGraph(view);
+}
+
+// A view of a caller-owned reference parameter outlives the call.
+GraphView
+viewOfReference(const Graph &graph)
+{
+    return graph.view();
+}
+
+// Rebinding a view after the mutation is the documented idiom.
+void
+rebindAfterMutation()
+{
+    std::vector<int> values;
+    std::span<const int> window = values;
+    values.push_back(1);
+    window = values;
+    (void)window;
+}
+
+// A view returned by value with unknown backing is not flagged.
+void
+viewByValue()
+{
+    GraphView view = wholeProgramView();
+    replay(view);
+}
+
+} // namespace gral

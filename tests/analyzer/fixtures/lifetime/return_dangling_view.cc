@@ -1,0 +1,26 @@
+// Positive fixture: returning views that refer into storage which
+// dies with the function. Two variants, both anchored at their
+// `return` token:
+//  - a view of a local owner (line 17, column 5);
+//  - a view of a by-value parameter (line 23, column 5), whose
+//    advice suggests a const reference + GRAL_LIFETIMEBOUND.
+
+namespace gral
+{
+
+Graph loadGraph();
+
+GraphView
+viewOfLocal()
+{
+    Graph graph = loadGraph();
+    return graph.view();
+}
+
+GraphView
+viewOfValueParam(Graph graph)
+{
+    return graph.view();
+}
+
+} // namespace gral

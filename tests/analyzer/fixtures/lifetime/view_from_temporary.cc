@@ -1,0 +1,20 @@
+// Positive fixture: binding a view to storage owned by a temporary.
+// The temporary Graph returned by makeGraph() dies at the end of the
+// declaration statement, so the view dangles immediately. Expected
+// finding: view-from-temporary anchored at the `makeGraph` token
+// (line 16, column 26), fixable with --fix into
+// `Graph dangling = makeGraph();`.
+
+namespace gral
+{
+
+Graph makeGraph();
+
+void
+viewFromTemporary()
+{
+    GraphView dangling = makeGraph().view();
+    (void)dangling;
+}
+
+} // namespace gral

@@ -1,0 +1,21 @@
+// Positive fixture: a span into a vector used after a push_back that
+// may have reallocated the vector's storage. Expected finding:
+// view-invalidated-by-mutation anchored at the first use after the
+// mutation — the `window` argument token (line 18, column 13).
+
+namespace gral
+{
+
+void consume(std::span<const int> window);
+
+void
+viewInvalidatedByMutation()
+{
+    std::vector<int> values;
+    values.push_back(1);
+    std::span<const int> window = values;
+    values.push_back(2);
+    consume(window);
+}
+
+} // namespace gral

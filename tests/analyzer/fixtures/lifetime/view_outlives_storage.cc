@@ -1,0 +1,24 @@
+// Positive fixture: a view used after its backing owner's scope
+// closed. `view` is rebound to `graph`'s storage inside the inner
+// block; once that block ends the storage is gone. Expected finding:
+// view-outlives-storage anchored at the first use after the scope
+// closed — the `view` argument token (line 21, column 12).
+
+namespace gral
+{
+
+Graph loadGraph();
+void replay(const GraphView &view);
+
+void
+viewOutlivesStorage()
+{
+    GraphView view;
+    {
+        Graph graph = loadGraph();
+        view = graph.view();
+    }
+    replay(view);
+}
+
+} // namespace gral

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Cross-TU program index tests: the ISSUE's motivating fixture (a
+ * hot src/cachesim loop calling an allocating helper defined in
+ * another TU), the index's parse/render round trip, signature-based
+ * cache busting, and warm-run entry reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/index.h"
+#include "analyzer/version.h"
+
+namespace gral::analyzer
+{
+namespace
+{
+
+/** Hot loop in cache-simulator code calling a helper whose
+ *  allocation lives in a different TU — invisible to any same-TU
+ *  fixpoint. */
+SourceTree
+crossTuTree()
+{
+    return {
+        {"src/cachesim/hot.cc",
+         "#include \"cachesim/helper.h\"\n"
+         "void simulate()\n"
+         "{\n"
+         "    for (int i = 0; i < 100; ++i) {\n"
+         "        recordAccess();\n"
+         "    }\n"
+         "}\n"},
+        {"src/cachesim/helper.h",
+         "#ifndef GRAL_CACHESIM_HELPER_H\n"
+         "#define GRAL_CACHESIM_HELPER_H\n"
+         "void recordAccess();\n"
+         "#endif // GRAL_CACHESIM_HELPER_H\n"},
+        {"src/obs/helper.cc",
+         "#include <memory>\n"
+         "void recordAccess()\n"
+         "{\n"
+         "    auto entry = std::make_unique<int>(3);\n"
+         "    (void)entry;\n"
+         "}\n"},
+    };
+}
+
+TEST(Index, HotLoopCallingAllocatingHelperInAnotherTu)
+{
+    AnalysisResult result =
+        analyzeTree(crossTuTree(), Baseline{}, 1);
+    ASSERT_EQ(result.newFindings().size(), 1u);
+    const Finding &finding = *result.newFindings()[0];
+    EXPECT_EQ(finding.rule, "hot-path-alloc");
+    EXPECT_EQ(finding.path, "src/cachesim/hot.cc");
+    EXPECT_EQ(finding.line, 5);
+    EXPECT_NE(finding.message.find("call to 'recordAccess()'"),
+              std::string::npos)
+        << finding.message;
+    EXPECT_NE(finding.message.find("another TU"), std::string::npos)
+        << finding.message;
+    EXPECT_NE(finding.message.find("src/obs/helper.cc"),
+              std::string::npos)
+        << finding.message;
+}
+
+TEST(Index, CallSiteSuppressionSilencesCrossTuFinding)
+{
+    SourceTree tree = crossTuTree();
+    tree[0].content =
+        "#include \"cachesim/helper.h\"\n"
+        "void simulate()\n"
+        "{\n"
+        "    for (int i = 0; i < 100; ++i) {\n"
+        "        // gral-analyzer: off-next-line(hot-path-alloc)\n"
+        "        recordAccess();\n"
+        "    }\n"
+        "}\n";
+    AnalysisResult result = analyzeTree(tree, Baseline{}, 1);
+    EXPECT_TRUE(result.newFindings().empty());
+}
+
+TEST(Index, WitnessSuppressionNeverEntersTheIndex)
+{
+    SourceTree tree = crossTuTree();
+    tree[2].content =
+        "#include <memory>\n"
+        "void recordAccess()\n"
+        "{\n"
+        "    // gral-analyzer: off-next-line(hot-path-alloc)\n"
+        "    auto entry = std::make_unique<int>(3);\n"
+        "    (void)entry;\n"
+        "}\n";
+    AnalysisResult result = analyzeTree(tree, Baseline{}, 1);
+    EXPECT_TRUE(result.newFindings().empty());
+}
+
+TEST(Index, RenderParseRoundTrip)
+{
+    ProgramIndex index;
+    AnalyzeOptions options;
+    options.jobs = 1;
+    options.index = &index;
+    analyzeTree(crossTuTree(), Baseline{}, options);
+    ASSERT_EQ(index.entries.size(), 3u);
+
+    std::string rendered = index.render();
+    ProgramIndex reparsed = ProgramIndex::parse(rendered);
+    EXPECT_EQ(reparsed.entries.size(), 3u);
+    EXPECT_EQ(reparsed.render(), rendered);
+    EXPECT_EQ(
+        reparsed.entries.at("src/cachesim/hot.cc").hotCalls.size(),
+        1u);
+    EXPECT_TRUE(
+        reparsed.entries.at("src/obs/helper.cc")
+            .defines("recordAccess"));
+}
+
+TEST(Index, StaleSignatureParsesEmpty)
+{
+    // An index written by any other analyzer version (different
+    // rule set or bumped kAnalyzerVersion) must read as cold.
+    std::string stale = "gral-analyzer-index v0/deadbeef\n"
+                        "file\tsrc/a.cc\tabc123\n";
+    EXPECT_TRUE(ProgramIndex::parse(stale).entries.empty());
+    EXPECT_TRUE(ProgramIndex::parse("").entries.empty());
+}
+
+TEST(Index, CurrentSignatureParsesNonEmpty)
+{
+    std::string fresh = "gral-analyzer-index " +
+                        analyzerSignature() +
+                        "\nfile\tsrc/a.cc\tabc123\n";
+    EXPECT_EQ(ProgramIndex::parse(fresh).entries.size(), 1u);
+}
+
+TEST(Index, WarmRunReusesUnchangedEntries)
+{
+    ProgramIndex index;
+    AnalyzeOptions options;
+    options.jobs = 1;
+    options.index = &index;
+    SourceTree tree = crossTuTree();
+
+    AnalysisResult cold = analyzeTree(tree, Baseline{}, options);
+    EXPECT_EQ(cold.indexEntriesBuilt, 3u);
+    EXPECT_EQ(cold.indexEntriesReused, 0u);
+
+    AnalysisResult warm = analyzeTree(tree, Baseline{}, options);
+    EXPECT_EQ(warm.indexEntriesBuilt, 0u);
+    EXPECT_EQ(warm.indexEntriesReused, 3u);
+    // The cross-TU findings are still recomputed from the index.
+    ASSERT_EQ(warm.newFindings().size(), 1u);
+    EXPECT_EQ(warm.newFindings()[0]->rule, "hot-path-alloc");
+
+    // Editing the helper rebuilds exactly its entry — and the
+    // finding in the *untouched* hot file disappears.
+    tree[2].content = "void recordAccess()\n"
+                      "{\n"
+                      "}\n";
+    AnalysisResult edited = analyzeTree(tree, Baseline{}, options);
+    EXPECT_EQ(edited.indexEntriesBuilt, 1u);
+    EXPECT_EQ(edited.indexEntriesReused, 2u);
+    EXPECT_TRUE(edited.newFindings().empty());
+}
+
+} // namespace
+} // namespace gral::analyzer

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Lifetime/escape rule pack fixtures (view-from-temporary,
+ * view-outlives-storage, return-dangling-view,
+ * view-invalidated-by-mutation). The positive fixtures pin the
+ * byte-exact line/column every rule anchors at; the suppressed and
+ * negative twins pin the pack's false-positive behaviour; the --fix
+ * round trip proves the materialize fixit leaves a clean file.
+ *
+ * Fixture sources live in tests/analyzer/fixtures/lifetime/ (the
+ * GRAL_TEST_FIXTURES_DIR compile definition points there) and are
+ * analyzed under a src/-style pseudo path, since the lifetime rules
+ * only run on production code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/lexer.h"
+#include "analyzer/lifetime.h"
+#include "analyzer/rules.h"
+
+namespace gral::analyzer
+{
+namespace
+{
+
+std::string
+readFixture(const std::string &name)
+{
+    std::string path =
+        std::string(GRAL_TEST_FIXTURES_DIR) + "/lifetime/" + name;
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_FALSE(buffer.str().empty()) << "missing fixture " << path;
+    return buffer.str();
+}
+
+/** Findings of @p rule for fixture @p name analyzed as src/ code. */
+std::vector<Finding>
+lifetimeFindings(const std::string &name, const std::string &rule)
+{
+    std::vector<Finding> findings;
+    runFileRules("src/graph/" + name, lexCpp(readFixture(name)),
+                 findings);
+    std::vector<Finding> matched;
+    for (Finding &finding : findings)
+        if (finding.rule == rule)
+            matched.push_back(std::move(finding));
+    return matched;
+}
+
+int
+countLifetimeRules(const std::vector<Finding> &findings)
+{
+    int n = 0;
+    for (const Finding &finding : findings)
+        if (finding.rule == "view-from-temporary" ||
+            finding.rule == "view-outlives-storage" ||
+            finding.rule == "return-dangling-view" ||
+            finding.rule == "view-invalidated-by-mutation")
+            ++n;
+    return n;
+}
+
+// ------------------------------------------------------- positives
+
+TEST(Lifetime, ViewFromTemporaryAnchorsAtTemporary)
+{
+    std::vector<Finding> found = lifetimeFindings(
+        "view_from_temporary.cc", "view-from-temporary");
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].line, 16);
+    EXPECT_EQ(found[0].column, 26);
+    EXPECT_NE(found[0].message.find("'makeGraph(...)'"),
+              std::string::npos)
+        << found[0].message;
+    EXPECT_NE(found[0].message.find("fixable with --fix"),
+              std::string::npos)
+        << found[0].message;
+    EXPECT_FALSE(found[0].fixits.empty());
+}
+
+TEST(Lifetime, ViewOutlivesStorageAnchorsAtFirstUse)
+{
+    std::vector<Finding> found = lifetimeFindings(
+        "view_outlives_storage.cc", "view-outlives-storage");
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].line, 21);
+    EXPECT_EQ(found[0].column, 12);
+    EXPECT_NE(found[0].message.find(
+                  "'graph' went out of scope on line 20"),
+              std::string::npos)
+        << found[0].message;
+}
+
+TEST(Lifetime, ReturnDanglingViewAnchorsAtReturn)
+{
+    std::vector<Finding> found = lifetimeFindings(
+        "return_dangling_view.cc", "return-dangling-view");
+    ASSERT_EQ(found.size(), 2u);
+    // Variant 1: view of a local owner.
+    EXPECT_EQ(found[0].line, 17);
+    EXPECT_EQ(found[0].column, 5);
+    EXPECT_NE(found[0].message.find("the local 'graph'"),
+              std::string::npos)
+        << found[0].message;
+    // Variant 2: view of a by-value parameter; the advice names the
+    // annotation that makes the contract explicit.
+    EXPECT_EQ(found[1].line, 23);
+    EXPECT_EQ(found[1].column, 5);
+    EXPECT_NE(found[1].message.find("by-value parameter 'graph'"),
+              std::string::npos)
+        << found[1].message;
+    EXPECT_NE(found[1].message.find("GRAL_LIFETIMEBOUND"),
+              std::string::npos)
+        << found[1].message;
+}
+
+TEST(Lifetime, ViewInvalidatedByMutationAnchorsAtFirstUse)
+{
+    std::vector<Finding> found = lifetimeFindings(
+        "view_invalidated_by_mutation.cc",
+        "view-invalidated-by-mutation");
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].line, 18);
+    EXPECT_EQ(found[0].column, 13);
+    EXPECT_NE(
+        found[0].message.find("'values.push_back()' on line 17"),
+        std::string::npos)
+        << found[0].message;
+}
+
+// ------------------------------------------- suppressed / negative
+
+TEST(Lifetime, SuppressedFixtureStaysQuiet)
+{
+    std::vector<Finding> findings;
+    runFileRules("src/graph/suppressed.cc",
+                 lexCpp(readFixture("suppressed.cc")), findings);
+    EXPECT_EQ(countLifetimeRules(findings), 0);
+}
+
+TEST(Lifetime, NegativeFixtureStaysQuiet)
+{
+    std::vector<Finding> findings;
+    runFileRules("src/graph/negative.cc",
+                 lexCpp(readFixture("negative.cc")), findings);
+    EXPECT_EQ(countLifetimeRules(findings), 0);
+}
+
+TEST(Lifetime, FiresInFilesWithIncludeDirectives)
+{
+    // Regression: every real src/ file starts with includes, and a
+    // directive used to bleed into the next declaration's return
+    // type, hiding the owner-by-value producer from the pack.
+    std::vector<Finding> findings;
+    runFileRules("src/graph/use.cc",
+                 lexCpp("#include \"graph/view.h\"\n"
+                        "Graph makeGraph();\n"
+                        "void bad()\n"
+                        "{\n"
+                        "    GraphView dangling = "
+                        "makeGraph().view();\n"
+                        "    (void)dangling;\n"
+                        "}\n"),
+                 findings);
+    EXPECT_EQ(countLifetimeRules(findings), 1);
+    ASSERT_FALSE(findings.empty());
+    EXPECT_EQ(findings[0].rule, "view-from-temporary");
+}
+
+TEST(Lifetime, RulesOnlyRunOnProductionCode)
+{
+    std::vector<Finding> findings;
+    runFileRules("tools/analyzer/fixture.cc",
+                 lexCpp(readFixture("view_from_temporary.cc")),
+                 findings);
+    EXPECT_EQ(countLifetimeRules(findings), 0);
+}
+
+// --------------------------------------------- --fix round trip
+
+TEST(Lifetime, FixRoundTripMaterializesTheOwner)
+{
+    SourceTree tree = {{"src/graph/fix_me.cc",
+                        readFixture("view_from_temporary.cc")}};
+    AnalysisResult first = analyzeTree(tree, Baseline{}, 1);
+    ASSERT_EQ(first.results.size(), 1u);
+    EXPECT_EQ(first.results[0].finding.rule, "view-from-temporary");
+
+    std::vector<std::string> changed = applyFixes(tree, first);
+    ASSERT_EQ(changed.size(), 1u);
+    EXPECT_EQ(changed[0], "src/graph/fix_me.cc");
+    EXPECT_NE(
+        tree[0].content.find("Graph dangling = makeGraph();"),
+        std::string::npos)
+        << tree[0].content;
+
+    // Re-analyzing the fixed tree comes back clean.
+    AnalysisResult second = analyzeTree(tree, Baseline{}, 1);
+    EXPECT_TRUE(second.newFindings().empty());
+}
+
+// --------------------------------------------------- type tables
+
+TEST(Lifetime, TypeTablesKnowTheRepoTypes)
+{
+    EXPECT_TRUE(isViewTypeName("GraphView"));
+    EXPECT_TRUE(isViewTypeName("AdjacencyView"));
+    EXPECT_TRUE(isViewTypeName("span"));
+    EXPECT_TRUE(isViewTypeName("string_view"));
+    EXPECT_FALSE(isViewTypeName("Graph"));
+    EXPECT_TRUE(isOwningTypeName("Graph"));
+    EXPECT_TRUE(isOwningTypeName("MappedGraph"));
+    EXPECT_TRUE(isOwningTypeName("vector"));
+    EXPECT_FALSE(isOwningTypeName("GraphView"));
+}
+
+} // namespace
+} // namespace gral::analyzer

@@ -217,6 +217,27 @@ TEST(SymbolsTest, NormalizeGuardExpr)
     EXPECT_EQ(normalizeGuardExpr("queue.lock"), "queue.lock");
 }
 
+TEST(SymbolsTest, PreprocessorDirectivesDoNotBleedIntoTypes)
+{
+    // A directive has no ';', so without an explicit boundary its
+    // tokens glue onto the return type of whatever follows —
+    // `#include <memory>` turned `Graph` into `#include<memory>Graph`
+    // and broke the lifetime pack's owner-by-value lookup.
+    FileSymbols symbols = symbolsOf(
+        "#include <memory>\n"
+        "#include \"graph/view.h\"\n"
+        "#define GRAL_WIDE(x) \\\n"
+        "    (x)\n"
+        "Graph makeGraph();\n"
+        "void use() {}\n");
+    const FunctionSymbol *make = functionNamed(symbols, "makeGraph");
+    ASSERT_NE(make, nullptr);
+    EXPECT_EQ(make->returnType, "Graph");
+    const FunctionSymbol *use = functionNamed(symbols, "use");
+    ASSERT_NE(use, nullptr);
+    EXPECT_EQ(use->returnType, "void");
+}
+
 TEST(SymbolsTest, TuViewMergesHeaderFields)
 {
     // Header: class with annotated field. Source: out-of-line body.

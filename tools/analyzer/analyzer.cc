@@ -286,6 +286,26 @@ analyzeTree(const SourceTree &tree, Baseline baseline,
         });
     }
 
+    // TU view of file i: symbols of every transitive include.
+    auto makeTuView = [&](std::size_t i) {
+        std::vector<const FileSymbols *> deps;
+        std::vector<char> seen(n, 0);
+        seen[i] = 1;
+        std::vector<std::size_t> queue = {i};
+        while (!queue.empty()) {
+            std::size_t from = queue.back();
+            queue.pop_back();
+            for (std::size_t to : fwd[from])
+                if (!seen[to]) {
+                    seen[to] = 1;
+                    queue.push_back(to);
+                    if (state[to].symbols)
+                        deps.push_back(&state[to].sym);
+                }
+        }
+        return buildTuView(state[i].sym, deps);
+    };
+
     // ---------------------------- per-file rules on the dirty set
     std::vector<std::vector<Finding>> perFile(n);
     {
@@ -294,26 +314,84 @@ analyzeTree(const SourceTree &tree, Baseline baseline,
             if (analyzed[i])
                 ruleBatch.push_back(i);
         runParallel(ruleBatch, options.jobs, [&](std::size_t i) {
-            // TU view: symbols of every transitive include.
-            std::vector<const FileSymbols *> deps;
-            std::vector<char> seen(n, 0);
-            seen[i] = 1;
-            std::vector<std::size_t> queue = {i};
+            TuView tu = makeTuView(i);
+            runFileRules(paths[i], state[i].lex, state[i].ts, tu,
+                         perFile[i]);
+        });
+    }
+
+    // ------------------- cross-TU program index (refresh + reuse)
+    ProgramIndex transientIndex;
+    ProgramIndex *index =
+        options.index != nullptr ? options.index : &transientIndex;
+    {
+        std::vector<char> rebuild(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto it = index->entries.find(paths[i]);
+            if (it == index->entries.end() ||
+                it->second.hash != hashes[i])
+                rebuild[i] = 1;
+            else
+                ++analysis.indexEntriesReused;
+        }
+        // Rebuilding an entry needs lexed+symboled state for the
+        // file and for its TU dependencies (the hot-op detector
+        // resolves virtual methods against the TU view).
+        std::vector<char> needState(n, 0);
+        {
+            std::vector<std::size_t> queue;
+            for (std::size_t i = 0; i < n; ++i)
+                if (rebuild[i] && !needState[i]) {
+                    needState[i] = 1;
+                    queue.push_back(i);
+                }
             while (!queue.empty()) {
                 std::size_t from = queue.back();
                 queue.pop_back();
                 for (std::size_t to : fwd[from])
-                    if (!seen[to]) {
-                        seen[to] = 1;
+                    if (!needState[to]) {
+                        needState[to] = 1;
                         queue.push_back(to);
-                        if (state[to].symbols)
-                            deps.push_back(&state[to].sym);
                     }
             }
-            TuView tu = buildTuView(state[i].sym, deps);
-            runFileRules(paths[i], state[i].lex, state[i].ts, tu,
-                         perFile[i]);
+            std::vector<std::size_t> lexMore;
+            for (std::size_t i = 0; i < n; ++i)
+                if (needState[i] && !state[i].lexed)
+                    lexMore.push_back(i);
+            lexBatch(lexMore);
+            std::vector<std::size_t> symbolMore;
+            for (std::size_t i = 0; i < n; ++i)
+                if (needState[i] && !state[i].symbols)
+                    symbolMore.push_back(i);
+            runParallel(symbolMore, options.jobs,
+                        [&](std::size_t i) {
+                            state[i].ts = tokenize(state[i].lex);
+                            state[i].sym =
+                                buildSymbols(state[i].ts);
+                            state[i].symbols = true;
+                        });
+        }
+        std::vector<TuIndex> built(n);
+        std::vector<std::size_t> buildBatch;
+        for (std::size_t i = 0; i < n; ++i)
+            if (rebuild[i])
+                buildBatch.push_back(i);
+        analysis.indexEntriesBuilt = buildBatch.size();
+        runParallel(buildBatch, options.jobs, [&](std::size_t i) {
+            TuView tu = makeTuView(i);
+            built[i] = buildTuIndex(paths[i], hashes[i],
+                                    state[i].lex, state[i].ts, tu);
         });
+        std::map<std::string, TuIndex> refreshed;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rebuild[i])
+                refreshed[paths[i]] = std::move(built[i]);
+            else
+                refreshed[paths[i]] =
+                    std::move(index->entries.at(paths[i]));
+        }
+        // Deleted files drop out here: only current paths survive.
+        index->entries = std::move(refreshed);
     }
 
     // -------------------------------------------- assemble findings
@@ -341,7 +419,12 @@ analyzeTree(const SourceTree &tree, Baseline baseline,
                             std::string_view rule) {
         if (state[i].lexed)
             return state[i].lex.isSuppressed(line, rule);
-        return cache->entries.at(paths[i]).isSuppressed(line, rule);
+        if (cache != nullptr) {
+            auto it = cache->entries.find(paths[i]);
+            if (it != cache->entries.end())
+                return it->second.isSuppressed(line, rule);
+        }
+        return false;
     };
     auto lineAt = [&](std::size_t i, int line) -> std::string {
         if (state[i].lexed)
@@ -410,6 +493,19 @@ analyzeTree(const SourceTree &tree, Baseline baseline,
                           "include cycle: " + chain},
                          fromIndex < n ? lineAt(fromIndex, line)
                                        : std::string()});
+    }
+
+    // Whole-program hot-path pass over the merged index. Like the
+    // graph rules it re-runs every time; suppressions are checked
+    // at the call site (lexed state or cache entry), and baseline
+    // keys use the stripped line carried in the index.
+    for (CrossTuFinding &cross : runCrossTuRules(*index)) {
+        std::size_t i = indexOf(cross.finding.path);
+        if (i < n &&
+            suppressedAt(i, cross.finding.line, cross.finding.rule))
+            continue;
+        items.push_back(
+            {std::move(cross.finding), cross.strippedLine});
     }
 
     std::sort(items.begin(), items.end(),

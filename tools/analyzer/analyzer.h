@@ -11,7 +11,7 @@
  * (src/exec/thread_pool.h); the include-graph rules run once on the
  * merged result.
  *
- * v2 pipeline (AnalyzeOptions):
+ * v3 pipeline (AnalyzeOptions):
  *   1. hash every file; with a cache, mark files dirty when their
  *      bytes changed, then expand through reverse include edges
  *      (a header edit dirties every transitive includer — the TU
@@ -21,12 +21,21 @@
  *      headers their TU views need; run per-file rules on the dirty
  *      set only (optionally intersected with --files selection plus
  *      its dependents — the diff-aware CI path);
- *   3. re-run the whole-tree graph rules (layering, include-cycle)
+ *   3. refresh the cross-TU program index (index.h): per-file
+ *      entries are reused when their content hash matches, rebuilt
+ *      otherwise; then run the whole-program hot-path pass over the
+ *      merged index — like the graph rules, it re-runs every time,
+ *      because an edit anywhere can change findings in an untouched
+ *      hot file;
+ *   4. re-run the whole-tree graph rules (layering, include-cycle)
  *      from cached + fresh include lists;
- *   4. merge cached findings for clean files, sort, apply baseline;
- *   5. write refreshed entries back to the cache.
+ *   5. merge cached findings for clean files, sort, apply baseline;
+ *   6. write refreshed entries back to the cache and the index.
  *
- * On a fully warm run (nothing changed) step 2 analyzes 0 files.
+ * On a fully warm run (valid cache AND index) nothing is lexed and
+ * step 2 analyzes 0 files. With a warm cache but no persisted index,
+ * step 3 must still lex everything to rebuild the transient index —
+ * which is why CI caches the index next to the findings cache.
  */
 
 #ifndef GRAL_ANALYZER_ANALYZER_H
@@ -37,6 +46,7 @@
 
 #include "analyzer/baseline.h"
 #include "analyzer/cache.h"
+#include "analyzer/index.h"
 #include "analyzer/rules.h"
 #include "analyzer/sarif.h"
 
@@ -62,6 +72,11 @@ struct AnalysisResult
     /** Files whose rules actually ran this time (== filesScanned
      *  without a cache; 0 on a fully warm incremental run). */
     std::size_t filesAnalyzed = 0;
+    /** Program-index entries rebuilt this run (0 when the persisted
+     *  index was fully warm). */
+    std::size_t indexEntriesBuilt = 0;
+    /** Program-index entries reused from AnalyzeOptions::index. */
+    std::size_t indexEntriesReused = 0;
 
     /** Findings not covered by the baseline. */
     std::vector<const Finding *> newFindings() const;
@@ -81,6 +96,14 @@ struct AnalyzeOptions
      *  cache; unselected files without a valid cache entry
      *  contribute none. */
     std::vector<std::string> selectFiles;
+    /** Cross-TU program index, read and refreshed in place. nullptr
+     *  = build a transient index for this run (cross-TU rules still
+     *  run, but every file must be lexed to feed them — persist the
+     *  index to keep warm runs lex-free). Unlike the findings cache
+     *  the index is never consulted for per-file findings; it only
+     *  feeds the whole-program pass, so a stale entry can at worst
+     *  cost a rebuild, never a wrong diagnostic. */
+    ProgramIndex *index = nullptr;
 };
 
 /**

@@ -1,7 +1,9 @@
 #include "analyzer/cache.h"
 
-#include <charconv>
 #include <sstream>
+
+#include "analyzer/tsv.h"
+#include "analyzer/version.h"
 
 namespace gral::analyzer
 {
@@ -9,97 +11,16 @@ namespace gral::analyzer
 namespace
 {
 
-constexpr std::string_view kHeader = "gral-analyzer-cache v2";
-
+/**
+ * The header carries the analyzer signature (version + rule-set
+ * hash), so upgrading the analyzer or changing the rule catalogue
+ * invalidates every entry at once: the stale cache parses as empty
+ * and the next run is cold. See version.h.
+ */
 std::string
-escape(std::string_view raw)
+cacheHeader()
 {
-    std::string out;
-    out.reserve(raw.size());
-    for (char c : raw) {
-        switch (c) {
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\t':
-            out += "\\t";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        default:
-            out += c;
-        }
-    }
-    return out;
-}
-
-std::string
-unescape(std::string_view escaped)
-{
-    std::string out;
-    out.reserve(escaped.size());
-    for (std::size_t i = 0; i < escaped.size(); ++i) {
-        if (escaped[i] != '\\' || i + 1 >= escaped.size()) {
-            out += escaped[i];
-            continue;
-        }
-        ++i;
-        switch (escaped[i]) {
-        case 't':
-            out += '\t';
-            break;
-        case 'n':
-            out += '\n';
-            break;
-        default:
-            out += escaped[i];
-        }
-    }
-    return out;
-}
-
-/** Split one record line on (unescaped) tabs. */
-std::vector<std::string_view>
-splitFields(std::string_view line)
-{
-    std::vector<std::string_view> fields;
-    std::size_t start = 0;
-    for (std::size_t i = 0; i <= line.size(); ++i) {
-        if (i == line.size() || line[i] == '\t') {
-            fields.push_back(line.substr(start, i - start));
-            start = i + 1;
-        }
-    }
-    return fields;
-}
-
-template <typename T>
-bool
-parseNumber(std::string_view text, T &out)
-{
-    auto result =
-        std::from_chars(text.data(), text.data() + text.size(), out);
-    return result.ec == std::errc() &&
-           result.ptr == text.data() + text.size();
-}
-
-bool
-parseHex(std::string_view text, std::uint64_t &out)
-{
-    auto result = std::from_chars(
-        text.data(), text.data() + text.size(), out, 16);
-    return result.ec == std::errc() &&
-           result.ptr == text.data() + text.size();
-}
-
-std::string
-hex(std::uint64_t value)
-{
-    char buffer[17];
-    auto result =
-        std::to_chars(buffer, buffer + sizeof buffer, value, 16);
-    return std::string(buffer, result.ptr);
+    return "gral-analyzer-cache " + analyzerSignature();
 }
 
 /** Join a rule list with commas (rule ids never contain commas). */
@@ -180,7 +101,7 @@ Cache::parse(std::string_view text)
         std::string_view line = text.substr(pos, eol - pos);
         pos = eol + 1;
         if (first) {
-            if (line != kHeader)
+            if (line != cacheHeader())
                 return Cache(); // version mismatch -> cold run
             first = false;
             continue;
@@ -190,47 +111,47 @@ Cache::parse(std::string_view text)
                 break;
             continue;
         }
-        std::vector<std::string_view> f = splitFields(line);
+        std::vector<std::string_view> f = tsv::splitFields(line);
         if (f[0] == "file" && f.size() == 3) {
             std::uint64_t hash = 0;
-            if (!parseHex(f[2], hash))
+            if (!tsv::parseHex(f[2], hash))
                 return Cache();
-            currentPath = unescape(f[1]);
+            currentPath = tsv::unescape(f[1]);
             entry = &cache.entries[currentPath];
             entry->hash = hash;
             finding = nullptr;
         } else if (f[0] == "inc" && f.size() == 4 && entry) {
             IncludeDirective inc;
-            if (!parseNumber(f[1], inc.line))
+            if (!tsv::parseNumber(f[1], inc.line))
                 return Cache();
-            inc.target = unescape(f[2]);
+            inc.target = tsv::unescape(f[2]);
             entry->includes.push_back(std::move(inc));
-            entry->includeLines.push_back(unescape(f[3]));
+            entry->includeLines.push_back(tsv::unescape(f[3]));
         } else if (f[0] == "sup" && f.size() == 3 && entry) {
             int supLine = 0;
-            if (!parseNumber(f[1], supLine))
+            if (!tsv::parseNumber(f[1], supLine))
                 return Cache();
             std::vector<std::string> rules =
-                splitRules(unescape(f[2]));
+                splitRules(tsv::unescape(f[2]));
             auto &slot = entry->suppressions[supLine];
             slot.insert(slot.end(), rules.begin(), rules.end());
         } else if (f[0] == "f" && f.size() == 6 && entry) {
             CachedFinding cached;
-            if (!parseNumber(f[1], cached.finding.line) ||
-                !parseNumber(f[2], cached.finding.column))
+            if (!tsv::parseNumber(f[1], cached.finding.line) ||
+                !tsv::parseNumber(f[2], cached.finding.column))
                 return Cache();
-            cached.finding.rule = unescape(f[3]);
-            cached.finding.message = unescape(f[4]);
-            cached.strippedLine = unescape(f[5]);
+            cached.finding.rule = tsv::unescape(f[3]);
+            cached.finding.message = tsv::unescape(f[4]);
+            cached.strippedLine = tsv::unescape(f[5]);
             cached.finding.path = currentPath;
             entry->findings.push_back(std::move(cached));
             finding = &entry->findings.back();
         } else if (f[0] == "x" && f.size() == 4 && finding) {
             FixIt fix;
-            if (!parseNumber(f[1], fix.offset) ||
-                !parseNumber(f[2], fix.length))
+            if (!tsv::parseNumber(f[1], fix.offset) ||
+                !tsv::parseNumber(f[2], fix.length))
                 return Cache();
-            fix.replacement = unescape(f[3]);
+            fix.replacement = tsv::unescape(f[3]);
             finding->finding.fixits.push_back(std::move(fix));
         } else {
             return Cache(); // unknown record -> treat as corrupt
@@ -245,16 +166,16 @@ std::string
 Cache::render() const
 {
     std::ostringstream out;
-    out << kHeader << "\n";
+    out << cacheHeader() << "\n";
     for (const auto &[path, entry] : entries) {
-        out << "file\t" << escape(path) << "\t" << hex(entry.hash)
-            << "\n";
+        out << "file\t" << tsv::escape(path) << "\t"
+            << tsv::hex(entry.hash) << "\n";
         for (std::size_t i = 0; i < entry.includes.size(); ++i) {
             out << "inc\t" << entry.includes[i].line << "\t"
-                << escape(entry.includes[i].target) << "\t"
-                << escape(i < entry.includeLines.size()
-                              ? entry.includeLines[i]
-                              : std::string())
+                << tsv::escape(entry.includes[i].target) << "\t"
+                << tsv::escape(i < entry.includeLines.size()
+                                   ? entry.includeLines[i]
+                                   : std::string())
                 << "\n";
         }
         // Deterministic order for the unordered suppression map.
@@ -262,16 +183,16 @@ Cache::render() const
             entry.suppressions.begin(), entry.suppressions.end());
         for (const auto &[line, rules] : sorted)
             out << "sup\t" << line << "\t"
-                << escape(joinRules(rules)) << "\n";
+                << tsv::escape(joinRules(rules)) << "\n";
         for (const CachedFinding &cached : entry.findings) {
             out << "f\t" << cached.finding.line << "\t"
                 << cached.finding.column << "\t"
-                << escape(cached.finding.rule) << "\t"
-                << escape(cached.finding.message) << "\t"
-                << escape(cached.strippedLine) << "\n";
+                << tsv::escape(cached.finding.rule) << "\t"
+                << tsv::escape(cached.finding.message) << "\t"
+                << tsv::escape(cached.strippedLine) << "\n";
             for (const FixIt &fix : cached.finding.fixits)
                 out << "x\t" << fix.offset << "\t" << fix.length
-                    << "\t" << escape(fix.replacement) << "\n";
+                    << "\t" << tsv::escape(fix.replacement) << "\n";
         }
     }
     return out.str();

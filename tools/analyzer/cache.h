@@ -22,10 +22,12 @@
  * analyzer lexes nothing and analyzes 0 files — BENCH_analyzer.json
  * records the resulting speedup.
  *
- * The on-disk format is a versioned, tab-separated text file
- * ("gral-analyzer-cache v2" header); any mismatch parses as an empty
- * cache, i.e. a cold run. The cache never affects *what* is reported,
- * only what is recomputed.
+ * The on-disk format is a versioned, tab-separated text file whose
+ * header embeds the analyzer signature — version number plus a hash
+ * of the active rule-id list (version.h) — so upgrading the analyzer
+ * or changing the rule set busts every entry at once; any mismatch
+ * parses as an empty cache, i.e. a cold run. The cache never affects
+ * *what* is reported, only what is recomputed.
  */
 
 #ifndef GRAL_ANALYZER_CACHE_H

@@ -16,8 +16,10 @@ startsWith(std::string_view text, std::string_view prefix)
     return text.substr(0, prefix.size()) == prefix;
 }
 
+} // namespace
+
 bool
-inHotScope(const std::string &path)
+inHotPathScope(const std::string &path)
 {
     return startsWith(path, "src/cachesim/") ||
            startsWith(path, "src/spmv/") ||
@@ -26,194 +28,141 @@ inHotScope(const std::string &path)
            startsWith(path, "src/graph/storage/");
 }
 
-/** One hot range: a loop body, or the body of a reachable function
- *  (via = name of the function the range belongs to, "" = loop). */
-struct HotRange
+std::vector<HotOp>
+detectHotOps(const TokenStream &ts, std::size_t begin,
+             std::size_t end, const TuView &tu)
 {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    std::string via;
-};
+    std::vector<HotOp> ops;
+    end = std::min(end, ts.tokens.size());
+    auto push = [&](const Token &t, std::size_t i,
+                    std::string_view rule, std::string what,
+                    std::string advice) {
+        ops.push_back({std::string(rule), std::move(what),
+                       std::move(advice), i, t.line, t.column});
+    };
+    for (std::size_t i = begin; i < end; ++i) {
+        const Token &t = ts.tokens[i];
+        if (t.kind != TokenKind::Identifier)
+            continue;
+        bool memberCall = i > 0 &&
+                          (ts.tokens[i - 1].text == "." ||
+                           ts.tokens[i - 1].text == "->") &&
+                          ts.is(i + 1, "(");
 
-class CostModelChecker
-{
-  public:
-    CostModelChecker(const std::string &path, const LexedFile &lexed,
-                     const TokenStream &ts, const TuView &tu,
-                     std::vector<Finding> &findings)
-        : path_(path), lexed_(lexed), ts_(ts), tu_(tu),
-          findings_(findings)
-    {
-    }
-
-    void
-    run()
-    {
-        collectHotRanges();
-        for (const HotRange &range : ranges_)
-            checkRange(range);
-    }
-
-  private:
-    const std::string &path_;
-    const LexedFile &lexed_;
-    const TokenStream &ts_;
-    const TuView &tu_;
-    std::vector<Finding> &findings_;
-    std::vector<HotRange> ranges_;
-    /** (rule, token) already reported — hot ranges overlap (nested
-     *  loops, functions called from several loops). */
-    std::set<std::pair<std::string, std::size_t>> reported_;
-
-    void
-    collectHotRanges()
-    {
-        for (const LoopRange &loop :
-             loopBodies(ts_, 0, ts_.tokens.size()))
-            ranges_.push_back({loop.begin, loop.end, ""});
-
-        // Functions transitively called from a hot range, resolved
-        // by name against this file's definitions.
-        std::set<std::string> hotFunctions;
-        bool grew = true;
-        while (grew) {
-            grew = false;
-            std::set<std::string> called;
-            for (const HotRange &range : ranges_)
-                for (const CallSite &call :
-                     callSites(ts_, range.begin, range.end))
-                    called.insert(call.name);
-            for (const FunctionSymbol &fn : tu_.local->functions) {
-                if (!fn.hasBody || called.count(fn.name) == 0 ||
-                    hotFunctions.count(fn.name) != 0)
-                    continue;
-                hotFunctions.insert(fn.name);
-                ranges_.push_back(
-                    {fn.bodyBegin + 1, fn.bodyEnd, fn.name});
-                grew = true;
-            }
+        if (memberCall &&
+            (t.text == "counter" || t.text == "gauge" ||
+             t.text == "histogram" || t.text == "series")) {
+            push(t, i, "hot-path-metrics",
+                 "MetricsRegistry name lookup",
+                 "resolve the Counter/Gauge/Histogram/Series "
+                 "reference once before the loop (obs/metrics.h)");
+            continue;
+        }
+        if (t.text == "MetricsRegistry" && ts.is(i + 1, "::") &&
+            ts.isIdent(i + 2, "global") && ts.is(i + 3, "(")) {
+            push(t, i, "hot-path-metrics",
+                 "MetricsRegistry::global() lookup",
+                 "hoist the registry handle out of the hot path");
+            continue;
+        }
+        if (t.text == "GRAL_SPAN" && ts.is(i + 1, "(")) {
+            push(t, i, "hot-path-span",
+                 "GRAL_SPAN records one span per iteration",
+                 "hoist it to the enclosing scope");
+            continue;
+        }
+        if (t.text == "new" || t.text == "make_unique" ||
+            t.text == "make_shared") {
+            push(t, i, "hot-path-alloc", "allocation",
+                 "hoist or reserve outside the loop");
+            continue;
+        }
+        if (t.text == "lock_guard" || t.text == "scoped_lock" ||
+            t.text == "unique_lock" || t.text == "shared_lock" ||
+            (memberCall &&
+             (t.text == "lock" || t.text == "try_lock"))) {
+            push(t, i, "hot-path-lock", "mutex acquisition",
+                 "move locking out of the per-iteration path or "
+                 "switch to an atomic/sharded design");
+            continue;
+        }
+        if (memberCall && t.text == "readCounters") {
+            push(t, i, "hot-path-perf-read",
+                 "perf counter group read(2)",
+                 "a group read is a syscall per call; count across "
+                 "the whole region (GRAL_PERF_SCOPE) and read once "
+                 "at its end");
+            continue;
+        }
+        if (memberCall &&
+            tu.virtualFunctions.count(std::string(t.text)) != 0) {
+            push(t, i, "hot-path-virtual",
+                 "virtual call to '" + std::string(t.text) + "()'",
+                 "devirtualize the per-element path (batch per "
+                 "buffer, template on the concrete type, or mark "
+                 "the class final)");
+            continue;
         }
     }
+    return ops;
+}
 
-    void
-    report(const Token &at, std::size_t tokenIndex,
-           std::string_view rule, const std::string &what,
-           const std::string &advice, const HotRange &range)
-    {
-        if (!reported_.insert({std::string(rule), tokenIndex}).second)
-            return;
-        if (lexed_.isSuppressed(at.line, rule))
-            return;
-        std::string where =
-            range.via.empty()
-                ? "inside a loop body"
-                : "in '" + range.via +
-                      "()', which is reachable from a loop body";
-        findings_.push_back({path_, at.line, at.column,
-                             std::string(rule),
-                             what + " " + where + "; " + advice});
-    }
+std::vector<HotRange>
+collectHotRanges(const TokenStream &ts, const TuView &tu)
+{
+    std::vector<HotRange> ranges;
+    for (const LoopRange &loop : loopBodies(ts, 0, ts.tokens.size()))
+        ranges.push_back({loop.begin, loop.end, ""});
 
-    void
-    checkRange(const HotRange &range)
-    {
-        std::size_t end = std::min(range.end, ts_.tokens.size());
-        for (std::size_t i = range.begin; i < end; ++i) {
-            const Token &t = ts_.tokens[i];
-            if (t.kind != TokenKind::Identifier)
+    // Functions transitively called from a hot range, resolved by
+    // name against this file's definitions.
+    std::set<std::string> hotFunctions;
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        std::set<std::string> called;
+        for (const HotRange &range : ranges)
+            for (const CallSite &call :
+                 callSites(ts, range.begin, range.end))
+                called.insert(call.name);
+        for (const FunctionSymbol &fn : tu.local->functions) {
+            if (!fn.hasBody || called.count(fn.name) == 0 ||
+                hotFunctions.count(fn.name) != 0)
                 continue;
-            bool memberCall =
-                i > 0 && (ts_.tokens[i - 1].text == "." ||
-                          ts_.tokens[i - 1].text == "->") &&
-                ts_.is(i + 1, "(");
-
-            if (memberCall &&
-                (t.text == "counter" || t.text == "gauge" ||
-                 t.text == "histogram" || t.text == "series")) {
-                report(t, i, "hot-path-metrics",
-                       "MetricsRegistry name lookup",
-                       "resolve the Counter/Gauge/Histogram/Series "
-                       "reference once before the loop "
-                       "(obs/metrics.h)",
-                       range);
-                continue;
-            }
-            if (t.text == "MetricsRegistry" &&
-                ts_.is(i + 1, "::") &&
-                ts_.isIdent(i + 2, "global") && ts_.is(i + 3, "(")) {
-                report(t, i, "hot-path-metrics",
-                       "MetricsRegistry::global() lookup",
-                       "hoist the registry handle out of the hot "
-                       "path",
-                       range);
-                continue;
-            }
-            if (t.text == "GRAL_SPAN" && ts_.is(i + 1, "(")) {
-                report(t, i, "hot-path-span",
-                       "GRAL_SPAN records one span per iteration",
-                       "hoist it to the enclosing scope", range);
-                continue;
-            }
-            if (t.text == "new") {
-                report(t, i, "hot-path-alloc", "allocation",
-                       "hoist or reserve outside the loop", range);
-                continue;
-            }
-            if (t.text == "make_unique" || t.text == "make_shared") {
-                report(t, i, "hot-path-alloc", "allocation",
-                       "hoist or reserve outside the loop", range);
-                continue;
-            }
-            if (t.text == "lock_guard" || t.text == "scoped_lock" ||
-                t.text == "unique_lock" || t.text == "shared_lock") {
-                report(t, i, "hot-path-lock", "mutex acquisition",
-                       "move locking out of the per-iteration path "
-                       "or switch to an atomic/sharded design",
-                       range);
-                continue;
-            }
-            if (memberCall &&
-                (t.text == "lock" || t.text == "try_lock")) {
-                report(t, i, "hot-path-lock", "mutex acquisition",
-                       "move locking out of the per-iteration path "
-                       "or switch to an atomic/sharded design",
-                       range);
-                continue;
-            }
-            if (memberCall && t.text == "readCounters") {
-                report(t, i, "hot-path-perf-read",
-                       "perf counter group read(2)",
-                       "a group read is a syscall per call; count "
-                       "across the whole region (GRAL_PERF_SCOPE) "
-                       "and read once at its end", range);
-                continue;
-            }
-            if (memberCall &&
-                tu_.virtualFunctions.count(std::string(t.text)) !=
-                    0) {
-                report(t, i, "hot-path-virtual",
-                       "virtual call to '" + std::string(t.text) +
-                           "()'",
-                       "devirtualize the per-element path (batch "
-                       "per buffer, template on the concrete type, "
-                       "or mark the class final)",
-                       range);
-                continue;
-            }
+            hotFunctions.insert(fn.name);
+            ranges.push_back({fn.bodyBegin + 1, fn.bodyEnd, fn.name});
+            grew = true;
         }
     }
-};
-
-} // namespace
+    return ranges;
+}
 
 void
 runCostModelRules(const std::string &path, const LexedFile &lexed,
                   const TokenStream &ts, const TuView &tu,
                   std::vector<Finding> &findings)
 {
-    if (!inHotScope(path))
+    if (!inHotPathScope(path))
         return;
-    CostModelChecker(path, lexed, ts, tu, findings).run();
+    // (rule, token) pairs already reported — hot ranges overlap
+    // (nested loops, functions called from several loops).
+    std::set<std::pair<std::string, std::size_t>> reported;
+    for (const HotRange &range : collectHotRanges(ts, tu)) {
+        for (HotOp &op : detectHotOps(ts, range.begin, range.end, tu)) {
+            if (!reported.insert({op.rule, op.tokenIndex}).second)
+                continue;
+            if (lexed.isSuppressed(op.line, op.rule))
+                continue;
+            std::string where =
+                range.via.empty()
+                    ? "inside a loop body"
+                    : "in '" + range.via +
+                          "()', which is reachable from a loop body";
+            findings.push_back({path, op.line, op.column, op.rule,
+                                op.what + " " + where + "; " +
+                                    op.advice});
+        }
+    }
 }
 
 } // namespace gral::analyzer

@@ -1,7 +1,6 @@
 /**
  * @file
- * Cost-model rule pack: hot-path checks with intra-procedural
- * reachability.
+ * Cost-model rule pack: hot-path checks with reachability.
  *
  * v1 flagged expensive constructs only when they sat lexically inside
  * a loop body. v2 computes, per file, the set of "hot" token ranges:
@@ -22,9 +21,18 @@
  *                     call; count the whole region via
  *                     GRAL_PERF_SCOPE and read once at its end
  *
- * Scope: src/cachesim/, src/spmv/, src/kernels/ — the simulator and
- * kernel hot paths. Findings in a called function say which function
- * made them reachable.
+ * Scope: src/cachesim/, src/spmv/, src/kernels/ (and the exec/storage
+ * layers they drive) — the simulator and kernel hot paths. Findings
+ * in a called function say which function made them reachable.
+ *
+ * v3 closes the cross-TU hole: the same detectHotOps() scanner runs
+ * over every function body in the repo while the program index
+ * (index.h) is built, and the whole-program call-graph fixpoint then
+ * flags a call from a hot range to an allocating/locking/... helper
+ * *defined in another file* — previously invisible to the same-TU
+ * pass below. The building blocks (hot-range collection, op
+ * detection) are exported here so both passes agree byte-for-byte on
+ * what is expensive.
  */
 
 #ifndef GRAL_ANALYZER_COSTMODEL_H
@@ -37,6 +45,42 @@
 
 namespace gral::analyzer
 {
+
+/** True when @p path is inside the hot-path rule scope. */
+bool inHotPathScope(const std::string &path);
+
+/** One expensive construct found in a token range. */
+struct HotOp
+{
+    std::string rule; // hot-path-*
+    std::string what; // "allocation", "mutex acquisition", ...
+    std::string advice;
+    std::size_t tokenIndex = 0;
+    int line = 1;
+    int column = 1;
+};
+
+/**
+ * Detect expensive constructs in [begin, end); virtual calls are
+ * resolved against @p tu's virtualFunctions set.
+ */
+std::vector<HotOp> detectHotOps(const TokenStream &ts,
+                                std::size_t begin, std::size_t end,
+                                const TuView &tu);
+
+/** One hot range: a loop body, or the body of a function reachable
+ *  from one (via = that function's name, "" for a loop body). */
+struct HotRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::string via;
+};
+
+/** Every hot range of the file: loop bodies plus the bodies of
+ *  same-file functions transitively called from one. */
+std::vector<HotRange> collectHotRanges(const TokenStream &ts,
+                                       const TuView &tu);
 
 /** Run the hot-path rules over @p ts (path-scoped). */
 void runCostModelRules(const std::string &path,

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lifetime/escape rule pack for non-owning views (gral-analyzer v3).
+ *
+ * The repo's read API is built on cheap non-owning value types —
+ * GraphView/AdjacencyView (graph/view.h), std::span, std::string_view
+ * — whose contract is documentation only: "the storage a view was
+ * made from must outlive every use of the view". This pack turns the
+ * contract into diagnostics. It is a heuristic, token-level escape
+ * analysis over each function body (scope-exact for the shapes this
+ * repo uses, not a full C++ borrow checker):
+ *
+ *   view-from-temporary          a view bound to an owning temporary
+ *                                (`GraphView v = Graph(e).view();`)
+ *                                dangles at the end of the statement;
+ *                                fixable — the analyzer materializes
+ *                                the owner (`Graph v = Graph(e);`);
+ *   view-outlives-storage        a view used after the owner it was
+ *                                created from went out of scope;
+ *   return-dangling-view         a view-returning function whose
+ *                                result refers into a local or a
+ *                                by-value parameter;
+ *   view-invalidated-by-mutation a view used after its backing
+ *                                container was mutated (push_back /
+ *                                resize / clear / reassignment —
+ *                                anything that may reallocate).
+ *
+ * What counts as "view", "owner" and "producer" comes from two
+ * sources: a built-in knowledge base of the repo's types (view.h,
+ * csr.h, storage) and std vocabulary types, plus GRAL_LIFETIMEBOUND
+ * annotations (common/annotations.h) read off the TU symbol view —
+ * a method declared `... GRAL_LIFETIMEBOUND` after its parameter
+ * list produces a view into its receiver; a function with a
+ * GRAL_LIFETIMEBOUND parameter produces a view into that argument.
+ * Annotating the API surface therefore extends the pack to new
+ * producer functions without touching the analyzer.
+ */
+
+#ifndef GRAL_ANALYZER_LIFETIME_H
+#define GRAL_ANALYZER_LIFETIME_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyzer/lexer.h"
+#include "analyzer/parse.h"
+#include "analyzer/rules.h"
+#include "analyzer/symbols.h"
+
+namespace gral::analyzer
+{
+
+/** True when @p typeName (last type identifier, e.g. "GraphView",
+ *  "span") is a non-owning view type the pack tracks. */
+bool isViewTypeName(std::string_view typeName);
+
+/** True when @p typeName is an owning storage type views borrow
+ *  from (Graph, Adjacency, std::vector, std::string, ...). */
+bool isOwningTypeName(std::string_view typeName);
+
+/**
+ * Run the four view-lifetime rules over every function body defined
+ * in @p lexed. Gated to src/ by the caller (rules.cc); suppressions
+ * are applied here.
+ */
+void runLifetimeRules(const std::string &path, const LexedFile &lexed,
+                      const TokenStream &ts, const TuView &tu,
+                      std::vector<Finding> &findings);
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_LIFETIME_H

@@ -4,8 +4,8 @@
  *
  *   gral_analyzer [--root DIR] [--sarif FILE] [--baseline FILE]
  *                 [--no-baseline] [--write-baseline] [--jobs N]
- *                 [--cache FILE] [--files a.cc,b.h] [--fix]
- *                 [--list-rules]
+ *                 [--cache FILE] [--index FILE] [--files a.cc,b.h]
+ *                 [--fix] [--list-rules]
  *
  * Exit codes: 0 clean (or only baselined findings), 1 unbaselined
  * findings, 2 usage/IO error. Text diagnostics go to stdout as
@@ -16,7 +16,11 @@
  *
  * Incremental mode: `--cache FILE` loads/stores the content-hash +
  * include-graph cache, so unchanged files are neither lexed nor
- * re-analyzed. `--files` (comma-separated or repeated, repo-relative)
+ * re-analyzed. `--index FILE` loads/stores the cross-TU program
+ * index the whole-program hot-path rules run from; without it the
+ * index is rebuilt from scratch every run (same findings, but every
+ * file must be lexed — pass both for lex-free warm runs). `--files`
+ * (comma-separated or repeated, repo-relative)
  * restricts analysis to those files plus everything that transitively
  * includes them — the diff-aware CI path. `--fix` applies the
  * auto-fixes attached to fresh findings (std-endl, include-guard
@@ -45,7 +49,8 @@ usageError(const std::string &message)
               << "usage: gral_analyzer [--root DIR] [--sarif [FILE]] "
                  "[--baseline FILE] [--no-baseline] "
                  "[--write-baseline] [--jobs N] [--cache FILE] "
-                 "[--files LIST] [--fix] [--list-rules]\n";
+                 "[--index FILE] [--files LIST] [--fix] "
+                 "[--list-rules]\n";
     return 2;
 }
 
@@ -86,6 +91,7 @@ main(int argc, char **argv)
     bool listRules = false;
     bool applyFix = false;
     std::string cachePath;
+    std::string indexPath;
     std::vector<std::string> selectFiles;
     unsigned jobs = 0;
 
@@ -124,6 +130,9 @@ main(int argc, char **argv)
         } else if (arg == "--cache") {
             if (!takeValue(cachePath))
                 return usageError("--cache needs a file");
+        } else if (arg == "--index") {
+            if (!takeValue(indexPath))
+                return usageError("--index needs a file");
         } else if (arg == "--files") {
             std::string value;
             if (!takeValue(value))
@@ -159,12 +168,17 @@ main(int argc, char **argv)
         baseline = Baseline::parse(readFile(baselinePath));
 
     Cache cache;
+    ProgramIndex programIndex;
     AnalyzeOptions options;
     options.jobs = jobs;
     options.selectFiles = selectFiles;
     if (!cachePath.empty()) {
         cache = Cache::parse(readFile(cachePath));
         options.cache = &cache;
+    }
+    if (!indexPath.empty()) {
+        programIndex = ProgramIndex::parse(readFile(indexPath));
+        options.index = &programIndex;
     }
 
     AnalysisResult analysis =
@@ -175,6 +189,12 @@ main(int argc, char **argv)
         if (!out)
             return usageError("cannot write " + cachePath);
         out << cache.render();
+    }
+    if (!indexPath.empty()) {
+        std::ofstream out(indexPath, std::ios::binary);
+        if (!out)
+            return usageError("cannot write " + indexPath);
+        out << programIndex.render();
     }
 
     if (writeBaseline) {
@@ -247,7 +267,8 @@ main(int argc, char **argv)
             .count();
     std::cout << "gral_analyzer: " << analysis.filesScanned
               << " files scanned, " << analysis.filesAnalyzed
-              << " analyzed, " << fresh << " finding(s)";
+              << " analyzed, " << analysis.indexEntriesBuilt
+              << " indexed, " << fresh << " finding(s)";
     if (fixable != 0)
         std::cout << " (" << fixable << " auto-fixed)";
     if (known != 0)

@@ -6,6 +6,7 @@
 #include "analyzer/concurrency.h"
 #include "analyzer/costmodel.h"
 #include "analyzer/include_graph.h"
+#include "analyzer/lifetime.h"
 
 namespace gral::analyzer
 {
@@ -486,28 +487,34 @@ ruleCatalogue()
          "GRAL_REQUIRES contract; common/annotations.h)"},
         {"hot-path-alloc",
          "no allocation (new/make_unique/make_shared) in loop bodies "
-         "or functions reachable from them in src/cachesim, "
-         "src/spmv and src/kernels"},
+         "or functions reachable from them — across TU boundaries — "
+         "in the hot modules (src/cachesim, src/spmv, src/kernels, "
+         "src/exec, src/graph/storage)"},
         {"hot-path-lock",
          "no mutex acquisition (lock_guard/scoped_lock/unique_lock/"
          "shared_lock/.lock()) in loop bodies or functions reachable "
-         "from them in src/cachesim, src/spmv and src/kernels"},
+         "from them in the hot modules (src/cachesim, src/spmv, "
+         "src/kernels, src/exec, src/graph/storage)"},
         {"hot-path-metrics",
          "no MetricsRegistry name lookup in loop bodies or functions "
-         "reachable from them in src/cachesim, src/spmv and "
-         "src/kernels; hoist the handle"},
+         "reachable from them in the hot modules (src/cachesim, "
+         "src/spmv, src/kernels, src/exec, src/graph/storage); "
+         "hoist the handle"},
         {"hot-path-perf-read",
          "no perf counter group .readCounters() in loop bodies or "
-         "functions reachable from them in src/cachesim, src/spmv "
-         "and src/kernels; each read is a syscall — count the whole "
-         "region and read once at its end (obs/perf/scope.h)"},
+         "functions reachable from them in the hot modules "
+         "(src/cachesim, src/spmv, src/kernels, src/exec, "
+         "src/graph/storage); each read is a syscall — count the "
+         "whole region and read once at its end (obs/perf/scope.h)"},
         {"hot-path-span",
          "no GRAL_SPAN in loop bodies or functions reachable from "
-         "them in src/cachesim, src/spmv and src/kernels"},
+         "them in the hot modules (src/cachesim, src/spmv, "
+         "src/kernels, src/exec, src/graph/storage)"},
         {"hot-path-virtual",
          "no virtual dispatch in loop bodies or functions reachable "
-         "from them in src/cachesim, src/spmv and src/kernels; "
-         "devirtualize the per-element path"},
+         "from them in the hot modules (src/cachesim, src/spmv, "
+         "src/kernels, src/exec, src/graph/storage); devirtualize "
+         "the per-element path"},
         {"include-cycle",
          "the repo-local include graph must be a DAG"},
         {"include-guard",
@@ -527,12 +534,28 @@ ruleCatalogue()
         {"raw-new",
          "no raw new/delete expressions in src/; use containers and "
          "smart pointers"},
+        {"return-dangling-view",
+         "a function returning a view (GraphView/AdjacencyView/"
+         "std::span/std::string_view) must not return a view into a "
+         "local or a by-value parameter; return an owning object or "
+         "borrow caller storage (GRAL_LIFETIMEBOUND)"},
         {"std-endl",
          "no std::endl in src/, tools/, bench/, examples/; it "
          "flushes — use '\\n'"},
         {"vertex-id-type",
          "loops bounded by numVertices() use VertexId, not raw "
          "integer types"},
+        {"view-from-temporary",
+         "a view must not be bound to an owning temporary (e.g. "
+         "`GraphView v = Graph(e).view()`): the owner dies at the "
+         "end of the statement; --fix materializes the owner"},
+        {"view-invalidated-by-mutation",
+         "a view/span must not be used after its backing container "
+         "was mutated (push_back/resize/clear/reassignment); "
+         "reallocation invalidates outstanding views"},
+        {"view-outlives-storage",
+         "a view must not be used after the owning object it was "
+         "created from went out of scope"},
     };
     return kRules;
 }
@@ -564,9 +587,10 @@ runFileRules(const std::string &path, const LexedFile &lexed,
     checkSideEffectingChecks(path, lexed, findings);
     // Token-tree packs gate on path internally (concurrency: src/
     // for guarded-by, the lock-free hot modules for atomic-seq-cst;
-    // cost model: src/cachesim, src/spmv, src/kernels).
+    // cost model: the hot modules listed by inHotPathScope()).
     runConcurrencyRules(path, lexed, ts, tu, findings);
     runCostModelRules(path, lexed, ts, tu, findings);
+    runLifetimeRules(path, lexed, ts, tu, findings);
 }
 
 void

@@ -2,7 +2,7 @@
  * @file
  * Rule catalogue and per-file rule engine of gral-analyzer.
  *
- * Rules fall into four families (DESIGN.md "Static analysis layer"):
+ * Rules fall into six families (DESIGN.md "Static analysis layer"):
  *
  *   layering        module-DAG violations (include_graph.h) and
  *   include-cycle   cycles in the repo-local include graph;
@@ -18,9 +18,11 @@
  *   hot-path-alloc    make_shared), mutex acquisition, virtual
  *   hot-path-lock     dispatch and perf group .readCounters() in
  *   hot-path-virtual  loop bodies — or in any function transitively
- *   hot-path-perf-read  called from a loop body — in src/cachesim,
- *                     src/spmv and src/kernels, the simulator and
- *                     kernel hot paths (costmodel.cc);
+ *   hot-path-perf-read  called from a loop body, including across
+ *                     TU boundaries via the program index — in the
+ *                     hot modules src/cachesim, src/spmv,
+ *                     src/kernels, src/exec and src/graph/storage
+ *                     (costmodel.cc, index.cc);
  *
  *   guarded-by        GRAL_GUARDED_BY field accessed outside a scope
  *                     that locks the named mutex (concurrency.cc);
@@ -33,7 +35,16 @@
  *                     ++/--/assignment (dchecks compile out in
  *                     Release, so side effects change behaviour);
  *   raw-new           raw new/delete expressions in src/ (owning
- *                     containers and smart pointers only).
+ *                     containers and smart pointers only);
+ *
+ *   view-from-temporary           lifetime/escape pack for the
+ *   view-outlives-storage         non-owning view types (GraphView,
+ *   return-dangling-view          AdjacencyView, std::span,
+ *   view-invalidated-by-mutation  std::string_view): binding to
+ *                     temporaries, use after the owner's scope,
+ *                     dangling returns, and use after container
+ *                     mutation; GRAL_LIFETIMEBOUND annotations
+ *                     extend the producer set (lifetime.h).
  *
  * Per-file rules run on a LexedFile (plus the token stream and the
  * translation-unit symbol view for the concurrency and cost-model
@@ -92,8 +103,9 @@ const std::vector<RuleInfo> &ruleCatalogue();
  *   - src/ subtree: all convention + API-misuse rules, plus the
  *     concurrency pack (guarded-by everywhere in src/,
  *     atomic-seq-cst in src/obs/metrics, src/spmv, src/cachesim)
- *   - src/cachesim, src/spmv, src/kernels: additionally the
- *     hot-path (cost-model) rules
+ *   - the hot modules (src/cachesim, src/spmv, src/kernels,
+ *     src/exec, src/graph/storage): additionally the hot-path
+ *     (cost-model) rules
  *   - tools/, bench/, examples/: std-endl only
  * Suppressions (`// gral-analyzer: off(rule)`) are applied here.
  *

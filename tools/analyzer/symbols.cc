@@ -179,14 +179,120 @@ class SymbolScanner
     };
 
     /**
+     * Spell the type in [b, e): tokens joined with a space only
+     * between adjacent identifiers/numbers ("std :: span < const T >"
+     * -> "std::span<const T>"), with declaration specifiers and a
+     * leading template<...> head dropped.
+     */
+    std::string
+    joinType(std::size_t b, std::size_t e) const
+    {
+        std::string out;
+        bool prevWord = false;
+        for (std::size_t i = b; i < e; ++i) {
+            if (ident(i, "template")) {
+                std::size_t after = skipTemplateArgs(i + 1, e);
+                if (after != i + 1) {
+                    i = after - 1;
+                    continue;
+                }
+                continue;
+            }
+            std::string_view t = tok(i).text;
+            if (t == "virtual" || t == "static" || t == "inline" ||
+                t == "constexpr" || t == "consteval" ||
+                t == "explicit" || t == "friend" || t == "extern" ||
+                t == "mutable" || t == "typename" ||
+                t == "GRAL_LIFETIMEBOUND")
+                continue;
+            bool word = tok(i).kind == TokenKind::Identifier ||
+                        tok(i).kind == TokenKind::Number;
+            if (word && prevWord)
+                out += ' ';
+            out += t;
+            prevWord = word;
+        }
+        return out;
+    }
+
+    /** Parse the parameter list of the paren group opening at
+     *  @p open into ParamSymbols. */
+    std::vector<ParamSymbol>
+    parseParams(std::size_t open) const
+    {
+        std::vector<ParamSymbol> params;
+        std::size_t close = ts_.partner(open);
+        if (close >= ts_.tokens.size())
+            return params;
+        std::size_t start = open + 1;
+        auto flush = [&](std::size_t s, std::size_t e) {
+            if (e <= s)
+                return;
+            ParamSymbol param;
+            // Drop a default argument.
+            for (std::size_t i = s; i < e; ++i) {
+                std::size_t p = ts_.partner(i);
+                if (p < e && p > i) {
+                    i = p;
+                    continue;
+                }
+                if (tok(i).text == "=") {
+                    e = i;
+                    break;
+                }
+            }
+            std::size_t typeEnd = e;
+            if (typeEnd > s &&
+                ident(typeEnd - 1, "GRAL_LIFETIMEBOUND")) {
+                param.lifetimebound = true;
+                --typeEnd;
+            }
+            // Trailing identifier preceded by more type tokens is
+            // the parameter name; a lone identifier is an unnamed
+            // parameter's type.
+            if (typeEnd > s + 1 &&
+                tok(typeEnd - 1).kind == TokenKind::Identifier &&
+                !isKeyword(tok(typeEnd - 1).text)) {
+                param.name = std::string(tok(typeEnd - 1).text);
+                --typeEnd;
+            }
+            for (std::size_t i = s; i < typeEnd; ++i) {
+                std::size_t p = ts_.partner(i);
+                std::string_view t = tok(i).text;
+                if (t == "&" || t == "&&" || t == "*")
+                    param.byReference = true;
+                if (p < typeEnd && p > i)
+                    i = p; // skip nested groups ((int&) in a
+                           // std::function param is not a ref here)
+            }
+            param.type = joinType(s, typeEnd);
+            if (!param.type.empty())
+                params.push_back(std::move(param));
+        };
+        for (std::size_t i = open + 1; i <= close; ++i) {
+            std::size_t p = ts_.partner(i);
+            if (p < close && p > i) {
+                i = p;
+                continue;
+            }
+            if (i == close || tok(i).text == ",") {
+                flush(start, i);
+                start = i + 1;
+            }
+        }
+        return params;
+    }
+
+    /**
      * Classify what follows a parameter list closing at @p close:
-     * qualifiers / GRAL_REQUIRES / ctor-init / trailing return, then
-     * a body, a ';' or '= default|delete|0'.
+     * qualifiers / GRAL_REQUIRES / GRAL_LIFETIMEBOUND / ctor-init /
+     * trailing return, then a body, a ';' or '= default|delete|0'.
      */
     FnShape
     classifyAfterParams(std::size_t close, std::size_t end,
                         std::vector<std::string> &requiresLocks,
-                        std::size_t &bodyBegin) const
+                        std::size_t &bodyBegin,
+                        bool &lifetimeboundThis) const
     {
         bool afterArrow = false;
         for (std::size_t j = close + 1; j < end;) {
@@ -198,6 +304,11 @@ class SymbolScanner
                 if (j < end && ts_.is(j, "(") &&
                     (t == "noexcept" || t == "throw"))
                     j = ts_.partner(j) + 1;
+                continue;
+            }
+            if (ident(j, "GRAL_LIFETIMEBOUND")) {
+                lifetimeboundThis = true;
+                ++j;
                 continue;
             }
             if (ident(j, "GRAL_REQUIRES")) {
@@ -358,6 +469,28 @@ class SymbolScanner
         for (std::size_t i = b; i < e;) {
             const Token &t = tok(i);
 
+            if (t.text == "#" &&
+                (i == b || tok(i - 1).line < t.line)) {
+                // Preprocessor directive: consume its logical line
+                // (backslash continuations included) whole. Without
+                // this, `#include <x>` has no ';' to advance
+                // statementStart, and its tokens bleed into the
+                // return type of the next declaration.
+                std::size_t j = i + 1;
+                int line = t.line;
+                while (j < e) {
+                    if (tok(j).line > line) {
+                        if (tok(j - 1).text != "\\")
+                            break;
+                        line = tok(j).line;
+                    }
+                    ++j;
+                }
+                i = j;
+                statementStart = i;
+                virtualSeen = false;
+                continue;
+            }
             if (ident(i, "virtual")) {
                 virtualSeen = true;
                 ++i;
@@ -460,8 +593,10 @@ class SymbolScanner
                 if (close < e) {
                     std::vector<std::string> requiresLocks;
                     std::size_t bodyBegin = 0;
+                    bool lifetimeboundThis = false;
                     FnShape shape = classifyAfterParams(
-                        close, e, requiresLocks, bodyBegin);
+                        close, e, requiresLocks, bodyBegin,
+                        lifetimeboundThis);
                     if (shape != FnShape::NotAFunction) {
                         FunctionSymbol fn;
                         fn.name = std::string(tok(i - 1).text);
@@ -470,19 +605,29 @@ class SymbolScanner
                         bool tilde =
                             i >= 2 && tok(i - 2).text == "~";
                         std::size_t qual = tilde ? i - 3 : i - 2;
+                        std::size_t declStart = tilde ? i - 2 : i - 1;
                         if (qual < ts_.tokens.size() && qual >= b &&
                             i >= (tilde ? 3u : 2u) &&
                             tok(qual).text == "::" && qual >= 1 &&
                             tok(qual - 1).kind ==
-                                TokenKind::Identifier)
+                                TokenKind::Identifier) {
                             fn.className =
                                 std::string(tok(qual - 1).text);
+                            declStart = qual - 1;
+                        }
                         if (tilde)
                             fn.name = "~" + fn.name;
                         fn.isCtorOrDtor =
                             tilde || (!fn.className.empty() &&
                                       fn.name == fn.className);
                         fn.isVirtual = virtualSeen;
+                        if (!fn.isCtorOrDtor &&
+                            declStart > statementStart &&
+                            statementStart >= b)
+                            fn.returnType = joinType(statementStart,
+                                                     declStart);
+                        fn.params = parseParams(i);
+                        fn.lifetimeboundThis = lifetimeboundThis;
                         fn.requiresLocks = std::move(requiresLocks);
                         if (shape == FnShape::Definition) {
                             fn.hasBody = true;
@@ -547,6 +692,15 @@ class SymbolScanner
 };
 
 } // namespace
+
+bool
+FunctionSymbol::hasLifetimeboundParam() const
+{
+    for (const ParamSymbol &param : params)
+        if (param.lifetimebound)
+            return true;
+    return false;
+}
 
 FileSymbols
 buildSymbols(const TokenStream &ts)
@@ -661,6 +815,12 @@ buildTuView(const FileSymbols &local,
         for (const FunctionSymbol &fn : symbols.functions) {
             if (fn.isVirtual)
                 view.virtualFunctions.insert(fn.name);
+            if (!fn.isCtorOrDtor && !fn.returnType.empty())
+                view.returnTypes.emplace(fn.name, fn.returnType);
+            if (fn.lifetimeboundThis)
+                view.lifetimeboundMethods.insert(fn.name);
+            if (fn.hasLifetimeboundParam())
+                view.lifetimeboundParamFns.insert(fn.name);
             if (!fn.requiresLocks.empty()) {
                 std::string key = fn.className.empty()
                                       ? fn.name

@@ -61,20 +61,44 @@ struct ClassSymbol
     std::size_t bodyEnd = 0;
 };
 
+/** One declared parameter of a function. */
+struct ParamSymbol
+{
+    std::string name; // "" for unnamed parameters
+    std::string type; // spelled type, whitespace-normalized
+    /** Declared by reference or pointer (the caller keeps ownership
+     *  and the object outlives the call either way). */
+    bool byReference = false;
+    /** Annotated GRAL_LIFETIMEBOUND: the result refers into this
+     *  argument. */
+    bool lifetimebound = false;
+};
+
 /** One function: a definition (hasBody) or a bare declaration. */
 struct FunctionSymbol
 {
     std::string name;      // bare name ("run", "Series", "~Series")
     std::string className; // enclosing or :: -qualified class, "" free
+    /** Spelled return type ("" for ctors/dtors and when the scanner
+     *  could not attribute one), whitespace-normalized, with
+     *  specifiers (virtual/static/inline/...) dropped. */
+    std::string returnType;
     int line = 1;
     bool isVirtual = false;
     bool isCtorOrDtor = false;
     bool hasBody = false;
+    /** GRAL_LIFETIMEBOUND after the parameter list: the result
+     *  refers into *this. */
+    bool lifetimeboundThis = false;
+    std::vector<ParamSymbol> params;
     /** GRAL_REQUIRES arguments (normalized mutex expressions). */
     std::vector<std::string> requiresLocks;
     /** Token indices of the body braces (valid when hasBody). */
     std::size_t bodyBegin = 0;
     std::size_t bodyEnd = 0;
+
+    /** True when any parameter is annotated GRAL_LIFETIMEBOUND. */
+    bool hasLifetimeboundParam() const;
 };
 
 /** Symbols extracted from one file. */
@@ -115,6 +139,22 @@ struct TuView
 
     /** Names of std::atomic data members anywhere in the TU. */
     std::set<std::string> atomicFields;
+
+    /** Bare function/method name -> spelled return type, merged over
+     *  every declaration in the TU (first declaration wins on
+     *  conflict; ctors/dtors excluded). Lets the lifetime pack see
+     *  that `materializeGraph` returns an owning `Graph` even though
+     *  the definition lives in another file. */
+    std::map<std::string, std::string> returnTypes;
+
+    /** Method names declared `... GRAL_LIFETIMEBOUND` after their
+     *  parameter list anywhere in the TU: the result refers into the
+     *  receiver object. */
+    std::set<std::string> lifetimeboundMethods;
+
+    /** Function names with at least one GRAL_LIFETIMEBOUND
+     *  parameter: the result refers into that argument. */
+    std::set<std::string> lifetimeboundParamFns;
 
     /** Merged fields of @p className (empty vector when unknown). */
     const std::vector<const FieldSymbol *> &

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared helpers for the analyzer's tab-separated on-disk formats
+ * (the incremental cache, cache.h, and the program index, index.h).
+ *
+ * Records are one line each: a tag field plus tab-separated payload
+ * fields, with '\\'/'\t'/'\n' escaped so arbitrary source lines and
+ * messages survive the round trip. Both formats treat any parse
+ * irregularity as "artefact absent" (a cold run), so the helpers
+ * favour strictness over recovery.
+ */
+
+#ifndef GRAL_ANALYZER_TSV_H
+#define GRAL_ANALYZER_TSV_H
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <vector>
+
+namespace gral::analyzer::tsv
+{
+
+inline std::string
+escape(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+inline std::string
+unescape(std::string_view escaped)
+{
+    std::string out;
+    out.reserve(escaped.size());
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+        if (escaped[i] != '\\' || i + 1 >= escaped.size()) {
+            out += escaped[i];
+            continue;
+        }
+        ++i;
+        switch (escaped[i]) {
+        case 't':
+            out += '\t';
+            break;
+        case 'n':
+            out += '\n';
+            break;
+        default:
+            out += escaped[i];
+        }
+    }
+    return out;
+}
+
+/** Split one record line on (unescaped) tabs. */
+inline std::vector<std::string_view>
+splitFields(std::string_view line)
+{
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+        if (i == line.size() || line[i] == '\t') {
+            fields.push_back(line.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return fields;
+}
+
+template <typename T>
+bool
+parseNumber(std::string_view text, T &out)
+{
+    auto result =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return result.ec == std::errc() &&
+           result.ptr == text.data() + text.size();
+}
+
+inline bool
+parseHex(std::string_view text, std::uint64_t &out)
+{
+    auto result = std::from_chars(text.data(),
+                                  text.data() + text.size(), out, 16);
+    return result.ec == std::errc() &&
+           result.ptr == text.data() + text.size();
+}
+
+inline std::string
+hex(std::uint64_t value)
+{
+    char buffer[17];
+    auto result =
+        std::to_chars(buffer, buffer + sizeof buffer, value, 16);
+    return std::string(buffer, result.ptr);
+}
+
+} // namespace gral::analyzer::tsv
+
+#endif // GRAL_ANALYZER_TSV_H

@@ -1,0 +1,26 @@
+#include "analyzer/version.h"
+
+#include "analyzer/cache.h"
+#include "analyzer/rules.h"
+#include "analyzer/tsv.h"
+
+namespace gral::analyzer
+{
+
+std::string
+analyzerSignature()
+{
+    // Hash the rule-id list (already sorted in the catalogue) so
+    // adding, removing or renaming a rule invalidates every cached
+    // artefact; kAnalyzerVersion covers behaviour changes the list
+    // cannot see.
+    std::string joined;
+    for (const RuleInfo &rule : ruleCatalogue()) {
+        joined += rule.id;
+        joined += ';';
+    }
+    return "v" + std::to_string(kAnalyzerVersion) + "/" +
+           tsv::hex(contentHash(joined));
+}
+
+} // namespace gral::analyzer

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Analyzer version stamp, folded into every on-disk artefact key.
+ *
+ * The incremental cache (cache.h) and the cross-TU program index
+ * (index.h) both persist derived analysis state between runs. Their
+ * contents depend not only on the analyzed bytes but on the analyzer
+ * itself: a new rule, a fixed false negative, or a changed symbol
+ * extractor can all change what an *unchanged* file contributes. A
+ * content hash alone would happily replay stale findings across an
+ * analyzer upgrade, so both formats embed analyzerSignature() in
+ * their header line — kAnalyzerVersion plus an FNV-1a hash of the
+ * active rule-id list — and any mismatch parses as an empty artefact,
+ * i.e. a cold run.
+ *
+ * Bump kAnalyzerVersion whenever analysis behaviour changes in a way
+ * the rule list does not capture (extractor fixes, scope changes,
+ * message rewrites that affect baselines).
+ */
+
+#ifndef GRAL_ANALYZER_VERSION_H
+#define GRAL_ANALYZER_VERSION_H
+
+#include <string>
+
+namespace gral::analyzer
+{
+
+/** Behavioural version of the analyzer (see file comment). */
+inline constexpr int kAnalyzerVersion = 3;
+
+/**
+ * "v<kAnalyzerVersion>/<hex FNV-1a of the sorted active rule ids>".
+ * Embedded in the cache and index headers so either artefact goes
+ * cold when the analyzer or its rule set changes.
+ */
+std::string analyzerSignature();
+
+} // namespace gral::analyzer
+
+#endif // GRAL_ANALYZER_VERSION_H
